@@ -1,0 +1,95 @@
+// ABL2 — partitioning ablations of the Terrovitis family ([10]) plus
+// Incognito pruning effectiveness:
+//  - LRA: utility/runtime vs the number of horizontal partitions;
+//  - VPA: utility/runtime vs the number of vertical domain parts;
+//  - Incognito: lattice nodes scanned vs skipped by the two prunings.
+// Outputs: stdout + bench_out/ablation_partitions_*.csv.
+
+#include <cstdio>
+
+#include "algo/relational/incognito.h"
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "export/exporter.h"
+#include "hierarchy/hierarchy_builder.h"
+
+using namespace secreta;
+
+int main() {
+  printf("== ABL2: LRA/VPA partitioning + Incognito pruning ==\n\n");
+  SecretaSession session = bench::MakeSession(3000);
+
+  // LRA partitions sweep.
+  AlgorithmConfig lra;
+  lra.mode = AnonMode::kTransaction;
+  lra.transaction_algorithm = "LRA";
+  lra.params.k = 5;
+  lra.params.m = 2;
+  auto lra_sweep = bench::CheckOk(
+      session.EvaluateSweep(lra, {"lra_partitions", 1, 17, 4}), "lra sweep");
+  printf("LRA: partitions vs UL / item-frequency error / runtime\n");
+  bench::PrintRow({"partitions", "UL", "freqErr", "runtime"});
+  bench::PrintRule(4);
+  for (const auto& point : lra_sweep.points) {
+    bench::PrintRow({StrFormat("%.0f", point.value),
+                     StrFormat("%.4f", point.report.ul),
+                     StrFormat("%.4f", point.report.item_freq_error),
+                     StrFormat("%.3fs", point.report.run.runtime_seconds)});
+  }
+  bench::CheckOk(ExportSweepTable(
+                     lra_sweep, bench::OutDir() + "/ablation_partitions_lra.csv"),
+                 "lra export");
+
+  // VPA parts sweep.
+  AlgorithmConfig vpa = lra;
+  vpa.transaction_algorithm = "VPA";
+  auto vpa_sweep = bench::CheckOk(
+      session.EvaluateSweep(vpa, {"vpa_parts", 1, 9, 2}), "vpa sweep");
+  printf("\nVPA: domain parts vs UL / item-frequency error / runtime\n");
+  bench::PrintRow({"parts", "UL", "freqErr", "runtime"});
+  bench::PrintRule(4);
+  for (const auto& point : vpa_sweep.points) {
+    bench::PrintRow({StrFormat("%.0f", point.value),
+                     StrFormat("%.4f", point.report.ul),
+                     StrFormat("%.4f", point.report.item_freq_error),
+                     StrFormat("%.3fs", point.report.run.runtime_seconds)});
+  }
+  bench::CheckOk(ExportSweepTable(
+                     vpa_sweep, bench::OutDir() + "/ablation_partitions_vpa.csv"),
+                 "vpa export");
+
+  // Incognito pruning effectiveness across k.
+  printf("\nIncognito: lattice work split by pruning (4 QIDs)\n");
+  bench::PrintRow({"k", "lattice", "scanned", "inherited", "subset-pruned"});
+  bench::PrintRule(5);
+  Dataset dataset = bench::BenchDataset(3000);
+  auto hierarchies =
+      std::move(BuildAllColumnHierarchies(dataset)).ValueOrDie();
+  auto ctx = std::move(RelationalContext::Create(dataset, hierarchies))
+                 .ValueOrDie();
+  IncognitoAnonymizer incognito;
+  csv::CsvTable table{{"k", "lattice", "scanned", "inherited", "subset_pruned"}};
+  for (int k : {2, 5, 10, 25, 50}) {
+    AnonParams params;
+    params.k = k;
+    IncognitoStats stats;
+    bench::CheckOk(
+        incognito.MinimalAnonymousLevels(ctx, params, &stats).status(),
+        "incognito");
+    bench::PrintRow({StrFormat("%d", k),
+                     std::to_string(stats.lattice_nodes),
+                     std::to_string(stats.scanned),
+                     std::to_string(stats.inherited),
+                     std::to_string(stats.pruned_by_subset)});
+    table.push_back({std::to_string(k), std::to_string(stats.lattice_nodes),
+                     std::to_string(stats.scanned),
+                     std::to_string(stats.inherited),
+                     std::to_string(stats.pruned_by_subset)});
+  }
+  bench::CheckOk(
+      csv::WriteFile(bench::OutDir() + "/ablation_incognito_pruning.csv",
+                     csv::WriteCsv(table)),
+      "incognito export");
+  printf("\nwritten under %s/\n", bench::OutDir().c_str());
+  return 0;
+}

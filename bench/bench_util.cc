@@ -1,0 +1,60 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+namespace secreta::bench {
+
+Dataset BenchDataset(size_t num_records, uint64_t seed) {
+  SyntheticOptions options;
+  options.num_records = num_records;
+  options.num_items = 120;
+  options.num_origins = 24;
+  options.num_occupations = 12;
+  options.item_skew = 1.1;
+  options.seed = seed;
+  return std::move(GenerateRtDataset(options)).ValueOrDie();
+}
+
+SecretaSession MakeSession(size_t num_records, size_t workload_queries,
+                           uint64_t seed) {
+  SecretaSession session;
+  CheckOk(session.SetDataset(BenchDataset(num_records, seed)), "dataset");
+  CheckOk(session.AutoGenerateHierarchies(), "hierarchies");
+  WorkloadGenOptions wl;
+  wl.num_queries = workload_queries;
+  wl.seed = seed + 1;
+  CheckOk(session.GenerateQueryWorkload(wl), "workload");
+  return session;
+}
+
+std::string OutDir() {
+  std::string dir = "bench_out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    printf("%s%-*s", i == 0 ? "" : " | ", i == 0 ? 28 : 10, cells[i].c_str());
+  }
+  printf("\n");
+}
+
+void PrintRule(size_t columns) {
+  printf("%s", std::string(28, '-').c_str());
+  for (size_t i = 1; i < columns; ++i) printf("-+-%s", std::string(10, '-').c_str());
+  printf("\n");
+}
+
+void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    fprintf(stderr, "bench setup failed (%s): %s\n", what,
+            status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace secreta::bench

@@ -1,0 +1,43 @@
+// Shared helpers for the SECRETA benchmark/figure harnesses.
+
+#ifndef SECRETA_BENCH_BENCH_UTIL_H_
+#define SECRETA_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/synthetic.h"
+#include "frontend/session.h"
+
+namespace secreta::bench {
+
+/// The benchmark RT-dataset (shape chosen to mirror the paper's demo data:
+/// demographic QIDs + skewed diagnosis-style items).
+Dataset BenchDataset(size_t num_records, uint64_t seed = 2014);
+
+/// Session preloaded with the bench dataset, auto-generated hierarchies and a
+/// query workload.
+SecretaSession MakeSession(size_t num_records, size_t workload_queries = 100,
+                           uint64_t seed = 2014);
+
+/// Directory for CSV/gnuplot outputs (created on demand): "bench_out/".
+std::string OutDir();
+
+/// Prints a row of fixed-width columns to stdout.
+void PrintRow(const std::vector<std::string>& cells);
+
+/// Prints a separator matching PrintRow's layout.
+void PrintRule(size_t columns);
+
+/// Aborts with a message if `status` is not OK (bench harnesses fail fast).
+void CheckOk(const Status& status, const char* what);
+
+template <typename T>
+T CheckOk(Result<T> result, const char* what) {
+  CheckOk(result.status(), what);
+  return std::move(result).value();
+}
+
+}  // namespace secreta::bench
+
+#endif  // SECRETA_BENCH_BENCH_UTIL_H_

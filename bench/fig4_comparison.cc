@@ -1,0 +1,78 @@
+// FIG4 — Comparison mode (paper Fig. 4 and Sec. 3, "Comparing methods for
+// RT-datasets"). Several configurations — different transaction algorithms
+// and bounding methods under the same relational algorithm — are executed
+// over the same varying parameter (k), in parallel threads, and their ARE /
+// UL / GCP / runtime series are rendered side by side.
+// Outputs: stdout and bench_out/fig4_*.{csv,gp}.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "export/exporter.h"
+#include "viz/ascii_plot.h"
+
+using namespace secreta;
+
+int main() {
+  printf("== FIG4: Comparison mode — methods side by side, varying k ==\n\n");
+  SecretaSession session = bench::MakeSession(3000);
+
+  std::vector<AlgorithmConfig> configs;
+  auto add = [&](const char* txn, MergerKind merger) {
+    AlgorithmConfig config;
+    config.mode = AnonMode::kRt;
+    config.relational_algorithm = "Cluster";
+    config.transaction_algorithm = txn;
+    config.merger = merger;
+    config.params.m = 2;
+    config.params.delta = 0.35;
+    configs.push_back(config);
+  };
+  add("Apriori", MergerKind::kRTmerger);
+  add("COAT", MergerKind::kRTmerger);
+  add("PCTA", MergerKind::kRTmerger);
+  add("LRA", MergerKind::kRmerger);
+  add("VPA", MergerKind::kTmerger);
+
+  ParamSweep sweep{"k", 2, 10, 2};
+  auto results = bench::CheckOk(session.Compare(configs, sweep), "compare");
+
+  for (const char* metric : {"are", "ul", "gcp", "runtime"}) {
+    std::vector<Series> series;
+    for (const auto& result : results) {
+      Series s = bench::CheckOk(result.Extract(metric), "extract");
+      s.name = result.base.relational_algorithm + "+" +
+               result.base.transaction_algorithm + "/" +
+               MergerKindToString(result.base.merger);
+      series.push_back(std::move(s));
+    }
+    PlotOptions options;
+    options.title = std::string("FIG4: ") + metric + " vs k";
+    printf("%s\n", RenderLineChart(series, options).c_str());
+    bench::CheckOk(
+        ExportSeries(series, bench::OutDir() + "/fig4_" + metric + ".csv",
+                     bench::OutDir() + "/fig4_" + metric + ".gp",
+                     options.title),
+        "export");
+  }
+
+  // Tabular summary at the largest k.
+  bench::PrintRow({"configuration", "ARE", "UL", "GCP", "runtime", "OK"});
+  bench::PrintRule(6);
+  for (const auto& result : results) {
+    const auto& point = result.points.back();
+    bench::PrintRow(
+        {result.base.relational_algorithm + "+" +
+             result.base.transaction_algorithm + "/" +
+             MergerKindToString(result.base.merger),
+         StrFormat("%.4f", point.report.are),
+         StrFormat("%.4f", point.report.ul),
+         StrFormat("%.4f", point.report.gcp),
+         StrFormat("%.3fs", point.report.run.runtime_seconds),
+         point.report.guarantee_ok ? "yes" : "NO"});
+  }
+  printf("\nseries written under %s/\n", bench::OutDir().c_str());
+  return 0;
+}

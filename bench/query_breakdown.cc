@@ -1,0 +1,107 @@
+// QBRK — ARE broken down by query type (relational-only, item-only, mixed),
+// per bounding method. The RT model predicts a crossover: Rmerger (minimal
+// relational dilation) should answer relational queries best, Tmerger
+// (minimal transaction loss) item queries, RTmerger in between — the
+// query-level view of the Fig. 3/4 utility indicators.
+// Outputs: stdout table + bench_out/query_breakdown.csv.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "csv/csv.h"
+#include "datagen/synthetic.h"
+#include "engine/registry.h"
+#include "hierarchy/hierarchy_builder.h"
+#include "query/query_evaluator.h"
+#include "query/workload_generator.h"
+
+using namespace secreta;
+
+int main() {
+  printf("== QBRK: ARE by query type, per bounding method ==\n");
+  printf("(skewed demographics: uniform-assumption estimates now pay for "
+         "generalization)\n\n");
+  SyntheticOptions gen;
+  gen.num_records = 2500;
+  gen.demographic_skew = 0.9;  // uniform marginals would make ARE(rel) free
+  gen.seed = 2014;
+  SecretaSession session;
+  bench::CheckOk(
+      session.SetDataset(std::move(GenerateRtDataset(gen)).ValueOrDie()),
+      "dataset");
+  bench::CheckOk(session.AutoGenerateHierarchies(), "hierarchies");
+  const Dataset& dataset = session.dataset();
+
+  // Three workloads: relational-only, item-only, mixed.
+  WorkloadGenOptions rel_options;
+  rel_options.num_queries = 60;
+  rel_options.relational_clauses = 2;
+  rel_options.items_per_query = 0;
+  rel_options.seed = 71;
+  auto rel_workload =
+      bench::CheckOk(GenerateWorkload(dataset, rel_options), "rel workload");
+  WorkloadGenOptions item_options;
+  item_options.num_queries = 60;
+  item_options.relational_clauses = 0;
+  item_options.items_per_query = 2;
+  item_options.seed = 72;
+  auto item_workload =
+      bench::CheckOk(GenerateWorkload(dataset, item_options), "item workload");
+  WorkloadGenOptions mixed_options;
+  mixed_options.num_queries = 60;
+  mixed_options.relational_clauses = 1;
+  mixed_options.items_per_query = 1;
+  mixed_options.seed = 73;
+  auto mixed_workload = bench::CheckOk(GenerateWorkload(dataset, mixed_options),
+                                       "mixed workload");
+
+  csv::CsvTable table{
+      {"merger", "are_relational", "are_items", "are_mixed", "gcp", "ul"}};
+  bench::PrintRow({"merger", "ARE(rel)", "ARE(item)", "ARE(mix)", "GCP", "UL"});
+  bench::PrintRule(6);
+  for (const std::string& merger_name : MergerNames()) {
+    AlgorithmConfig config;
+    config.mode = AnonMode::kRt;
+    config.relational_algorithm = "Cluster";
+    config.transaction_algorithm = "Apriori";
+    config.merger = bench::CheckOk(ParseMergerKind(merger_name), "merger");
+    config.params.k = 5;
+    config.params.m = 2;
+    config.params.delta = 0.15;  // force real merging so mergers differ
+    auto report = bench::CheckOk(session.Evaluate(config), "evaluate");
+    // Re-evaluate ARE per workload against the run's recodings. The session
+    // rebuilt its contexts during Evaluate; rebuild them here identically.
+    auto hierarchies =
+        std::move(BuildAllColumnHierarchies(dataset)).ValueOrDie();
+    auto rel_ctx =
+        std::move(RelationalContext::Create(dataset, hierarchies)).ValueOrDie();
+    auto evaluator =
+        std::move(QueryEvaluator::Create(dataset, &rel_ctx)).ValueOrDie();
+    const RelationalRecoding* rel = &*report.run.relational;
+    const TransactionRecoding* txn = &*report.run.transaction;
+    double ares[3];
+    const Workload* workloads[3] = {&rel_workload, &item_workload,
+                                    &mixed_workload};
+    for (int w = 0; w < 3; ++w) {
+      ares[w] =
+          std::move(evaluator.Are(*workloads[w], rel, txn)).ValueOrDie().are;
+    }
+    bench::PrintRow({merger_name, StrFormat("%.4f", ares[0]),
+                     StrFormat("%.4f", ares[1]), StrFormat("%.4f", ares[2]),
+                     StrFormat("%.4f", report.gcp),
+                     StrFormat("%.4f", report.ul)});
+    table.push_back({merger_name, StrFormat("%.6f", ares[0]),
+                     StrFormat("%.6f", ares[1]), StrFormat("%.6f", ares[2]),
+                     StrFormat("%.6f", report.gcp),
+                     StrFormat("%.6f", report.ul)});
+  }
+  bench::CheckOk(csv::WriteFile(bench::OutDir() + "/query_breakdown.csv",
+                                csv::WriteCsv(table)),
+                 "export");
+  printf("\nExpected: GCP strictly ordered Rmerger < RTmerger < Tmerger and UL "
+         "strictly ordered\nTmerger < RTmerger < Rmerger; the per-query ARE "
+         "follows directionally (Tmerger best\non item queries, Rmerger ahead "
+         "of Tmerger on relational queries) with greedy noise.\n");
+  return 0;
+}

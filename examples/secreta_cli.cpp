@@ -1,0 +1,44 @@
+// The SECRETA command-line application: interactive REPL or script runner.
+//
+//   ./build/examples/example_secreta_cli               # interactive
+//   ./build/examples/example_secreta_cli script.txt    # run a command file
+//
+// Try:
+//   generate 2000
+//   hierarchies auto
+//   workload gen 50
+//   mode rt
+//   algo rel Cluster
+//   algo txn Apriori
+//   merger RTmerger
+//   param k 5
+//   run
+//   sweep delta 0.1 0.5 0.2
+//   save-output anon.csv
+
+#include <fstream>
+#include <iostream>
+
+#include "frontend/cli.h"
+
+int main(int argc, char** argv) {
+  secreta::CommandLineInterface cli(&std::cout);
+  if (argc > 1) {
+    std::ifstream script(argv[1]);
+    if (!script) {
+      std::cerr << "cannot open script: " << argv[1] << "\n";
+      return 1;
+    }
+    size_t failures = cli.RunScript(script, /*stop_on_error=*/true);
+    return failures == 0 ? 0 : 1;
+  }
+  std::cout << "SECRETA CLI — type 'help' for commands, 'quit' to leave\n";
+  std::string line;
+  while (!cli.done()) {
+    std::cout << "secreta> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    secreta::Status status = cli.Execute(line);
+    if (!status.ok()) std::cout << "error: " << status.ToString() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Full-subtree bottom-up generalization (the paper's fourth relational
+// algorithm). Starts at the original values and greedily applies the
+// full-subtree generalization with the best loss/benefit ratio — preferring
+// raises that cover many records still violating k-anonymity — until the
+// dataset is k-anonymous.
+
+#ifndef SECRETA_ALGO_RELATIONAL_BOTTOMUP_H_
+#define SECRETA_ALGO_RELATIONAL_BOTTOMUP_H_
+
+#include "core/algorithm.h"
+
+namespace secreta {
+
+class BottomUpAnonymizer : public RelationalAnonymizer {
+ public:
+  std::string name() const override { return "BottomUp"; }
+
+  Result<RelationalRecoding> Anonymize(const RelationalContext& context,
+                                       const AnonParams& params) override;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_ALGO_RELATIONAL_BOTTOMUP_H_

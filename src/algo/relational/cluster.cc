@@ -1,0 +1,116 @@
+#include "algo/relational/cluster.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "metrics/information_loss.h"
+
+namespace secreta {
+
+namespace {
+
+// Incremental cluster head: per-QI LCA of all members so far.
+struct ClusterHead {
+  std::vector<NodeId> lca;       // per QI
+  std::vector<size_t> members;   // record indices
+
+  // NCP sum of the head after hypothetically adding `row` (lower = closer).
+  double CostWith(const RelationalContext& context, size_t row) const {
+    double cost = 0;
+    for (size_t qi = 0; qi < lca.size(); ++qi) {
+      const Hierarchy& h = context.hierarchy(qi);
+      cost += NodeNcp(h, h.Lca(lca[qi], context.Leaf(row, qi)));
+    }
+    return cost;
+  }
+
+  void Add(const RelationalContext& context, size_t row) {
+    for (size_t qi = 0; qi < lca.size(); ++qi) {
+      const Hierarchy& h = context.hierarchy(qi);
+      lca[qi] = h.Lca(lca[qi], context.Leaf(row, qi));
+    }
+    members.push_back(row);
+  }
+};
+
+}  // namespace
+
+Result<RelationalRecoding> ClusterAnonymizer::Anonymize(
+    const RelationalContext& context, const AnonParams& params) {
+  SECRETA_RETURN_IF_ERROR(params.Validate());
+  size_t n = context.num_records();
+  size_t k = static_cast<size_t>(params.k);
+  if (n < k) {
+    return Status::FailedPrecondition(
+        "dataset has fewer records than k; k-anonymity is unattainable");
+  }
+  size_t q = context.num_qi();
+  Rng rng(params.seed);
+  std::vector<size_t> remaining(n);
+  for (size_t i = 0; i < n; ++i) remaining[i] = i;
+  auto take = [&](size_t pos) {
+    size_t row = remaining[pos];
+    remaining[pos] = remaining.back();
+    remaining.pop_back();
+    return row;
+  };
+
+  std::vector<ClusterHead> clusters;
+  while (remaining.size() >= k) {
+    // Seed a new cluster with a random remaining record.
+    size_t seed_pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(remaining.size() - 1)));
+    ClusterHead head;
+    head.lca.resize(q);
+    size_t seed_row = take(seed_pos);
+    for (size_t qi = 0; qi < q; ++qi) head.lca[qi] = context.Leaf(seed_row, qi);
+    head.members.push_back(seed_row);
+    // Greedily add the closest record until the cluster has k members,
+    // scanning a bounded candidate pool for scalability.
+    while (head.members.size() < k) {
+      size_t pool = std::min(candidate_cap_, remaining.size());
+      std::vector<size_t> candidates;
+      if (pool == remaining.size()) {
+        candidates.resize(pool);
+        for (size_t i = 0; i < pool; ++i) candidates[i] = i;
+      } else {
+        candidates = rng.Sample(remaining.size(), pool);
+      }
+      size_t best_pos = candidates[0];
+      double best_cost = head.CostWith(context, remaining[best_pos]);
+      for (size_t ci = 1; ci < candidates.size(); ++ci) {
+        double cost = head.CostWith(context, remaining[candidates[ci]]);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_pos = candidates[ci];
+        }
+      }
+      head.Add(context, take(best_pos));
+    }
+    clusters.push_back(std::move(head));
+  }
+  // Fewer than k records remain: each joins the cluster it dilates least.
+  for (size_t row : remaining) {
+    size_t best_cluster = 0;
+    double best_cost = clusters[0].CostWith(context, row);
+    for (size_t c = 1; c < clusters.size(); ++c) {
+      double cost = clusters[c].CostWith(context, row);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_cluster = c;
+      }
+    }
+    clusters[best_cluster].Add(context, row);
+  }
+  RelationalRecoding recoding(n, q);
+  for (const ClusterHead& cluster : clusters) {
+    for (size_t row : cluster.members) {
+      for (size_t qi = 0; qi < q; ++qi) {
+        recoding.set(row, qi, cluster.lca[qi]);
+      }
+    }
+  }
+  return recoding;
+}
+
+}  // namespace secreta

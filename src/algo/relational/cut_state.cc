@@ -1,0 +1,62 @@
+#include "algo/relational/cut_state.h"
+
+namespace secreta {
+
+RelationalCutState::RelationalCutState(const RelationalContext& context,
+                                       bool at_leaves)
+    : context_(&context) {
+  node_of_pos_.resize(context.num_qi());
+  for (size_t qi = 0; qi < context.num_qi(); ++qi) {
+    const Hierarchy& h = context.hierarchy(qi);
+    node_of_pos_[qi].assign(h.num_leaves(), h.root());
+    if (at_leaves) {
+      for (NodeId leaf : h.leaves()) {
+        node_of_pos_[qi][static_cast<size_t>(h.leaf_interval_begin(leaf))] =
+            leaf;
+      }
+    }
+  }
+}
+
+void RelationalCutState::RaiseTo(size_t qi, NodeId target) {
+  const Hierarchy& h = context_->hierarchy(qi);
+  int32_t begin = h.leaf_interval_begin(target);
+  int32_t end = h.leaf_interval_end(target);
+  for (int32_t pos = begin; pos < end; ++pos) {
+    node_of_pos_[qi][static_cast<size_t>(pos)] = target;
+  }
+}
+
+void RelationalCutState::SpecializeNode(size_t qi, NodeId node) {
+  const Hierarchy& h = context_->hierarchy(qi);
+  for (NodeId child : h.children(node)) {
+    int32_t begin = h.leaf_interval_begin(child);
+    int32_t end = h.leaf_interval_end(child);
+    for (int32_t pos = begin; pos < end; ++pos) {
+      node_of_pos_[qi][static_cast<size_t>(pos)] = child;
+    }
+  }
+}
+
+std::vector<NodeId> RelationalCutState::CutNodes(size_t qi) const {
+  std::vector<NodeId> nodes;
+  const auto& positions = node_of_pos_[qi];
+  for (size_t pos = 0; pos < positions.size(); ++pos) {
+    if (nodes.empty() || nodes.back() != positions[pos]) {
+      nodes.push_back(positions[pos]);
+    }
+  }
+  return nodes;
+}
+
+RelationalRecoding RelationalCutState::BuildRecoding() const {
+  RelationalRecoding recoding(context_->num_records(), context_->num_qi());
+  for (size_t r = 0; r < context_->num_records(); ++r) {
+    for (size_t qi = 0; qi < context_->num_qi(); ++qi) {
+      recoding.set(r, qi, NodeOfRow(r, qi));
+    }
+  }
+  return recoding;
+}
+
+}  // namespace secreta

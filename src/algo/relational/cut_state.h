@@ -1,0 +1,51 @@
+// Mutable full-subtree cut state over the QI hierarchies, shared by the
+// bottom-up and top-down relational anonymizers.
+
+#ifndef SECRETA_ALGO_RELATIONAL_CUT_STATE_H_
+#define SECRETA_ALGO_RELATIONAL_CUT_STATE_H_
+
+#include <vector>
+
+#include "core/context.h"
+#include "core/results.h"
+
+namespace secreta {
+
+/// \brief One full-subtree cut per QI attribute, mutable in both directions.
+class RelationalCutState {
+ public:
+  /// `at_leaves` true starts each cut at the leaves (bottom-up), false at the
+  /// root (top-down).
+  RelationalCutState(const RelationalContext& context, bool at_leaves);
+
+  /// Cut node of record `row` in QI `qi`.
+  NodeId NodeOfRow(size_t row, size_t qi) const {
+    const Hierarchy& h = context_->hierarchy(qi);
+    return node_of_pos_[qi][static_cast<size_t>(
+        h.leaf_interval_begin(context_->Leaf(row, qi)))];
+  }
+
+  /// Generalizes: every cut node under `target` becomes `target`.
+  void RaiseTo(size_t qi, NodeId target);
+
+  /// Specializes: the cut node `node` (which must currently cover its whole
+  /// subtree) is replaced by its children.
+  void SpecializeNode(size_t qi, NodeId node);
+
+  /// Distinct cut nodes of `qi` in leaf order.
+  std::vector<NodeId> CutNodes(size_t qi) const;
+
+  /// Materializes the per-record recoding.
+  RelationalRecoding BuildRecoding() const;
+
+  const RelationalContext& context() const { return *context_; }
+
+ private:
+  const RelationalContext* context_;
+  /// Per QI: cut node covering each leaf DFS position.
+  std::vector<std::vector<NodeId>> node_of_pos_;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_ALGO_RELATIONAL_CUT_STATE_H_

@@ -1,0 +1,235 @@
+#include "algo/relational/incognito.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <numeric>
+#include <unordered_map>
+
+#include "core/equivalence.h"
+#include "core/recoding.h"
+#include "metrics/information_loss.h"
+
+namespace secreta {
+
+namespace {
+
+using Levels = std::vector<int>;
+using Subset = std::vector<size_t>;  // QI positions, sorted
+
+// Frontier of minimal anonymous level vectors for one subset.
+struct Frontier {
+  std::vector<Levels> minimal;
+
+  bool IsAnonymous(const Levels& levels) const {
+    for (const Levels& f : minimal) {
+      bool leq = true;
+      for (size_t i = 0; i < f.size(); ++i) {
+        if (f[i] > levels[i]) {
+          leq = false;
+          break;
+        }
+      }
+      if (leq) return true;
+    }
+    return false;
+  }
+};
+
+// Lazily computed leaf -> ancestor-at-level tables, one per (qi, level).
+class LevelTables {
+ public:
+  explicit LevelTables(const RelationalContext& context) : context_(&context) {
+    tables_.resize(context.num_qi());
+  }
+
+  const std::vector<NodeId>& Table(size_t qi, int level) {
+    auto& per_level = tables_[qi];
+    if (per_level.size() <= static_cast<size_t>(level)) {
+      per_level.resize(static_cast<size_t>(level) + 1);
+    }
+    auto& table = per_level[static_cast<size_t>(level)];
+    if (table.empty()) {
+      const Hierarchy& h = context_->hierarchy(qi);
+      table.resize(h.num_nodes(), kNoNode);
+      for (NodeId leaf : h.leaves()) {
+        table[static_cast<size_t>(leaf)] = h.AncestorAtLevel(leaf, level);
+      }
+    }
+    return table;
+  }
+
+ private:
+  const RelationalContext* context_;
+  std::vector<std::vector<std::vector<NodeId>>> tables_;
+};
+
+// k-anonymity of the dataset generalized to `levels` over the QIs in
+// `subset`.
+bool CheckAnonymous(const RelationalContext& context, LevelTables* tables,
+                    const Subset& subset, const Levels& levels, int k) {
+  struct VecHash {
+    size_t operator()(const std::vector<NodeId>& v) const {
+      size_t h = 0xcbf29ce484222325ULL;
+      for (NodeId x : v) {
+        h ^= static_cast<size_t>(static_cast<uint32_t>(x));
+        h *= 0x100000001b3ULL;
+      }
+      return h;
+    }
+  };
+  std::vector<const std::vector<NodeId>*> maps(subset.size());
+  for (size_t i = 0; i < subset.size(); ++i) {
+    maps[i] = &tables->Table(subset[i], levels[i]);
+  }
+  std::unordered_map<std::vector<NodeId>, size_t, VecHash> counts;
+  std::vector<NodeId> key(subset.size());
+  size_t n = context.num_records();
+  counts.reserve(n / 4);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t i = 0; i < subset.size(); ++i) {
+      key[i] = (*maps[i])[static_cast<size_t>(context.Leaf(r, subset[i]))];
+    }
+    ++counts[key];
+  }
+  for (const auto& [_, count] : counts) {
+    if (count < static_cast<size_t>(k)) return false;
+  }
+  return true;
+}
+
+// All level vectors of the subset's lattice, ordered by level sum (BFS order).
+std::vector<Levels> LatticeNodes(const std::vector<int>& heights) {
+  std::vector<Levels> nodes;
+  Levels current(heights.size(), 0);
+  // Odometer enumeration.
+  while (true) {
+    nodes.push_back(current);
+    size_t pos = 0;
+    while (pos < current.size()) {
+      if (current[pos] < heights[pos]) {
+        ++current[pos];
+        for (size_t i = 0; i < pos; ++i) current[i] = 0;
+        break;
+      }
+      ++pos;
+    }
+    if (pos == current.size()) break;
+  }
+  std::stable_sort(nodes.begin(), nodes.end(),
+                   [](const Levels& a, const Levels& b) {
+                     int sa = std::accumulate(a.begin(), a.end(), 0);
+                     int sb = std::accumulate(b.begin(), b.end(), 0);
+                     return sa < sb;
+                   });
+  return nodes;
+}
+
+// All subsets of {0..q-1} with `size` elements, lexicographic.
+std::vector<Subset> Combinations(size_t q, size_t size) {
+  std::vector<Subset> out;
+  Subset current;
+  std::function<void(size_t)> rec = [&](size_t start) {
+    if (current.size() == size) {
+      out.push_back(current);
+      return;
+    }
+    for (size_t i = start; i + (size - current.size()) <= q; ++i) {
+      current.push_back(i);
+      rec(i + 1);
+      current.pop_back();
+    }
+  };
+  rec(0);
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<int>>> IncognitoAnonymizer::MinimalAnonymousLevels(
+    const RelationalContext& context, const AnonParams& params,
+    IncognitoStats* stats) {
+  SECRETA_RETURN_IF_ERROR(params.Validate());
+  IncognitoStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  size_t q = context.num_qi();
+  if (q > 12) {
+    return Status::InvalidArgument(
+        "Incognito enumerates QI subsets; more than 12 QIs is intractable");
+  }
+  if (context.num_records() < static_cast<size_t>(params.k)) {
+    return Status::FailedPrecondition(
+        "dataset has fewer records than k; k-anonymity is unattainable");
+  }
+  LevelTables tables(context);
+  std::map<Subset, Frontier> frontiers;
+  for (size_t size = 1; size <= q; ++size) {
+    for (const Subset& subset : Combinations(q, size)) {
+      std::vector<int> heights(size);
+      for (size_t i = 0; i < size; ++i) {
+        heights[i] = context.hierarchy(subset[i]).height();
+      }
+      Frontier& frontier = frontiers[subset];
+      for (const Levels& levels : LatticeNodes(heights)) {
+        ++stats->lattice_nodes;
+        if (frontier.IsAnonymous(levels)) {  // rollup property
+          ++stats->inherited;
+          continue;
+        }
+        if (size > 1) {
+          // Subset property: every (size-1)-restriction must be anonymous.
+          bool viable = true;
+          for (size_t drop = 0; drop < size && viable; ++drop) {
+            Subset sub;
+            Levels sub_levels;
+            for (size_t i = 0; i < size; ++i) {
+              if (i == drop) continue;
+              sub.push_back(subset[i]);
+              sub_levels.push_back(levels[i]);
+            }
+            viable = frontiers[sub].IsAnonymous(sub_levels);
+          }
+          if (!viable) {
+            ++stats->pruned_by_subset;
+            continue;
+          }
+        }
+        ++stats->scanned;
+        if (CheckAnonymous(context, &tables, subset, levels, params.k)) {
+          frontier.minimal.push_back(levels);
+        }
+      }
+    }
+  }
+  Subset full(q);
+  std::iota(full.begin(), full.end(), 0);
+  const Frontier& result = frontiers[full];
+  if (result.minimal.empty()) {
+    return Status::Internal(
+        "no k-anonymous full-domain generalization found (unexpected: the "
+        "all-roots vector is always k-anonymous when n >= k)");
+  }
+  return result.minimal;
+}
+
+Result<RelationalRecoding> IncognitoAnonymizer::Anonymize(
+    const RelationalContext& context, const AnonParams& params) {
+  SECRETA_ASSIGN_OR_RETURN(std::vector<std::vector<int>> frontier,
+                           MinimalAnonymousLevels(context, params));
+  // Pick the minimal anonymous vector with the lowest GCP.
+  RelationalRecoding best;
+  double best_gcp = 0;
+  bool first = true;
+  for (const auto& levels : frontier) {
+    RelationalRecoding recoding = ApplyFullDomainLevels(context, levels);
+    double gcp = RecodingGcp(context, recoding);
+    if (first || gcp < best_gcp) {
+      first = false;
+      best_gcp = gcp;
+      best = std::move(recoding);
+    }
+  }
+  return best;
+}
+
+}  // namespace secreta

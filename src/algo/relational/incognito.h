@@ -1,0 +1,46 @@
+// Incognito (LeFevre, DeWitt & Ramakrishnan [6]): efficient full-domain
+// k-anonymity. Iterates over QI subsets of growing size; within each subset
+// it walks the lattice of per-attribute generalization levels bottom-up,
+// keeping the frontier of minimal k-anonymous level vectors. Two prunings of
+// the original algorithm are implemented:
+//   - subset property: a level vector whose restriction to some smaller
+//     subset is not anonymous cannot be anonymous, and is never scanned;
+//   - rollup/generalization property: anything above a known-anonymous
+//     vector is anonymous without scanning.
+// Among the minimal anonymous full-domain recodings of the full QI set, the
+// one with the lowest GCP is returned.
+
+#ifndef SECRETA_ALGO_RELATIONAL_INCOGNITO_H_
+#define SECRETA_ALGO_RELATIONAL_INCOGNITO_H_
+
+#include "core/algorithm.h"
+
+namespace secreta {
+
+/// Work counters of one Incognito run, summed over every QI-subset lattice.
+struct IncognitoStats {
+  size_t lattice_nodes = 0;      ///< level vectors considered
+  size_t scanned = 0;            ///< full dataset scans performed
+  size_t inherited = 0;          ///< skipped via the rollup property
+  size_t pruned_by_subset = 0;   ///< skipped via the subset property
+};
+
+class IncognitoAnonymizer : public RelationalAnonymizer {
+ public:
+  std::string name() const override { return "Incognito"; }
+
+  Result<RelationalRecoding> Anonymize(const RelationalContext& context,
+                                       const AnonParams& params) override;
+
+  /// The minimal k-anonymous full-domain level vectors over the full QI set
+  /// (one level per QI position). Exposed for tests and for ablation benches
+  /// that inspect the whole frontier rather than the best pick. `stats` (may
+  /// be null) receives the pruning counters.
+  Result<std::vector<std::vector<int>>> MinimalAnonymousLevels(
+      const RelationalContext& context, const AnonParams& params,
+      IncognitoStats* stats = nullptr);
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_ALGO_RELATIONAL_INCOGNITO_H_

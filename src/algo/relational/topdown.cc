@@ -1,0 +1,76 @@
+#include "algo/relational/topdown.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "algo/relational/cut_state.h"
+#include "core/equivalence.h"
+#include "metrics/information_loss.h"
+
+namespace secreta {
+
+Result<RelationalRecoding> TopDownAnonymizer::Anonymize(
+    const RelationalContext& context, const AnonParams& params) {
+  SECRETA_RETURN_IF_ERROR(params.Validate());
+  size_t n = context.num_records();
+  if (n < static_cast<size_t>(params.k)) {
+    return Status::FailedPrecondition(
+        "dataset has fewer records than k; k-anonymity is unattainable");
+  }
+  size_t q = context.num_qi();
+  RelationalCutState cut(context, /*at_leaves=*/false);
+
+  while (true) {
+    RelationalRecoding recoding = cut.BuildRecoding();
+    EquivalenceClasses classes = GroupByRecoding(recoding);
+    // Candidate specializations: every non-leaf cut node of every QI.
+    bool found = false;
+    size_t best_qi = 0;
+    NodeId best_node = kNoNode;
+    double best_gain = 0;
+    for (size_t qi = 0; qi < q; ++qi) {
+      const Hierarchy& h = context.hierarchy(qi);
+      for (NodeId node : cut.CutNodes(qi)) {
+        if (h.IsLeaf(node)) continue;
+        // Validity: splitting every group whose value at `qi` is `node` by
+        // the child subtree of each member must leave no group in (0, k).
+        // Simultaneously accumulate the utility gain (record-weighted NCP
+        // reduction).
+        double node_ncp = NodeNcp(h, node);
+        double gain = 0;
+        bool valid = true;
+        // (group, child) -> size; groups not containing `node` are unaffected.
+        std::unordered_map<uint64_t, size_t> split_sizes;
+        for (size_t r = 0; r < n && valid; ++r) {
+          if (recoding.at(r, qi) != node) continue;
+          NodeId leaf = context.Leaf(r, qi);
+          // Child of `node` on the path to `leaf`.
+          NodeId child = h.AncestorAtLevel(
+              leaf, h.depth(leaf) - h.depth(node) - 1);
+          gain += node_ncp - NodeNcp(h, child);
+          uint64_t key = (static_cast<uint64_t>(classes.group_of[r]) << 32) |
+                         static_cast<uint32_t>(child);
+          ++split_sizes[key];
+        }
+        if (split_sizes.empty()) continue;  // node not used by any record
+        for (const auto& [key, size] : split_sizes) {
+          if (size < static_cast<size_t>(params.k)) {
+            valid = false;
+            break;
+          }
+        }
+        if (!valid) continue;
+        if (!found || gain > best_gain) {
+          found = true;
+          best_qi = qi;
+          best_node = node;
+          best_gain = gain;
+        }
+      }
+    }
+    if (!found) return recoding;
+    cut.SpecializeNode(best_qi, best_node);
+  }
+}
+
+}  // namespace secreta

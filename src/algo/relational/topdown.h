@@ -1,0 +1,23 @@
+// Top-Down Specialization (Fung, Wang & Yu [4]). Starts fully generalized
+// (every QI at its hierarchy root) and greedily applies the valid
+// specialization — replacing one cut node with its children — with the best
+// utility gain, until no specialization preserves k-anonymity.
+
+#ifndef SECRETA_ALGO_RELATIONAL_TOPDOWN_H_
+#define SECRETA_ALGO_RELATIONAL_TOPDOWN_H_
+
+#include "core/algorithm.h"
+
+namespace secreta {
+
+class TopDownAnonymizer : public RelationalAnonymizer {
+ public:
+  std::string name() const override { return "TopDown"; }
+
+  Result<RelationalRecoding> Anonymize(const RelationalContext& context,
+                                       const AnonParams& params) override;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_ALGO_RELATIONAL_TOPDOWN_H_

@@ -1,0 +1,231 @@
+#include "algo/rt/rt_anonymizer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/equivalence.h"
+#include "metrics/information_loss.h"
+
+namespace secreta {
+
+const char* MergerKindToString(MergerKind kind) {
+  switch (kind) {
+    case MergerKind::kRmerger:
+      return "Rmerger";
+    case MergerKind::kTmerger:
+      return "Tmerger";
+    case MergerKind::kRTmerger:
+      return "RTmerger";
+  }
+  return "?";
+}
+
+std::string RtAnonymizer::name() const {
+  return relational_->name() + "+" + transaction_->name() + "/" +
+         MergerKindToString(merger_);
+}
+
+namespace {
+
+// A live cluster during the merging phase.
+struct Cluster {
+  std::vector<size_t> rows;
+  std::vector<NodeId> nodes;        // per-QI generalized value
+  std::vector<ItemId> item_union;   // sorted distinct items of the cluster
+  TransactionRecoding txn;          // aligned with `rows`
+  double ul = 0;                    // transaction utility loss of `txn`
+  bool alive = true;
+};
+
+double JaccardDistance(const std::vector<ItemId>& a,
+                       const std::vector<ItemId>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  size_t i = 0, j = 0, common = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - common;
+  return 1.0 - static_cast<double>(common) / static_cast<double>(uni);
+}
+
+double RelationalDistance(const RelationalContext& context,
+                          const Cluster& a, const Cluster& b) {
+  double total = 0;
+  for (size_t qi = 0; qi < context.num_qi(); ++qi) {
+    const Hierarchy& h = context.hierarchy(qi);
+    total += NodeNcp(h, h.Lca(a.nodes[qi], b.nodes[qi]));
+  }
+  return total / static_cast<double>(context.num_qi());
+}
+
+std::vector<ItemId> ItemUnion(const Dataset& data,
+                              const std::vector<size_t>& rows) {
+  std::vector<ItemId> all;
+  for (size_t row : rows) {
+    const auto& txn = data.items(row);
+    all.insert(all.end(), txn.begin(), txn.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+}  // namespace
+
+Result<RtResult> RtAnonymizer::Anonymize(const RelationalContext& rel_context,
+                                         const TransactionContext& txn_context,
+                                         const AnonParams& params) const {
+  SECRETA_RETURN_IF_ERROR(params.Validate());
+  const Dataset& data = rel_context.dataset();
+  if (&data != &txn_context.dataset()) {
+    return Status::InvalidArgument(
+        "relational and transaction contexts must wrap the same dataset");
+  }
+  RtResult result;
+  // Phase 1: relational clustering.
+  result.phases.Begin("relational");
+  SECRETA_ASSIGN_OR_RETURN(result.relational,
+                           relational_->Anonymize(rel_context, params));
+  EquivalenceClasses classes = GroupByRecoding(result.relational);
+  result.initial_clusters = classes.num_groups();
+
+  // Phase 2: per-cluster transaction anonymization.
+  result.phases.Begin("transaction");
+  std::vector<Cluster> clusters(classes.num_groups());
+  size_t num_items = data.item_dictionary().size();
+  auto anonymize_cluster = [&](Cluster* cluster) -> Status {
+    SECRETA_ASSIGN_OR_RETURN(
+        cluster->txn,
+        transaction_->AnonymizeSubset(txn_context, cluster->rows, params));
+    std::vector<std::vector<ItemId>> original;
+    original.reserve(cluster->rows.size());
+    for (size_t row : cluster->rows) original.push_back(data.items(row));
+    cluster->ul = TransactionUl(cluster->txn, original, num_items);
+    return Status::OK();
+  };
+  for (size_t c = 0; c < classes.num_groups(); ++c) {
+    Cluster& cluster = clusters[c];
+    cluster.rows = classes.groups[c];
+    cluster.nodes.resize(rel_context.num_qi());
+    for (size_t qi = 0; qi < rel_context.num_qi(); ++qi) {
+      cluster.nodes[qi] = result.relational.at(cluster.rows[0], qi);
+    }
+    cluster.item_union = ItemUnion(data, cluster.rows);
+    SECRETA_RETURN_IF_ERROR(anonymize_cluster(&cluster));
+  }
+
+  // Phase 3: bounded merging. While some cluster's transaction loss exceeds
+  // delta, merge it into the neighbour chosen by the bounding method.
+  result.phases.Begin("merging");
+  size_t alive = clusters.size();
+  while (alive > 1) {
+    // Worst offender first.
+    size_t worst = SIZE_MAX;
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      if (!clusters[c].alive || clusters[c].ul <= params.delta) continue;
+      if (worst == SIZE_MAX || clusters[c].ul > clusters[worst].ul) worst = c;
+    }
+    if (worst == SIZE_MAX) break;
+    // Partner by merger-specific distance.
+    size_t partner = SIZE_MAX;
+    double best_dist = 0;
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      if (c == worst || !clusters[c].alive) continue;
+      double dist = 0;
+      switch (merger_) {
+        case MergerKind::kRmerger:
+          dist = RelationalDistance(rel_context, clusters[worst], clusters[c]);
+          break;
+        case MergerKind::kTmerger:
+          dist = JaccardDistance(clusters[worst].item_union,
+                                 clusters[c].item_union);
+          break;
+        case MergerKind::kRTmerger:
+          dist = RelationalDistance(rel_context, clusters[worst], clusters[c]) +
+                 JaccardDistance(clusters[worst].item_union,
+                                 clusters[c].item_union);
+          break;
+      }
+      if (partner == SIZE_MAX || dist < best_dist) {
+        partner = c;
+        best_dist = dist;
+      }
+    }
+    Cluster& dst = clusters[worst];
+    Cluster& src = clusters[partner];
+    dst.rows.insert(dst.rows.end(), src.rows.begin(), src.rows.end());
+    std::sort(dst.rows.begin(), dst.rows.end());
+    for (size_t qi = 0; qi < rel_context.num_qi(); ++qi) {
+      const Hierarchy& h = rel_context.hierarchy(qi);
+      dst.nodes[qi] = h.Lca(dst.nodes[qi], src.nodes[qi]);
+    }
+    dst.item_union = ItemUnion(data, dst.rows);
+    SECRETA_RETURN_IF_ERROR(anonymize_cluster(&dst));
+    src.alive = false;
+    src.rows.clear();
+    src.txn = TransactionRecoding();
+    --alive;
+    ++result.merges;
+  }
+  result.phases.End();
+  result.final_clusters = alive;
+
+  // Assemble the global outputs.
+  for (const Cluster& cluster : clusters) {
+    if (!cluster.alive) continue;
+    for (size_t row : cluster.rows) {
+      for (size_t qi = 0; qi < rel_context.num_qi(); ++qi) {
+        result.relational.set(row, qi, cluster.nodes[qi]);
+      }
+    }
+  }
+  // Combine per-cluster transaction recodings, sharing gens that cover the
+  // same item set (keeps the per-cluster k^m guarantee valid globally).
+  struct CoversHash {
+    size_t operator()(const std::vector<ItemId>& v) const {
+      size_t h = 0xcbf29ce484222325ULL;
+      for (ItemId x : v) {
+        h ^= static_cast<size_t>(static_cast<uint32_t>(x));
+        h *= 0x100000001b3ULL;
+      }
+      return h;
+    }
+  };
+  std::unordered_map<std::vector<ItemId>, int32_t, CoversHash> gen_index;
+  result.transaction.records.resize(data.num_records());
+  for (const Cluster& cluster : clusters) {
+    if (!cluster.alive) continue;
+    std::vector<int32_t> remap(cluster.txn.gens.size());
+    for (size_t g = 0; g < cluster.txn.gens.size(); ++g) {
+      auto [it, inserted] = gen_index.emplace(
+          cluster.txn.gens[g].covers,
+          static_cast<int32_t>(result.transaction.gens.size()));
+      if (inserted) result.transaction.gens.push_back(cluster.txn.gens[g]);
+      remap[g] = it->second;
+    }
+    result.transaction.suppressed_occurrences +=
+        cluster.txn.suppressed_occurrences;
+    for (size_t j = 0; j < cluster.rows.size(); ++j) {
+      std::vector<int32_t> rec;
+      rec.reserve(cluster.txn.records[j].size());
+      for (int32_t g : cluster.txn.records[j]) {
+        rec.push_back(remap[static_cast<size_t>(g)]);
+      }
+      std::sort(rec.begin(), rec.end());
+      rec.erase(std::unique(rec.begin(), rec.end()), rec.end());
+      result.transaction.records[cluster.rows[j]] = std::move(rec);
+    }
+  }
+  result.transaction.item_map.clear();
+  return result;
+}
+
+}  // namespace secreta

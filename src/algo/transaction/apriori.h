@@ -1,0 +1,40 @@
+// Apriori Anonymization (AA) of Terrovitis et al. [10]: k^m-anonymity by
+// global full-subtree generalization over the item hierarchy. For each
+// itemset size i = 1..m, repeatedly finds an i-itemset with support in
+// (0, k) and raises the cheapest cut node involved, until no violation
+// remains.
+
+#ifndef SECRETA_ALGO_TRANSACTION_APRIORI_H_
+#define SECRETA_ALGO_TRANSACTION_APRIORI_H_
+
+#include "algo/transaction/cut.h"
+#include "core/algorithm.h"
+
+namespace secreta {
+
+class AprioriAnonymizer : public TransactionAnonymizer {
+ public:
+  std::string name() const override { return "Apriori"; }
+  bool requires_hierarchy() const override { return true; }
+
+  Result<TransactionRecoding> AnonymizeSubset(
+      const TransactionContext& context, const std::vector<size_t>& subset,
+      const AnonParams& params) override;
+};
+
+/// \brief The AA loop shared by Apriori, LRA and VPA.
+///
+/// Runs on `cut`, restricted to `subset`, never raising a node above depth
+/// `min_depth` (0 allows the root; VPA uses 1 to stay inside the root's
+/// child subtrees). Returns true if k^m-anonymity was established. When a
+/// violation persists with every involved node unraisable:
+/// `suppress_on_failure` true suppresses all items (guarantee preserved,
+/// returns true); false leaves the cut as-is and returns false so the caller
+/// can fix the residue by other means.
+Result<bool> RunAprioriLoop(HierarchyCut* cut, const std::vector<size_t>& subset,
+                            int k, int m, int min_depth,
+                            bool suppress_on_failure);
+
+}  // namespace secreta
+
+#endif  // SECRETA_ALGO_TRANSACTION_APRIORI_H_

@@ -1,0 +1,56 @@
+// COAT — COnstraint-based Anonymization of Transactions (Loukides et al.
+// [7]). Greedily processes privacy constraints: while a constraint's support
+// is in (0, k), the cheapest operation among {merge an involved generalized
+// item with another one from its utility constraint, suppress it} is applied.
+//
+// When constructed without an explicit privacy policy, COAT protects against
+// k^m adversaries by deriving constraints from the current violations (the
+// mode used when COAT plays the transaction role in an RT pipeline).
+
+#ifndef SECRETA_ALGO_TRANSACTION_COAT_H_
+#define SECRETA_ALGO_TRANSACTION_COAT_H_
+
+#include <optional>
+
+#include "algo/transaction/gen_space.h"
+#include "core/algorithm.h"
+#include "policy/policy.h"
+
+namespace secreta {
+
+class CoatAnonymizer : public TransactionAnonymizer {
+ public:
+  /// Uses the given policies. An empty privacy policy means "derive k^m
+  /// constraints from violations"; an empty utility policy means
+  /// "unrestricted".
+  CoatAnonymizer() = default;
+  CoatAnonymizer(PrivacyPolicy privacy, UtilityPolicy utility)
+      : privacy_(std::move(privacy)), utility_(std::move(utility)) {}
+
+  std::string name() const override { return "COAT"; }
+  bool requires_hierarchy() const override { return false; }
+
+  Result<TransactionRecoding> AnonymizeSubset(
+      const TransactionContext& context, const std::vector<size_t>& subset,
+      const AnonParams& params) override;
+
+ private:
+  PrivacyPolicy privacy_;
+  UtilityPolicy utility_;
+};
+
+/// \brief Shared constraint-fixing primitive for COAT/PCTA.
+///
+/// Makes the support of `gens` (an itemset in gen space) leave the (0, k)
+/// window by applying merge/suppress operations on `space`, honouring
+/// `utility` (pass nullptr for unrestricted). `prefer_global_cheapest`
+/// selects PCTA behaviour (scan all merge candidates of every involved gen)
+/// vs COAT (fix the most fragile gen first). Returns OK when the itemset's
+/// support is no longer violating.
+Status FixItemsetSupport(GenSpace* space, std::vector<int32_t> gens, int k,
+                         const UtilityPolicy* utility,
+                         bool prefer_global_cheapest);
+
+}  // namespace secreta
+
+#endif  // SECRETA_ALGO_TRANSACTION_COAT_H_

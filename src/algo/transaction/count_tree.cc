@@ -1,0 +1,110 @@
+#include "algo/transaction/count_tree.h"
+
+#include <algorithm>
+
+namespace secreta {
+
+CountTree::CountTree(const std::vector<std::vector<int32_t>>& records, int m)
+    : m_(m) {
+  nodes_.push_back(Node{});  // root
+  // Insert every subset of size <= m of every record. The recursion mirrors
+  // combination enumeration but shares prefixes through the tree.
+  struct Frame {
+    int32_t node;
+    size_t start;
+    int depth;
+  };
+  std::vector<Frame> stack;
+  for (const auto& rec : records) {
+    stack.clear();
+    stack.push_back({0, 0, 0});
+    while (!stack.empty()) {
+      Frame frame = stack.back();
+      stack.pop_back();
+      if (frame.depth == m_) continue;
+      for (size_t i = frame.start; i < rec.size(); ++i) {
+        int32_t child = GetOrAddChild(frame.node, rec[i]);
+        ++nodes_[static_cast<size_t>(child)].count;
+        stack.push_back({child, i + 1, frame.depth + 1});
+      }
+    }
+  }
+}
+
+int32_t CountTree::FindChild(int32_t node, int32_t item) const {
+  const auto& children = nodes_[static_cast<size_t>(node)].children;
+  auto it = std::lower_bound(
+      children.begin(), children.end(), item, [&](int32_t child, int32_t key) {
+        return nodes_[static_cast<size_t>(child)].item < key;
+      });
+  if (it != children.end() && nodes_[static_cast<size_t>(*it)].item == item) {
+    return *it;
+  }
+  return -1;
+}
+
+int32_t CountTree::GetOrAddChild(int32_t node, int32_t item) {
+  auto& children = nodes_[static_cast<size_t>(node)].children;
+  auto it = std::lower_bound(
+      children.begin(), children.end(), item, [&](int32_t child, int32_t key) {
+        return nodes_[static_cast<size_t>(child)].item < key;
+      });
+  if (it != children.end() && nodes_[static_cast<size_t>(*it)].item == item) {
+    return *it;
+  }
+  int32_t id = static_cast<int32_t>(nodes_.size());
+  Node fresh;
+  fresh.item = item;
+  // Insert position index must be captured before nodes_ reallocates.
+  size_t pos = static_cast<size_t>(it - children.begin());
+  nodes_.push_back(std::move(fresh));
+  auto& parent_children = nodes_[static_cast<size_t>(node)].children;
+  parent_children.insert(parent_children.begin() + static_cast<ptrdiff_t>(pos),
+                         id);
+  return id;
+}
+
+size_t CountTree::Support(const std::vector<int32_t>& itemset) const {
+  int32_t node = 0;
+  for (int32_t item : itemset) {
+    node = FindChild(node, item);
+    if (node == -1) return 0;
+  }
+  return node == 0 ? 0 : nodes_[static_cast<size_t>(node)].count;
+}
+
+std::vector<KmViolation> CountTree::FindViolations(
+    int k, size_t max_violations) const {
+  std::vector<KmViolation> out;
+  std::vector<int32_t> path;
+  struct Frame {
+    int32_t node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack{{0, 0}};
+  while (!stack.empty() && out.size() < max_violations) {
+    Frame& frame = stack.back();
+    const Node& node = nodes_[static_cast<size_t>(frame.node)];
+    if (frame.next_child == 0 && frame.node != 0 && node.count > 0 &&
+        node.count < static_cast<size_t>(k)) {
+      out.push_back({path, node.count});
+      if (out.size() >= max_violations) break;
+    }
+    if (frame.next_child < node.children.size()) {
+      int32_t child = node.children[frame.next_child++];
+      path.push_back(nodes_[static_cast<size_t>(child)].item);
+      stack.push_back({child, 0});
+    } else {
+      if (frame.node != 0) path.pop_back();
+      stack.pop_back();
+    }
+  }
+  // Prefer the most fragile violations (smallest support first).
+  std::sort(out.begin(), out.end(),
+            [](const KmViolation& a, const KmViolation& b) {
+              return a.support < b.support;
+            });
+  return out;
+}
+
+}  // namespace secreta

@@ -1,0 +1,55 @@
+// Count-tree for itemset support counting (Terrovitis et al. [10], Sec. 5 of
+// the VLDBJ paper): a prefix tree over (generalized) items, ordered by
+// decreasing support, storing the support of every itemset of size <= m.
+// Used by the AA loop in place of hash-based subset enumeration: building the
+// tree is one pass, and violating itemsets are found by a DFS that prunes
+// subtrees whose count already meets k (every descendant extends a subset
+// whose support can only be lower or equal... the tree stores each itemset
+// once, so the DFS simply reports nodes with 0 < count < k).
+
+#ifndef SECRETA_ALGO_TRANSACTION_COUNT_TREE_H_
+#define SECRETA_ALGO_TRANSACTION_COUNT_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/guarantees.h"
+
+namespace secreta {
+
+/// \brief Prefix tree over sorted itemsets with per-node support counts.
+class CountTree {
+ public:
+  /// Builds the tree of all itemsets of size <= m occurring in `records`
+  /// (each record a sorted vector of gen ids).
+  CountTree(const std::vector<std::vector<int32_t>>& records, int m);
+
+  /// Support of `itemset` (must be sorted); 0 if absent.
+  size_t Support(const std::vector<int32_t>& itemset) const;
+
+  /// Itemsets with support in (0, k), up to `max_violations`, smallest
+  /// support first among those found in DFS order.
+  std::vector<KmViolation> FindViolations(int k, size_t max_violations) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int32_t item = -1;
+    size_t count = 0;
+    // Children stored as a sorted (by item) index range into child_index_.
+    std::vector<int32_t> children;  // node ids, sorted by item
+  };
+
+  // Returns the child of `node` holding `item`, or -1.
+  int32_t FindChild(int32_t node, int32_t item) const;
+  // Returns the child of `node` holding `item`, creating it if needed.
+  int32_t GetOrAddChild(int32_t node, int32_t item);
+
+  std::vector<Node> nodes_;  // nodes_[0] is the root (item -1)
+  int m_;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_ALGO_TRANSACTION_COUNT_TREE_H_

@@ -1,0 +1,55 @@
+// HierarchyCut: the mutable state of full-subtree global recoding over an
+// item hierarchy (Apriori/LRA/VPA of Terrovitis et al. [10]). A cut maps each
+// leaf to one ancestor; raising the cut generalizes items.
+
+#ifndef SECRETA_ALGO_TRANSACTION_CUT_H_
+#define SECRETA_ALGO_TRANSACTION_CUT_H_
+
+#include <vector>
+
+#include "core/context.h"
+#include "core/results.h"
+
+namespace secreta {
+
+/// Materialized view of a cut over a record subset.
+struct CutRecoding {
+  TransactionRecoding recoding;
+  /// Hierarchy node of each gen in `recoding.gens`.
+  std::vector<NodeId> gen_nodes;
+};
+
+/// \brief A full-subtree generalization cut over the item hierarchy.
+class HierarchyCut {
+ public:
+  /// Starts with every leaf mapped to itself (identity recoding).
+  explicit HierarchyCut(const TransactionContext& context);
+
+  /// Replaces every cut node under `target` with `target` (raising the cut).
+  void RaiseTo(NodeId target);
+
+  /// Current cut node covering `item`.
+  NodeId NodeOf(ItemId item) const;
+
+  /// True if all items are suppressed (total-suppression fallback for the
+  /// degenerate case where even the root generalization violates k^m).
+  bool suppressed() const { return suppress_all_; }
+  void SuppressAll() { suppress_all_ = true; }
+
+  /// Builds the generalized transactions of `subset` under the current cut.
+  /// `recoding.records[j]` corresponds to subset[j]. The gen pool contains
+  /// only nodes actually used; item_map is filled (global recoding).
+  CutRecoding Materialize(const std::vector<size_t>& subset) const;
+
+  const TransactionContext& context() const { return *context_; }
+
+ private:
+  const TransactionContext* context_;
+  /// Current cut node for each leaf DFS position.
+  std::vector<NodeId> node_of_pos_;
+  bool suppress_all_ = false;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_ALGO_TRANSACTION_CUT_H_

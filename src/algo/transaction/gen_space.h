@@ -1,0 +1,94 @@
+// GenSpace: mutable global recoding where a generalized item is an arbitrary
+// set of original items (the model of COAT [7] and PCTA [5], which do not use
+// hierarchies). Supports merge and suppress operations with incremental
+// support maintenance.
+
+#ifndef SECRETA_ALGO_TRANSACTION_GEN_SPACE_H_
+#define SECRETA_ALGO_TRANSACTION_GEN_SPACE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/results.h"
+#include "data/dictionary.h"
+
+namespace secreta {
+
+/// \brief Mutable set-generalization state over a record subset.
+class GenSpace {
+ public:
+  /// Starts at the identity recoding of `transactions` (one entry per record
+  /// of the subset, original ItemIds). `item_dict` provides labels.
+  GenSpace(std::vector<std::vector<ItemId>> transactions,
+           const Dictionary& item_dict);
+
+  /// Initializes from an existing global recoding instead of the identity
+  /// (used by VPA to continue from the per-part hierarchy cuts). `recoding`
+  /// must have a full item_map.
+  GenSpace(std::vector<std::vector<ItemId>> transactions,
+           const Dictionary& item_dict, const TransactionRecoding& recoding);
+
+  size_t num_items() const { return item_dict_->size(); }
+  size_t num_records() const { return original_.size(); }
+
+  /// Current gen id of `item`, or kSuppressedGen.
+  int32_t GenOf(ItemId item) const {
+    return item_gen_[static_cast<size_t>(item)];
+  }
+  /// Covered items of gen `g` (sorted).
+  const std::vector<ItemId>& Covers(int32_t g) const {
+    return covers_[static_cast<size_t>(g)];
+  }
+  /// Number of records currently containing gen `g`.
+  size_t Support(int32_t g) const { return support_[static_cast<size_t>(g)]; }
+  /// True if gen `g` is still live (covers at least one item).
+  bool IsLive(int32_t g) const { return !covers_[static_cast<size_t>(g)].empty(); }
+  /// Ids of all live gens.
+  std::vector<int32_t> LiveGens() const;
+
+  /// Merges gens `a` and `b` into a new gen (union of covers); returns its
+  /// id. a and b become dead.
+  int32_t Merge(int32_t a, int32_t b);
+
+  /// Suppresses gen `g`: its items disappear from every record.
+  void Suppress(int32_t g);
+
+  /// Marginal utility-loss of merging `a` and `b` (increase in summed
+  /// occurrence penalties, normalized by total original occurrences).
+  double MergeCost(int32_t a, int32_t b) const;
+  /// Marginal utility-loss of suppressing `g`.
+  double SuppressCost(int32_t g) const;
+
+  /// Number of records whose current generalized form contains every gen in
+  /// `gens` (gens need not be live; dead gens yield 0).
+  size_t ItemsetSupport(const std::vector<int32_t>& gens) const;
+
+  /// Generalized records (sorted gen ids, one per subset record).
+  const std::vector<std::vector<int32_t>>& records() const { return records_; }
+
+  /// Exports the final TransactionRecoding (gens compacted to live ones).
+  TransactionRecoding Export() const;
+
+ private:
+  void InitFromIdentity();
+  std::string LabelFor(const std::vector<ItemId>& covers) const;
+  /// Occurrence count of gen `g`: total original item occurrences mapped to it.
+  size_t Occurrences(int32_t g) const {
+    return occurrences_[static_cast<size_t>(g)];
+  }
+
+  const Dictionary* item_dict_;
+  std::vector<std::vector<ItemId>> original_;     // subset transactions
+  std::vector<std::vector<int32_t>> records_;     // generalized form (sorted)
+  std::vector<int32_t> item_gen_;                 // item -> gen / suppressed
+  std::vector<std::vector<ItemId>> covers_;       // per gen
+  std::vector<size_t> support_;                   // per gen: #records with gen
+  std::vector<size_t> occurrences_;               // per gen: #item occurrences
+  std::vector<std::vector<size_t>> item_records_; // item -> rows containing it
+  size_t total_occurrences_ = 0;
+  size_t suppressed_occurrences_ = 0;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_ALGO_TRANSACTION_GEN_SPACE_H_

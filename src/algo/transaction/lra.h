@@ -1,0 +1,34 @@
+// LRA — Local Recoding Anonymization (Terrovitis et al. [10]). Records are
+// sorted by their item sets and split into horizontal partitions; AA runs in
+// each partition independently, so the same item may generalize differently
+// in different partitions (local recoding). Each partition being
+// k^m-anonymous with partition-local generalized items makes the whole output
+// k^m-anonymous.
+
+#ifndef SECRETA_ALGO_TRANSACTION_LRA_H_
+#define SECRETA_ALGO_TRANSACTION_LRA_H_
+
+#include <cstdint>
+
+#include "core/algorithm.h"
+
+namespace secreta {
+
+/// Position of bit pattern `gray` in the binary-reflected Gray sequence
+/// (inverse Gray code). LRA sorts transactions by the Gray rank of their
+/// top-item bitmap so consecutive partitions differ in few items ([10]).
+uint64_t GrayRank(uint64_t gray);
+
+class LraAnonymizer : public TransactionAnonymizer {
+ public:
+  std::string name() const override { return "LRA"; }
+  bool requires_hierarchy() const override { return true; }
+
+  Result<TransactionRecoding> AnonymizeSubset(
+      const TransactionContext& context, const std::vector<size_t>& subset,
+      const AnonParams& params) override;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_ALGO_TRANSACTION_LRA_H_

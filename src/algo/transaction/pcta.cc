@@ -1,0 +1,76 @@
+#include "algo/transaction/pcta.h"
+
+#include <algorithm>
+
+#include "algo/transaction/coat.h"
+#include "algo/transaction/count_tree.h"
+
+namespace secreta {
+
+Result<TransactionRecoding> PctaAnonymizer::AnonymizeSubset(
+    const TransactionContext& context, const std::vector<size_t>& subset,
+    const AnonParams& params) {
+  SECRETA_RETURN_IF_ERROR(params.Validate());
+  std::vector<std::vector<ItemId>> txns;
+  txns.reserve(subset.size());
+  for (size_t row : subset) txns.push_back(context.dataset().items(row));
+  GenSpace space(std::move(txns), context.dataset().item_dictionary());
+  UtilityPolicy unrestricted;
+  const UtilityPolicy* utility = &utility_;
+  if (utility_.empty()) {
+    unrestricted = UtilityPolicy::Unrestricted(context.num_items());
+    utility = &unrestricted;
+  }
+  if (privacy_.empty()) {
+    // k^m mode: repeatedly address the most fragile violation.
+    while (true) {
+      CountTree tree(space.records(), params.m);
+      auto violations = tree.FindViolations(params.k, /*max_violations=*/16);
+      if (violations.empty()) break;
+      const KmViolation* fragile = &violations[0];
+      for (const auto& v : violations) {
+        if (v.support < fragile->support) fragile = &v;
+      }
+      SECRETA_RETURN_IF_ERROR(FixItemsetSupport(
+          &space, fragile->itemset, params.k, utility,
+          /*prefer_global_cheapest=*/true));
+    }
+  } else {
+    while (true) {
+      // Most fragile violated constraint first.
+      int best_k = 0;
+      size_t best_support = 0;
+      std::vector<int32_t> best_gens;
+      bool found = false;
+      for (const auto& constraint : privacy_.constraints) {
+        int k = constraint.k > 0 ? constraint.k : params.k;
+        std::vector<int32_t> gens;
+        bool suppressed = false;
+        for (ItemId item : constraint.items) {
+          int32_t g = space.GenOf(item);
+          if (g == kSuppressedGen) {
+            suppressed = true;
+            break;
+          }
+          gens.push_back(g);
+        }
+        if (suppressed) continue;
+        size_t support = space.ItemsetSupport(gens);
+        if (support == 0 || support >= static_cast<size_t>(k)) continue;
+        if (!found || support < best_support) {
+          found = true;
+          best_support = support;
+          best_k = k;
+          best_gens = std::move(gens);
+        }
+      }
+      if (!found) break;
+      SECRETA_RETURN_IF_ERROR(FixItemsetSupport(
+          &space, std::move(best_gens), best_k, utility,
+          /*prefer_global_cheapest=*/true));
+    }
+  }
+  return space.Export();
+}
+
+}  // namespace secreta

@@ -1,0 +1,36 @@
+// PCTA — Privacy-constrained Clustering-based Transaction Anonymization
+// (Gkoulalas-Divanis & Loukides [5]). Agglomerative flavour of
+// constraint-based anonymization: at every step the most fragile violated
+// constraint is addressed with the globally cheapest merge of generalized
+// items (utility-guided clustering of the item domain).
+
+#ifndef SECRETA_ALGO_TRANSACTION_PCTA_H_
+#define SECRETA_ALGO_TRANSACTION_PCTA_H_
+
+#include "algo/transaction/gen_space.h"
+#include "core/algorithm.h"
+#include "policy/policy.h"
+
+namespace secreta {
+
+class PctaAnonymizer : public TransactionAnonymizer {
+ public:
+  PctaAnonymizer() = default;
+  PctaAnonymizer(PrivacyPolicy privacy, UtilityPolicy utility)
+      : privacy_(std::move(privacy)), utility_(std::move(utility)) {}
+
+  std::string name() const override { return "PCTA"; }
+  bool requires_hierarchy() const override { return false; }
+
+  Result<TransactionRecoding> AnonymizeSubset(
+      const TransactionContext& context, const std::vector<size_t>& subset,
+      const AnonParams& params) override;
+
+ private:
+  PrivacyPolicy privacy_;
+  UtilityPolicy utility_;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_ALGO_TRANSACTION_PCTA_H_

@@ -1,0 +1,45 @@
+// rho-uncertainty (Cao et al. [2]) — the extension the paper names as future
+// work ("we will extend our system, by incorporating additional algorithms,
+// such as those in [2]"). Guarantee: no association rule X -> s from a
+// non-sensitive antecedent X (|X| <= m) to a sensitive item s may hold with
+// confidence above rho. Enforced by the global suppression strategy of [2]:
+// while a violating rule exists, suppress the rule side with the lower
+// utility value.
+
+#ifndef SECRETA_ALGO_TRANSACTION_RHO_UNCERTAINTY_H_
+#define SECRETA_ALGO_TRANSACTION_RHO_UNCERTAINTY_H_
+
+#include "algo/transaction/gen_space.h"
+#include "core/algorithm.h"
+
+namespace secreta {
+
+class RhoUncertaintyAnonymizer : public TransactionAnonymizer {
+ public:
+  /// `sensitive` lists the sensitive items; everything else is public. When
+  /// empty, the least-frequent 20% of items are treated as sensitive (rare
+  /// items are the typical disclosure risk).
+  explicit RhoUncertaintyAnonymizer(std::vector<ItemId> sensitive = {})
+      : sensitive_(std::move(sensitive)) {}
+
+  std::string name() const override { return "RhoUncertainty"; }
+  bool requires_hierarchy() const override { return false; }
+
+  Result<TransactionRecoding> AnonymizeSubset(
+      const TransactionContext& context, const std::vector<size_t>& subset,
+      const AnonParams& params) override;
+
+ private:
+  std::vector<ItemId> sensitive_;
+};
+
+/// Checker used by property tests: true when no rule X -> s (|X| <= m,
+/// X non-sensitive items, s sensitive) has confidence > rho in `records`
+/// (original-item space after applying `recoding`'s suppressions).
+bool SatisfiesRhoUncertainty(const TransactionRecoding& recoding,
+                             const std::vector<char>& is_sensitive, double rho,
+                             int m);
+
+}  // namespace secreta
+
+#endif  // SECRETA_ALGO_TRANSACTION_RHO_UNCERTAINTY_H_

@@ -1,0 +1,26 @@
+// VPA — Vertical Partitioning Anonymization (Terrovitis et al. [10]). The
+// item domain is split into contiguous groups of the hierarchy root's child
+// subtrees; AA runs inside every part (never generalizing across parts), and
+// a final global pass repairs any residual cross-part violations by merging
+// generalized items (so the k^m guarantee always holds on the output).
+
+#ifndef SECRETA_ALGO_TRANSACTION_VPA_H_
+#define SECRETA_ALGO_TRANSACTION_VPA_H_
+
+#include "core/algorithm.h"
+
+namespace secreta {
+
+class VpaAnonymizer : public TransactionAnonymizer {
+ public:
+  std::string name() const override { return "VPA"; }
+  bool requires_hierarchy() const override { return true; }
+
+  Result<TransactionRecoding> AnonymizeSubset(
+      const TransactionContext& context, const std::vector<size_t>& subset,
+      const AnonParams& params) override;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_ALGO_TRANSACTION_VPA_H_

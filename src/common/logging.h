@@ -1,0 +1,45 @@
+// Minimal leveled logger. The engine reports progress through this so that
+// long-running benchmark sweeps are observable without a debugger.
+
+#ifndef SECRETA_COMMON_LOGGING_H_
+#define SECRETA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace secreta {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped. Default: kWarning so
+/// that tests and benches stay quiet unless something is wrong.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace secreta
+
+#define SECRETA_LOG(level)                                      \
+  ::secreta::internal::LogMessage(::secreta::LogLevel::level,   \
+                                  __FILE__, __LINE__)
+
+#endif  // SECRETA_COMMON_LOGGING_H_

@@ -1,0 +1,162 @@
+// Copyright (c) SECRETA reproduction authors.
+// Arrow/RocksDB-style Status and Result<T> used on every fallible path in the
+// library. Core code does not throw; errors propagate through these types.
+
+#ifndef SECRETA_COMMON_STATUS_H_
+#define SECRETA_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace secreta {
+
+/// Machine-readable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIOError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation.
+///
+/// A default-constructed Status is OK. Non-OK statuses carry a code and a
+/// message. Statuses are cheap to copy (OK carries no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns the canonical OK status.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "Code: message", or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// The moral equivalent of arrow::Result / absl::StatusOr, small enough to
+/// live in one header. Access to the value of a failed Result aborts in debug
+/// builds (assert) and is undefined otherwise; check ok() first or use the
+/// SECRETA_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from error status. Constructing from an OK status is a bug.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+  /// Implicit from value.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Moves the value out; aborts on error (tests/examples convenience).
+  T ValueOrDie() && {
+    if (!ok()) {
+      // In release builds assert compiles out; fail loudly instead of UB.
+      fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+              status_.ToString().c_str());
+      abort();
+    }
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace secreta
+
+/// Propagates a non-OK Status from an expression returning Status.
+#define SECRETA_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    ::secreta::Status _secreta_status = (expr);       \
+    if (!_secreta_status.ok()) return _secreta_status; \
+  } while (false)
+
+#define SECRETA_CONCAT_IMPL(a, b) a##b
+#define SECRETA_CONCAT(a, b) SECRETA_CONCAT_IMPL(a, b)
+
+/// Evaluates an expression returning Result<T>; on error propagates the
+/// Status, otherwise assigns the value to `lhs` (which may be a declaration).
+#define SECRETA_ASSIGN_OR_RETURN(lhs, expr)                          \
+  SECRETA_ASSIGN_OR_RETURN_IMPL(                                     \
+      SECRETA_CONCAT(_secreta_result_, __LINE__), lhs, expr)
+
+#define SECRETA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+#endif  // SECRETA_COMMON_STATUS_H_

@@ -1,0 +1,81 @@
+// Wall-clock timing utilities; PhaseTimer backs the per-phase runtime
+// breakdown shown in Evaluation mode (Fig. 3 visualization (b)).
+
+#ifndef SECRETA_COMMON_STOPWATCH_H_
+#define SECRETA_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace secreta {
+
+/// Simple monotonic stopwatch measuring elapsed seconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named, ordered phases (e.g. "relational", "transaction",
+/// "merging"). A phase may be entered multiple times; durations accumulate.
+class PhaseTimer {
+ public:
+  /// Starts (or resumes) the named phase, closing any open phase first.
+  void Begin(const std::string& name) {
+    End();
+    open_ = name;
+    watch_.Restart();
+  }
+
+  /// Closes the currently open phase, if any.
+  void End() {
+    if (open_.empty()) return;
+    Add(open_, watch_.ElapsedSeconds());
+    open_.clear();
+  }
+
+  /// Adds `seconds` to phase `name` directly.
+  void Add(const std::string& name, double seconds) {
+    for (auto& [phase, total] : phases_) {
+      if (phase == name) {
+        total += seconds;
+        return;
+      }
+    }
+    phases_.emplace_back(name, seconds);
+  }
+
+  /// Ordered (phase name, accumulated seconds) pairs.
+  const std::vector<std::pair<std::string, double>>& phases() const {
+    return phases_;
+  }
+
+  double TotalSeconds() const {
+    double total = 0;
+    for (const auto& [_, seconds] : phases_) total += seconds;
+    return total;
+  }
+
+ private:
+  Stopwatch watch_;
+  std::string open_;
+  std::vector<std::pair<std::string, double>> phases_;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_COMMON_STOPWATCH_H_

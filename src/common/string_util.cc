@@ -1,0 +1,111 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace secreta {
+
+std::vector<std::string> Split(std::string_view input, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(input.substr(start));
+      break;
+    }
+    out.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view input) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < input.size()) {
+    while (i < input.size() && std::isspace(static_cast<unsigned char>(input[i]))) ++i;
+    size_t start = i;
+    while (i < input.size() && !std::isspace(static_cast<unsigned char>(input[i]))) ++i;
+    if (i > start) out.emplace_back(input.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view delim) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(delim);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view input) {
+  size_t begin = 0;
+  while (begin < input.size() &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  size_t end = input.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+Result<int64_t> ParseInt(std::string_view input) {
+  std::string buf(Trim(input));
+  if (buf.empty()) return Status::InvalidArgument("empty integer");
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) return Status::OutOfRange("integer out of range: " + buf);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not an integer: '" + buf + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseDouble(std::string_view input) {
+  std::string buf(Trim(input));
+  if (buf.empty()) return Status::InvalidArgument("empty number");
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE) return Status::OutOfRange("number out of range: " + buf);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not a number: '" + buf + "'");
+  }
+  return v;
+}
+
+bool LooksNumeric(std::string_view value) { return ParseDouble(value).ok(); }
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  int n = vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+std::string ToLower(std::string_view input) {
+  std::string out(input);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace secreta

@@ -1,0 +1,48 @@
+// String helpers shared across the library (parsing, joining, formatting).
+
+#ifndef SECRETA_COMMON_STRING_UTIL_H_
+#define SECRETA_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace secreta {
+
+/// Splits `input` on `delim`. Empty fields are preserved ("a,,b" -> 3 fields).
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Splits on any whitespace run; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view input);
+
+/// Joins `parts` with `delim`.
+std::string Join(const std::vector<std::string>& parts, std::string_view delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// Parses a signed integer; rejects trailing garbage.
+Result<int64_t> ParseInt(std::string_view input);
+
+/// Parses a floating-point number; rejects trailing garbage.
+Result<double> ParseDouble(std::string_view input);
+
+/// True if `value` looks like a number (parsable as double).
+bool LooksNumeric(std::string_view value);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Lowercases ASCII characters.
+std::string ToLower(std::string_view input);
+
+/// True if `text` starts with `prefix`.
+inline bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace secreta
+
+#endif  // SECRETA_COMMON_STRING_UTIL_H_

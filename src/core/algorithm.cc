@@ -1,0 +1,14 @@
+#include "core/algorithm.h"
+
+#include <numeric>
+
+namespace secreta {
+
+Result<TransactionRecoding> TransactionAnonymizer::Anonymize(
+    const TransactionContext& context, const AnonParams& params) {
+  std::vector<size_t> all(context.num_records());
+  std::iota(all.begin(), all.end(), 0);
+  return AnonymizeSubset(context, all, params);
+}
+
+}  // namespace secreta

@@ -1,0 +1,59 @@
+// Abstract anonymizer interfaces implemented by the 9 algorithms and the RT
+// bounding methods. The engine's Anonymization Module drives these.
+
+#ifndef SECRETA_CORE_ALGORITHM_H_
+#define SECRETA_CORE_ALGORITHM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/context.h"
+#include "core/params.h"
+#include "core/results.h"
+
+namespace secreta {
+
+/// \brief A relational anonymization algorithm (k-anonymity over QIDs).
+class RelationalAnonymizer {
+ public:
+  virtual ~RelationalAnonymizer() = default;
+
+  /// Algorithm display name ("Incognito", "TopDown", ...).
+  virtual std::string name() const = 0;
+
+  /// Anonymizes the full dataset: the returned recoding must be k-anonymous.
+  virtual Result<RelationalRecoding> Anonymize(const RelationalContext& context,
+                                               const AnonParams& params) = 0;
+};
+
+/// \brief A transaction anonymization algorithm (k^m-anonymity or
+/// constraint-based privacy over the item attribute).
+///
+/// Algorithms operate on a record subset so the RT pipeline can enforce the
+/// guarantee inside each relational cluster; Anonymize() is the full-dataset
+/// convenience.
+class TransactionAnonymizer {
+ public:
+  virtual ~TransactionAnonymizer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// True if this algorithm needs an item hierarchy in the context.
+  virtual bool requires_hierarchy() const { return true; }
+
+  /// Anonymizes the transactions of the records in `subset`. The result's
+  /// `records` vector has one entry per subset element (in subset order).
+  virtual Result<TransactionRecoding> AnonymizeSubset(
+      const TransactionContext& context, const std::vector<size_t>& subset,
+      const AnonParams& params) = 0;
+
+  /// Anonymizes all records.
+  Result<TransactionRecoding> Anonymize(const TransactionContext& context,
+                                        const AnonParams& params);
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_CORE_ALGORITHM_H_

@@ -1,0 +1,60 @@
+#include "core/context.h"
+
+namespace secreta {
+
+Result<RelationalContext> RelationalContext::Create(
+    const Dataset& dataset, const std::vector<Hierarchy>& column_hierarchies) {
+  if (column_hierarchies.size() != dataset.num_relational()) {
+    return Status::InvalidArgument(
+        "need one hierarchy slot per relational column");
+  }
+  RelationalContext ctx;
+  ctx.dataset_ = &dataset;
+  for (size_t col = 0; col < dataset.num_relational(); ++col) {
+    size_t attr = dataset.AttributeOfColumn(col);
+    if (dataset.schema().attribute(attr).role != AttributeRole::kQuasiIdentifier) {
+      continue;
+    }
+    const Hierarchy& h = column_hierarchies[col];
+    if (!h.finalized()) {
+      return Status::FailedPrecondition(
+          "missing hierarchy for QID attribute '" +
+          dataset.schema().attribute(attr).name + "'");
+    }
+    SECRETA_ASSIGN_OR_RETURN(std::vector<NodeId> leaf_map,
+                             MapDictionaryToLeaves(h, dataset.dictionary(col)));
+    ctx.qi_columns_.push_back(col);
+    ctx.hierarchies_.push_back(&h);
+    ctx.leaf_map_.push_back(std::move(leaf_map));
+  }
+  if (ctx.qi_columns_.empty()) {
+    return Status::FailedPrecondition("dataset has no quasi-identifier columns");
+  }
+  return ctx;
+}
+
+Result<TransactionContext> TransactionContext::Create(
+    const Dataset& dataset, const Hierarchy* item_hierarchy) {
+  if (!dataset.has_transaction()) {
+    return Status::FailedPrecondition("dataset has no transaction attribute");
+  }
+  TransactionContext ctx;
+  ctx.dataset_ = &dataset;
+  if (item_hierarchy != nullptr) {
+    if (!item_hierarchy->finalized()) {
+      return Status::FailedPrecondition("item hierarchy is not finalized");
+    }
+    ctx.hierarchy_ = item_hierarchy;
+    SECRETA_ASSIGN_OR_RETURN(
+        ctx.leaf_map_,
+        MapDictionaryToLeaves(*item_hierarchy, dataset.item_dictionary()));
+    ctx.leaf_item_.assign(item_hierarchy->num_nodes(), kInvalidValue);
+    for (size_t item = 0; item < ctx.leaf_map_.size(); ++item) {
+      ctx.leaf_item_[static_cast<size_t>(ctx.leaf_map_[item])] =
+          static_cast<ItemId>(item);
+    }
+  }
+  return ctx;
+}
+
+}  // namespace secreta

@@ -1,0 +1,88 @@
+// Execution contexts binding a dataset to its hierarchies. Algorithms never
+// touch strings: relational algorithms see each record's QI values as
+// hierarchy leaf NodeIds; transaction algorithms see ItemIds plus an optional
+// item hierarchy.
+
+#ifndef SECRETA_CORE_CONTEXT_H_
+#define SECRETA_CORE_CONTEXT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "hierarchy/hierarchy.h"
+
+namespace secreta {
+
+/// \brief Dataset + per-QI-attribute hierarchies, with value->leaf bindings.
+///
+/// `qi_columns` selects which relational columns participate (in order);
+/// hierarchy i corresponds to qi_columns[i]. Non-owning: the dataset and
+/// hierarchies must outlive the context.
+class RelationalContext {
+ public:
+  /// Binds `dataset` to `hierarchies`, one per relational column (slot may be
+  /// an un-finalized placeholder for non-QID columns). Every distinct value of
+  /// each QID column must appear as a leaf of its hierarchy.
+  static Result<RelationalContext> Create(
+      const Dataset& dataset, const std::vector<Hierarchy>& column_hierarchies);
+
+  const Dataset& dataset() const { return *dataset_; }
+  size_t num_qi() const { return qi_columns_.size(); }
+  /// Relational column index of QI position `qi`.
+  size_t qi_column(size_t qi) const { return qi_columns_[qi]; }
+  const Hierarchy& hierarchy(size_t qi) const { return *hierarchies_[qi]; }
+
+  /// Hierarchy leaf of record `row`'s value in QI position `qi`.
+  NodeId Leaf(size_t row, size_t qi) const {
+    return leaf_map_[qi][static_cast<size_t>(
+        dataset_->value(row, qi_columns_[qi]))];
+  }
+
+  size_t num_records() const { return dataset_->num_records(); }
+
+ private:
+  const Dataset* dataset_ = nullptr;
+  std::vector<size_t> qi_columns_;
+  std::vector<const Hierarchy*> hierarchies_;        // per QI position
+  std::vector<std::vector<NodeId>> leaf_map_;        // per QI: ValueId -> leaf
+};
+
+/// \brief Dataset transactions, optionally bound to an item hierarchy.
+///
+/// Hierarchy-based transaction algorithms (Apriori, LRA, VPA) require the
+/// hierarchy; COAT and PCTA work without one (paper Sec. 2.1: "Hierarchies
+/// are used by all anonymization algorithms, except COAT and PCTA").
+class TransactionContext {
+ public:
+  /// Binds the dataset's item domain to `item_hierarchy` (may be nullptr).
+  /// When given, every item must be a leaf of the hierarchy.
+  static Result<TransactionContext> Create(const Dataset& dataset,
+                                           const Hierarchy* item_hierarchy);
+
+  const Dataset& dataset() const { return *dataset_; }
+  bool has_hierarchy() const { return hierarchy_ != nullptr; }
+  const Hierarchy& hierarchy() const { return *hierarchy_; }
+
+  /// Hierarchy leaf of item `item`.
+  NodeId Leaf(ItemId item) const {
+    return leaf_map_[static_cast<size_t>(item)];
+  }
+  /// Original item of hierarchy leaf `leaf`.
+  ItemId ItemOfLeaf(NodeId leaf) const {
+    return leaf_item_[static_cast<size_t>(leaf)];
+  }
+
+  size_t num_records() const { return dataset_->num_records(); }
+  size_t num_items() const { return dataset_->item_dictionary().size(); }
+
+ private:
+  const Dataset* dataset_ = nullptr;
+  const Hierarchy* hierarchy_ = nullptr;
+  std::vector<NodeId> leaf_map_;   // ItemId -> leaf NodeId
+  std::vector<ItemId> leaf_item_;  // NodeId -> ItemId (kInvalidValue if none)
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_CORE_CONTEXT_H_

@@ -1,0 +1,46 @@
+// Privacy-guarantee checkers (DESIGN.md Sec. 4). Every algorithm's output is
+// validated against its guarantee by the property-test suites; the engine can
+// also assert them after each run.
+
+#ifndef SECRETA_CORE_GUARANTEES_H_
+#define SECRETA_CORE_GUARANTEES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/equivalence.h"
+#include "core/results.h"
+
+namespace secreta {
+
+/// True if every equivalence class of the recoding has >= k records.
+bool IsKAnonymous(const RelationalRecoding& recoding, int k);
+
+/// Describes one k^m violation (for diagnostics).
+struct KmViolation {
+  std::vector<int32_t> itemset;  // gen indices
+  size_t support = 0;
+};
+
+/// Finds up to `max_violations` itemsets of size <= m whose support in
+/// `records` (restricted to indices in `subset`; pass nullptr for all
+/// records) is in (0, k). Empty result means k^m-anonymous.
+std::vector<KmViolation> FindKmViolations(
+    const std::vector<std::vector<int32_t>>& records, int k, int m,
+    const std::vector<size_t>* subset = nullptr, size_t max_violations = 1);
+
+/// True if the generalized transactions are k^m-anonymous.
+bool IsKmAnonymous(const std::vector<std::vector<int32_t>>& records, int k,
+                   int m);
+
+/// True if the pair (relational recoding, transaction recoding) is
+/// (k, k^m)-anonymous [9]: k-anonymous relational part and, within every
+/// relational equivalence class, a k^m-anonymous transaction part.
+bool IsKKmAnonymous(const RelationalRecoding& recoding,
+                    const std::vector<std::vector<int32_t>>& txn_records,
+                    int k, int m);
+
+}  // namespace secreta
+
+#endif  // SECRETA_CORE_GUARANTEES_H_

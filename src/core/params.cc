@@ -1,0 +1,52 @@
+#include "core/params.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace secreta {
+
+Status AnonParams::Set(const std::string& name, double value) {
+  if (name == "k") {
+    k = static_cast<int>(std::lround(value));
+  } else if (name == "m") {
+    m = static_cast<int>(std::lround(value));
+  } else if (name == "delta") {
+    delta = value;
+  } else if (name == "lra_partitions") {
+    lra_partitions = static_cast<int>(std::lround(value));
+  } else if (name == "vpa_parts") {
+    vpa_parts = static_cast<int>(std::lround(value));
+  } else if (name == "rho") {
+    rho = value;
+  } else {
+    return Status::InvalidArgument("unknown parameter: " + name);
+  }
+  return Status::OK();
+}
+
+Result<double> AnonParams::Get(const std::string& name) const {
+  if (name == "k") return static_cast<double>(k);
+  if (name == "m") return static_cast<double>(m);
+  if (name == "delta") return delta;
+  if (name == "lra_partitions") return static_cast<double>(lra_partitions);
+  if (name == "vpa_parts") return static_cast<double>(vpa_parts);
+  if (name == "rho") return rho;
+  return Status::InvalidArgument("unknown parameter: " + name);
+}
+
+Status AnonParams::Validate() const {
+  if (k < 2) return Status::InvalidArgument(StrFormat("k must be >= 2, got %d", k));
+  if (m < 1) return Status::InvalidArgument(StrFormat("m must be >= 1, got %d", m));
+  if (delta < 0) return Status::InvalidArgument("delta must be >= 0");
+  if (lra_partitions < 1) {
+    return Status::InvalidArgument("lra_partitions must be >= 1");
+  }
+  if (vpa_parts < 1) return Status::InvalidArgument("vpa_parts must be >= 1");
+  if (rho <= 0 || rho > 1) {
+    return Status::InvalidArgument("rho must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace secreta

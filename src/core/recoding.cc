@@ -1,0 +1,138 @@
+#include "core/recoding.h"
+
+#include "common/string_util.h"
+
+namespace secreta {
+
+Result<Dataset> BuildAnonymizedDataset(const Dataset& original,
+                                       const RelationalContext* rel_context,
+                                       const RelationalRecoding* relational,
+                                       const TransactionRecoding* transaction) {
+  if (relational != nullptr && rel_context == nullptr) {
+    return Status::InvalidArgument(
+        "relational recoding requires a relational context");
+  }
+  // Output schema: QID columns that were recoded become categorical.
+  Schema schema;
+  for (size_t a = 0; a < original.schema().num_attributes(); ++a) {
+    AttributeSpec spec = original.schema().attribute(a);
+    if (relational != nullptr && spec.type == AttributeType::kNumeric &&
+        spec.role == AttributeRole::kQuasiIdentifier) {
+      spec.type = AttributeType::kCategorical;
+    }
+    SECRETA_RETURN_IF_ERROR(schema.AddAttribute(spec));
+  }
+  // Map relational column -> QI position (or npos).
+  std::vector<size_t> qi_of_column(original.num_relational(), SIZE_MAX);
+  if (rel_context != nullptr) {
+    for (size_t qi = 0; qi < rel_context->num_qi(); ++qi) {
+      qi_of_column[rel_context->qi_column(qi)] = qi;
+    }
+  }
+
+  csv::CsvTable table;
+  std::vector<std::string> header;
+  for (const auto& spec : schema.attributes()) header.push_back(spec.name);
+  table.push_back(std::move(header));
+  for (size_t r = 0; r < original.num_records(); ++r) {
+    std::vector<std::string> row;
+    size_t col = 0;
+    for (size_t a = 0; a < original.schema().num_attributes(); ++a) {
+      if (original.schema().attribute(a).type == AttributeType::kTransaction) {
+        if (transaction != nullptr) {
+          std::vector<std::string> labels;
+          for (int32_t gen : transaction->records[r]) {
+            labels.push_back(transaction->gens[static_cast<size_t>(gen)].label);
+          }
+          row.push_back(Join(labels, " "));
+        } else {
+          std::vector<std::string> labels;
+          for (ItemId item : original.items(r)) {
+            labels.push_back(original.item_dictionary().value(item));
+          }
+          row.push_back(Join(labels, " "));
+        }
+      } else {
+        if (relational != nullptr && qi_of_column[col] != SIZE_MAX) {
+          size_t qi = qi_of_column[col];
+          row.push_back(rel_context->hierarchy(qi).label(relational->at(r, qi)));
+        } else {
+          row.push_back(original.value_string(r, col));
+        }
+        ++col;
+      }
+    }
+    table.push_back(std::move(row));
+  }
+  return Dataset::FromCsv(table, schema);
+}
+
+RelationalRecoding IdentityRecoding(const RelationalContext& context) {
+  RelationalRecoding recoding(context.num_records(), context.num_qi());
+  for (size_t r = 0; r < context.num_records(); ++r) {
+    for (size_t q = 0; q < context.num_qi(); ++q) {
+      recoding.set(r, q, context.Leaf(r, q));
+    }
+  }
+  return recoding;
+}
+
+RelationalRecoding ApplyFullDomainLevels(const RelationalContext& context,
+                                         const std::vector<int>& levels) {
+  RelationalRecoding recoding(context.num_records(), context.num_qi());
+  // Per-QI memoized leaf -> ancestor lookup (shared across records).
+  std::vector<std::vector<NodeId>> memo(context.num_qi());
+  for (size_t q = 0; q < context.num_qi(); ++q) {
+    memo[q].assign(context.hierarchy(q).num_nodes(), kNoNode);
+  }
+  for (size_t r = 0; r < context.num_records(); ++r) {
+    for (size_t q = 0; q < context.num_qi(); ++q) {
+      NodeId leaf = context.Leaf(r, q);
+      NodeId& cached = memo[q][static_cast<size_t>(leaf)];
+      if (cached == kNoNode) {
+        cached = context.hierarchy(q).AncestorAtLevel(leaf, levels[q]);
+      }
+      recoding.set(r, q, cached);
+    }
+  }
+  return recoding;
+}
+
+Result<RelationalRecoding> ApplyCut(
+    const RelationalContext& context,
+    const std::vector<std::vector<NodeId>>& cut) {
+  if (cut.size() != context.num_qi()) {
+    return Status::InvalidArgument("cut must have one node set per QI");
+  }
+  // Precompute leaf -> cut node per QI.
+  std::vector<std::vector<NodeId>> leaf_target(context.num_qi());
+  for (size_t q = 0; q < context.num_qi(); ++q) {
+    const Hierarchy& h = context.hierarchy(q);
+    leaf_target[q].assign(h.num_nodes(), kNoNode);
+    for (NodeId node : cut[q]) {
+      for (NodeId leaf : h.LeavesUnder(node)) {
+        NodeId& slot = leaf_target[q][static_cast<size_t>(leaf)];
+        if (slot != kNoNode) {
+          return Status::InvalidArgument(
+              "cut nodes overlap on leaf '" + h.label(leaf) + "'");
+        }
+        slot = node;
+      }
+    }
+  }
+  RelationalRecoding recoding(context.num_records(), context.num_qi());
+  for (size_t r = 0; r < context.num_records(); ++r) {
+    for (size_t q = 0; q < context.num_qi(); ++q) {
+      NodeId target = leaf_target[q][static_cast<size_t>(context.Leaf(r, q))];
+      if (target == kNoNode) {
+        return Status::InvalidArgument(
+            "cut does not cover leaf '" +
+            context.hierarchy(q).label(context.Leaf(r, q)) + "'");
+      }
+      recoding.set(r, q, target);
+    }
+  }
+  return recoding;
+}
+
+}  // namespace secreta

@@ -1,0 +1,42 @@
+// Turns structured recodings (hierarchy nodes / generalized items) into an
+// exportable anonymized Dataset whose cells hold the generalized labels.
+
+#ifndef SECRETA_CORE_RECODING_H_
+#define SECRETA_CORE_RECODING_H_
+
+#include "core/context.h"
+#include "core/results.h"
+#include "data/dataset.h"
+
+namespace secreta {
+
+/// \brief Materializes the anonymized dataset.
+///
+/// Relational QID cells are replaced by the labels of their recoded hierarchy
+/// nodes (pass nullptr to keep originals); the transaction cell is replaced by
+/// the labels of its generalized items (pass nullptr to keep originals).
+/// Generalized QID columns become categorical in the output schema because
+/// range labels are no longer parseable numbers.
+Result<Dataset> BuildAnonymizedDataset(const Dataset& original,
+                                       const RelationalContext* rel_context,
+                                       const RelationalRecoding* relational,
+                                       const TransactionRecoding* transaction);
+
+/// Builds the identity relational recoding (every value at its leaf).
+RelationalRecoding IdentityRecoding(const RelationalContext& context);
+
+/// Applies a full-domain level vector (one level per QI position) to every
+/// record: each leaf is replaced by its ancestor `levels[qi]` steps up.
+RelationalRecoding ApplyFullDomainLevels(const RelationalContext& context,
+                                         const std::vector<int>& levels);
+
+/// Applies a full-subtree cut: `cut[qi]` is a set of hierarchy nodes; each
+/// leaf is replaced by the unique cut node that is its ancestor-or-self.
+/// Fails if some leaf is not covered by the cut.
+Result<RelationalRecoding> ApplyCut(
+    const RelationalContext& context,
+    const std::vector<std::vector<NodeId>>& cut);
+
+}  // namespace secreta
+
+#endif  // SECRETA_CORE_RECODING_H_

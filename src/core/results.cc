@@ -1,0 +1,25 @@
+#include "core/results.h"
+
+namespace secreta {
+
+TransactionRecoding IdentityTransactionRecoding(
+    const std::vector<std::vector<ItemId>>& transactions, size_t num_items,
+    const Dictionary& item_dict) {
+  TransactionRecoding out;
+  out.gens.reserve(num_items);
+  out.item_map.resize(num_items);
+  for (size_t i = 0; i < num_items; ++i) {
+    out.item_map[i] = out.AddGen(item_dict.value(static_cast<ItemId>(i)),
+                                 {static_cast<ItemId>(i)});
+  }
+  out.records.reserve(transactions.size());
+  for (const auto& txn : transactions) {
+    std::vector<int32_t> rec;
+    rec.reserve(txn.size());
+    for (ItemId item : txn) rec.push_back(out.item_map[static_cast<size_t>(item)]);
+    out.records.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace secreta

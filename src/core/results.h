@@ -1,0 +1,79 @@
+// Structured anonymization outputs. Algorithms return these (ids, not
+// strings); recoding.h turns them into an exportable Dataset and metrics
+// consume them directly.
+
+#ifndef SECRETA_CORE_RESULTS_H_
+#define SECRETA_CORE_RESULTS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dictionary.h"
+#include "hierarchy/hierarchy.h"
+
+namespace secreta {
+
+/// \brief Per-record relational recoding: each record's QI values replaced by
+/// hierarchy nodes (leaf = unchanged, interior = generalized).
+class RelationalRecoding {
+ public:
+  RelationalRecoding() = default;
+  RelationalRecoding(size_t num_records, size_t num_qi)
+      : num_qi_(num_qi), data_(num_records * num_qi, kNoNode) {}
+
+  size_t num_records() const { return num_qi_ == 0 ? 0 : data_.size() / num_qi_; }
+  size_t num_qi() const { return num_qi_; }
+
+  NodeId at(size_t row, size_t qi) const { return data_[row * num_qi_ + qi]; }
+  void set(size_t row, size_t qi, NodeId node) { data_[row * num_qi_ + qi] = node; }
+
+  /// The recoded QI vector of one record (pointer into flat storage).
+  const NodeId* row(size_t r) const { return data_.data() + r * num_qi_; }
+
+  bool empty() const { return data_.empty(); }
+
+ private:
+  size_t num_qi_ = 0;
+  std::vector<NodeId> data_;
+};
+
+/// Sentinel gen-index meaning "item suppressed".
+inline constexpr int32_t kSuppressedGen = -1;
+
+/// A generalized transaction item: a label plus the original items it covers.
+struct GeneralizedItem {
+  std::string label;
+  std::vector<ItemId> covers;  // sorted original ItemIds
+};
+
+/// \brief Transaction-side anonymization output.
+///
+/// `records[r]` holds sorted, de-duplicated indices into `gens`. For global
+/// recodings `item_map[i]` gives the gen index of original item i (or
+/// kSuppressedGen); for local recodings (LRA) `item_map` is empty because the
+/// mapping differs per partition.
+struct TransactionRecoding {
+  std::vector<std::vector<int32_t>> records;
+  std::vector<GeneralizedItem> gens;
+  std::vector<int32_t> item_map;  // per original item; empty for local recoding
+  size_t suppressed_occurrences = 0;
+
+  /// Adds a gen covering exactly `covers` (sorted) with `label`; returns its
+  /// index.
+  int32_t AddGen(std::string label, std::vector<ItemId> covers) {
+    gens.push_back({std::move(label), std::move(covers)});
+    return static_cast<int32_t>(gens.size() - 1);
+  }
+};
+
+/// Builds an identity transaction recoding (every item maps to itself) over
+/// `num_items` items; used as the starting point by COAT/PCTA and as the
+/// "no-op" output when a dataset has no transaction attribute.
+TransactionRecoding IdentityTransactionRecoding(
+    const std::vector<std::vector<ItemId>>& transactions, size_t num_items,
+    const Dictionary& item_dict);
+
+}  // namespace secreta
+
+#endif  // SECRETA_CORE_RESULTS_H_

@@ -1,0 +1,288 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace secreta {
+
+namespace {
+
+// A transaction cell is one whose trimmed content contains internal spaces.
+bool LooksTransactional(std::string_view cell) {
+  std::string_view t = Trim(cell);
+  return t.find(' ') != std::string_view::npos;
+}
+
+}  // namespace
+
+Result<Dataset> Dataset::FromCsv(const csv::CsvTable& table, const Schema& schema) {
+  if (table.empty()) return Status::InvalidArgument("CSV table is empty");
+  const auto& header = table[0];
+  if (header.size() != schema.num_attributes()) {
+    return Status::InvalidArgument(StrFormat(
+        "header has %zu columns but schema declares %zu attributes",
+        header.size(), schema.num_attributes()));
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (std::string(Trim(header[i])) != schema.attribute(i).name) {
+      return Status::InvalidArgument(
+          "header column '" + header[i] + "' does not match schema attribute '" +
+          schema.attribute(i).name + "'");
+    }
+  }
+  Dataset ds;
+  ds.schema_ = schema;
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (schema.attribute(i).type != AttributeType::kTransaction) {
+      ds.columns_.emplace_back();
+      ds.column_attr_.push_back(i);
+    }
+  }
+  for (size_t r = 1; r < table.size(); ++r) {
+    SECRETA_RETURN_IF_ERROR(ds.AddRow(table[r]));
+  }
+  return ds;
+}
+
+Result<Dataset> Dataset::FromCsvInferred(const csv::CsvTable& table) {
+  if (table.empty()) return Status::InvalidArgument("CSV table is empty");
+  const auto& header = table[0];
+  size_t num_cols = header.size();
+  Schema schema;
+  std::optional<size_t> txn_col;
+  for (size_t c = 0; c < num_cols; ++c) {
+    bool any_transactional = false;
+    bool all_numeric = true;
+    bool any_data = false;
+    for (size_t r = 1; r < table.size(); ++r) {
+      if (c >= table[r].size()) continue;
+      std::string_view cell = Trim(table[r][c]);
+      if (cell.empty()) continue;
+      any_data = true;
+      if (LooksTransactional(cell)) any_transactional = true;
+      if (!LooksNumeric(cell)) all_numeric = false;
+    }
+    AttributeSpec spec;
+    spec.name = std::string(Trim(header[c]));
+    if (any_transactional && !txn_col.has_value()) {
+      spec.type = AttributeType::kTransaction;
+      txn_col = c;
+    } else if (any_data && all_numeric) {
+      spec.type = AttributeType::kNumeric;
+    } else {
+      spec.type = AttributeType::kCategorical;
+    }
+    SECRETA_RETURN_IF_ERROR(schema.AddAttribute(spec));
+  }
+  return FromCsv(table, schema);
+}
+
+Result<Dataset> Dataset::LoadFile(const std::string& path) {
+  SECRETA_ASSIGN_OR_RETURN(csv::CsvTable table, csv::ReadCsvFile(path));
+  return FromCsvInferred(table);
+}
+
+Result<Dataset> Dataset::LoadFile(const std::string& path, const Schema& schema) {
+  SECRETA_ASSIGN_OR_RETURN(csv::CsvTable table, csv::ReadCsvFile(path));
+  return FromCsv(table, schema);
+}
+
+csv::CsvTable Dataset::ToCsv() const {
+  csv::CsvTable table;
+  std::vector<std::string> header;
+  for (const auto& spec : schema_.attributes()) header.push_back(spec.name);
+  table.push_back(std::move(header));
+  for (size_t r = 0; r < num_records_; ++r) {
+    std::vector<std::string> row;
+    size_t col = 0;
+    for (size_t a = 0; a < schema_.num_attributes(); ++a) {
+      if (schema_.attribute(a).type == AttributeType::kTransaction) {
+        std::vector<std::string> items;
+        for (ItemId it : transactions_[r]) items.push_back(item_dict_.value(it));
+        row.push_back(Join(items, " "));
+      } else {
+        row.push_back(value_string(r, col));
+        ++col;
+      }
+    }
+    table.push_back(std::move(row));
+  }
+  return table;
+}
+
+Result<size_t> Dataset::ColumnOf(size_t attr_index) const {
+  for (size_t c = 0; c < column_attr_.size(); ++c) {
+    if (column_attr_[c] == attr_index) return c;
+  }
+  return Status::NotFound(StrFormat(
+      "attribute %zu is not a relational column", attr_index));
+}
+
+Result<size_t> Dataset::ColumnByName(const std::string& name) const {
+  auto attr = schema_.FindAttribute(name);
+  if (!attr.has_value()) return Status::NotFound("no attribute named " + name);
+  return ColumnOf(*attr);
+}
+
+Status Dataset::EncodeCell(size_t col, const std::string& text, ValueId* out_id) {
+  std::string cell(Trim(text));
+  Column& column = columns_[col];
+  bool is_num =
+      schema_.attribute(column_attr_[col]).type == AttributeType::kNumeric;
+  if (is_num && !column.dict.Contains(cell)) {
+    auto parsed = ParseDouble(cell);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(
+          "non-numeric value '" + cell + "' in numeric attribute '" +
+          schema_.attribute(column_attr_[col]).name + "'");
+    }
+    ValueId id = column.dict.GetOrAdd(cell);
+    column.numeric.resize(column.dict.size());
+    column.numeric[static_cast<size_t>(id)] = parsed.value();
+    *out_id = id;
+    return Status::OK();
+  }
+  *out_id = column.dict.GetOrAdd(cell);
+  return Status::OK();
+}
+
+Status Dataset::EncodeTransaction(const std::string& text,
+                                  std::vector<ItemId>* out) {
+  out->clear();
+  for (const std::string& token : SplitWhitespace(text)) {
+    out->push_back(item_dict_.GetOrAdd(token));
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  return Status::OK();
+}
+
+Status Dataset::SetCell(size_t row, size_t attr_index, const std::string& text) {
+  if (row >= num_records_) return Status::OutOfRange("row out of range");
+  if (attr_index >= schema_.num_attributes()) {
+    return Status::OutOfRange("attribute index out of range");
+  }
+  if (schema_.attribute(attr_index).type == AttributeType::kTransaction) {
+    return EncodeTransaction(text, &transactions_[row]);
+  }
+  SECRETA_ASSIGN_OR_RETURN(size_t col, ColumnOf(attr_index));
+  ValueId id = kInvalidValue;
+  SECRETA_RETURN_IF_ERROR(EncodeCell(col, text, &id));
+  cells_[row * columns_.size() + col] = id;
+  return Status::OK();
+}
+
+Status Dataset::AddRow(const std::vector<std::string>& fields) {
+  if (fields.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(StrFormat(
+        "row has %zu fields, schema has %zu attributes", fields.size(),
+        schema_.num_attributes()));
+  }
+  std::vector<ValueId> encoded(columns_.size(), kInvalidValue);
+  std::vector<ItemId> items;
+  size_t col = 0;
+  for (size_t a = 0; a < schema_.num_attributes(); ++a) {
+    if (schema_.attribute(a).type == AttributeType::kTransaction) {
+      SECRETA_RETURN_IF_ERROR(EncodeTransaction(fields[a], &items));
+    } else {
+      SECRETA_RETURN_IF_ERROR(EncodeCell(col, fields[a], &encoded[col]));
+      ++col;
+    }
+  }
+  cells_.insert(cells_.end(), encoded.begin(), encoded.end());
+  transactions_.push_back(std::move(items));
+  ++num_records_;
+  return Status::OK();
+}
+
+Status Dataset::DeleteRow(size_t row) {
+  if (row >= num_records_) return Status::OutOfRange("row out of range");
+  size_t stride = columns_.size();
+  cells_.erase(cells_.begin() + static_cast<ptrdiff_t>(row * stride),
+               cells_.begin() + static_cast<ptrdiff_t>((row + 1) * stride));
+  transactions_.erase(transactions_.begin() + static_cast<ptrdiff_t>(row));
+  --num_records_;
+  return Status::OK();
+}
+
+Status Dataset::RenameAttribute(size_t attr_index, const std::string& new_name) {
+  return schema_.RenameAttribute(attr_index, new_name);
+}
+
+Status Dataset::RemoveAttribute(size_t attr_index) {
+  if (attr_index >= schema_.num_attributes()) {
+    return Status::OutOfRange("attribute index out of range");
+  }
+  if (schema_.attribute(attr_index).type == AttributeType::kTransaction) {
+    for (auto& txn : transactions_) txn.clear();
+    item_dict_ = Dictionary();
+    return schema_.RemoveAttribute(attr_index);
+  }
+  SECRETA_ASSIGN_OR_RETURN(size_t col, ColumnOf(attr_index));
+  size_t stride = columns_.size();
+  std::vector<ValueId> next;
+  next.reserve(num_records_ * (stride - 1));
+  for (size_t r = 0; r < num_records_; ++r) {
+    for (size_t c = 0; c < stride; ++c) {
+      if (c != col) next.push_back(cells_[r * stride + c]);
+    }
+  }
+  cells_ = std::move(next);
+  columns_.erase(columns_.begin() + static_cast<ptrdiff_t>(col));
+  column_attr_.erase(column_attr_.begin() + static_cast<ptrdiff_t>(col));
+  SECRETA_RETURN_IF_ERROR(schema_.RemoveAttribute(attr_index));
+  for (auto& a : column_attr_) {
+    if (a > attr_index) --a;
+  }
+  return Status::OK();
+}
+
+Status Dataset::AddAttribute(const AttributeSpec& spec, const std::string& fill) {
+  if (spec.type == AttributeType::kTransaction) {
+    return Status::InvalidArgument(
+        "adding a transaction attribute after load is not supported");
+  }
+  SECRETA_RETURN_IF_ERROR(schema_.AddAttribute(spec));
+  columns_.emplace_back();
+  column_attr_.push_back(schema_.num_attributes() - 1);
+  size_t col = columns_.size() - 1;
+  ValueId id = kInvalidValue;
+  SECRETA_RETURN_IF_ERROR(EncodeCell(col, fill, &id));
+  size_t old_stride = columns_.size() - 1;
+  std::vector<ValueId> next;
+  next.reserve(num_records_ * columns_.size());
+  for (size_t r = 0; r < num_records_; ++r) {
+    for (size_t c = 0; c < old_stride; ++c) next.push_back(cells_[r * old_stride + c]);
+    next.push_back(id);
+  }
+  cells_ = std::move(next);
+  return Status::OK();
+}
+
+std::vector<ValueId> Dataset::SortedDomain(size_t col) const {
+  const Column& column = columns_[col];
+  std::vector<ValueId> ids(column.dict.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<ValueId>(i);
+  if (is_numeric(col)) {
+    std::sort(ids.begin(), ids.end(), [&](ValueId a, ValueId b) {
+      return column.numeric[static_cast<size_t>(a)] <
+             column.numeric[static_cast<size_t>(b)];
+    });
+  } else {
+    std::sort(ids.begin(), ids.end(), [&](ValueId a, ValueId b) {
+      return column.dict.value(a) < column.dict.value(b);
+    });
+  }
+  return ids;
+}
+
+Status Dataset::SetTransactions(std::vector<std::vector<ItemId>> transactions) {
+  if (transactions.size() != num_records_) {
+    return Status::InvalidArgument("transaction count != record count");
+  }
+  transactions_ = std::move(transactions);
+  return Status::OK();
+}
+
+}  // namespace secreta

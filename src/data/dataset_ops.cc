@@ -1,0 +1,91 @@
+#include "data/dataset_ops.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace secreta {
+
+namespace {
+
+// Rebuilds a dataset from string rows under `schema`; the CSV layer already
+// owns all the validation.
+Result<Dataset> Rebuild(const Schema& schema, csv::CsvTable rows) {
+  csv::CsvTable table;
+  std::vector<std::string> header;
+  for (const auto& spec : schema.attributes()) header.push_back(spec.name);
+  table.push_back(std::move(header));
+  for (auto& row : rows) table.push_back(std::move(row));
+  return Dataset::FromCsv(table, schema);
+}
+
+std::vector<std::string> RowStrings(const Dataset& dataset, size_t row) {
+  std::vector<std::string> out;
+  size_t col = 0;
+  for (size_t a = 0; a < dataset.schema().num_attributes(); ++a) {
+    if (dataset.schema().attribute(a).type == AttributeType::kTransaction) {
+      std::vector<std::string> items;
+      for (ItemId item : dataset.items(row)) {
+        items.push_back(dataset.item_dictionary().value(item));
+      }
+      out.push_back(Join(items, " "));
+    } else {
+      out.push_back(dataset.value_string(row, col));
+      ++col;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Dataset> SelectRecords(const Dataset& dataset,
+                              const std::vector<size_t>& rows) {
+  csv::CsvTable out_rows;
+  out_rows.reserve(rows.size());
+  for (size_t row : rows) {
+    if (row >= dataset.num_records()) {
+      return Status::OutOfRange(StrFormat("record index %zu out of range", row));
+    }
+    out_rows.push_back(RowStrings(dataset, row));
+  }
+  return Rebuild(dataset.schema(), std::move(out_rows));
+}
+
+Result<Dataset> SampleRecords(const Dataset& dataset, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<size_t> rows = rng.Sample(dataset.num_records(), n);
+  std::sort(rows.begin(), rows.end());  // keep original record order
+  return SelectRecords(dataset, rows);
+}
+
+Result<Dataset> ProjectAttributes(const Dataset& dataset,
+                                  const std::vector<std::string>& attributes) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("projection needs at least one attribute");
+  }
+  Schema schema;
+  std::vector<size_t> attr_indices;
+  for (const std::string& name : attributes) {
+    auto index = dataset.schema().FindAttribute(name);
+    if (!index.has_value()) {
+      return Status::NotFound("no attribute named " + name);
+    }
+    SECRETA_RETURN_IF_ERROR(
+        schema.AddAttribute(dataset.schema().attribute(*index)));
+    attr_indices.push_back(*index);
+  }
+  csv::CsvTable rows;
+  rows.reserve(dataset.num_records());
+  for (size_t r = 0; r < dataset.num_records(); ++r) {
+    std::vector<std::string> full = RowStrings(dataset, r);
+    std::vector<std::string> projected;
+    projected.reserve(attr_indices.size());
+    for (size_t a : attr_indices) projected.push_back(full[a]);
+    rows.push_back(std::move(projected));
+  }
+  return Rebuild(schema, std::move(rows));
+}
+
+}  // namespace secreta

@@ -1,0 +1,29 @@
+// Dataset-level operations used by benches and the frontend: row sampling
+// (scaling experiments down), row selection, and attribute projection.
+
+#ifndef SECRETA_DATA_DATASET_OPS_H_
+#define SECRETA_DATA_DATASET_OPS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace secreta {
+
+/// New dataset containing exactly the records at `rows` (in the given order).
+Result<Dataset> SelectRecords(const Dataset& dataset,
+                              const std::vector<size_t>& rows);
+
+/// Uniform sample of `n` records without replacement (n clamped to the
+/// dataset size). Deterministic for a seed.
+Result<Dataset> SampleRecords(const Dataset& dataset, size_t n, uint64_t seed);
+
+/// New dataset keeping only the attributes named in `attributes` (order
+/// preserved as listed).
+Result<Dataset> ProjectAttributes(const Dataset& dataset,
+                                  const std::vector<std::string>& attributes);
+
+}  // namespace secreta
+
+#endif  // SECRETA_DATA_DATASET_OPS_H_

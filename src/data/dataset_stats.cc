@@ -1,0 +1,105 @@
+#include "data/dataset_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace secreta {
+
+Histogram ValueHistogram(const Dataset& dataset, size_t col) {
+  std::vector<size_t> counts(dataset.dictionary(col).size(), 0);
+  for (size_t r = 0; r < dataset.num_records(); ++r) {
+    counts[static_cast<size_t>(dataset.value(r, col))]++;
+  }
+  Histogram hist;
+  for (ValueId id : dataset.SortedDomain(col)) {
+    hist.push_back({dataset.dictionary(col).value(id),
+                    counts[static_cast<size_t>(id)]});
+  }
+  return hist;
+}
+
+Result<Histogram> NumericHistogram(const Dataset& dataset, size_t col,
+                                   size_t bins) {
+  if (!dataset.is_numeric(col)) {
+    return Status::InvalidArgument("column is not numeric");
+  }
+  if (bins == 0) return Status::InvalidArgument("bins must be positive");
+  SECRETA_ASSIGN_OR_RETURN(NumericSummary summary, SummarizeNumeric(dataset, col));
+  double lo = summary.min;
+  double hi = summary.max;
+  double width = (hi - lo) / static_cast<double>(bins);
+  if (width <= 0) width = 1;
+  Histogram hist(bins);
+  for (size_t b = 0; b < bins; ++b) {
+    double blo = lo + width * static_cast<double>(b);
+    double bhi = blo + width;
+    hist[b].label = StrFormat("[%g,%g)", blo, bhi);
+  }
+  for (size_t r = 0; r < dataset.num_records(); ++r) {
+    double v = dataset.numeric_value(col, dataset.value(r, col));
+    size_t b = static_cast<size_t>((v - lo) / width);
+    if (b >= bins) b = bins - 1;  // max value lands in the last bucket
+    hist[b].count++;
+  }
+  return hist;
+}
+
+Histogram ItemHistogram(const Dataset& dataset) {
+  std::vector<size_t> counts(dataset.item_dictionary().size(), 0);
+  for (size_t r = 0; r < dataset.num_records(); ++r) {
+    for (ItemId item : dataset.items(r)) counts[static_cast<size_t>(item)]++;
+  }
+  Histogram hist;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    hist.push_back({dataset.item_dictionary().value(static_cast<ItemId>(i)),
+                    counts[i]});
+  }
+  return hist;
+}
+
+Result<NumericSummary> SummarizeNumeric(const Dataset& dataset, size_t col) {
+  if (!dataset.is_numeric(col)) {
+    return Status::InvalidArgument("column is not numeric");
+  }
+  if (dataset.num_records() == 0) {
+    return Status::FailedPrecondition("dataset is empty");
+  }
+  NumericSummary out;
+  out.min = out.max = dataset.numeric_value(col, dataset.value(0, col));
+  double sum = 0;
+  double sum_sq = 0;
+  for (size_t r = 0; r < dataset.num_records(); ++r) {
+    double v = dataset.numeric_value(col, dataset.value(r, col));
+    out.min = std::min(out.min, v);
+    out.max = std::max(out.max, v);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double n = static_cast<double>(dataset.num_records());
+  out.mean = sum / n;
+  double var = sum_sq / n - out.mean * out.mean;
+  out.stddev = var > 0 ? std::sqrt(var) : 0;
+  out.distinct = dataset.dictionary(col).size();
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> RelativeFrequencyDiff(
+    const Histogram& reference, const Histogram& other) {
+  std::unordered_map<std::string, size_t> other_counts;
+  for (const auto& bucket : other) other_counts[bucket.label] = bucket.count;
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(reference.size());
+  for (const auto& bucket : reference) {
+    auto it = other_counts.find(bucket.label);
+    double b = it == other_counts.end() ? 0.0 : static_cast<double>(it->second);
+    double a = static_cast<double>(bucket.count);
+    double denom = std::max(a, 1.0);
+    out.emplace_back(bucket.label, std::fabs(a - b) / denom);
+  }
+  return out;
+}
+
+}  // namespace secreta

@@ -1,0 +1,57 @@
+// Attribute statistics and histograms — the backend of the visualizations in
+// the paper's Fig. 2 (value-frequency histograms of any attribute) and the
+// frequency plots of Evaluation mode.
+
+#ifndef SECRETA_DATA_DATASET_STATS_H_
+#define SECRETA_DATA_DATASET_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace secreta {
+
+/// One histogram bucket: a value label and its frequency.
+struct FrequencyBucket {
+  std::string label;
+  size_t count = 0;
+};
+
+using Histogram = std::vector<FrequencyBucket>;
+
+/// Value-frequency histogram of relational column `col`, ordered by the
+/// column's natural domain order (numeric ascending / lexicographic).
+Histogram ValueHistogram(const Dataset& dataset, size_t col);
+
+/// Equi-width histogram of numeric column `col` with `bins` buckets; labels
+/// are "[lo,hi)" ranges. Fails if the column is not numeric or bins == 0.
+Result<Histogram> NumericHistogram(const Dataset& dataset, size_t col,
+                                   size_t bins);
+
+/// Support (number of records containing each item) of every transaction
+/// item, ordered by item id.
+Histogram ItemHistogram(const Dataset& dataset);
+
+/// Summary statistics of a numeric column.
+struct NumericSummary {
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;
+  size_t distinct = 0;
+};
+
+Result<NumericSummary> SummarizeNumeric(const Dataset& dataset, size_t col);
+
+/// Relative difference between the frequency of each label in `reference` and
+/// `other` (paper: "relative difference of the frequency between an original
+/// and a generalized value"). Labels absent from one side count as frequency
+/// zero; the difference is |a-b| / max(a, 1).
+std::vector<std::pair<std::string, double>> RelativeFrequencyDiff(
+    const Histogram& reference, const Histogram& other);
+
+}  // namespace secreta
+
+#endif  // SECRETA_DATA_DATASET_STATS_H_

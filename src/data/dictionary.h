@@ -1,0 +1,68 @@
+// Dictionary encoding for attribute values and transaction items. Every
+// categorical value, numeric distinct value and transaction item is mapped to
+// a dense int32 id; algorithms operate on ids only.
+
+#ifndef SECRETA_DATA_DICTIONARY_H_
+#define SECRETA_DATA_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace secreta {
+
+/// Dense id of a value within one attribute's dictionary.
+using ValueId = int32_t;
+/// Dense id of a transaction item.
+using ItemId = int32_t;
+
+inline constexpr ValueId kInvalidValue = -1;
+
+/// Bidirectional string <-> dense-id mapping for one attribute domain.
+class Dictionary {
+ public:
+  /// Returns the id of `value`, inserting it if absent.
+  ValueId GetOrAdd(const std::string& value) {
+    auto it = index_.find(value);
+    if (it != index_.end()) return it->second;
+    ValueId id = static_cast<ValueId>(values_.size());
+    values_.push_back(value);
+    index_.emplace(values_.back(), id);
+    return id;
+  }
+
+  /// Returns the id of `value` or an error if it is not in the dictionary.
+  Result<ValueId> Lookup(const std::string& value) const {
+    auto it = index_.find(value);
+    if (it == index_.end()) {
+      return Status::NotFound("value not in dictionary: '" + value + "'");
+    }
+    return it->second;
+  }
+
+  bool Contains(const std::string& value) const {
+    return index_.count(value) > 0;
+  }
+
+  /// The string for id `id`; id must be valid.
+  const std::string& value(ValueId id) const {
+    return values_[static_cast<size_t>(id)];
+  }
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// All values in id order.
+  const std::vector<std::string>& values() const { return values_; }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, ValueId> index_;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_DATA_DICTIONARY_H_

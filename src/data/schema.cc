@@ -1,0 +1,101 @@
+#include "data/schema.h"
+
+namespace secreta {
+
+const char* AttributeTypeToString(AttributeType type) {
+  switch (type) {
+    case AttributeType::kCategorical:
+      return "categorical";
+    case AttributeType::kNumeric:
+      return "numeric";
+    case AttributeType::kTransaction:
+      return "transaction";
+  }
+  return "?";
+}
+
+const char* AttributeRoleToString(AttributeRole role) {
+  switch (role) {
+    case AttributeRole::kQuasiIdentifier:
+      return "qid";
+    case AttributeRole::kInsensitive:
+      return "insensitive";
+  }
+  return "?";
+}
+
+Status Schema::AddAttribute(const AttributeSpec& spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("attribute name must not be empty");
+  }
+  if (FindAttribute(spec.name).has_value()) {
+    return Status::AlreadyExists("duplicate attribute name: " + spec.name);
+  }
+  if (spec.type == AttributeType::kTransaction) {
+    if (transaction_index_.has_value()) {
+      return Status::InvalidArgument(
+          "at most one transaction attribute is supported");
+    }
+    transaction_index_ = attributes_.size();
+  }
+  attributes_.push_back(spec);
+  return Status::OK();
+}
+
+std::optional<size_t> Schema::FindAttribute(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<size_t> Schema::RelationalIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].type != AttributeType::kTransaction) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> Schema::QuasiIdentifierIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].type != AttributeType::kTransaction &&
+        attributes_[i].role == AttributeRole::kQuasiIdentifier) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+Status Schema::RenameAttribute(size_t i, const std::string& new_name) {
+  if (i >= attributes_.size()) {
+    return Status::OutOfRange("attribute index out of range");
+  }
+  if (new_name.empty()) {
+    return Status::InvalidArgument("attribute name must not be empty");
+  }
+  auto existing = FindAttribute(new_name);
+  if (existing.has_value() && *existing != i) {
+    return Status::AlreadyExists("duplicate attribute name: " + new_name);
+  }
+  attributes_[i].name = new_name;
+  return Status::OK();
+}
+
+Status Schema::RemoveAttribute(size_t i) {
+  if (i >= attributes_.size()) {
+    return Status::OutOfRange("attribute index out of range");
+  }
+  if (transaction_index_.has_value()) {
+    if (*transaction_index_ == i) {
+      transaction_index_.reset();
+    } else if (*transaction_index_ > i) {
+      transaction_index_ = *transaction_index_ - 1;
+    }
+  }
+  attributes_.erase(attributes_.begin() + static_cast<ptrdiff_t>(i));
+  return Status::OK();
+}
+
+}  // namespace secreta

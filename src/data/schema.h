@@ -1,0 +1,82 @@
+// Attribute schema of a (possibly RT-) dataset: names, types and privacy
+// roles. A dataset has any number of relational attributes and at most one
+// transaction attribute (the model of [9] and of the SECRETA demo).
+
+#ifndef SECRETA_DATA_SCHEMA_H_
+#define SECRETA_DATA_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace secreta {
+
+/// Physical type of an attribute.
+enum class AttributeType {
+  kCategorical,  ///< dictionary-encoded strings (e.g. Gender, Origin)
+  kNumeric,      ///< dictionary-encoded distinct numbers (e.g. Age)
+  kTransaction,  ///< set-valued item attribute (e.g. purchased items)
+};
+
+/// Privacy role of a relational attribute.
+enum class AttributeRole {
+  kQuasiIdentifier,  ///< part of the QI set; subject to generalization
+  kInsensitive,      ///< published as-is, ignored by anonymizers
+};
+
+const char* AttributeTypeToString(AttributeType type);
+const char* AttributeRoleToString(AttributeRole role);
+
+/// One attribute's declaration.
+struct AttributeSpec {
+  std::string name;
+  AttributeType type = AttributeType::kCategorical;
+  AttributeRole role = AttributeRole::kQuasiIdentifier;
+};
+
+/// \brief Ordered attribute declarations for a dataset.
+///
+/// Relational attributes keep their declaration order; the optional
+/// transaction attribute may appear at any position in a CSV file but is
+/// stored separately in the Dataset.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Appends an attribute. Fails if the name duplicates an existing one or a
+  /// second transaction attribute is declared.
+  Status AddAttribute(const AttributeSpec& spec);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const AttributeSpec& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<AttributeSpec>& attributes() const { return attributes_; }
+
+  /// Index of the attribute named `name`, if any.
+  std::optional<size_t> FindAttribute(const std::string& name) const;
+
+  /// True if a transaction attribute is declared.
+  bool has_transaction() const { return transaction_index_.has_value(); }
+  /// Index (within attributes()) of the transaction attribute.
+  std::optional<size_t> transaction_index() const { return transaction_index_; }
+
+  /// Indices of relational attributes, in order.
+  std::vector<size_t> RelationalIndices() const;
+  /// Indices of relational quasi-identifier attributes, in order.
+  std::vector<size_t> QuasiIdentifierIndices() const;
+
+  /// Renames attribute `i`; fails on duplicate name.
+  Status RenameAttribute(size_t i, const std::string& new_name);
+
+  /// Removes attribute `i` from the declaration list.
+  Status RemoveAttribute(size_t i);
+
+ private:
+  std::vector<AttributeSpec> attributes_;
+  std::optional<size_t> transaction_index_;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_DATA_SCHEMA_H_

@@ -1,0 +1,80 @@
+#include "datagen/market_basket.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace secreta {
+
+Result<Dataset> GenerateMarketBasket(const MarketBasketOptions& options) {
+  if (options.num_records == 0 || options.num_items == 0) {
+    return Status::InvalidArgument("num_records and num_items must be positive");
+  }
+  if (options.avg_transaction == 0 || options.avg_pattern == 0) {
+    return Status::InvalidArgument("average sizes must be positive");
+  }
+  if (options.num_patterns == 0) {
+    return Status::InvalidArgument("num_patterns must be positive");
+  }
+  if (options.pattern_share < 0 || options.pattern_share > 1) {
+    return Status::InvalidArgument("pattern_share must be in [0,1]");
+  }
+  Rng rng(options.seed);
+
+  // Pattern pool: itemsets drawn with Zipf-weighted items so patterns share
+  // popular items (correlation), geometric-ish lengths around avg_pattern.
+  std::vector<std::vector<size_t>> patterns(options.num_patterns);
+  for (auto& pattern : patterns) {
+    size_t len = std::max<size_t>(
+        1, static_cast<size_t>(rng.UniformInt(
+               1, static_cast<int64_t>(2 * options.avg_pattern - 1))));
+    len = std::min(len, options.num_items);
+    std::vector<char> used(options.num_items, 0);
+    while (pattern.size() < len) {
+      size_t item = rng.Zipf(options.num_items, 0.9);
+      if (!used[item]) {
+        used[item] = 1;
+        pattern.push_back(item);
+      }
+    }
+  }
+  // Pattern popularity: Zipf over the pool, so a few patterns dominate.
+  auto draw_pattern = [&]() -> const std::vector<size_t>& {
+    return patterns[rng.Zipf(patterns.size(), 1.0)];
+  };
+
+  csv::CsvTable table{{"Items"}};
+  for (size_t r = 0; r < options.num_records; ++r) {
+    size_t target = std::max<size_t>(
+        1, static_cast<size_t>(rng.UniformInt(
+               1, static_cast<int64_t>(2 * options.avg_transaction - 1))));
+    target = std::min(target, options.num_items);
+    std::vector<char> used(options.num_items, 0);
+    std::vector<std::string> labels;
+    size_t guard = 0;
+    while (labels.size() < target && guard < target * 30) {
+      ++guard;
+      if (rng.Bernoulli(options.pattern_share)) {
+        for (size_t item : draw_pattern()) {
+          if (labels.size() >= target) break;
+          if (!used[item]) {
+            used[item] = 1;
+            labels.push_back(StrFormat("p%04zu", item));
+          }
+        }
+      } else {
+        size_t item = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(options.num_items - 1)));
+        if (!used[item]) {
+          used[item] = 1;
+          labels.push_back(StrFormat("p%04zu", item));
+        }
+      }
+    }
+    table.push_back({Join(labels, " ")});
+  }
+  return Dataset::FromCsvInferred(table);
+}
+
+}  // namespace secreta

@@ -1,0 +1,33 @@
+// IBM-Quest-style market-basket generator: transactions assembled from a
+// pool of correlated "patterns" (frequent itemsets) plus noise — the
+// standard synthetic workload of the transaction-anonymization literature
+// ([10] evaluates on such data). Complements the demographic generator in
+// synthetic.h for transaction-only experiments.
+
+#ifndef SECRETA_DATAGEN_MARKET_BASKET_H_
+#define SECRETA_DATAGEN_MARKET_BASKET_H_
+
+#include "data/dataset.h"
+
+namespace secreta {
+
+/// Options for GenerateMarketBasket (defaults follow the classic
+/// T10.I4.D|n| parameterization scaled down).
+struct MarketBasketOptions {
+  size_t num_records = 2000;     ///< |D|
+  size_t num_items = 200;        ///< |I|
+  size_t avg_transaction = 10;   ///< T: mean items per transaction
+  size_t num_patterns = 40;      ///< |L|: size of the pattern pool
+  size_t avg_pattern = 4;        ///< I: mean pattern length
+  /// Probability that the next chunk of a transaction comes from a pattern
+  /// (vs an independent random item).
+  double pattern_share = 0.7;
+  uint64_t seed = 321;
+};
+
+/// Generates a transaction-only dataset ("Items" attribute).
+Result<Dataset> GenerateMarketBasket(const MarketBasketOptions& options);
+
+}  // namespace secreta
+
+#endif  // SECRETA_DATAGEN_MARKET_BASKET_H_

@@ -1,0 +1,143 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace secreta {
+
+namespace {
+
+Status ValidateOptions(const SyntheticOptions& options) {
+  if (options.num_records == 0) {
+    return Status::InvalidArgument("num_records must be positive");
+  }
+  if (options.age_min > options.age_max) {
+    return Status::InvalidArgument("age_min > age_max");
+  }
+  if (options.num_items == 0) {
+    return Status::InvalidArgument("num_items must be positive");
+  }
+  if (options.min_items_per_record > options.max_items_per_record) {
+    return Status::InvalidArgument("min_items_per_record > max_items_per_record");
+  }
+  if (options.item_skew < 0) {
+    return Status::InvalidArgument("item_skew must be >= 0");
+  }
+  if (options.demographic_skew < 0) {
+    return Status::InvalidArgument("demographic_skew must be >= 0");
+  }
+  return Status::OK();
+}
+
+std::string ItemLabel(size_t index) { return StrFormat("i%03zu", index); }
+
+// Draws one record's field strings. `want_relational` / `want_items` select
+// which attributes to emit, in schema order.
+std::vector<std::string> DrawRecord(const SyntheticOptions& options, Rng& rng,
+                                    bool want_relational, bool want_items) {
+  static const char* kGenders[] = {"M", "F"};
+  std::vector<std::string> fields;
+  int age = 0;
+  if (want_relational) {
+    if (options.demographic_skew > 0) {
+      int span = options.age_max - options.age_min + 1;
+      age = options.age_min +
+            static_cast<int>(rng.Zipf(static_cast<size_t>(span),
+                                      options.demographic_skew));
+      fields.push_back(StrFormat("%d", age));
+      fields.push_back(kGenders[rng.UniformInt(0, 1)]);
+      fields.push_back(StrFormat(
+          "origin%02zu", rng.Zipf(options.num_origins,
+                                  options.demographic_skew)));
+      fields.push_back(StrFormat(
+          "occ%02zu", rng.Zipf(options.num_occupations,
+                               options.demographic_skew)));
+    } else {
+      age = static_cast<int>(rng.UniformInt(options.age_min, options.age_max));
+      fields.push_back(StrFormat("%d", age));
+      fields.push_back(kGenders[rng.UniformInt(0, 1)]);
+      fields.push_back(StrFormat(
+          "origin%02zu",
+          static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(options.num_origins - 1)))));
+      fields.push_back(StrFormat(
+          "occ%02zu",
+          static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(options.num_occupations - 1)))));
+    }
+  }
+  if (want_items) {
+    size_t count = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(options.min_items_per_record),
+                       static_cast<int64_t>(options.max_items_per_record)));
+    // Correlation: shift the Zipf head by an age-band-dependent offset so
+    // different demographics favour different item-domain regions.
+    size_t offset = 0;
+    if (options.correlate && want_relational) {
+      int span = options.age_max - options.age_min + 1;
+      int band = (age - options.age_min) * 3 / std::max(span, 1);  // 0..2
+      offset = static_cast<size_t>(band) * (options.num_items / 3);
+    }
+    std::vector<std::string> items;
+    size_t guard = 0;
+    while (items.size() < count && guard < count * 30) {
+      ++guard;
+      size_t rank = rng.Zipf(options.num_items, options.item_skew);
+      size_t index = (rank + offset) % options.num_items;
+      std::string label = ItemLabel(index);
+      if (std::find(items.begin(), items.end(), label) == items.end()) {
+        items.push_back(std::move(label));
+      }
+    }
+    fields.push_back(Join(items, " "));
+  }
+  return fields;
+}
+
+Result<Dataset> Generate(const SyntheticOptions& options, bool want_relational,
+                         bool want_items) {
+  SECRETA_RETURN_IF_ERROR(ValidateOptions(options));
+  Schema schema;
+  if (want_relational) {
+    SECRETA_RETURN_IF_ERROR(schema.AddAttribute(
+        {"Age", AttributeType::kNumeric, AttributeRole::kQuasiIdentifier}));
+    SECRETA_RETURN_IF_ERROR(schema.AddAttribute(
+        {"Gender", AttributeType::kCategorical, AttributeRole::kQuasiIdentifier}));
+    SECRETA_RETURN_IF_ERROR(schema.AddAttribute(
+        {"Origin", AttributeType::kCategorical, AttributeRole::kQuasiIdentifier}));
+    SECRETA_RETURN_IF_ERROR(schema.AddAttribute(
+        {"Occupation", AttributeType::kCategorical,
+         AttributeRole::kQuasiIdentifier}));
+  }
+  if (want_items) {
+    SECRETA_RETURN_IF_ERROR(schema.AddAttribute(
+        {"Items", AttributeType::kTransaction, AttributeRole::kQuasiIdentifier}));
+  }
+  csv::CsvTable table;
+  std::vector<std::string> header;
+  for (const auto& spec : schema.attributes()) header.push_back(spec.name);
+  table.push_back(std::move(header));
+  Rng rng(options.seed);
+  for (size_t r = 0; r < options.num_records; ++r) {
+    table.push_back(DrawRecord(options, rng, want_relational, want_items));
+  }
+  return Dataset::FromCsv(table, schema);
+}
+
+}  // namespace
+
+Result<Dataset> GenerateRtDataset(const SyntheticOptions& options) {
+  return Generate(options, /*want_relational=*/true, /*want_items=*/true);
+}
+
+Result<Dataset> GenerateRelationalDataset(const SyntheticOptions& options) {
+  return Generate(options, /*want_relational=*/true, /*want_items=*/false);
+}
+
+Result<Dataset> GenerateTransactionDataset(const SyntheticOptions& options) {
+  return Generate(options, /*want_relational=*/false, /*want_items=*/true);
+}
+
+}  // namespace secreta

@@ -1,0 +1,125 @@
+#include "engine/anonymization_module.h"
+
+#include "common/string_util.h"
+#include "core/recoding.h"
+#include "engine/registry.h"
+
+namespace secreta {
+
+const char* AnonModeToString(AnonMode mode) {
+  switch (mode) {
+    case AnonMode::kRelational:
+      return "relational";
+    case AnonMode::kTransaction:
+      return "transaction";
+    case AnonMode::kRt:
+      return "rt";
+  }
+  return "?";
+}
+
+std::string AlgorithmConfig::Label() const {
+  std::string algo;
+  switch (mode) {
+    case AnonMode::kRelational:
+      algo = relational_algorithm;
+      break;
+    case AnonMode::kTransaction:
+      algo = transaction_algorithm;
+      break;
+    case AnonMode::kRt:
+      algo = relational_algorithm + "+" + transaction_algorithm + "/" +
+             MergerKindToString(merger);
+      break;
+  }
+  return algo + StrFormat(" k=%d m=%d delta=%.2f", params.k, params.m,
+                          params.delta);
+}
+
+Result<RunResult> RunAnonymization(const EngineInputs& inputs,
+                                   const AlgorithmConfig& config) {
+  if (inputs.dataset == nullptr) {
+    return Status::InvalidArgument("EngineInputs.dataset is required");
+  }
+  RunResult result;
+  result.config = config;
+  Stopwatch watch;
+  PrivacyPolicy privacy = inputs.privacy != nullptr ? *inputs.privacy
+                                                    : PrivacyPolicy{};
+  UtilityPolicy utility = inputs.utility != nullptr ? *inputs.utility
+                                                    : UtilityPolicy{};
+  switch (config.mode) {
+    case AnonMode::kRelational: {
+      if (inputs.relational == nullptr) {
+        return Status::InvalidArgument(
+            "relational mode requires a relational context");
+      }
+      SECRETA_ASSIGN_OR_RETURN(
+          auto algo, MakeRelationalAnonymizer(config.relational_algorithm));
+      result.phases.Begin("relational");
+      SECRETA_ASSIGN_OR_RETURN(RelationalRecoding recoding,
+                               algo->Anonymize(*inputs.relational,
+                                               config.params));
+      result.phases.End();
+      result.relational = std::move(recoding);
+      break;
+    }
+    case AnonMode::kTransaction: {
+      if (inputs.transaction == nullptr) {
+        return Status::InvalidArgument(
+            "transaction mode requires a transaction context");
+      }
+      SECRETA_ASSIGN_OR_RETURN(
+          auto algo,
+          MakeTransactionAnonymizer(config.transaction_algorithm,
+                                    std::move(privacy), std::move(utility)));
+      result.phases.Begin("transaction");
+      SECRETA_ASSIGN_OR_RETURN(TransactionRecoding recoding,
+                               algo->Anonymize(*inputs.transaction,
+                                               config.params));
+      result.phases.End();
+      result.transaction = std::move(recoding);
+      break;
+    }
+    case AnonMode::kRt: {
+      if (inputs.relational == nullptr || inputs.transaction == nullptr) {
+        return Status::InvalidArgument("RT mode requires both contexts");
+      }
+      SECRETA_ASSIGN_OR_RETURN(
+          auto rel, MakeRelationalAnonymizer(config.relational_algorithm));
+      SECRETA_ASSIGN_OR_RETURN(
+          auto txn,
+          MakeTransactionAnonymizer(config.transaction_algorithm,
+                                    std::move(privacy), std::move(utility)));
+      RtAnonymizer rt(std::move(rel), std::move(txn), config.merger);
+      SECRETA_ASSIGN_OR_RETURN(
+          RtResult rt_result,
+          rt.Anonymize(*inputs.relational, *inputs.transaction, config.params));
+      result.relational = std::move(rt_result.relational);
+      result.transaction = std::move(rt_result.transaction);
+      result.phases = rt_result.phases;
+      result.initial_clusters = rt_result.initial_clusters;
+      result.final_clusters = rt_result.final_clusters;
+      result.merges = rt_result.merges;
+      break;
+    }
+  }
+  result.runtime_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+Result<Dataset> MaterializeRun(const EngineInputs& inputs,
+                               const RunResult& result) {
+  if (inputs.dataset == nullptr) {
+    return Status::InvalidArgument("EngineInputs.dataset is required");
+  }
+  const RelationalRecoding* rel =
+      result.relational.has_value() ? &*result.relational : nullptr;
+  const TransactionRecoding* txn =
+      result.transaction.has_value() ? &*result.transaction : nullptr;
+  return BuildAnonymizedDataset(*inputs.dataset,
+                                rel != nullptr ? inputs.relational : nullptr,
+                                rel, txn);
+}
+
+}  // namespace secreta

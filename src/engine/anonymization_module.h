@@ -1,0 +1,71 @@
+// The Anonymization Module (paper Fig. 1): executes one anonymization
+// algorithm (or RT combination) with a given configuration and collects the
+// structured result plus per-phase timings.
+
+#ifndef SECRETA_ENGINE_ANONYMIZATION_MODULE_H_
+#define SECRETA_ENGINE_ANONYMIZATION_MODULE_H_
+
+#include <optional>
+#include <string>
+
+#include "algo/rt/rt_anonymizer.h"
+#include "common/stopwatch.h"
+#include "core/context.h"
+#include "core/params.h"
+#include "core/results.h"
+#include "policy/policy.h"
+
+namespace secreta {
+
+/// Which side(s) of the dataset a run anonymizes.
+enum class AnonMode { kRelational, kTransaction, kRt };
+
+const char* AnonModeToString(AnonMode mode);
+
+/// One fully specified anonymization request.
+struct AlgorithmConfig {
+  AnonMode mode = AnonMode::kRt;
+  std::string relational_algorithm = "Cluster";    // kRelational / kRt
+  std::string transaction_algorithm = "Apriori";   // kTransaction / kRt
+  MergerKind merger = MergerKind::kRTmerger;       // kRt
+  AnonParams params;
+
+  /// Display label, e.g. "Cluster+Apriori/RTmerger k=5 m=2".
+  std::string Label() const;
+};
+
+/// Everything a run needs. Pointers are non-owning; the relational context is
+/// required for kRelational/kRt, the transaction context for
+/// kTransaction/kRt. Policies (optional) are forwarded to COAT/PCTA.
+struct EngineInputs {
+  const Dataset* dataset = nullptr;
+  const RelationalContext* relational = nullptr;
+  const TransactionContext* transaction = nullptr;
+  const PrivacyPolicy* privacy = nullptr;
+  const UtilityPolicy* utility = nullptr;
+};
+
+/// Structured output of one run.
+struct RunResult {
+  AlgorithmConfig config;
+  std::optional<RelationalRecoding> relational;
+  std::optional<TransactionRecoding> transaction;
+  PhaseTimer phases;
+  double runtime_seconds = 0;
+  // RT statistics (zero otherwise).
+  size_t initial_clusters = 0;
+  size_t final_clusters = 0;
+  size_t merges = 0;
+};
+
+/// Executes one configuration.
+Result<RunResult> RunAnonymization(const EngineInputs& inputs,
+                                   const AlgorithmConfig& config);
+
+/// Materializes the anonymized dataset of a run (generalized labels).
+Result<Dataset> MaterializeRun(const EngineInputs& inputs,
+                               const RunResult& result);
+
+}  // namespace secreta
+
+#endif  // SECRETA_ENGINE_ANONYMIZATION_MODULE_H_

@@ -1,0 +1,54 @@
+#include "engine/comparator.h"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+#include "common/thread_pool.h"
+
+namespace secreta {
+
+Result<std::vector<SweepResult>> CompareMethods(
+    const EngineInputs& inputs, const std::vector<AlgorithmConfig>& configs,
+    const ParamSweep& sweep, const Workload* workload,
+    const CompareOptions& options) {
+  if (configs.empty()) {
+    return Status::InvalidArgument("no configurations to compare");
+  }
+  size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  size_t threads = options.num_threads > 0
+                       ? options.num_threads
+                       : std::min(configs.size(), hw);
+  ThreadPool pool(threads);
+  std::vector<Result<SweepResult>> results(
+      configs.size(), Result<SweepResult>(Status::Internal("not run")));
+  std::mutex mutex;
+  // Serialize user progress callbacks across workers.
+  std::mutex progress_mutex;
+  ProgressCallback serialized;
+  if (options.progress) {
+    serialized = [&](const ProgressEvent& event) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      options.progress(event);
+    };
+  }
+  for (size_t i = 0; i < configs.size(); ++i) {
+    pool.Submit([&, i] {
+      // Inputs are read-only; each run builds its own working state.
+      Result<SweepResult> r =
+          RunSweep(inputs, configs[i], sweep, workload, serialized, i);
+      std::lock_guard<std::mutex> lock(mutex);
+      results[i] = std::move(r);
+    });
+  }
+  pool.Wait();
+  std::vector<SweepResult> out;
+  out.reserve(configs.size());
+  for (auto& r : results) {
+    if (!r.ok()) return r.status();
+    out.push_back(std::move(r).value());
+  }
+  return out;
+}
+
+}  // namespace secreta

@@ -1,0 +1,33 @@
+// The Method Comparator (Comparison mode): executes several configurations —
+// each with the same varying parameter — fanning the runs out over a thread
+// pool (the "N threads" of the paper's architecture, Fig. 1), and returns one
+// SweepResult per configuration for side-by-side plotting.
+
+#ifndef SECRETA_ENGINE_COMPARATOR_H_
+#define SECRETA_ENGINE_COMPARATOR_H_
+
+#include <vector>
+
+#include "engine/experiment.h"
+
+namespace secreta {
+
+/// Options for CompareMethods.
+struct CompareOptions {
+  /// Worker threads; 0 = one per configuration (capped at hardware threads).
+  size_t num_threads = 0;
+  /// Optional progress observer; invocations are serialized across workers
+  /// (the "progressive comparison" of the paper's Comparison mode).
+  ProgressCallback progress;
+};
+
+/// Runs every configuration over `sweep` concurrently. Results are in the
+/// order of `configs`; a failure of any run fails the comparison.
+Result<std::vector<SweepResult>> CompareMethods(
+    const EngineInputs& inputs, const std::vector<AlgorithmConfig>& configs,
+    const ParamSweep& sweep, const Workload* workload,
+    const CompareOptions& options = {});
+
+}  // namespace secreta
+
+#endif  // SECRETA_ENGINE_COMPARATOR_H_

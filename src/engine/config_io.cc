@@ -1,0 +1,75 @@
+#include "engine/config_io.h"
+
+#include "common/string_util.h"
+#include "engine/registry.h"
+
+namespace secreta {
+
+Result<AlgorithmConfig> ParseAlgorithmConfig(const std::string& spec) {
+  AlgorithmConfig config;
+  for (const std::string& token : SplitWhitespace(spec)) {
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("config token missing '=': " + token);
+    }
+    std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    if (key.empty() || value.empty()) {
+      return Status::InvalidArgument("malformed config token: " + token);
+    }
+    if (key == "mode") {
+      if (value == "rt") {
+        config.mode = AnonMode::kRt;
+      } else if (value == "relational") {
+        config.mode = AnonMode::kRelational;
+      } else if (value == "transaction") {
+        config.mode = AnonMode::kTransaction;
+      } else {
+        return Status::InvalidArgument("unknown mode: " + value);
+      }
+    } else if (key == "rel") {
+      SECRETA_RETURN_IF_ERROR(MakeRelationalAnonymizer(value).status());
+      config.relational_algorithm = value;
+    } else if (key == "txn") {
+      SECRETA_RETURN_IF_ERROR(MakeTransactionAnonymizer(value).status());
+      config.transaction_algorithm = value;
+    } else if (key == "merger") {
+      SECRETA_ASSIGN_OR_RETURN(config.merger, ParseMergerKind(value));
+    } else if (key == "seed") {
+      SECRETA_ASSIGN_OR_RETURN(int64_t seed, ParseInt(value));
+      config.params.seed = static_cast<uint64_t>(seed);
+    } else {
+      SECRETA_ASSIGN_OR_RETURN(double number, ParseDouble(value));
+      SECRETA_RETURN_IF_ERROR(config.params.Set(key, number));
+    }
+  }
+  SECRETA_RETURN_IF_ERROR(config.params.Validate());
+  return config;
+}
+
+std::string FormatAlgorithmConfig(const AlgorithmConfig& config) {
+  std::string out = StrFormat("mode=%s", AnonModeToString(config.mode));
+  if (config.mode != AnonMode::kTransaction) {
+    out += " rel=" + config.relational_algorithm;
+  }
+  if (config.mode != AnonMode::kRelational) {
+    out += " txn=" + config.transaction_algorithm;
+  }
+  if (config.mode == AnonMode::kRt) {
+    out += StrFormat(" merger=%s", MergerKindToString(config.merger));
+  }
+  out += StrFormat(" k=%d m=%d delta=%g", config.params.k, config.params.m,
+                   config.params.delta);
+  if (config.transaction_algorithm == "LRA") {
+    out += StrFormat(" lra_partitions=%d", config.params.lra_partitions);
+  }
+  if (config.transaction_algorithm == "VPA") {
+    out += StrFormat(" vpa_parts=%d", config.params.vpa_parts);
+  }
+  if (config.transaction_algorithm == "RhoUncertainty") {
+    out += StrFormat(" rho=%g", config.params.rho);
+  }
+  return out;
+}
+
+}  // namespace secreta

@@ -1,0 +1,24 @@
+// One-line textual form of AlgorithmConfig, used by the CLI and scripts:
+//   "mode=rt rel=Cluster txn=Apriori merger=RTmerger k=5 m=2 delta=0.3"
+// Unknown keys are rejected; omitted keys keep their defaults.
+
+#ifndef SECRETA_ENGINE_CONFIG_IO_H_
+#define SECRETA_ENGINE_CONFIG_IO_H_
+
+#include <string>
+
+#include "engine/anonymization_module.h"
+
+namespace secreta {
+
+/// Parses a config spec (see header comment). Keys: mode
+/// (rt|relational|transaction), rel, txn, merger, and any AnonParams field
+/// (k, m, delta, lra_partitions, vpa_parts, rho, seed).
+Result<AlgorithmConfig> ParseAlgorithmConfig(const std::string& spec);
+
+/// Serializes a config into the spec form (inverse of ParseAlgorithmConfig).
+std::string FormatAlgorithmConfig(const AlgorithmConfig& config);
+
+}  // namespace secreta
+
+#endif  // SECRETA_ENGINE_CONFIG_IO_H_

@@ -1,0 +1,108 @@
+#include "engine/evaluator.h"
+
+#include "core/guarantees.h"
+#include "metrics/distribution_metrics.h"
+#include "metrics/frequency.h"
+#include "metrics/information_loss.h"
+#include "query/query_evaluator.h"
+
+namespace secreta {
+
+Result<double> EvaluationReport::Metric(const std::string& name) const {
+  if (name == "gcp") return gcp;
+  if (name == "ul") return ul;
+  if (name == "are") return are;
+  if (name == "discernibility") return discernibility;
+  if (name == "cavg") return cavg;
+  if (name == "item_freq_error") return item_freq_error;
+  if (name == "entropy_loss") return entropy_loss;
+  if (name == "kl_relational") return kl_relational;
+  if (name == "kl_items") return kl_items;
+  if (name == "suppressed") return suppressed;
+  if (name == "runtime") return run.runtime_seconds;
+  return Status::InvalidArgument("unknown metric: " + name);
+}
+
+Result<EvaluationReport> BuildReport(const EngineInputs& inputs,
+                                     RunResult run, const Workload* workload) {
+  EvaluationReport report;
+  const Dataset& data = *inputs.dataset;
+  if (run.relational.has_value()) {
+    report.gcp = RecodingGcp(*inputs.relational, *run.relational);
+    EquivalenceClasses classes = GroupByRecoding(*run.relational);
+    report.discernibility = Discernibility(classes);
+    report.cavg = AverageClassSize(classes, run.config.params.k);
+    report.entropy_loss = NonUniformEntropyLoss(*inputs.relational,
+                                                *run.relational);
+    report.kl_relational = MeanKlDivergence(*inputs.relational,
+                                            *run.relational);
+  }
+  if (run.transaction.has_value()) {
+    std::vector<std::vector<ItemId>> original;
+    original.reserve(data.num_records());
+    for (size_t r = 0; r < data.num_records(); ++r) {
+      original.push_back(data.items(r));
+    }
+    report.ul = TransactionUl(*run.transaction, original,
+                              data.item_dictionary().size());
+    report.item_freq_error = MeanItemFrequencyError(
+        *run.transaction, original, data.item_dictionary());
+    report.kl_items = ItemKlDivergence(*run.transaction, original,
+                                       data.item_dictionary().size());
+    report.suppressed =
+        static_cast<double>(run.transaction->suppressed_occurrences);
+  }
+  if (workload != nullptr && !workload->empty()) {
+    SECRETA_ASSIGN_OR_RETURN(
+        QueryEvaluator evaluator,
+        QueryEvaluator::Create(data, inputs.relational));
+    const RelationalRecoding* rel =
+        run.relational.has_value() ? &*run.relational : nullptr;
+    const TransactionRecoding* txn =
+        run.transaction.has_value() ? &*run.transaction : nullptr;
+    SECRETA_ASSIGN_OR_RETURN(AreReport are,
+                             evaluator.Are(*workload, rel, txn));
+    report.are = are.are;
+  }
+  // Guarantee verification.
+  const AnonParams& params = run.config.params;
+  report.guarantee_checked = true;
+  switch (run.config.mode) {
+    case AnonMode::kRelational:
+      report.guarantee_name = "k-anonymity";
+      report.guarantee_ok = IsKAnonymous(*run.relational, params.k);
+      break;
+    case AnonMode::kTransaction:
+      if (inputs.privacy != nullptr && !inputs.privacy->empty()) {
+        report.guarantee_name = "privacy-policy";
+        report.guarantee_ok =
+            SatisfiesPrivacyPolicy(*inputs.privacy, *run.transaction, params.k);
+      } else if (run.config.transaction_algorithm == "RhoUncertainty") {
+        // Checked by the dedicated property tests; the checker needs the
+        // sensitive-item marking, which the engine does not retain.
+        report.guarantee_checked = false;
+        report.guarantee_name = "rho-uncertainty";
+      } else {
+        report.guarantee_name = "km-anonymity";
+        report.guarantee_ok =
+            IsKmAnonymous(run.transaction->records, params.k, params.m);
+      }
+      break;
+    case AnonMode::kRt:
+      report.guarantee_name = "(k,km)-anonymity";
+      report.guarantee_ok = IsKKmAnonymous(
+          *run.relational, run.transaction->records, params.k, params.m);
+      break;
+  }
+  report.run = std::move(run);
+  return report;
+}
+
+Result<EvaluationReport> EvaluateMethod(const EngineInputs& inputs,
+                                        const AlgorithmConfig& config,
+                                        const Workload* workload) {
+  SECRETA_ASSIGN_OR_RETURN(RunResult run, RunAnonymization(inputs, config));
+  return BuildReport(inputs, std::move(run), workload);
+}
+
+}  // namespace secreta

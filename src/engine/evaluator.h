@@ -1,0 +1,53 @@
+// The Method Evaluator (Evaluation mode): runs one configuration and
+// assembles the full utility/privacy report — information loss (GCP, UL),
+// ARE over a query workload, discernibility, class sizes, item-frequency
+// distortion, runtime with phase breakdown, and a guarantee verification.
+
+#ifndef SECRETA_ENGINE_EVALUATOR_H_
+#define SECRETA_ENGINE_EVALUATOR_H_
+
+#include <string>
+
+#include "engine/anonymization_module.h"
+#include "query/query.h"
+
+namespace secreta {
+
+/// Scalar metrics of one run (NaN-free: inapplicable metrics stay 0).
+struct EvaluationReport {
+  RunResult run;
+  double gcp = 0;               ///< relational information loss (0..1)
+  double ul = 0;                ///< transaction utility loss (0..1)
+  double are = 0;               ///< avg relative error over the workload
+  double discernibility = 0;    ///< sum of squared class sizes
+  double cavg = 0;              ///< normalized average class size
+  double item_freq_error = 0;   ///< mean item-frequency relative error
+  double entropy_loss = 0;      ///< non-uniform entropy loss (0..1)
+  double kl_relational = 0;     ///< mean KL divergence over QI attributes
+  double kl_items = 0;          ///< KL divergence of item supports
+  double suppressed = 0;        ///< suppressed item occurrences (absolute)
+  bool guarantee_checked = false;
+  bool guarantee_ok = false;
+  std::string guarantee_name;
+
+  /// Metric accessor by name: "gcp", "ul", "are", "discernibility", "cavg",
+  /// "item_freq_error", "entropy_loss", "kl_relational", "kl_items",
+  /// "suppressed", "runtime".
+  Result<double> Metric(const std::string& name) const;
+};
+
+/// Runs `config` and computes every applicable metric. `workload` may be
+/// null (ARE reported as 0). The privacy guarantee matching the mode is
+/// verified and reported (k-anonymity, k^m, policy satisfaction, or
+/// (k, k^m)).
+Result<EvaluationReport> EvaluateMethod(const EngineInputs& inputs,
+                                        const AlgorithmConfig& config,
+                                        const Workload* workload);
+
+/// Computes the metrics for an existing run (no re-execution).
+Result<EvaluationReport> BuildReport(const EngineInputs& inputs,
+                                     RunResult run, const Workload* workload);
+
+}  // namespace secreta
+
+#endif  // SECRETA_ENGINE_EVALUATOR_H_

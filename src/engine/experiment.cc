@@ -1,0 +1,60 @@
+#include "engine/experiment.h"
+
+namespace secreta {
+
+Result<std::vector<double>> ParamSweep::Values() const {
+  if (step <= 0) return Status::InvalidArgument("sweep step must be positive");
+  if (end < start) return Status::InvalidArgument("sweep end < start");
+  std::vector<double> values;
+  // Tolerate floating-point drift at the upper bound.
+  for (double v = start; v <= end + step * 1e-9; v += step) {
+    values.push_back(v);
+    if (values.size() > 10000) {
+      return Status::InvalidArgument("sweep has more than 10000 points");
+    }
+  }
+  return values;
+}
+
+Result<Series> SweepResult::Extract(const std::string& metric) const {
+  Series series;
+  series.name = base.Label() + " " + metric;
+  for (const SweepPoint& point : points) {
+    SECRETA_ASSIGN_OR_RETURN(double y, point.report.Metric(metric));
+    series.x.push_back(point.value);
+    series.y.push_back(y);
+  }
+  return series;
+}
+
+Result<SweepResult> RunSweep(const EngineInputs& inputs,
+                             const AlgorithmConfig& config,
+                             const ParamSweep& sweep, const Workload* workload,
+                             const ProgressCallback& progress,
+                             size_t config_index) {
+  SweepResult result;
+  result.base = config;
+  result.sweep = sweep;
+  SECRETA_ASSIGN_OR_RETURN(std::vector<double> values, sweep.Values());
+  for (size_t i = 0; i < values.size(); ++i) {
+    double value = values[i];
+    AlgorithmConfig point_config = config;
+    SECRETA_RETURN_IF_ERROR(point_config.params.Set(sweep.parameter, value));
+    SECRETA_RETURN_IF_ERROR(point_config.params.Validate());
+    SECRETA_ASSIGN_OR_RETURN(EvaluationReport report,
+                             EvaluateMethod(inputs, point_config, workload));
+    result.points.push_back({value, std::move(report)});
+    if (progress) {
+      ProgressEvent event;
+      event.config_index = config_index;
+      event.point_index = i;
+      event.total_points = values.size();
+      event.value = value;
+      event.report = &result.points.back().report;
+      progress(event);
+    }
+  }
+  return result;
+}
+
+}  // namespace secreta

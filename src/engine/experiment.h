@@ -1,0 +1,80 @@
+// The Experimentation Module: single-parameter execution (one report) and
+// varying-parameter execution (a sweep producing metric-vs-parameter series),
+// plus the Series type consumed by the plotting and export modules.
+
+#ifndef SECRETA_ENGINE_EXPERIMENT_H_
+#define SECRETA_ENGINE_EXPERIMENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/evaluator.h"
+
+namespace secreta {
+
+/// Progress notification emitted after every completed sweep point — the
+/// mechanism behind the paper's "interactive and progressive" analysis: the
+/// frontend can render partial series while the experiment continues.
+struct ProgressEvent {
+  size_t config_index = 0;   ///< which configuration (Comparison mode)
+  size_t point_index = 0;    ///< 0-based index of the finished point
+  size_t total_points = 0;   ///< points in this sweep
+  double value = 0;          ///< the varying parameter's value
+  const EvaluationReport* report = nullptr;  ///< finished point (borrowed)
+};
+
+/// Observer for progress events. In Comparison mode callbacks may fire from
+/// worker threads; CompareMethods serializes them (one at a time).
+using ProgressCallback = std::function<void(const ProgressEvent&)>;
+
+/// A named (x, y) series, the unit of plotting and CSV export.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+
+  size_t size() const { return x.size(); }
+};
+
+/// A varying parameter: name ("k", "m", "delta", ...), inclusive range and
+/// step.
+struct ParamSweep {
+  std::string parameter = "k";
+  double start = 2;
+  double end = 10;
+  double step = 2;
+
+  /// The concrete values of the sweep (start, start+step, ..., <= end).
+  Result<std::vector<double>> Values() const;
+};
+
+/// One point of a sweep: parameter value + full report.
+struct SweepPoint {
+  double value = 0;
+  EvaluationReport report;
+};
+
+/// A completed sweep for one configuration.
+struct SweepResult {
+  AlgorithmConfig base;
+  ParamSweep sweep;
+  std::vector<SweepPoint> points;
+
+  /// Extracts metric `name` ("are", "gcp", "ul", "runtime", ...) as a Series
+  /// labeled "<config label> <metric>".
+  Result<Series> Extract(const std::string& metric) const;
+};
+
+/// Runs `config` once per sweep value (the varying parameter overrides the
+/// corresponding field of config.params). `progress` (optional) fires after
+/// each point; `config_index` tags Comparison-mode events.
+Result<SweepResult> RunSweep(const EngineInputs& inputs,
+                             const AlgorithmConfig& config,
+                             const ParamSweep& sweep, const Workload* workload,
+                             const ProgressCallback& progress = nullptr,
+                             size_t config_index = 0);
+
+}  // namespace secreta
+
+#endif  // SECRETA_ENGINE_EXPERIMENT_H_

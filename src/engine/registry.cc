@@ -1,0 +1,73 @@
+#include "engine/registry.h"
+
+#include "algo/relational/bottomup.h"
+#include "algo/relational/cluster.h"
+#include "algo/relational/incognito.h"
+#include "algo/relational/topdown.h"
+#include "algo/transaction/apriori.h"
+#include "algo/transaction/coat.h"
+#include "algo/transaction/lra.h"
+#include "algo/transaction/pcta.h"
+#include "algo/transaction/rho_uncertainty.h"
+#include "algo/transaction/vpa.h"
+
+namespace secreta {
+
+const std::vector<std::string>& RelationalAlgorithmNames() {
+  static const std::vector<std::string> kNames = {"Incognito", "TopDown",
+                                                  "BottomUp", "Cluster"};
+  return kNames;
+}
+
+const std::vector<std::string>& TransactionAlgorithmNames() {
+  static const std::vector<std::string> kNames = {"COAT", "PCTA", "Apriori",
+                                                  "LRA", "VPA"};
+  return kNames;
+}
+
+const std::vector<std::string>& MergerNames() {
+  static const std::vector<std::string> kNames = {"Rmerger", "Tmerger",
+                                                  "RTmerger"};
+  return kNames;
+}
+
+Result<std::shared_ptr<RelationalAnonymizer>> MakeRelationalAnonymizer(
+    const std::string& name) {
+  if (name == "Incognito") return {std::make_shared<IncognitoAnonymizer>()};
+  if (name == "TopDown") return {std::make_shared<TopDownAnonymizer>()};
+  if (name == "BottomUp") return {std::make_shared<BottomUpAnonymizer>()};
+  if (name == "Cluster") return {std::make_shared<ClusterAnonymizer>()};
+  return Status::NotFound("unknown relational algorithm: " + name);
+}
+
+Result<std::shared_ptr<TransactionAnonymizer>> MakeTransactionAnonymizer(
+    const std::string& name, PrivacyPolicy privacy, UtilityPolicy utility) {
+  if (name == "COAT") {
+    return {std::make_shared<CoatAnonymizer>(std::move(privacy),
+                                             std::move(utility))};
+  }
+  if (name == "PCTA") {
+    return {std::make_shared<PctaAnonymizer>(std::move(privacy),
+                                             std::move(utility))};
+  }
+  if (!privacy.empty() || !utility.empty()) {
+    return Status::InvalidArgument(
+        "policies are only used by COAT and PCTA (paper Sec. 2.1)");
+  }
+  if (name == "Apriori") return {std::make_shared<AprioriAnonymizer>()};
+  if (name == "LRA") return {std::make_shared<LraAnonymizer>()};
+  if (name == "VPA") return {std::make_shared<VpaAnonymizer>()};
+  if (name == "RhoUncertainty") {
+    return {std::make_shared<RhoUncertaintyAnonymizer>()};
+  }
+  return Status::NotFound("unknown transaction algorithm: " + name);
+}
+
+Result<MergerKind> ParseMergerKind(const std::string& name) {
+  if (name == "Rmerger") return MergerKind::kRmerger;
+  if (name == "Tmerger") return MergerKind::kTmerger;
+  if (name == "RTmerger") return MergerKind::kRTmerger;
+  return Status::NotFound("unknown bounding method: " + name);
+}
+
+}  // namespace secreta

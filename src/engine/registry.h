@@ -1,0 +1,45 @@
+// Algorithm registry: the 9 algorithms and 3 bounding methods by name, plus
+// enumeration helpers used by the Comparison mode UI and by the
+// "20 combinations" bench.
+
+#ifndef SECRETA_ENGINE_REGISTRY_H_
+#define SECRETA_ENGINE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/rt/rt_anonymizer.h"
+#include "core/algorithm.h"
+#include "policy/policy.h"
+
+namespace secreta {
+
+/// Names of the relational algorithms ("Incognito", "TopDown", "BottomUp",
+/// "Cluster").
+const std::vector<std::string>& RelationalAlgorithmNames();
+
+/// Names of the transaction algorithms ("COAT", "PCTA", "Apriori", "LRA",
+/// "VPA"). The rho-uncertainty extension is constructible by name but not
+/// listed among the paper's five.
+const std::vector<std::string>& TransactionAlgorithmNames();
+
+/// Names of the bounding methods ("Rmerger", "Tmerger", "RTmerger").
+const std::vector<std::string>& MergerNames();
+
+/// Instantiates a relational anonymizer by name.
+Result<std::shared_ptr<RelationalAnonymizer>> MakeRelationalAnonymizer(
+    const std::string& name);
+
+/// Instantiates a transaction anonymizer by name. COAT and PCTA accept
+/// optional policies (pass empty policies for k^m mode).
+Result<std::shared_ptr<TransactionAnonymizer>> MakeTransactionAnonymizer(
+    const std::string& name, PrivacyPolicy privacy = {},
+    UtilityPolicy utility = {});
+
+/// Parses a bounding-method name.
+Result<MergerKind> ParseMergerKind(const std::string& name);
+
+}  // namespace secreta
+
+#endif  // SECRETA_ENGINE_REGISTRY_H_

@@ -1,0 +1,71 @@
+#include "export/exporter.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+#include "csv/csv.h"
+#include "viz/ascii_plot.h"
+
+namespace secreta {
+
+Status ExportDataset(const Dataset& dataset, const std::string& path) {
+  return csv::WriteFile(path, csv::WriteCsv(dataset.ToCsv()));
+}
+
+std::string SeriesToCsv(const std::vector<Series>& series) {
+  // Collect the union of x values, keeping numeric order.
+  std::map<double, std::vector<std::string>> rows;
+  for (size_t si = 0; si < series.size(); ++si) {
+    for (size_t p = 0; p < series[si].size(); ++p) {
+      auto& row = rows[series[si].x[p]];
+      row.resize(series.size());
+      row[si] = StrFormat("%.10g", series[si].y[p]);
+    }
+  }
+  csv::CsvTable table;
+  std::vector<std::string> header{"x"};
+  for (const auto& s : series) header.push_back(s.name);
+  table.push_back(std::move(header));
+  for (const auto& [x, values] : rows) {
+    std::vector<std::string> row{StrFormat("%.10g", x)};
+    for (size_t si = 0; si < series.size(); ++si) {
+      row.push_back(si < values.size() ? values[si] : "");
+    }
+    table.push_back(std::move(row));
+  }
+  return csv::WriteCsv(table);
+}
+
+Status ExportSeries(const std::vector<Series>& series,
+                    const std::string& csv_path,
+                    const std::string& gnuplot_path, const std::string& title) {
+  SECRETA_RETURN_IF_ERROR(csv::WriteFile(csv_path, SeriesToCsv(series)));
+  if (!gnuplot_path.empty()) {
+    SECRETA_RETURN_IF_ERROR(
+        csv::WriteFile(gnuplot_path, GnuplotScript(series, csv_path, title)));
+  }
+  return Status::OK();
+}
+
+Status ExportSweepTable(const SweepResult& sweep, const std::string& path) {
+  static const char* kMetrics[] = {
+      "are",  "gcp",          "ul",           "runtime",
+      "cavg", "discernibility", "item_freq_error", "entropy_loss",
+      "kl_relational", "kl_items", "suppressed"};
+  csv::CsvTable table;
+  std::vector<std::string> header{sweep.sweep.parameter};
+  for (const char* metric : kMetrics) header.push_back(metric);
+  table.push_back(std::move(header));
+  for (const SweepPoint& point : sweep.points) {
+    std::vector<std::string> row{StrFormat("%.10g", point.value)};
+    for (const char* metric : kMetrics) {
+      auto value = point.report.Metric(metric);
+      row.push_back(value.ok() ? StrFormat("%.10g", value.value()) : "");
+    }
+    table.push_back(std::move(row));
+  }
+  return csv::WriteFile(path, csv::WriteCsv(table));
+}
+
+}  // namespace secreta

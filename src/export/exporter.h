@@ -1,0 +1,39 @@
+// Data Export Module (paper Sec. 2.1): datasets, hierarchies, policies,
+// query workloads and experiment series to CSV; plots as gnuplot scripts
+// (the GUI's PDF/JPG/BMP/PNG export is replaced by gnuplot, see DESIGN.md).
+
+#ifndef SECRETA_EXPORT_EXPORTER_H_
+#define SECRETA_EXPORT_EXPORTER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "engine/experiment.h"
+#include "hierarchy/hierarchy.h"
+#include "policy/policy.h"
+#include "query/query.h"
+
+namespace secreta {
+
+/// Writes a dataset as CSV.
+Status ExportDataset(const Dataset& dataset, const std::string& path);
+
+/// Serializes series as CSV: header "x,name1,name2,...", one row per distinct
+/// x (series are aligned on x where possible; missing values are empty).
+std::string SeriesToCsv(const std::vector<Series>& series);
+
+/// Writes series to `csv_path` and, when `gnuplot_path` is non-empty, a
+/// matching gnuplot script.
+Status ExportSeries(const std::vector<Series>& series,
+                    const std::string& csv_path,
+                    const std::string& gnuplot_path = "",
+                    const std::string& title = "");
+
+/// Writes the per-point metric table of a sweep (columns: parameter value and
+/// every metric) — the tabular form of an Evaluation-mode run.
+Status ExportSweepTable(const SweepResult& sweep, const std::string& path);
+
+}  // namespace secreta
+
+#endif  // SECRETA_EXPORT_EXPORTER_H_

@@ -1,0 +1,231 @@
+#include "export/json_export.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "csv/csv.h"
+
+namespace secreta {
+
+void JsonWriter::Separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  out_ += '{';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  out_ += '}';
+  needs_comma_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  out_ += '[';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  out_ += ']';
+  needs_comma_.pop_back();
+}
+
+void JsonWriter::Key(const std::string& key) {
+  Separate();
+  Escape(key);
+  out_ += ':';
+  after_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  Separate();
+  Escape(value);
+}
+
+void JsonWriter::Number(double value) {
+  Separate();
+  if (std::isfinite(value)) {
+    out_ += StrFormat("%.12g", value);
+  } else {
+    out_ += "null";  // JSON has no NaN/Inf
+  }
+}
+
+void JsonWriter::Int(int64_t value) {
+  Separate();
+  out_ += StrFormat("%lld", static_cast<long long>(value));
+}
+
+void JsonWriter::Bool(bool value) {
+  Separate();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  Separate();
+  out_ += "null";
+}
+
+void JsonWriter::Escape(const std::string& raw) {
+  out_ += '"';
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out_ += StrFormat("\\u%04x", c);
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+namespace {
+
+void WriteConfig(JsonWriter* w, const AlgorithmConfig& config) {
+  w->BeginObject();
+  w->Key("mode");
+  w->String(AnonModeToString(config.mode));
+  w->Key("relational_algorithm");
+  w->String(config.relational_algorithm);
+  w->Key("transaction_algorithm");
+  w->String(config.transaction_algorithm);
+  w->Key("merger");
+  w->String(MergerKindToString(config.merger));
+  w->Key("params");
+  w->BeginObject();
+  w->Key("k");
+  w->Int(config.params.k);
+  w->Key("m");
+  w->Int(config.params.m);
+  w->Key("delta");
+  w->Number(config.params.delta);
+  w->Key("lra_partitions");
+  w->Int(config.params.lra_partitions);
+  w->Key("vpa_parts");
+  w->Int(config.params.vpa_parts);
+  w->Key("rho");
+  w->Number(config.params.rho);
+  w->Key("seed");
+  w->Int(static_cast<int64_t>(config.params.seed));
+  w->EndObject();
+  w->EndObject();
+}
+
+void WriteReportBody(JsonWriter* w, const EvaluationReport& report) {
+  w->BeginObject();
+  w->Key("config");
+  WriteConfig(w, report.run.config);
+  w->Key("metrics");
+  w->BeginObject();
+  for (const char* metric :
+       {"gcp", "ul", "are", "discernibility", "cavg", "item_freq_error",
+        "entropy_loss", "kl_relational", "kl_items", "suppressed",
+        "runtime"}) {
+    w->Key(metric);
+    w->Number(std::move(report.Metric(metric)).ValueOrDie());
+  }
+  w->EndObject();
+  w->Key("phases");
+  w->BeginArray();
+  for (const auto& [name, seconds] : report.run.phases.phases()) {
+    w->BeginObject();
+    w->Key("name");
+    w->String(name);
+    w->Key("seconds");
+    w->Number(seconds);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("clusters");
+  w->BeginObject();
+  w->Key("initial");
+  w->Int(static_cast<int64_t>(report.run.initial_clusters));
+  w->Key("final");
+  w->Int(static_cast<int64_t>(report.run.final_clusters));
+  w->Key("merges");
+  w->Int(static_cast<int64_t>(report.run.merges));
+  w->EndObject();
+  w->Key("guarantee");
+  w->BeginObject();
+  w->Key("name");
+  w->String(report.guarantee_name);
+  w->Key("checked");
+  w->Bool(report.guarantee_checked);
+  w->Key("ok");
+  w->Bool(report.guarantee_ok);
+  w->EndObject();
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string EvaluationReportToJson(const EvaluationReport& report) {
+  JsonWriter w;
+  WriteReportBody(&w, report);
+  return w.TakeString();
+}
+
+std::string SweepResultToJson(const SweepResult& sweep) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("config");
+  WriteConfig(&w, sweep.base);
+  w.Key("parameter");
+  w.String(sweep.sweep.parameter);
+  w.Key("points");
+  w.BeginArray();
+  for (const auto& point : sweep.points) {
+    w.BeginObject();
+    w.Key("value");
+    w.Number(point.value);
+    w.Key("report");
+    WriteReportBody(&w, point.report);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string ComparisonToJson(const std::vector<SweepResult>& results) {
+  std::string out = "[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) out += ',';
+    out += SweepResultToJson(results[i]);
+  }
+  out += ']';
+  return out;
+}
+
+Status WriteJsonFile(const std::string& json, const std::string& path) {
+  return csv::WriteFile(path, json);
+}
+
+}  // namespace secreta

@@ -1,0 +1,66 @@
+// JSON serialization of experiment results (Data Export Module). The GUI of
+// the published system stores results to disk; this reproduction adds a
+// machine-readable JSON form alongside CSV so downstream tooling (dashboards,
+// notebooks) can ingest full reports. Dependency-free writer.
+
+#ifndef SECRETA_EXPORT_JSON_EXPORT_H_
+#define SECRETA_EXPORT_JSON_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/experiment.h"
+
+namespace secreta {
+
+/// \brief Minimal JSON value builder (objects, arrays, scalars).
+///
+/// Usage:
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("are"); w.Number(0.5);
+///   w.Key("tags"); w.BeginArray(); w.String("x"); w.EndArray();
+///   w.EndObject();
+///   std::string out = w.TakeString();
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  /// Writes an object key (must be inside an object).
+  void Key(const std::string& key);
+  void String(const std::string& value);
+  void Number(double value);
+  void Int(int64_t value);
+  void Bool(bool value);
+  void Null();
+
+  /// The serialized document.
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  void Separate();
+  void Escape(const std::string& raw);
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  // per open container
+  bool after_key_ = false;
+};
+
+/// Serializes a full evaluation report (config, metrics, phases, guarantee).
+std::string EvaluationReportToJson(const EvaluationReport& report);
+
+/// Serializes a sweep (config, parameter, per-point metrics).
+std::string SweepResultToJson(const SweepResult& sweep);
+
+/// Serializes a set of comparison sweeps.
+std::string ComparisonToJson(const std::vector<SweepResult>& results);
+
+/// Writes any of the above to a file.
+Status WriteJsonFile(const std::string& json, const std::string& path);
+
+}  // namespace secreta
+
+#endif  // SECRETA_EXPORT_JSON_EXPORT_H_

@@ -1,0 +1,76 @@
+#include "export/mapping_export.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+#include "csv/csv.h"
+
+namespace secreta {
+
+namespace {
+constexpr char kSuppressedLabel[] = "(suppressed)";
+}  // namespace
+
+std::vector<MappingEntry> CollectRelationalMapping(
+    const RelationalContext& context, const RelationalRecoding& recoding) {
+  std::vector<MappingEntry> out;
+  for (size_t qi = 0; qi < context.num_qi(); ++qi) {
+    const Hierarchy& h = context.hierarchy(qi);
+    size_t attr =
+        context.dataset().AttributeOfColumn(context.qi_column(qi));
+    const std::string& name = context.dataset().schema().attribute(attr).name;
+    std::map<std::pair<NodeId, NodeId>, size_t> pairs;
+    for (size_t r = 0; r < recoding.num_records(); ++r) {
+      ++pairs[{context.Leaf(r, qi), recoding.at(r, qi)}];
+    }
+    for (const auto& [pair, count] : pairs) {
+      out.push_back({name, h.label(pair.first), h.label(pair.second), count});
+    }
+  }
+  return out;
+}
+
+std::vector<MappingEntry> CollectTransactionMapping(
+    const TransactionRecoding& recoding,
+    const std::vector<std::vector<ItemId>>& original,
+    const Dictionary& item_dict) {
+  // For each record, each original item maps to the present gen covering it
+  // (or to suppression).
+  std::map<std::pair<ItemId, int32_t>, size_t> pairs;  // gen -1 = suppressed
+  for (size_t r = 0; r < recoding.records.size(); ++r) {
+    const auto& gens = recoding.records[r];
+    for (ItemId item : original[r]) {
+      int32_t target = -1;
+      for (int32_t g : gens) {
+        const auto& covers = recoding.gens[static_cast<size_t>(g)].covers;
+        if (std::binary_search(covers.begin(), covers.end(), item)) {
+          target = g;
+          break;
+        }
+      }
+      ++pairs[{item, target}];
+    }
+  }
+  std::vector<MappingEntry> out;
+  for (const auto& [pair, count] : pairs) {
+    out.push_back(
+        {"items", item_dict.value(pair.first),
+         pair.second < 0 ? kSuppressedLabel
+                         : recoding.gens[static_cast<size_t>(pair.second)].label,
+         count});
+  }
+  return out;
+}
+
+Status ExportMapping(const std::vector<MappingEntry>& entries,
+                     const std::string& path) {
+  csv::CsvTable table{{"attribute", "original", "generalized", "count"}};
+  for (const auto& entry : entries) {
+    table.push_back({entry.attribute, entry.original, entry.generalized,
+                     std::to_string(entry.count)});
+  }
+  return csv::WriteFile(path, csv::WriteCsv(table));
+}
+
+}  // namespace secreta

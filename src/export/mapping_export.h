@@ -1,0 +1,44 @@
+// Export of the generalization mapping itself (Data Export Module): which
+// original value/item was published as which generalized label, and how
+// often. For global recodings this is the recoding function; for local
+// recodings (LRA, per-cluster RT outputs) one original value may map to
+// several labels, each row carrying its occurrence count.
+
+#ifndef SECRETA_EXPORT_MAPPING_EXPORT_H_
+#define SECRETA_EXPORT_MAPPING_EXPORT_H_
+
+#include <string>
+
+#include "core/context.h"
+#include "core/results.h"
+
+namespace secreta {
+
+/// One mapping row.
+struct MappingEntry {
+  std::string attribute;    // attribute name, or "items"
+  std::string original;     // original value / item label
+  std::string generalized;  // published label, or "(suppressed)"
+  size_t count = 0;         // occurrences of this mapping
+};
+
+/// Collects the relational mapping (per QI attribute, per distinct
+/// original-value -> generalized-label pair).
+std::vector<MappingEntry> CollectRelationalMapping(
+    const RelationalContext& context, const RelationalRecoding& recoding);
+
+/// Collects the transaction mapping (per item -> generalized-label pair;
+/// suppressed occurrences appear with generalized = "(suppressed)").
+/// `original` must be aligned with `recoding.records`.
+std::vector<MappingEntry> CollectTransactionMapping(
+    const TransactionRecoding& recoding,
+    const std::vector<std::vector<ItemId>>& original,
+    const Dictionary& item_dict);
+
+/// Writes mapping rows as CSV: attribute,original,generalized,count.
+Status ExportMapping(const std::vector<MappingEntry>& entries,
+                     const std::string& path);
+
+}  // namespace secreta
+
+#endif  // SECRETA_EXPORT_MAPPING_EXPORT_H_

@@ -1,0 +1,491 @@
+#include "frontend/cli.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/string_util.h"
+#include "core/audit.h"
+#include "datagen/synthetic.h"
+#include "engine/config_io.h"
+#include "engine/registry.h"
+#include "export/mapping_export.h"
+#include "metrics/frequency.h"
+#include "export/exporter.h"
+#include "export/json_export.h"
+#include "hierarchy/hierarchy_io.h"
+#include "viz/ascii_plot.h"
+
+namespace secreta {
+
+namespace {
+
+Status Arity(const std::vector<std::string>& args, size_t min_args,
+             size_t max_args = SIZE_MAX) {
+  size_t given = args.size() - 1;  // exclude the command itself
+  if (given < min_args || given > max_args) {
+    return Status::InvalidArgument(
+        StrFormat("'%s' expects %zu%s argument(s), got %zu", args[0].c_str(),
+                  min_args, max_args == min_args ? "" : "+", given));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string CommandLineInterface::HelpText() {
+  return
+      "dataset:   generate <n> [seed] | load <path> | save <path> | info |\n"
+      "           hist <attr> | set-cell <row> <attr> <value...> |\n"
+      "           rename-attr <old> <new> | del-row <row>\n"
+      "config:    hierarchies auto [fanout] | hierarchy load <attr> <path> |\n"
+      "           hierarchy save <attr> <path> | hierarchy show <attr> |\n"
+      "           policies auto | policy load-privacy <path> |\n"
+      "           policy load-utility <path>\n"
+      "queries:   workload gen <n> | workload load <path> | workload save "
+      "<path>\n"
+      "method:    mode rt|relational|transaction | algo rel <name> |\n"
+      "           algo txn <name> | merger <name> | param <name> <value> |\n"
+      "           config [key=value ...] | algorithms\n"
+      "evaluate:  run | sweep <param> <start> <end> <step> |\n"
+      "           audit <k> <m> [global] | classes\n"
+      "compare:   add-config | configs | compare <param> <start> <end> <step>\n"
+      "export:    save-output <path> | export-json <path> |\n"
+      "           save-mapping <path>\n"
+      "misc:      demo | help | quit\n";
+}
+
+Status CommandLineInterface::Execute(const std::string& line) {
+  std::string trimmed(Trim(line));
+  if (trimmed.empty() || trimmed[0] == '#') return Status::OK();
+  return Dispatch(SplitWhitespace(trimmed));
+}
+
+size_t CommandLineInterface::RunScript(std::istream& in, bool stop_on_error) {
+  size_t failures = 0;
+  std::string line;
+  while (!done_ && std::getline(in, line)) {
+    Status status = Execute(line);
+    if (!status.ok()) {
+      ++failures;
+      *out_ << "error: " << status.ToString() << "\n";
+      if (stop_on_error) break;
+    }
+  }
+  return failures;
+}
+
+Status CommandLineInterface::RequireDataset() const {
+  if (!session_.has_dataset()) {
+    return Status::FailedPrecondition("no dataset loaded (use load/generate)");
+  }
+  return Status::OK();
+}
+
+Status CommandLineInterface::Dispatch(const std::vector<std::string>& args) {
+  const std::string& cmd = args[0];
+  if (cmd == "help") {
+    *out_ << HelpText();
+    return Status::OK();
+  }
+  if (cmd == "quit" || cmd == "exit") {
+    done_ = true;
+    return Status::OK();
+  }
+  if (cmd == "demo") {
+    // The paper's Sec. 3 walkthrough as one command: data, configuration,
+    // queries, one evaluation, one sweep.
+    for (const char* step :
+         {"generate 800 2014", "hierarchies auto", "workload gen 40",
+          "config mode=rt rel=Cluster txn=Apriori merger=RTmerger k=5 m=2 "
+          "delta=0.35",
+          "run", "classes", "sweep delta 0.15 0.55 0.2"}) {
+      *out_ << "demo> " << step << "\n";
+      SECRETA_RETURN_IF_ERROR(Execute(step));
+    }
+    return Status::OK();
+  }
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "load") {
+    SECRETA_RETURN_IF_ERROR(Arity(args, 1, 1));
+    SECRETA_RETURN_IF_ERROR(session_.LoadDatasetFile(args[1]));
+    *out_ << "loaded " << session_.dataset().num_records() << " records\n";
+    return Status::OK();
+  }
+  if (cmd == "save") {
+    SECRETA_RETURN_IF_ERROR(Arity(args, 1, 1));
+    SECRETA_RETURN_IF_ERROR(RequireDataset());
+    return session_.editor().Save(args[1]);
+  }
+  if (cmd == "info") {
+    SECRETA_RETURN_IF_ERROR(RequireDataset());
+    const Dataset& ds = session_.dataset();
+    *out_ << ds.num_records() << " records, "
+          << ds.schema().num_attributes() << " attributes\n";
+    for (const auto& spec : ds.schema().attributes()) {
+      *out_ << "  " << spec.name << " (" << AttributeTypeToString(spec.type)
+            << ", " << AttributeRoleToString(spec.role) << ")\n";
+    }
+    if (ds.has_transaction()) {
+      *out_ << "  item domain: " << ds.item_dictionary().size() << " items\n";
+    }
+    return Status::OK();
+  }
+  if (cmd == "hist") {
+    SECRETA_RETURN_IF_ERROR(Arity(args, 1, 1));
+    SECRETA_RETURN_IF_ERROR(RequireDataset());
+    SECRETA_ASSIGN_OR_RETURN(std::string text,
+                             session_.editor().HistogramText(args[1]));
+    *out_ << text;
+    return Status::OK();
+  }
+  if (cmd == "set-cell") {
+    SECRETA_RETURN_IF_ERROR(Arity(args, 3));
+    SECRETA_RETURN_IF_ERROR(RequireDataset());
+    SECRETA_ASSIGN_OR_RETURN(int64_t row, ParseInt(args[1]));
+    std::vector<std::string> value_parts(args.begin() + 3, args.end());
+    return session_.editor().SetCell(static_cast<size_t>(row), args[2],
+                                     Join(value_parts, " "));
+  }
+  if (cmd == "rename-attr") {
+    SECRETA_RETURN_IF_ERROR(Arity(args, 2, 2));
+    SECRETA_RETURN_IF_ERROR(RequireDataset());
+    return session_.editor().RenameAttribute(args[1], args[2]);
+  }
+  if (cmd == "del-row") {
+    SECRETA_RETURN_IF_ERROR(Arity(args, 1, 1));
+    SECRETA_RETURN_IF_ERROR(RequireDataset());
+    SECRETA_ASSIGN_OR_RETURN(int64_t row, ParseInt(args[1]));
+    return session_.editor().DeleteRow(static_cast<size_t>(row));
+  }
+  if (cmd == "hierarchies" || cmd == "hierarchy") return CmdHierarchy(args);
+  if (cmd == "policies" || cmd == "policy") return CmdPolicy(args);
+  if (cmd == "workload") return CmdWorkload(args);
+  if (cmd == "mode") {
+    SECRETA_RETURN_IF_ERROR(Arity(args, 1, 1));
+    if (args[1] == "rt") {
+      current_.mode = AnonMode::kRt;
+    } else if (args[1] == "relational") {
+      current_.mode = AnonMode::kRelational;
+    } else if (args[1] == "transaction") {
+      current_.mode = AnonMode::kTransaction;
+    } else {
+      return Status::InvalidArgument("unknown mode: " + args[1]);
+    }
+    return Status::OK();
+  }
+  if (cmd == "algo") {
+    SECRETA_RETURN_IF_ERROR(Arity(args, 2, 2));
+    if (args[1] == "rel") {
+      SECRETA_RETURN_IF_ERROR(MakeRelationalAnonymizer(args[2]).status());
+      current_.relational_algorithm = args[2];
+    } else if (args[1] == "txn") {
+      SECRETA_RETURN_IF_ERROR(MakeTransactionAnonymizer(args[2]).status());
+      current_.transaction_algorithm = args[2];
+    } else {
+      return Status::InvalidArgument("usage: algo rel|txn <name>");
+    }
+    return Status::OK();
+  }
+  if (cmd == "merger") {
+    SECRETA_RETURN_IF_ERROR(Arity(args, 1, 1));
+    SECRETA_ASSIGN_OR_RETURN(current_.merger, ParseMergerKind(args[1]));
+    return Status::OK();
+  }
+  if (cmd == "param") {
+    SECRETA_RETURN_IF_ERROR(Arity(args, 2, 2));
+    SECRETA_ASSIGN_OR_RETURN(double value, ParseDouble(args[2]));
+    SECRETA_RETURN_IF_ERROR(current_.params.Set(args[1], value));
+    return current_.params.Validate();
+  }
+  if (cmd == "config") {
+    if (args.size() == 1) {
+      *out_ << FormatAlgorithmConfig(current_) << "\n";
+      return Status::OK();
+    }
+    std::vector<std::string> spec_parts(args.begin() + 1, args.end());
+    SECRETA_ASSIGN_OR_RETURN(current_,
+                             ParseAlgorithmConfig(Join(spec_parts, " ")));
+    *out_ << "config: " << current_.Label() << "\n";
+    return Status::OK();
+  }
+  if (cmd == "classes") {
+    if (!last_report_.has_value() ||
+        !last_report_->run.relational.has_value()) {
+      return Status::FailedPrecondition(
+          "no relational run to analyze: run a method first");
+    }
+    EquivalenceClasses classes =
+        GroupByRecoding(*last_report_->run.relational);
+    PlotOptions options;
+    options.title = StrFormat("equivalence-class sizes (%zu classes)",
+                              classes.num_groups());
+    *out_ << RenderHistogram(ClassSizeHistogram(classes), options);
+    return Status::OK();
+  }
+  if (cmd == "algorithms") {
+    *out_ << "relational:";
+    for (const auto& name : RelationalAlgorithmNames()) *out_ << " " << name;
+    *out_ << "\ntransaction:";
+    for (const auto& name : TransactionAlgorithmNames()) *out_ << " " << name;
+    *out_ << "\nbounding:";
+    for (const auto& name : MergerNames()) *out_ << " " << name;
+    *out_ << "\n";
+    return Status::OK();
+  }
+  if (cmd == "audit") {
+    SECRETA_RETURN_IF_ERROR(Arity(args, 2, 3));
+    if (!last_report_.has_value()) {
+      return Status::FailedPrecondition("nothing to audit: run a method first");
+    }
+    SECRETA_ASSIGN_OR_RETURN(int64_t k, ParseInt(args[1]));
+    SECRETA_ASSIGN_OR_RETURN(int64_t m, ParseInt(args[2]));
+    bool per_class = args.size() <= 3 || args[3] != "global";
+    SECRETA_ASSIGN_OR_RETURN(Dataset anonymized,
+                             session_.Materialize(*last_report_));
+    SECRETA_ASSIGN_OR_RETURN(
+        AuditReport audit,
+        AuditAnonymizedDataset(anonymized, static_cast<int>(k),
+                               static_cast<int>(m), per_class));
+    *out_ << "audit: k-anonymity " << (audit.k_anonymous ? "OK" : "VIOLATED")
+          << ", k^m " << (audit.km_anonymous ? "OK" : "VIOLATED")
+          << " (min class " << audit.min_class_size << ") — " << audit.details
+          << "\n";
+    return Status::OK();
+  }
+  if (cmd == "run") return CmdRun();
+  if (cmd == "sweep") return CmdSweep(args);
+  if (cmd == "add-config") {
+    queued_.push_back(current_);
+    *out_ << "queued config " << queued_.size() << ": " << current_.Label()
+          << "\n";
+    return Status::OK();
+  }
+  if (cmd == "configs") {
+    for (size_t i = 0; i < queued_.size(); ++i) {
+      *out_ << "  [" << i + 1 << "] " << queued_[i].Label() << "\n";
+    }
+    if (queued_.empty()) *out_ << "  (none)\n";
+    return Status::OK();
+  }
+  if (cmd == "compare") return CmdCompare(args);
+  if (cmd == "save-output") {
+    SECRETA_RETURN_IF_ERROR(Arity(args, 1, 1));
+    if (!last_report_.has_value()) {
+      return Status::FailedPrecondition("nothing to save: run a method first");
+    }
+    SECRETA_ASSIGN_OR_RETURN(Dataset anonymized,
+                             session_.Materialize(*last_report_));
+    SECRETA_RETURN_IF_ERROR(ExportDataset(anonymized, args[1]));
+    *out_ << "anonymized dataset written to " << args[1] << "\n";
+    return Status::OK();
+  }
+  if (cmd == "save-mapping") {
+    SECRETA_RETURN_IF_ERROR(Arity(args, 1, 1));
+    if (!last_report_.has_value()) {
+      return Status::FailedPrecondition("nothing to export: run a method first");
+    }
+    SECRETA_ASSIGN_OR_RETURN(std::vector<MappingEntry> entries,
+                             session_.CollectMappings(*last_report_));
+    SECRETA_RETURN_IF_ERROR(ExportMapping(entries, args[1]));
+    *out_ << entries.size() << " mapping rows written to " << args[1] << "\n";
+    return Status::OK();
+  }
+  if (cmd == "export-json") {
+    SECRETA_RETURN_IF_ERROR(Arity(args, 1, 1));
+    std::string json;
+    if (!last_comparison_.empty()) {
+      json = ComparisonToJson(last_comparison_);
+    } else if (last_sweep_.has_value()) {
+      json = SweepResultToJson(*last_sweep_);
+    } else if (last_report_.has_value()) {
+      json = EvaluationReportToJson(*last_report_);
+    } else {
+      return Status::FailedPrecondition("nothing to export: run a method first");
+    }
+    SECRETA_RETURN_IF_ERROR(WriteJsonFile(json, args[1]));
+    *out_ << "results written to " << args[1] << "\n";
+    return Status::OK();
+  }
+  return Status::NotFound("unknown command: " + cmd + " (try 'help')");
+}
+
+Status CommandLineInterface::CmdGenerate(const std::vector<std::string>& args) {
+  SECRETA_RETURN_IF_ERROR(Arity(args, 1, 2));
+  SECRETA_ASSIGN_OR_RETURN(int64_t n, ParseInt(args[1]));
+  if (n <= 0) return Status::InvalidArgument("n must be positive");
+  SyntheticOptions options;
+  options.num_records = static_cast<size_t>(n);
+  if (args.size() > 2) {
+    SECRETA_ASSIGN_OR_RETURN(int64_t seed, ParseInt(args[2]));
+    options.seed = static_cast<uint64_t>(seed);
+  }
+  SECRETA_ASSIGN_OR_RETURN(Dataset dataset, GenerateRtDataset(options));
+  SECRETA_RETURN_IF_ERROR(session_.SetDataset(std::move(dataset)));
+  *out_ << "generated " << session_.dataset().num_records() << " records\n";
+  return Status::OK();
+}
+
+Status CommandLineInterface::CmdHierarchy(const std::vector<std::string>& args) {
+  SECRETA_RETURN_IF_ERROR(RequireDataset());
+  if (args[0] == "hierarchies") {
+    SECRETA_RETURN_IF_ERROR(Arity(args, 1, 2));
+    if (args[1] != "auto") {
+      return Status::InvalidArgument("usage: hierarchies auto [fanout]");
+    }
+    HierarchyBuildOptions options;
+    if (args.size() > 2) {
+      SECRETA_ASSIGN_OR_RETURN(int64_t fanout, ParseInt(args[2]));
+      options.fanout = static_cast<size_t>(fanout);
+    }
+    SECRETA_RETURN_IF_ERROR(session_.AutoGenerateHierarchies(options));
+    *out_ << "hierarchies ready\n";
+    return Status::OK();
+  }
+  if (args.size() >= 3 && args[1] == "show") {
+    SECRETA_RETURN_IF_ERROR(Arity(args, 2, 2));
+    SECRETA_ASSIGN_OR_RETURN(const Hierarchy* h, session_.HierarchyOf(args[2]));
+    *out_ << RenderHierarchyTree(*h);
+    return Status::OK();
+  }
+  SECRETA_RETURN_IF_ERROR(Arity(args, 3, 3));
+  if (args[1] == "load") {
+    return session_.LoadHierarchyFile(args[2], args[3]);
+  }
+  if (args[1] == "save") {
+    SECRETA_ASSIGN_OR_RETURN(const Hierarchy* h, session_.HierarchyOf(args[2]));
+    return SaveHierarchyFile(*h, args[3]);
+  }
+  return Status::InvalidArgument(
+      "usage: hierarchy load|save <attr> <path> | hierarchy show <attr>");
+}
+
+Status CommandLineInterface::CmdPolicy(const std::vector<std::string>& args) {
+  SECRETA_RETURN_IF_ERROR(RequireDataset());
+  if (args[0] == "policies") {
+    SECRETA_RETURN_IF_ERROR(Arity(args, 1, 1));
+    if (args[1] != "auto") {
+      return Status::InvalidArgument("usage: policies auto");
+    }
+    PrivacyGenOptions pg;
+    pg.strategy = PrivacyStrategy::kFrequentItems;
+    UtilityGenOptions ug;
+    ug.strategy = UtilityStrategy::kFrequencyBands;
+    SECRETA_RETURN_IF_ERROR(session_.GeneratePolicies(pg, ug));
+    *out_ << session_.privacy_policy().size() << " privacy constraints, "
+          << session_.utility_policy().constraints.size()
+          << " utility constraints\n";
+    return Status::OK();
+  }
+  SECRETA_RETURN_IF_ERROR(Arity(args, 2, 2));
+  if (args[1] == "load-privacy") return session_.LoadPrivacyPolicyFile(args[2]);
+  if (args[1] == "load-utility") return session_.LoadUtilityPolicyFile(args[2]);
+  return Status::InvalidArgument("usage: policy load-privacy|load-utility <path>");
+}
+
+Status CommandLineInterface::CmdWorkload(const std::vector<std::string>& args) {
+  SECRETA_RETURN_IF_ERROR(RequireDataset());
+  SECRETA_RETURN_IF_ERROR(Arity(args, 2, 2));
+  if (args[1] == "gen") {
+    SECRETA_ASSIGN_OR_RETURN(int64_t n, ParseInt(args[2]));
+    WorkloadGenOptions options;
+    options.num_queries = static_cast<size_t>(n);
+    SECRETA_RETURN_IF_ERROR(session_.GenerateQueryWorkload(options));
+    *out_ << session_.workload().size() << " queries\n";
+    return Status::OK();
+  }
+  if (args[1] == "load") return session_.LoadWorkloadFile(args[2]);
+  if (args[1] == "save") return session_.workload().SaveFile(args[2]);
+  return Status::InvalidArgument("usage: workload gen|load|save <arg>");
+}
+
+void CommandLineInterface::PrintReport(const EvaluationReport& report) {
+  *out_ << "== " << report.run.config.Label() << " ==\n"
+        << "guarantee " << report.guarantee_name << ": "
+        << (report.guarantee_checked ? (report.guarantee_ok ? "OK" : "VIOLATED")
+                                     : "(not checked)")
+        << "\n"
+        << StrFormat("GCP %.4f | UL %.4f | ARE %.4f | runtime %.3fs\n",
+                     report.gcp, report.ul, report.are,
+                     report.run.runtime_seconds);
+  for (const auto& [phase, seconds] : report.run.phases.phases()) {
+    *out_ << StrFormat("  %-12s %.3fs\n", phase.c_str(), seconds);
+  }
+}
+
+Status CommandLineInterface::CmdRun() {
+  SECRETA_RETURN_IF_ERROR(RequireDataset());
+  SECRETA_ASSIGN_OR_RETURN(EvaluationReport report, session_.Evaluate(current_));
+  PrintReport(report);
+  last_report_ = std::move(report);
+  last_sweep_.reset();
+  last_comparison_.clear();
+  return Status::OK();
+}
+
+Status CommandLineInterface::CmdSweep(const std::vector<std::string>& args) {
+  SECRETA_RETURN_IF_ERROR(Arity(args, 4, 4));
+  SECRETA_RETURN_IF_ERROR(RequireDataset());
+  ParamSweep sweep;
+  sweep.parameter = args[1];
+  SECRETA_ASSIGN_OR_RETURN(sweep.start, ParseDouble(args[2]));
+  SECRETA_ASSIGN_OR_RETURN(sweep.end, ParseDouble(args[3]));
+  SECRETA_ASSIGN_OR_RETURN(sweep.step, ParseDouble(args[4]));
+  ProgressCallback progress = [this](const ProgressEvent& event) {
+    *out_ << StrFormat("  [%zu/%zu] %s=%g done (%.3fs)\n",
+                       event.point_index + 1, event.total_points,
+                       "point", event.value,
+                       event.report->run.runtime_seconds);
+  };
+  SECRETA_ASSIGN_OR_RETURN(SweepResult result,
+                           session_.EvaluateSweep(current_, sweep, progress));
+  std::vector<Series> series;
+  for (const char* metric : {"are", "gcp", "ul"}) {
+    SECRETA_ASSIGN_OR_RETURN(Series s, result.Extract(metric));
+    s.name = metric;
+    series.push_back(std::move(s));
+  }
+  PlotOptions options;
+  options.title = current_.Label() + " vs " + sweep.parameter;
+  *out_ << RenderLineChart(series, options);
+  last_sweep_ = std::move(result);
+  last_comparison_.clear();
+  return Status::OK();
+}
+
+Status CommandLineInterface::CmdCompare(const std::vector<std::string>& args) {
+  SECRETA_RETURN_IF_ERROR(Arity(args, 4, 4));
+  SECRETA_RETURN_IF_ERROR(RequireDataset());
+  if (queued_.empty()) {
+    return Status::FailedPrecondition(
+        "no configurations queued (use add-config)");
+  }
+  ParamSweep sweep;
+  sweep.parameter = args[1];
+  SECRETA_ASSIGN_OR_RETURN(sweep.start, ParseDouble(args[2]));
+  SECRETA_ASSIGN_OR_RETURN(sweep.end, ParseDouble(args[3]));
+  SECRETA_ASSIGN_OR_RETURN(sweep.step, ParseDouble(args[4]));
+  CompareOptions compare_options;
+  compare_options.progress = [this](const ProgressEvent& event) {
+    *out_ << StrFormat("  config %zu: [%zu/%zu] value %g done\n",
+                       event.config_index + 1, event.point_index + 1,
+                       event.total_points, event.value);
+  };
+  SECRETA_ASSIGN_OR_RETURN(std::vector<SweepResult> results,
+                           session_.Compare(queued_, sweep, compare_options));
+  for (const char* metric : {"are", "runtime"}) {
+    std::vector<Series> series;
+    for (const auto& result : results) {
+      SECRETA_ASSIGN_OR_RETURN(Series s, result.Extract(metric));
+      s.name = result.base.Label();
+      series.push_back(std::move(s));
+    }
+    PlotOptions options;
+    options.title = std::string(metric) + " vs " + sweep.parameter;
+    *out_ << RenderLineChart(series, options);
+  }
+  last_comparison_ = std::move(results);
+  last_sweep_.reset();
+  return Status::OK();
+}
+
+}  // namespace secreta

@@ -1,0 +1,93 @@
+// Command-line frontend: a scriptable REPL exposing the complete SECRETA
+// workflow (Dataset / Configuration / Queries Editors, Evaluation and
+// Comparison modes, export). This is the executable face of the reproduction
+// — the published system's Qt GUI mapped 1:1 onto commands.
+
+#ifndef SECRETA_FRONTEND_CLI_H_
+#define SECRETA_FRONTEND_CLI_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "frontend/session.h"
+
+namespace secreta {
+
+/// \brief Parses and executes SECRETA commands against a session.
+///
+/// Commands (one per line; `#` starts a comment):
+///   help                               list commands
+///   quit                               leave the REPL
+///   generate <n> [seed]                synthesize an RT-dataset
+///   load <path> / save <path>          dataset CSV I/O
+///   info                               dataset summary
+///   hist <attribute>                   ASCII histogram
+///   set-cell <row> <attr> <value...>   edit a cell
+///   rename-attr <old> <new>            rename an attribute
+///   del-row <row>                      delete a record
+///   hierarchies auto [fanout]          auto-generate all hierarchies
+///   hierarchy load <attr> <path>       load one hierarchy
+///   hierarchy save <attr> <path>       export one hierarchy
+///   policies auto                      generate privacy+utility policies
+///   policy load-privacy <path> / load-utility <path>
+///   workload gen <queries> / load <path> / save <path>
+///   mode rt|relational|transaction     select what to anonymize
+///   algo rel <name> / algo txn <name>  pick algorithms
+///   merger <Rmerger|Tmerger|RTmerger>  pick the bounding method
+///   param <name> <value>               set k / m / delta / ...
+///   algorithms                         list registered algorithms
+///   run                                Evaluation mode, single execution
+///   audit <k> <m> [global]             recipient-side guarantee audit of
+///                                      the last run's output
+///   sweep <param> <start> <end> <step> Evaluation mode, varying parameter
+///   add-config                         push current config to the
+///                                      experimenter area
+///   configs                            list queued configs
+///   compare <param> <start> <end> <step>  Comparison mode over the queue
+///   save-output <path>                 export last anonymized dataset
+///   export-json <path>                 export last report/comparison as JSON
+class CommandLineInterface {
+ public:
+  explicit CommandLineInterface(std::ostream* out) : out_(out) {}
+
+  /// Executes one command line. Parse errors and failed operations return a
+  /// non-OK status (the REPL prints and continues; scripts may abort).
+  Status Execute(const std::string& line);
+
+  /// True once `quit` has been executed.
+  bool done() const { return done_; }
+
+  /// Reads commands from `in` until EOF or `quit`. Returns the number of
+  /// failed commands.
+  size_t RunScript(std::istream& in, bool stop_on_error);
+
+  SecretaSession& session() { return session_; }
+  static std::string HelpText();
+
+ private:
+  Status Dispatch(const std::vector<std::string>& args);
+  Status RequireDataset() const;
+  Status CmdGenerate(const std::vector<std::string>& args);
+  Status CmdHierarchy(const std::vector<std::string>& args);
+  Status CmdPolicy(const std::vector<std::string>& args);
+  Status CmdWorkload(const std::vector<std::string>& args);
+  Status CmdRun();
+  Status CmdSweep(const std::vector<std::string>& args);
+  Status CmdCompare(const std::vector<std::string>& args);
+  void PrintReport(const EvaluationReport& report);
+
+  SecretaSession session_;
+  std::ostream* out_;
+  bool done_ = false;
+  AlgorithmConfig current_;
+  std::vector<AlgorithmConfig> queued_;
+  std::optional<EvaluationReport> last_report_;
+  std::optional<SweepResult> last_sweep_;
+  std::vector<SweepResult> last_comparison_;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_FRONTEND_CLI_H_

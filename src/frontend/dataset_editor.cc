@@ -1,0 +1,64 @@
+#include "frontend/dataset_editor.h"
+
+#include "export/exporter.h"
+#include "viz/ascii_plot.h"
+
+namespace secreta {
+
+Status DatasetEditor::Load(const std::string& path) {
+  SECRETA_ASSIGN_OR_RETURN(dataset_, Dataset::LoadFile(path));
+  return Status::OK();
+}
+
+Status DatasetEditor::Save(const std::string& path) const {
+  return ExportDataset(dataset_, path);
+}
+
+Result<size_t> DatasetEditor::AttrIndex(const std::string& name) const {
+  auto index = dataset_.schema().FindAttribute(name);
+  if (!index.has_value()) return Status::NotFound("no attribute named " + name);
+  return *index;
+}
+
+Status DatasetEditor::RenameAttribute(const std::string& old_name,
+                                      const std::string& new_name) {
+  SECRETA_ASSIGN_OR_RETURN(size_t index, AttrIndex(old_name));
+  return dataset_.RenameAttribute(index, new_name);
+}
+
+Status DatasetEditor::SetCell(size_t row, const std::string& attribute,
+                              const std::string& value) {
+  SECRETA_ASSIGN_OR_RETURN(size_t index, AttrIndex(attribute));
+  return dataset_.SetCell(row, index, value);
+}
+
+Status DatasetEditor::AddRow(const std::vector<std::string>& fields) {
+  return dataset_.AddRow(fields);
+}
+
+Status DatasetEditor::DeleteRow(size_t row) { return dataset_.DeleteRow(row); }
+
+Status DatasetEditor::DeleteAttribute(const std::string& name) {
+  SECRETA_ASSIGN_OR_RETURN(size_t index, AttrIndex(name));
+  return dataset_.RemoveAttribute(index);
+}
+
+Result<Histogram> DatasetEditor::HistogramOf(const std::string& attribute) const {
+  SECRETA_ASSIGN_OR_RETURN(size_t index, AttrIndex(attribute));
+  if (dataset_.schema().attribute(index).type == AttributeType::kTransaction) {
+    return ItemHistogram(dataset_);
+  }
+  SECRETA_ASSIGN_OR_RETURN(size_t col, dataset_.ColumnOf(index));
+  return ValueHistogram(dataset_, col);
+}
+
+Result<std::string> DatasetEditor::HistogramText(const std::string& attribute,
+                                                 size_t width) const {
+  SECRETA_ASSIGN_OR_RETURN(Histogram hist, HistogramOf(attribute));
+  PlotOptions options;
+  options.width = width;
+  options.title = "frequency of " + attribute;
+  return RenderHistogram(hist, options);
+}
+
+}  // namespace secreta

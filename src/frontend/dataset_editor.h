@@ -1,0 +1,53 @@
+// Dataset Editor backend (paper Fig. 2): load/edit/store datasets and render
+// the attribute histograms shown in the GUI's bottom pane.
+
+#ifndef SECRETA_FRONTEND_DATASET_EDITOR_H_
+#define SECRETA_FRONTEND_DATASET_EDITOR_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "data/dataset_stats.h"
+
+namespace secreta {
+
+/// \brief Stateful wrapper over a Dataset with the GUI's edit operations.
+class DatasetEditor {
+ public:
+  DatasetEditor() = default;
+  explicit DatasetEditor(Dataset dataset) : dataset_(std::move(dataset)) {}
+
+  /// Loads a CSV file with schema inference.
+  Status Load(const std::string& path);
+  /// Overwrites (or exports) the dataset as CSV.
+  Status Save(const std::string& path) const;
+
+  const Dataset& dataset() const { return dataset_; }
+  Dataset& mutable_dataset() { return dataset_; }
+
+  // GUI edit operations (thin forwards with name-based addressing).
+  Status RenameAttribute(const std::string& old_name,
+                         const std::string& new_name);
+  Status SetCell(size_t row, const std::string& attribute,
+                 const std::string& value);
+  Status AddRow(const std::vector<std::string>& fields);
+  Status DeleteRow(size_t row);
+  Status DeleteAttribute(const std::string& name);
+
+  /// Value-frequency histogram of the named attribute (transaction attribute
+  /// yields the item histogram).
+  Result<Histogram> HistogramOf(const std::string& attribute) const;
+
+  /// Renders HistogramOf as ASCII bars (the Fig. 2 bottom pane).
+  Result<std::string> HistogramText(const std::string& attribute,
+                                    size_t width = 48) const;
+
+ private:
+  Result<size_t> AttrIndex(const std::string& name) const;
+
+  Dataset dataset_;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_FRONTEND_DATASET_EDITOR_H_

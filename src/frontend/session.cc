@@ -1,0 +1,225 @@
+#include "frontend/session.h"
+
+#include "hierarchy/hierarchy_io.h"
+#include "policy/policy_io.h"
+
+namespace secreta {
+
+Status SecretaSession::LoadDatasetFile(const std::string& path) {
+  SECRETA_RETURN_IF_ERROR(editor_.Load(path));
+  column_hierarchies_.clear();
+  item_hierarchy_.reset();
+  privacy_ = PrivacyPolicy{};
+  utility_ = UtilityPolicy{};
+  rel_context_.reset();
+  txn_context_.reset();
+  return Status::OK();
+}
+
+Status SecretaSession::SetDataset(Dataset dataset) {
+  editor_ = DatasetEditor(std::move(dataset));
+  column_hierarchies_.clear();
+  item_hierarchy_.reset();
+  privacy_ = PrivacyPolicy{};
+  utility_ = UtilityPolicy{};
+  rel_context_.reset();
+  txn_context_.reset();
+  return Status::OK();
+}
+
+Status SecretaSession::LoadHierarchyFile(const std::string& attribute,
+                                         const std::string& path) {
+  SECRETA_ASSIGN_OR_RETURN(size_t col, dataset().ColumnByName(attribute));
+  SECRETA_ASSIGN_OR_RETURN(Hierarchy h,
+                           ::secreta::LoadHierarchyFile(path, attribute));
+  if (column_hierarchies_.size() != dataset().num_relational()) {
+    column_hierarchies_.assign(dataset().num_relational(), Hierarchy());
+  }
+  column_hierarchies_[col] = std::move(h);
+  rel_context_.reset();
+  return Status::OK();
+}
+
+Status SecretaSession::LoadItemHierarchyFile(const std::string& path) {
+  SECRETA_ASSIGN_OR_RETURN(Hierarchy h, ::secreta::LoadHierarchyFile(path, "items"));
+  item_hierarchy_ = std::move(h);
+  txn_context_.reset();
+  return Status::OK();
+}
+
+Status SecretaSession::AutoGenerateHierarchies(
+    const HierarchyBuildOptions& options) {
+  if (column_hierarchies_.size() != dataset().num_relational()) {
+    column_hierarchies_.assign(dataset().num_relational(), Hierarchy());
+  }
+  for (size_t col = 0; col < dataset().num_relational(); ++col) {
+    if (column_hierarchies_[col].finalized()) continue;  // keep loaded ones
+    size_t attr = dataset().AttributeOfColumn(col);
+    if (dataset().schema().attribute(attr).role !=
+        AttributeRole::kQuasiIdentifier) {
+      continue;
+    }
+    SECRETA_ASSIGN_OR_RETURN(column_hierarchies_[col],
+                             BuildHierarchyForColumn(dataset(), col, options));
+  }
+  if (dataset().has_transaction() && !item_hierarchy_.has_value()) {
+    SECRETA_ASSIGN_OR_RETURN(Hierarchy h, BuildItemHierarchy(dataset(), options));
+    item_hierarchy_ = std::move(h);
+  }
+  rel_context_.reset();
+  txn_context_.reset();
+  return Status::OK();
+}
+
+Status SecretaSession::LoadPrivacyPolicyFile(const std::string& path) {
+  SECRETA_ASSIGN_OR_RETURN(privacy_, ::secreta::LoadPrivacyPolicyFile(path, dataset()));
+  return Status::OK();
+}
+
+Status SecretaSession::LoadUtilityPolicyFile(const std::string& path) {
+  SECRETA_ASSIGN_OR_RETURN(utility_, ::secreta::LoadUtilityPolicyFile(path, dataset()));
+  return Status::OK();
+}
+
+Status SecretaSession::GeneratePolicies(
+    const PrivacyGenOptions& privacy_options,
+    const UtilityGenOptions& utility_options) {
+  SECRETA_ASSIGN_OR_RETURN(privacy_,
+                           GeneratePrivacyPolicy(dataset(), privacy_options));
+  const Hierarchy* item_h =
+      item_hierarchy_.has_value() ? &*item_hierarchy_ : nullptr;
+  SECRETA_ASSIGN_OR_RETURN(
+      utility_, GenerateUtilityPolicy(dataset(), utility_options, item_h));
+  return Status::OK();
+}
+
+Result<const Hierarchy*> SecretaSession::HierarchyOf(
+    const std::string& attribute) const {
+  SECRETA_ASSIGN_OR_RETURN(size_t col, dataset().ColumnByName(attribute));
+  if (col >= column_hierarchies_.size() ||
+      !column_hierarchies_[col].finalized()) {
+    return Status::NotFound("no hierarchy configured for " + attribute);
+  }
+  return &column_hierarchies_[col];
+}
+
+Status SecretaSession::LoadWorkloadFile(const std::string& path) {
+  SECRETA_ASSIGN_OR_RETURN(Workload workload, Workload::LoadFile(path));
+  if (has_dataset()) {
+    SECRETA_RETURN_IF_ERROR(workload.ValidateAgainst(dataset()));
+  }
+  workload_ = std::move(workload);
+  return Status::OK();
+}
+
+Status SecretaSession::GenerateQueryWorkload(const WorkloadGenOptions& options) {
+  SECRETA_ASSIGN_OR_RETURN(workload_, GenerateWorkload(dataset(), options));
+  return Status::OK();
+}
+
+Status SecretaSession::BindContexts(bool need_relational,
+                                    bool need_transaction) {
+  rel_context_.reset();
+  txn_context_.reset();
+  if (need_relational) {
+    if (column_hierarchies_.size() != dataset().num_relational()) {
+      return Status::FailedPrecondition(
+          "no hierarchies configured; load them or call "
+          "AutoGenerateHierarchies()");
+    }
+    SECRETA_ASSIGN_OR_RETURN(
+        RelationalContext ctx,
+        RelationalContext::Create(dataset(), column_hierarchies_));
+    rel_context_ = std::move(ctx);
+  }
+  if (need_transaction) {
+    const Hierarchy* item_h =
+        item_hierarchy_.has_value() ? &*item_hierarchy_ : nullptr;
+    SECRETA_ASSIGN_OR_RETURN(TransactionContext ctx,
+                             TransactionContext::Create(dataset(), item_h));
+    txn_context_ = std::move(ctx);
+  }
+  return Status::OK();
+}
+
+Result<EngineInputs> SecretaSession::MakeInputs(const AlgorithmConfig& config) {
+  bool need_rel = config.mode != AnonMode::kTransaction;
+  bool need_txn = config.mode != AnonMode::kRelational;
+  SECRETA_RETURN_IF_ERROR(BindContexts(need_rel, need_txn));
+  EngineInputs inputs;
+  inputs.dataset = &dataset();
+  inputs.relational = rel_context_.has_value() ? &*rel_context_ : nullptr;
+  inputs.transaction = txn_context_.has_value() ? &*txn_context_ : nullptr;
+  inputs.privacy = privacy_.empty() ? nullptr : &privacy_;
+  inputs.utility = utility_.empty() ? nullptr : &utility_;
+  return inputs;
+}
+
+Result<EvaluationReport> SecretaSession::Evaluate(const AlgorithmConfig& config) {
+  SECRETA_ASSIGN_OR_RETURN(EngineInputs inputs, MakeInputs(config));
+  const Workload* workload = workload_.empty() ? nullptr : &workload_;
+  return EvaluateMethod(inputs, config, workload);
+}
+
+Result<SweepResult> SecretaSession::EvaluateSweep(
+    const AlgorithmConfig& config, const ParamSweep& sweep,
+    const ProgressCallback& progress) {
+  SECRETA_ASSIGN_OR_RETURN(EngineInputs inputs, MakeInputs(config));
+  const Workload* workload = workload_.empty() ? nullptr : &workload_;
+  return RunSweep(inputs, config, sweep, workload, progress);
+}
+
+Result<Dataset> SecretaSession::Materialize(const EvaluationReport& report) {
+  SECRETA_ASSIGN_OR_RETURN(EngineInputs inputs, MakeInputs(report.run.config));
+  return MaterializeRun(inputs, report.run);
+}
+
+Result<std::vector<MappingEntry>> SecretaSession::CollectMappings(
+    const EvaluationReport& report) {
+  SECRETA_ASSIGN_OR_RETURN(EngineInputs inputs, MakeInputs(report.run.config));
+  std::vector<MappingEntry> entries;
+  if (report.run.relational.has_value() && inputs.relational != nullptr) {
+    auto rel = CollectRelationalMapping(*inputs.relational,
+                                        *report.run.relational);
+    entries.insert(entries.end(), rel.begin(), rel.end());
+  }
+  if (report.run.transaction.has_value()) {
+    std::vector<std::vector<ItemId>> original;
+    original.reserve(dataset().num_records());
+    for (size_t r = 0; r < dataset().num_records(); ++r) {
+      original.push_back(dataset().items(r));
+    }
+    auto txn = CollectTransactionMapping(*report.run.transaction, original,
+                                         dataset().item_dictionary());
+    entries.insert(entries.end(), txn.begin(), txn.end());
+  }
+  if (entries.empty()) {
+    return Status::FailedPrecondition("the run produced no mappings");
+  }
+  return entries;
+}
+
+Result<std::vector<SweepResult>> SecretaSession::Compare(
+    const std::vector<AlgorithmConfig>& configs, const ParamSweep& sweep,
+    const CompareOptions& options) {
+  if (configs.empty()) {
+    return Status::InvalidArgument("no configurations to compare");
+  }
+  bool need_rel = false;
+  bool need_txn = false;
+  for (const auto& config : configs) {
+    need_rel = need_rel || config.mode != AnonMode::kTransaction;
+    need_txn = need_txn || config.mode != AnonMode::kRelational;
+  }
+  SECRETA_RETURN_IF_ERROR(BindContexts(need_rel, need_txn));
+  EngineInputs inputs;
+  inputs.dataset = &dataset();
+  inputs.relational = rel_context_.has_value() ? &*rel_context_ : nullptr;
+  inputs.transaction = txn_context_.has_value() ? &*txn_context_ : nullptr;
+  inputs.privacy = privacy_.empty() ? nullptr : &privacy_;
+  inputs.utility = utility_.empty() ? nullptr : &utility_;
+  const Workload* workload = workload_.empty() ? nullptr : &workload_;
+  return CompareMethods(inputs, configs, sweep, workload, options);
+}
+
+}  // namespace secreta

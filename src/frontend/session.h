@@ -1,0 +1,112 @@
+// SecretaSession: the headless counterpart of the SECRETA GUI. It holds the
+// loaded dataset, hierarchies (Configuration Editor), policies, and query
+// workload (Queries Editor), and exposes the two operation modes selected by
+// the Experimentation Interface Selector: Evaluation (one method) and
+// Comparison (several methods side by side).
+
+#ifndef SECRETA_FRONTEND_SESSION_H_
+#define SECRETA_FRONTEND_SESSION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/comparator.h"
+#include "engine/evaluator.h"
+#include "engine/experiment.h"
+#include "export/mapping_export.h"
+#include "frontend/dataset_editor.h"
+#include "hierarchy/hierarchy_builder.h"
+#include "policy/policy_generator.h"
+#include "query/workload_generator.h"
+
+namespace secreta {
+
+class SecretaSession {
+ public:
+  // ---- Dataset Editor -------------------------------------------------------
+
+  /// Loads a CSV dataset (schema inferred). Invalidates hierarchies/policies.
+  Status LoadDatasetFile(const std::string& path);
+  /// Installs an in-memory dataset. Invalidates hierarchies/policies.
+  Status SetDataset(Dataset dataset);
+
+  bool has_dataset() const { return editor_.dataset().num_records() > 0; }
+  const Dataset& dataset() const { return editor_.dataset(); }
+  DatasetEditor& editor() { return editor_; }
+
+  // ---- Configuration Editor -------------------------------------------------
+
+  /// Loads the hierarchy of one relational attribute from a file.
+  Status LoadHierarchyFile(const std::string& attribute,
+                           const std::string& path);
+  /// Loads the transaction item hierarchy from a file.
+  Status LoadItemHierarchyFile(const std::string& path);
+  /// Auto-generates all missing hierarchies (QID columns + item domain).
+  Status AutoGenerateHierarchies(const HierarchyBuildOptions& options = {});
+
+  Status LoadPrivacyPolicyFile(const std::string& path);
+  Status LoadUtilityPolicyFile(const std::string& path);
+  Status GeneratePolicies(const PrivacyGenOptions& privacy_options,
+                          const UtilityGenOptions& utility_options);
+  const PrivacyPolicy& privacy_policy() const { return privacy_; }
+  const UtilityPolicy& utility_policy() const { return utility_; }
+
+  /// Hierarchy of a relational attribute (after load/generate).
+  Result<const Hierarchy*> HierarchyOf(const std::string& attribute) const;
+  const std::optional<Hierarchy>& item_hierarchy() const {
+    return item_hierarchy_;
+  }
+
+  // ---- Queries Editor --------------------------------------------------------
+
+  Status LoadWorkloadFile(const std::string& path);
+  Status GenerateQueryWorkload(const WorkloadGenOptions& options);
+  Workload& mutable_workload() { return workload_; }
+  const Workload& workload() const { return workload_; }
+
+  // ---- Evaluation mode -------------------------------------------------------
+
+  /// Runs one configuration with all metrics (single-parameter execution).
+  Result<EvaluationReport> Evaluate(const AlgorithmConfig& config);
+  /// Varying-parameter execution for one configuration. `progress`
+  /// (optional) fires after every finished point — the GUI's progressive
+  /// plotting hook.
+  Result<SweepResult> EvaluateSweep(const AlgorithmConfig& config,
+                                    const ParamSweep& sweep,
+                                    const ProgressCallback& progress = nullptr);
+
+  /// Materializes the anonymized dataset of a report (for display/export).
+  Result<Dataset> Materialize(const EvaluationReport& report);
+
+  /// Collects the generalization mapping (original value/item -> published
+  /// label, with counts) of a report, for export via ExportMapping().
+  Result<std::vector<MappingEntry>> CollectMappings(
+      const EvaluationReport& report);
+
+  // ---- Comparison mode -------------------------------------------------------
+
+  Result<std::vector<SweepResult>> Compare(
+      const std::vector<AlgorithmConfig>& configs, const ParamSweep& sweep,
+      const CompareOptions& options = {});
+
+ private:
+  /// (Re)binds contexts to the current dataset + hierarchies. Called before
+  /// every engine entry so edits are always reflected.
+  Status BindContexts(bool need_relational, bool need_transaction);
+  Result<EngineInputs> MakeInputs(const AlgorithmConfig& config);
+
+  DatasetEditor editor_;
+  std::vector<Hierarchy> column_hierarchies_;  // per relational column
+  std::optional<Hierarchy> item_hierarchy_;
+  PrivacyPolicy privacy_;
+  UtilityPolicy utility_;
+  Workload workload_;
+  // Rebuilt by BindContexts; must not outlive dataset/hierarchy edits.
+  std::optional<RelationalContext> rel_context_;
+  std::optional<TransactionContext> txn_context_;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_FRONTEND_SESSION_H_

@@ -1,0 +1,134 @@
+#include "hierarchy/hierarchy_builder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace secreta {
+
+namespace {
+
+std::string RangeLabel(const std::string& first, const std::string& last) {
+  if (first == last) return "[" + first + "]";
+  return "[" + first + ".." + last + "]";
+}
+
+}  // namespace
+
+Result<Hierarchy> BuildBalancedHierarchy(
+    const std::vector<std::string>& ordered_values, const std::string& name,
+    const HierarchyBuildOptions& options) {
+  if (ordered_values.empty()) {
+    return Status::InvalidArgument("cannot build hierarchy over empty domain");
+  }
+  if (options.fanout < 2) {
+    return Status::InvalidArgument("hierarchy fanout must be >= 2");
+  }
+  Hierarchy h;
+  h.set_attribute_name(name);
+  SECRETA_ASSIGN_OR_RETURN(NodeId root, h.CreateRoot(options.root_label));
+
+  // Build top-down: recursively split the leaf interval into `fanout` chunks.
+  struct Task {
+    NodeId parent;
+    size_t begin;
+    size_t end;  // exclusive
+  };
+  std::vector<Task> stack{{root, 0, ordered_values.size()}};
+  while (!stack.empty()) {
+    Task task = stack.back();
+    stack.pop_back();
+    size_t count = task.end - task.begin;
+    if (count == 1) {
+      SECRETA_RETURN_IF_ERROR(
+          h.CreateNode(ordered_values[task.begin], task.parent).status());
+      continue;
+    }
+    if (count <= options.fanout) {
+      for (size_t i = task.begin; i < task.end; ++i) {
+        SECRETA_RETURN_IF_ERROR(h.CreateNode(ordered_values[i], task.parent).status());
+      }
+      continue;
+    }
+    // Split into fanout chunks of near-equal size; create an interior node per
+    // chunk (skipping the node when the chunk is a single leaf). Nodes are
+    // created in forward order so the children keep the leaf order; the tasks
+    // are then pushed in reverse because the stack pops LIFO.
+    size_t chunk = (count + options.fanout - 1) / options.fanout;
+    std::vector<Task> pending;
+    for (size_t begin = task.begin; begin < task.end; begin += chunk) {
+      size_t end = std::min(begin + chunk, task.end);
+      if (end - begin == 1) {
+        SECRETA_RETURN_IF_ERROR(
+            h.CreateNode(ordered_values[begin], task.parent).status());
+      } else {
+        SECRETA_ASSIGN_OR_RETURN(
+            NodeId interior,
+            h.CreateNode(
+                RangeLabel(ordered_values[begin], ordered_values[end - 1]),
+                task.parent));
+        pending.push_back({interior, begin, end});
+      }
+    }
+    for (size_t i = pending.size(); i-- > 0;) stack.push_back(pending[i]);
+  }
+  SECRETA_RETURN_IF_ERROR(h.Finalize());
+  return h;
+}
+
+Result<Hierarchy> BuildHierarchyForColumn(const Dataset& dataset, size_t col,
+                                          const HierarchyBuildOptions& options) {
+  if (col >= dataset.num_relational()) {
+    return Status::OutOfRange("relational column index out of range");
+  }
+  const Dictionary& dict = dataset.dictionary(col);
+  if (dict.empty()) {
+    return Status::FailedPrecondition("column has no values");
+  }
+  std::vector<std::string> ordered;
+  ordered.reserve(dict.size());
+  for (ValueId id : dataset.SortedDomain(col)) ordered.push_back(dict.value(id));
+  const std::string& name =
+      dataset.schema().attribute(dataset.AttributeOfColumn(col)).name;
+  return BuildBalancedHierarchy(ordered, name, options);
+}
+
+Result<Hierarchy> BuildItemHierarchy(const Dataset& dataset,
+                                     const HierarchyBuildOptions& options) {
+  const Dictionary& dict = dataset.item_dictionary();
+  if (dict.empty()) {
+    return Status::FailedPrecondition("dataset has no transaction items");
+  }
+  // Order items by descending support, ties by label for determinism.
+  std::vector<size_t> support(dict.size(), 0);
+  for (size_t r = 0; r < dataset.num_records(); ++r) {
+    for (ItemId item : dataset.items(r)) support[static_cast<size_t>(item)]++;
+  }
+  std::vector<size_t> order(dict.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (support[a] != support[b]) return support[a] > support[b];
+    return dict.value(static_cast<ItemId>(a)) < dict.value(static_cast<ItemId>(b));
+  });
+  std::vector<std::string> ordered;
+  ordered.reserve(order.size());
+  for (size_t i : order) ordered.push_back(dict.value(static_cast<ItemId>(i)));
+  return BuildBalancedHierarchy(ordered, "items", options);
+}
+
+Result<std::vector<Hierarchy>> BuildAllColumnHierarchies(
+    const Dataset& dataset, const HierarchyBuildOptions& options) {
+  std::vector<Hierarchy> out(dataset.num_relational());
+  for (size_t col = 0; col < dataset.num_relational(); ++col) {
+    size_t attr = dataset.AttributeOfColumn(col);
+    if (dataset.schema().attribute(attr).role != AttributeRole::kQuasiIdentifier) {
+      continue;  // placeholder stays un-finalized
+    }
+    SECRETA_ASSIGN_OR_RETURN(out[col],
+                             BuildHierarchyForColumn(dataset, col, options));
+  }
+  return out;
+}
+
+}  // namespace secreta

@@ -1,0 +1,53 @@
+// Automatic hierarchy generation (paper Sec. 2.2, Policy Specification
+// Module; method of Terrovitis et al. [10]): balanced fanout trees over an
+// attribute's domain or over the transaction item domain.
+
+#ifndef SECRETA_HIERARCHY_HIERARCHY_BUILDER_H_
+#define SECRETA_HIERARCHY_HIERARCHY_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "hierarchy/hierarchy.h"
+
+namespace secreta {
+
+/// Options controlling automatic hierarchy generation.
+struct HierarchyBuildOptions {
+  /// Children per interior node (>= 2).
+  size_t fanout = 4;
+  /// Label of the root node.
+  std::string root_label = "*";
+};
+
+/// Builds a balanced fanout tree whose leaves are `ordered_values` (already in
+/// the order they should appear, e.g. numeric ascending). Interior labels are
+/// "[first..last]" over the covered leaf labels; the root keeps
+/// `options.root_label`.
+Result<Hierarchy> BuildBalancedHierarchy(
+    const std::vector<std::string>& ordered_values, const std::string& name,
+    const HierarchyBuildOptions& options = {});
+
+/// Builds a hierarchy for relational column `col` of `dataset`: leaves are the
+/// column's distinct values, ordered numerically for numeric columns and
+/// lexicographically otherwise.
+Result<Hierarchy> BuildHierarchyForColumn(const Dataset& dataset, size_t col,
+                                          const HierarchyBuildOptions& options = {});
+
+/// Builds an item hierarchy over the dataset's transaction item domain
+/// (leaves ordered by descending support, the order of [10] which keeps
+/// frequently co-occurring head items apart from the long tail).
+Result<Hierarchy> BuildItemHierarchy(const Dataset& dataset,
+                                     const HierarchyBuildOptions& options = {});
+
+/// Builds hierarchies for every relational QID column; result is indexed by
+/// relational column index (non-QID columns get empty placeholder slots that
+/// must not be used).
+Result<std::vector<Hierarchy>> BuildAllColumnHierarchies(
+    const Dataset& dataset, const HierarchyBuildOptions& options = {});
+
+}  // namespace secreta
+
+#endif  // SECRETA_HIERARCHY_HIERARCHY_BUILDER_H_

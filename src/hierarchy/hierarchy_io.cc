@@ -1,0 +1,47 @@
+#include "hierarchy/hierarchy_io.h"
+
+#include "common/string_util.h"
+#include "csv/csv.h"
+
+namespace secreta {
+
+Result<Hierarchy> ParseHierarchy(const std::string& text,
+                                 const std::string& attribute_name) {
+  csv::CsvOptions options;
+  options.delimiter = ';';
+  SECRETA_ASSIGN_OR_RETURN(csv::CsvTable rows, csv::ParseCsv(text, options));
+  if (rows.empty()) return Status::InvalidArgument("hierarchy file is empty");
+  std::vector<std::vector<std::string>> paths;
+  paths.reserve(rows.size());
+  for (auto& row : rows) {
+    std::vector<std::string> path;
+    for (auto& field : row) {
+      std::string trimmed(Trim(field));
+      if (!trimmed.empty()) path.push_back(std::move(trimmed));
+    }
+    if (path.empty()) continue;
+    paths.push_back(std::move(path));
+  }
+  return Hierarchy::FromPaths(paths, attribute_name);
+}
+
+Result<Hierarchy> LoadHierarchyFile(const std::string& path,
+                                    const std::string& attribute_name) {
+  SECRETA_ASSIGN_OR_RETURN(std::string text, csv::ReadFile(path));
+  return ParseHierarchy(text, attribute_name);
+}
+
+std::string FormatHierarchy(const Hierarchy& hierarchy) {
+  std::string out;
+  for (NodeId leaf : hierarchy.leaves()) {
+    out += Join(hierarchy.PathToRoot(leaf), ";");
+    out += '\n';
+  }
+  return out;
+}
+
+Status SaveHierarchyFile(const Hierarchy& hierarchy, const std::string& path) {
+  return csv::WriteFile(path, FormatHierarchy(hierarchy));
+}
+
+}  // namespace secreta

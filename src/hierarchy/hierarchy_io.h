@@ -1,0 +1,33 @@
+// Hierarchy file I/O. File format (Configuration Editor): one line per leaf,
+// semicolon-separated labels from the leaf up to the root, e.g.
+//   1;[1..2];[1..4];*
+//   flu;respiratory;*
+// All lines must share the same final (root) label.
+
+#ifndef SECRETA_HIERARCHY_HIERARCHY_IO_H_
+#define SECRETA_HIERARCHY_HIERARCHY_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "hierarchy/hierarchy.h"
+
+namespace secreta {
+
+/// Parses a hierarchy from file text (see format above).
+Result<Hierarchy> ParseHierarchy(const std::string& text,
+                                 const std::string& attribute_name = "");
+
+/// Loads a hierarchy from a file.
+Result<Hierarchy> LoadHierarchyFile(const std::string& path,
+                                    const std::string& attribute_name = "");
+
+/// Serializes a hierarchy into the file format (inverse of ParseHierarchy).
+std::string FormatHierarchy(const Hierarchy& hierarchy);
+
+/// Writes a hierarchy to a file.
+Status SaveHierarchyFile(const Hierarchy& hierarchy, const std::string& path);
+
+}  // namespace secreta
+
+#endif  // SECRETA_HIERARCHY_HIERARCHY_IO_H_

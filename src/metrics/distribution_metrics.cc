@@ -1,0 +1,110 @@
+#include "metrics/distribution_metrics.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace secreta {
+
+namespace {
+
+double Log2(double x) { return std::log2(x); }
+
+// KL(p || q) in bits over aligned, same-length distributions (q smoothed by
+// the caller so q_i > 0 wherever p_i > 0).
+double Kl(const std::vector<double>& p, const std::vector<double>& q) {
+  double kl = 0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] > 0) kl += p[i] * Log2(p[i] / q[i]);
+  }
+  return kl < 0 ? 0 : kl;  // numeric noise clamp
+}
+
+// Normalizes counts (+`smooth` per slot) to a probability vector.
+std::vector<double> Normalize(const std::vector<double>& counts, double smooth) {
+  double total = 0;
+  std::vector<double> out(counts.size());
+  for (double c : counts) total += c + smooth;
+  if (total <= 0) return out;
+  for (size_t i = 0; i < counts.size(); ++i) out[i] = (counts[i] + smooth) / total;
+  return out;
+}
+
+}  // namespace
+
+double NonUniformEntropyLoss(const RelationalContext& context,
+                             const RelationalRecoding& recoding) {
+  size_t n = context.num_records();
+  size_t q = context.num_qi();
+  if (n == 0 || q == 0) return 0.0;
+  double loss = 0;
+  double max_loss = 0;
+  for (size_t qi = 0; qi < q; ++qi) {
+    // Frequencies of original leaves and of generalized nodes.
+    std::unordered_map<NodeId, double> leaf_freq;
+    std::unordered_map<NodeId, double> gen_freq;
+    for (size_t r = 0; r < n; ++r) {
+      leaf_freq[context.Leaf(r, qi)] += 1;
+      gen_freq[recoding.at(r, qi)] += 1;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      double fo = leaf_freq[context.Leaf(r, qi)];
+      double fg = gen_freq[recoding.at(r, qi)];
+      loss += Log2(fg / fo);
+      max_loss += Log2(static_cast<double>(n) / fo);
+    }
+  }
+  if (max_loss <= 0) return 0.0;
+  return loss / max_loss;
+}
+
+double AttributeKlDivergence(const RelationalContext& context,
+                             const RelationalRecoding& recoding, size_t qi) {
+  const Hierarchy& h = context.hierarchy(qi);
+  size_t num_leaves = h.num_leaves();
+  size_t n = context.num_records();
+  std::vector<double> orig(num_leaves, 0);
+  std::vector<double> recon(num_leaves, 0);
+  for (size_t r = 0; r < n; ++r) {
+    orig[static_cast<size_t>(
+        h.leaf_interval_begin(context.Leaf(r, qi)))] += 1;
+    NodeId node = recoding.at(r, qi);
+    int32_t begin = h.leaf_interval_begin(node);
+    int32_t end = h.leaf_interval_end(node);
+    double share = 1.0 / static_cast<double>(end - begin);
+    for (int32_t pos = begin; pos < end; ++pos) {
+      recon[static_cast<size_t>(pos)] += share;
+    }
+  }
+  return Kl(Normalize(orig, 0), Normalize(recon, 1e-9));
+}
+
+double MeanKlDivergence(const RelationalContext& context,
+                        const RelationalRecoding& recoding) {
+  size_t q = context.num_qi();
+  if (q == 0) return 0.0;
+  double total = 0;
+  for (size_t qi = 0; qi < q; ++qi) {
+    total += AttributeKlDivergence(context, recoding, qi);
+  }
+  return total / static_cast<double>(q);
+}
+
+double ItemKlDivergence(const TransactionRecoding& recoding,
+                        const std::vector<std::vector<ItemId>>& original,
+                        size_t num_items) {
+  std::vector<double> orig(num_items, 0);
+  std::vector<double> recon(num_items, 0);
+  for (const auto& txn : original) {
+    for (ItemId item : txn) orig[static_cast<size_t>(item)] += 1;
+  }
+  for (const auto& rec : recoding.records) {
+    for (int32_t g : rec) {
+      const auto& covers = recoding.gens[static_cast<size_t>(g)].covers;
+      double share = 1.0 / static_cast<double>(covers.size());
+      for (ItemId item : covers) recon[static_cast<size_t>(item)] += share;
+    }
+  }
+  return Kl(Normalize(orig, 0), Normalize(recon, 1e-9));
+}
+
+}  // namespace secreta

@@ -1,0 +1,50 @@
+// Distribution-based utility measures complementing NCP/UL:
+//  - non-uniform entropy information loss (De Waal & Willenborg style): how
+//    many bits are lost when a cell's exact value is replaced by its
+//    generalized group;
+//  - KL divergence between the original value distribution and the
+//    distribution an analyst reconstructs from the anonymized data under the
+//    uniformity assumption.
+// Both are reported by the Method Evaluator alongside GCP/UL/ARE.
+
+#ifndef SECRETA_METRICS_DISTRIBUTION_METRICS_H_
+#define SECRETA_METRICS_DISTRIBUTION_METRICS_H_
+
+#include "core/context.h"
+#include "core/results.h"
+
+namespace secreta {
+
+/// \brief Non-uniform entropy loss of a relational recoding, in [0, 1].
+///
+/// Per cell the loss is log2(freq(generalized value) / freq(original value))
+/// — 0 bits when the value is untouched, log2(n / freq(v)) when generalized
+/// to a group covering everything. Normalized by the maximum attainable
+/// (every cell generalized to the full column), so 0 = original data and 1 =
+/// all attributes at the root.
+double NonUniformEntropyLoss(const RelationalContext& context,
+                             const RelationalRecoding& recoding);
+
+/// \brief KL divergence D(orig || reconstructed) of QI attribute `qi`, in
+/// bits.
+///
+/// The reconstructed distribution spreads each generalized occurrence
+/// uniformly over the leaves it covers (with Laplace smoothing so the
+/// divergence stays finite). 0 when the recoding is the identity.
+double AttributeKlDivergence(const RelationalContext& context,
+                             const RelationalRecoding& recoding, size_t qi);
+
+/// Mean of AttributeKlDivergence over all QI attributes.
+double MeanKlDivergence(const RelationalContext& context,
+                        const RelationalRecoding& recoding);
+
+/// KL divergence of the item-support distribution (original vs uniform
+/// reconstruction from generalized items), in bits. `original` must be
+/// aligned with `recoding.records`.
+double ItemKlDivergence(const TransactionRecoding& recoding,
+                        const std::vector<std::vector<ItemId>>& original,
+                        size_t num_items);
+
+}  // namespace secreta
+
+#endif  // SECRETA_METRICS_DISTRIBUTION_METRICS_H_

@@ -1,0 +1,55 @@
+// Frequency-based result visualizations of Evaluation mode:
+//  (c) frequencies of generalized values in a relational attribute,
+//  (d) relative error between original and anonymized item frequencies.
+
+#ifndef SECRETA_METRICS_FREQUENCY_H_
+#define SECRETA_METRICS_FREQUENCY_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/context.h"
+#include "core/equivalence.h"
+#include "core/results.h"
+#include "data/dataset_stats.h"
+
+namespace secreta {
+
+/// Histogram of generalized values produced by `recoding` in QI position
+/// `qi`, ordered by first appearance of each generalized value.
+Histogram GeneralizedValueHistogram(const RelationalContext& context,
+                                    const RelationalRecoding& recoding,
+                                    size_t qi);
+
+/// Histogram of generalized items in a transaction recoding (label of each
+/// gen vs the number of records containing it), ordered by descending count.
+Histogram GeneralizedItemHistogram(const TransactionRecoding& recoding);
+
+/// Distribution of equivalence-class sizes (label "s records" -> number of
+/// classes of that size), ascending by size — the standard k-anonymity
+/// diagnostic plot.
+Histogram ClassSizeHistogram(const EquivalenceClasses& classes);
+
+/// \brief Relative error of each original item's frequency after
+/// anonymization.
+///
+/// An analyst estimates the support of item i from the anonymized data under
+/// the uniformity assumption: each occurrence of a generalized item g
+/// containing i contributes 1/|g|. Returns (item label, |orig - est| /
+/// max(orig, 1)) for every original item, in item-id order. `original` must be
+/// aligned with `recoding.records`.
+std::vector<std::pair<std::string, double>> ItemFrequencyError(
+    const TransactionRecoding& recoding,
+    const std::vector<std::vector<ItemId>>& original,
+    const Dictionary& item_dict);
+
+/// Mean of the per-item relative errors from ItemFrequencyError (scalar
+/// summary used in comparison series).
+double MeanItemFrequencyError(const TransactionRecoding& recoding,
+                              const std::vector<std::vector<ItemId>>& original,
+                              const Dictionary& item_dict);
+
+}  // namespace secreta
+
+#endif  // SECRETA_METRICS_FREQUENCY_H_

@@ -1,0 +1,100 @@
+#include "policy/policy.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace secreta {
+
+Result<UtilityPolicy> UtilityPolicy::Create(
+    std::vector<std::vector<ItemId>> groups, size_t num_items) {
+  UtilityPolicy policy;
+  policy.constraint_of.assign(num_items, -1);
+  for (auto& group : groups) {
+    std::sort(group.begin(), group.end());
+    group.erase(std::unique(group.begin(), group.end()), group.end());
+    if (group.empty()) continue;
+    int32_t index = static_cast<int32_t>(policy.constraints.size());
+    for (ItemId item : group) {
+      if (item < 0 || static_cast<size_t>(item) >= num_items) {
+        return Status::OutOfRange("utility constraint item id out of range");
+      }
+      if (policy.constraint_of[static_cast<size_t>(item)] != -1) {
+        return Status::InvalidArgument(
+            "utility constraints overlap on an item");
+      }
+      policy.constraint_of[static_cast<size_t>(item)] = index;
+    }
+    policy.constraints.push_back(std::move(group));
+  }
+  return policy;
+}
+
+UtilityPolicy UtilityPolicy::Unrestricted(size_t num_items) {
+  std::vector<ItemId> all(num_items);
+  std::iota(all.begin(), all.end(), 0);
+  auto policy = Create({std::move(all)}, num_items);
+  return std::move(policy).value();
+}
+
+size_t ConstraintSupport(const PrivacyConstraint& constraint,
+                         const TransactionRecoding& recoding) {
+  size_t support = 0;
+  for (const auto& gens : recoding.records) {
+    bool all = true;
+    for (ItemId item : constraint.items) {
+      bool covered = false;
+      if (!recoding.item_map.empty()) {
+        int32_t g = recoding.item_map[static_cast<size_t>(item)];
+        covered = g != kSuppressedGen &&
+                  std::binary_search(gens.begin(), gens.end(), g);
+      } else {
+        for (int32_t g : gens) {
+          const auto& covers = recoding.gens[static_cast<size_t>(g)].covers;
+          if (std::binary_search(covers.begin(), covers.end(), item)) {
+            covered = true;
+            break;
+          }
+        }
+      }
+      if (!covered) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ++support;
+  }
+  return support;
+}
+
+bool SatisfiesPrivacyPolicy(const PrivacyPolicy& policy,
+                            const TransactionRecoding& recoding, int global_k) {
+  for (const auto& constraint : policy.constraints) {
+    int k = constraint.k > 0 ? constraint.k : global_k;
+    size_t support = ConstraintSupport(constraint, recoding);
+    if (support > 0 && support < static_cast<size_t>(k)) return false;
+  }
+  return true;
+}
+
+bool SatisfiesUtilityPolicy(const UtilityPolicy& policy,
+                            const TransactionRecoding& recoding) {
+  // Only gens actually referenced by records matter; the pool may retain
+  // intermediate gens from merge steps.
+  std::vector<char> used(recoding.gens.size(), 0);
+  for (const auto& gens : recoding.records) {
+    for (int32_t g : gens) used[static_cast<size_t>(g)] = 1;
+  }
+  for (size_t i = 0; i < recoding.gens.size(); ++i) {
+    if (!used[i]) continue;
+    const auto& gen = recoding.gens[i];
+    if (gen.covers.size() <= 1) continue;
+    int32_t group = policy.constraint_of[static_cast<size_t>(gen.covers[0])];
+    if (group == -1) return false;
+    for (ItemId item : gen.covers) {
+      if (policy.constraint_of[static_cast<size_t>(item)] != group) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace secreta

@@ -1,0 +1,73 @@
+// Privacy and utility policies of COAT [7] and PCTA [5].
+//
+// A privacy constraint (S, k) demands that the anonymized support of itemset
+// S is either 0 or >= k. A utility policy partitions the item domain into
+// constraints; an item may only be generalized together with items of its own
+// constraint (or suppressed). Items outside every utility constraint can only
+// be kept or suppressed.
+
+#ifndef SECRETA_POLICY_POLICY_H_
+#define SECRETA_POLICY_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/results.h"
+#include "data/dataset.h"
+
+namespace secreta {
+
+/// One privacy constraint: an itemset that must be hidden below support k.
+struct PrivacyConstraint {
+  std::vector<ItemId> items;  // sorted
+  int k = 0;                  // 0 means "use the run's global k"
+};
+
+/// Ordered list of privacy constraints.
+struct PrivacyPolicy {
+  std::vector<PrivacyConstraint> constraints;
+
+  bool empty() const { return constraints.empty(); }
+  size_t size() const { return constraints.size(); }
+};
+
+/// \brief Partition of (a subset of) the item domain into generalization
+/// groups.
+struct UtilityPolicy {
+  /// Item groups; each group is sorted.
+  std::vector<std::vector<ItemId>> constraints;
+  /// Per item: index of its constraint, or -1 when unconstrained (the item
+  /// may only be kept or suppressed). Sized to the item-domain size.
+  std::vector<int32_t> constraint_of;
+
+  bool empty() const { return constraints.empty(); }
+
+  /// Builds constraint_of from constraints; fails if groups overlap or an
+  /// item id is out of [0, num_items).
+  static Result<UtilityPolicy> Create(std::vector<std::vector<ItemId>> groups,
+                                      size_t num_items);
+
+  /// The single-group policy allowing any items to merge (maximum freedom).
+  static UtilityPolicy Unrestricted(size_t num_items);
+};
+
+/// \brief Support of constraint `c` in a transaction recoding: the number of
+/// records that contain, for every item of `c`, a generalized item covering
+/// it.
+size_t ConstraintSupport(const PrivacyConstraint& constraint,
+                         const TransactionRecoding& recoding);
+
+/// True if every constraint's support is 0 or >= its k (or `global_k` when the
+/// constraint's k is 0).
+bool SatisfiesPrivacyPolicy(const PrivacyPolicy& policy,
+                            const TransactionRecoding& recoding, int global_k);
+
+/// True if every generalized item's covered set stays inside one utility
+/// constraint (unconstrained items must remain singletons or be suppressed).
+bool SatisfiesUtilityPolicy(const UtilityPolicy& policy,
+                            const TransactionRecoding& recoding);
+
+}  // namespace secreta
+
+#endif  // SECRETA_POLICY_POLICY_H_

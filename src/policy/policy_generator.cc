@@ -1,0 +1,159 @@
+#include "policy/policy_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/random.h"
+
+namespace secreta {
+
+namespace {
+
+std::vector<size_t> ItemSupports(const Dataset& dataset) {
+  std::vector<size_t> support(dataset.item_dictionary().size(), 0);
+  for (size_t r = 0; r < dataset.num_records(); ++r) {
+    for (ItemId item : dataset.items(r)) support[static_cast<size_t>(item)]++;
+  }
+  return support;
+}
+
+std::vector<size_t> SupportOrder(const std::vector<size_t>& support) {
+  std::vector<size_t> order(support.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (support[a] != support[b]) return support[a] > support[b];
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace
+
+Result<PrivacyPolicy> GeneratePrivacyPolicy(const Dataset& dataset,
+                                            const PrivacyGenOptions& options) {
+  size_t num_items = dataset.item_dictionary().size();
+  if (num_items == 0) {
+    return Status::FailedPrecondition("dataset has no transaction items");
+  }
+  PrivacyPolicy policy;
+  switch (options.strategy) {
+    case PrivacyStrategy::kAllItems: {
+      for (size_t i = 0; i < num_items; ++i) {
+        policy.constraints.push_back({{static_cast<ItemId>(i)}, 0});
+      }
+      break;
+    }
+    case PrivacyStrategy::kFrequentItems: {
+      if (options.frequent_fraction <= 0 || options.frequent_fraction > 1) {
+        return Status::InvalidArgument("frequent_fraction must be in (0,1]");
+      }
+      auto support = ItemSupports(dataset);
+      auto order = SupportOrder(support);
+      size_t take = std::max<size_t>(
+          1, static_cast<size_t>(std::llround(
+                 options.frequent_fraction * static_cast<double>(num_items))));
+      for (size_t i = 0; i < take; ++i) {
+        policy.constraints.push_back({{static_cast<ItemId>(order[i])}, 0});
+      }
+      break;
+    }
+    case PrivacyStrategy::kRandomItemsets: {
+      if (options.max_itemset_size < 1) {
+        return Status::InvalidArgument("max_itemset_size must be >= 1");
+      }
+      Rng rng(options.seed);
+      std::set<std::vector<ItemId>> seen;
+      size_t attempts = 0;
+      while (policy.constraints.size() < options.num_itemsets &&
+             attempts < options.num_itemsets * 20) {
+        ++attempts;
+        size_t row = static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(dataset.num_records() - 1)));
+        const auto& txn = dataset.items(row);
+        if (txn.empty()) continue;
+        size_t size = static_cast<size_t>(
+            rng.UniformInt(1, options.max_itemset_size));
+        size = std::min(size, txn.size());
+        std::vector<ItemId> itemset;
+        for (size_t idx : rng.Sample(txn.size(), size)) {
+          itemset.push_back(txn[idx]);
+        }
+        std::sort(itemset.begin(), itemset.end());
+        if (seen.insert(itemset).second) {
+          policy.constraints.push_back({std::move(itemset), 0});
+        }
+      }
+      if (policy.constraints.empty()) {
+        return Status::Internal("could not sample any privacy constraints");
+      }
+      break;
+    }
+  }
+  return policy;
+}
+
+Result<UtilityPolicy> GenerateUtilityPolicy(const Dataset& dataset,
+                                            const UtilityGenOptions& options,
+                                            const Hierarchy* hierarchy) {
+  size_t num_items = dataset.item_dictionary().size();
+  if (num_items == 0) {
+    return Status::FailedPrecondition("dataset has no transaction items");
+  }
+  switch (options.strategy) {
+    case UtilityStrategy::kUnrestricted:
+      return UtilityPolicy::Unrestricted(num_items);
+    case UtilityStrategy::kFrequencyBands: {
+      if (options.band_size == 0) {
+        return Status::InvalidArgument("band_size must be positive");
+      }
+      auto support = ItemSupports(dataset);
+      auto order = SupportOrder(support);
+      std::vector<std::vector<ItemId>> groups;
+      for (size_t begin = 0; begin < order.size(); begin += options.band_size) {
+        size_t end = std::min(begin + options.band_size, order.size());
+        std::vector<ItemId> group;
+        for (size_t i = begin; i < end; ++i) {
+          group.push_back(static_cast<ItemId>(order[i]));
+        }
+        groups.push_back(std::move(group));
+      }
+      return UtilityPolicy::Create(std::move(groups), num_items);
+    }
+    case UtilityStrategy::kHierarchyLevel: {
+      if (hierarchy == nullptr || !hierarchy->finalized()) {
+        return Status::InvalidArgument(
+            "kHierarchyLevel requires a finalized item hierarchy");
+      }
+      if (options.hierarchy_depth < 1) {
+        return Status::InvalidArgument("hierarchy_depth must be >= 1");
+      }
+      // Collect the frontier at the requested depth (nodes shallower than the
+      // depth that are leaves form their own singleton groups).
+      std::vector<std::vector<ItemId>> groups;
+      std::vector<NodeId> stack{hierarchy->root()};
+      while (!stack.empty()) {
+        NodeId node = stack.back();
+        stack.pop_back();
+        if (hierarchy->depth(node) == options.hierarchy_depth ||
+            hierarchy->IsLeaf(node)) {
+          std::vector<ItemId> group;
+          for (NodeId leaf : hierarchy->LeavesUnder(node)) {
+            SECRETA_ASSIGN_OR_RETURN(
+                ItemId item,
+                dataset.item_dictionary().Lookup(hierarchy->label(leaf)));
+            group.push_back(item);
+          }
+          groups.push_back(std::move(group));
+          continue;
+        }
+        for (NodeId child : hierarchy->children(node)) stack.push_back(child);
+      }
+      return UtilityPolicy::Create(std::move(groups), num_items);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace secreta

@@ -1,0 +1,66 @@
+// Automatic policy generation (Policy Specification Module; strategies of
+// [7]). Privacy policies decide WHAT to protect; utility policies decide WHICH
+// generalizations stay meaningful.
+
+#ifndef SECRETA_POLICY_POLICY_GENERATOR_H_
+#define SECRETA_POLICY_POLICY_GENERATOR_H_
+
+#include "data/dataset.h"
+#include "hierarchy/hierarchy.h"
+#include "policy/policy.h"
+
+namespace secreta {
+
+/// Privacy-policy generation strategy.
+enum class PrivacyStrategy {
+  /// Protect every single item (k^1-style protection for all items).
+  kAllItems,
+  /// Protect the most frequent items (head of the support distribution).
+  kFrequentItems,
+  /// Protect random itemsets of size <= m sampled from actual records
+  /// (models adversary background knowledge, as in the k^m experiments).
+  kRandomItemsets,
+};
+
+struct PrivacyGenOptions {
+  PrivacyStrategy strategy = PrivacyStrategy::kAllItems;
+  /// kFrequentItems: fraction of the (support-sorted) domain to protect.
+  double frequent_fraction = 0.2;
+  /// kRandomItemsets: how many constraints to draw and their max size.
+  size_t num_itemsets = 50;
+  int max_itemset_size = 2;
+  uint64_t seed = 11;
+};
+
+/// Generates a privacy policy over the dataset's item domain.
+Result<PrivacyPolicy> GeneratePrivacyPolicy(const Dataset& dataset,
+                                            const PrivacyGenOptions& options);
+
+/// Utility-policy generation strategy.
+enum class UtilityStrategy {
+  /// One constraint per hierarchy node at `hierarchy_depth` (semantic groups).
+  kHierarchyLevel,
+  /// Support-sorted items grouped into bands of `band_size` (items of similar
+  /// frequency are considered interchangeable).
+  kFrequencyBands,
+  /// Single constraint over the whole domain (maximum generalization freedom).
+  kUnrestricted,
+};
+
+struct UtilityGenOptions {
+  UtilityStrategy strategy = UtilityStrategy::kFrequencyBands;
+  /// kHierarchyLevel: depth of the nodes that define the groups (>= 1).
+  int hierarchy_depth = 1;
+  /// kFrequencyBands: items per band.
+  size_t band_size = 8;
+};
+
+/// Generates a utility policy over the dataset's item domain. `hierarchy` is
+/// required for kHierarchyLevel and ignored otherwise.
+Result<UtilityPolicy> GenerateUtilityPolicy(const Dataset& dataset,
+                                            const UtilityGenOptions& options,
+                                            const Hierarchy* hierarchy = nullptr);
+
+}  // namespace secreta
+
+#endif  // SECRETA_POLICY_POLICY_GENERATOR_H_

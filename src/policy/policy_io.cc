@@ -1,0 +1,133 @@
+#include "policy/policy_io.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "csv/csv.h"
+
+namespace secreta {
+
+namespace {
+
+Result<std::vector<ItemId>> ResolveItems(const std::string& text,
+                                         const Dataset& dataset) {
+  std::vector<ItemId> items;
+  for (const std::string& label : SplitWhitespace(text)) {
+    SECRETA_ASSIGN_OR_RETURN(ItemId id, dataset.item_dictionary().Lookup(label));
+    items.push_back(id);
+  }
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  return items;
+}
+
+}  // namespace
+
+Result<PrivacyPolicy> ParsePrivacyPolicy(const std::string& text,
+                                         const Dataset& dataset) {
+  PrivacyPolicy policy;
+  size_t line_no = 0;
+  for (const std::string& line : Split(text, '\n')) {
+    ++line_no;
+    std::string trimmed(Trim(line));
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    PrivacyConstraint constraint;
+    std::string items_part = trimmed;
+    size_t semi = trimmed.find(';');
+    if (semi != std::string::npos) {
+      items_part = trimmed.substr(0, semi);
+      auto k = ParseInt(trimmed.substr(semi + 1));
+      if (!k.ok() || k.value() < 1) {
+        return Status::InvalidArgument(
+            StrFormat("privacy policy line %zu: bad k", line_no));
+      }
+      constraint.k = static_cast<int>(k.value());
+    }
+    auto items = ResolveItems(items_part, dataset);
+    if (!items.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("privacy policy line %zu: %s", line_no,
+                    items.status().message().c_str()));
+    }
+    constraint.items = std::move(items).value();
+    if (constraint.items.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("privacy policy line %zu is empty", line_no));
+    }
+    policy.constraints.push_back(std::move(constraint));
+  }
+  return policy;
+}
+
+Result<PrivacyPolicy> LoadPrivacyPolicyFile(const std::string& path,
+                                            const Dataset& dataset) {
+  SECRETA_ASSIGN_OR_RETURN(std::string text, csv::ReadFile(path));
+  return ParsePrivacyPolicy(text, dataset);
+}
+
+std::string FormatPrivacyPolicy(const PrivacyPolicy& policy,
+                                const Dataset& dataset) {
+  std::string out;
+  for (const auto& constraint : policy.constraints) {
+    std::vector<std::string> labels;
+    for (ItemId item : constraint.items) {
+      labels.push_back(dataset.item_dictionary().value(item));
+    }
+    out += Join(labels, " ");
+    if (constraint.k > 0) out += StrFormat(";%d", constraint.k);
+    out += '\n';
+  }
+  return out;
+}
+
+Status SavePrivacyPolicyFile(const PrivacyPolicy& policy, const Dataset& dataset,
+                             const std::string& path) {
+  return csv::WriteFile(path, FormatPrivacyPolicy(policy, dataset));
+}
+
+Result<UtilityPolicy> ParseUtilityPolicy(const std::string& text,
+                                         const Dataset& dataset) {
+  std::vector<std::vector<ItemId>> groups;
+  size_t line_no = 0;
+  for (const std::string& line : Split(text, '\n')) {
+    ++line_no;
+    std::string trimmed(Trim(line));
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto items = ResolveItems(trimmed, dataset);
+    if (!items.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("utility policy line %zu: %s", line_no,
+                    items.status().message().c_str()));
+    }
+    groups.push_back(std::move(items).value());
+  }
+  return UtilityPolicy::Create(std::move(groups),
+                               dataset.item_dictionary().size());
+}
+
+Result<UtilityPolicy> LoadUtilityPolicyFile(const std::string& path,
+                                            const Dataset& dataset) {
+  SECRETA_ASSIGN_OR_RETURN(std::string text, csv::ReadFile(path));
+  return ParseUtilityPolicy(text, dataset);
+}
+
+std::string FormatUtilityPolicy(const UtilityPolicy& policy,
+                                const Dataset& dataset) {
+  std::string out;
+  for (const auto& group : policy.constraints) {
+    std::vector<std::string> labels;
+    for (ItemId item : group) {
+      labels.push_back(dataset.item_dictionary().value(item));
+    }
+    out += Join(labels, " ");
+    out += '\n';
+  }
+  return out;
+}
+
+Status SaveUtilityPolicyFile(const UtilityPolicy& policy, const Dataset& dataset,
+                             const std::string& path) {
+  return csv::WriteFile(path, FormatUtilityPolicy(policy, dataset));
+}
+
+}  // namespace secreta

@@ -1,0 +1,38 @@
+// Policy file I/O (Configuration Editor: "policies can be uploaded from a
+// file"). Formats:
+//   privacy policy:  one constraint per line:  item1 item2 ... [;k]
+//   utility policy:  one constraint per line:  item1 item2 ...
+// Items are whitespace-separated labels from the dataset's item dictionary.
+
+#ifndef SECRETA_POLICY_POLICY_IO_H_
+#define SECRETA_POLICY_POLICY_IO_H_
+
+#include <string>
+
+#include "policy/policy.h"
+
+namespace secreta {
+
+/// Parses a privacy policy, resolving item labels against `dataset`.
+Result<PrivacyPolicy> ParsePrivacyPolicy(const std::string& text,
+                                         const Dataset& dataset);
+Result<PrivacyPolicy> LoadPrivacyPolicyFile(const std::string& path,
+                                            const Dataset& dataset);
+std::string FormatPrivacyPolicy(const PrivacyPolicy& policy,
+                                const Dataset& dataset);
+Status SavePrivacyPolicyFile(const PrivacyPolicy& policy, const Dataset& dataset,
+                             const std::string& path);
+
+/// Parses a utility policy, resolving item labels against `dataset`.
+Result<UtilityPolicy> ParseUtilityPolicy(const std::string& text,
+                                         const Dataset& dataset);
+Result<UtilityPolicy> LoadUtilityPolicyFile(const std::string& path,
+                                            const Dataset& dataset);
+std::string FormatUtilityPolicy(const UtilityPolicy& policy,
+                                const Dataset& dataset);
+Status SaveUtilityPolicyFile(const UtilityPolicy& policy, const Dataset& dataset,
+                             const std::string& path);
+
+}  // namespace secreta
+
+#endif  // SECRETA_POLICY_POLICY_IO_H_

@@ -1,0 +1,152 @@
+#include "query/query.h"
+
+#include "common/string_util.h"
+#include "csv/csv.h"
+
+namespace secreta {
+
+std::string CountQuery::ToString() const {
+  std::vector<std::string> clauses;
+  for (const auto& clause : relational) {
+    if (clause.is_range) {
+      clauses.push_back(StrFormat("%s:%g..%g", clause.attribute.c_str(),
+                                  clause.lo, clause.hi));
+    } else {
+      clauses.push_back(clause.attribute + ":" + Join(clause.values, "|"));
+    }
+  }
+  if (!items.empty()) {
+    std::string joined;
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) joined += ' ';
+      joined += items[i];
+    }
+    clauses.push_back("items:" + joined);
+  }
+  return Join(clauses, ";");
+}
+
+Result<CountQuery> CountQuery::Parse(const std::string& line) {
+  CountQuery query;
+  for (const std::string& raw : Split(line, ';')) {
+    std::string clause_text(Trim(raw));
+    if (clause_text.empty()) continue;
+    size_t colon = clause_text.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("query clause missing ':': " + clause_text);
+    }
+    std::string attr(Trim(clause_text.substr(0, colon)));
+    std::string body(Trim(clause_text.substr(colon + 1)));
+    if (attr.empty() || body.empty()) {
+      return Status::InvalidArgument("malformed query clause: " + clause_text);
+    }
+    if (attr == "items") {
+      for (auto& item : SplitWhitespace(body)) query.items.push_back(item);
+      continue;
+    }
+    QueryClause clause;
+    clause.attribute = attr;
+    size_t dots = body.find("..");
+    if (dots != std::string::npos) {
+      auto lo = ParseDouble(body.substr(0, dots));
+      auto hi = ParseDouble(body.substr(dots + 2));
+      if (lo.ok() && hi.ok()) {
+        clause.is_range = true;
+        clause.lo = lo.value();
+        clause.hi = hi.value();
+        if (clause.lo > clause.hi) {
+          return Status::InvalidArgument("range lo > hi in clause: " + clause_text);
+        }
+        query.relational.push_back(std::move(clause));
+        continue;
+      }
+    }
+    for (const std::string& v : Split(body, '|')) {
+      std::string value(Trim(v));
+      if (!value.empty()) clause.values.push_back(std::move(value));
+    }
+    if (clause.values.empty()) {
+      return Status::InvalidArgument("empty value list in clause: " + clause_text);
+    }
+    query.relational.push_back(std::move(clause));
+  }
+  if (query.relational.empty() && query.items.empty()) {
+    return Status::InvalidArgument("query has no clauses: " + line);
+  }
+  return query;
+}
+
+Result<Workload> Workload::Parse(const std::string& text) {
+  Workload workload;
+  size_t line_no = 0;
+  for (const std::string& line : Split(text, '\n')) {
+    ++line_no;
+    std::string trimmed(Trim(line));
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto query = CountQuery::Parse(trimmed);
+    if (!query.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("workload line %zu: %s", line_no,
+                    query.status().message().c_str()));
+    }
+    workload.Add(std::move(query).value());
+  }
+  return workload;
+}
+
+Result<Workload> Workload::LoadFile(const std::string& path) {
+  SECRETA_ASSIGN_OR_RETURN(std::string text, csv::ReadFile(path));
+  return Parse(text);
+}
+
+std::string Workload::Format() const {
+  std::string out;
+  for (const auto& query : queries_) {
+    out += query.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+Status Workload::SaveFile(const std::string& path) const {
+  return csv::WriteFile(path, Format());
+}
+
+Status Workload::Remove(size_t index) {
+  if (index >= queries_.size()) return Status::OutOfRange("query index");
+  queries_.erase(queries_.begin() + static_cast<ptrdiff_t>(index));
+  return Status::OK();
+}
+
+Status Workload::Replace(size_t index, CountQuery query) {
+  if (index >= queries_.size()) return Status::OutOfRange("query index");
+  queries_[index] = std::move(query);
+  return Status::OK();
+}
+
+Status Workload::ValidateAgainst(const Dataset& dataset) const {
+  for (size_t qn = 0; qn < queries_.size(); ++qn) {
+    const CountQuery& query = queries_[qn];
+    for (const QueryClause& clause : query.relational) {
+      auto col = dataset.ColumnByName(clause.attribute);
+      if (!col.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("query %zu: %s", qn + 1,
+                      col.status().message().c_str()));
+      }
+      if (clause.is_range && !dataset.is_numeric(col.value())) {
+        return Status::InvalidArgument(StrFormat(
+            "query %zu: range clause on non-numeric attribute '%s'", qn + 1,
+            clause.attribute.c_str()));
+      }
+    }
+    if (!query.items.empty() && !dataset.has_transaction()) {
+      return Status::InvalidArgument(StrFormat(
+          "query %zu uses items but the dataset has no transaction attribute",
+          qn + 1));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace secreta

@@ -1,0 +1,76 @@
+// COUNT query workloads (Queries Editor). A query counts records matching a
+// conjunction of relational clauses plus an itemset-containment clause on the
+// transaction attribute — the query class of Xu et al. [12] extended with
+// items, which the paper uses to compute ARE.
+//
+// File format: one query per line, semicolon-separated clauses:
+//   Age:20..39;Gender:M|F;items:flu cough
+// A clause is `attr:lo..hi` (numeric range, inclusive), `attr:v1|v2|...`
+// (value disjunction) or `items:i1 i2 ...` (all items required).
+
+#ifndef SECRETA_QUERY_QUERY_H_
+#define SECRETA_QUERY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace secreta {
+
+/// One relational clause of a COUNT query.
+struct QueryClause {
+  std::string attribute;
+  /// Disjunction of exact values (categorical clause).
+  std::vector<std::string> values;
+  /// True for a numeric range clause [lo, hi].
+  bool is_range = false;
+  double lo = 0;
+  double hi = 0;
+};
+
+/// A COUNT query: conjunction of relational clauses + required items.
+struct CountQuery {
+  std::vector<QueryClause> relational;
+  std::vector<std::string> items;
+
+  /// Serializes into the file format.
+  std::string ToString() const;
+  /// Parses one line of the file format.
+  static Result<CountQuery> Parse(const std::string& line);
+};
+
+/// An editable ordered list of COUNT queries.
+class Workload {
+ public:
+  Workload() = default;
+  explicit Workload(std::vector<CountQuery> queries)
+      : queries_(std::move(queries)) {}
+
+  static Result<Workload> Parse(const std::string& text);
+  static Result<Workload> LoadFile(const std::string& path);
+  Status SaveFile(const std::string& path) const;
+  std::string Format() const;
+
+  const std::vector<CountQuery>& queries() const { return queries_; }
+  size_t size() const { return queries_.size(); }
+  bool empty() const { return queries_.empty(); }
+
+  void Add(CountQuery query) { queries_.push_back(std::move(query)); }
+  Status Remove(size_t index);
+  Status Replace(size_t index, CountQuery query);
+
+  /// Checks that every query is answerable over `dataset`: referenced
+  /// attributes exist, range clauses target numeric attributes, and item
+  /// clauses require a transaction attribute. Unknown *values* are fine
+  /// (they simply match nothing).
+  Status ValidateAgainst(const Dataset& dataset) const;
+
+ private:
+  std::vector<CountQuery> queries_;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_QUERY_QUERY_H_

@@ -1,0 +1,193 @@
+#include "query/query_evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace secreta {
+
+Result<QueryEvaluator> QueryEvaluator::Create(
+    const Dataset& dataset, const RelationalContext* rel_context) {
+  QueryEvaluator ev;
+  ev.dataset_ = &dataset;
+  ev.rel_context_ = rel_context;
+  ev.qi_of_column_.assign(dataset.num_relational(), SIZE_MAX);
+  if (rel_context != nullptr) {
+    for (size_t qi = 0; qi < rel_context->num_qi(); ++qi) {
+      ev.qi_of_column_[rel_context->qi_column(qi)] = qi;
+    }
+  }
+  return ev;
+}
+
+Result<QueryEvaluator::BoundQuery> QueryEvaluator::Bind(
+    const CountQuery& query) const {
+  BoundQuery bound;
+  for (const QueryClause& clause : query.relational) {
+    auto col = dataset_->ColumnByName(clause.attribute);
+    if (!col.ok()) return col.status();
+    BoundClause bc;
+    bc.col = col.value();
+    const Dictionary& dict = dataset_->dictionary(bc.col);
+    bc.match.assign(dict.size(), 0);
+    bool any = false;
+    if (clause.is_range) {
+      if (!dataset_->is_numeric(bc.col)) {
+        return Status::InvalidArgument(
+            "range clause on non-numeric attribute: " + clause.attribute);
+      }
+      for (size_t id = 0; id < dict.size(); ++id) {
+        double v = dataset_->numeric_value(bc.col, static_cast<ValueId>(id));
+        if (v >= clause.lo && v <= clause.hi) {
+          bc.match[id] = 1;
+          any = true;
+        }
+      }
+    } else {
+      for (const std::string& value : clause.values) {
+        auto id = dict.Lookup(value);
+        if (id.ok()) {
+          bc.match[static_cast<size_t>(id.value())] = 1;
+          any = true;
+        }
+      }
+    }
+    if (!any) bound.impossible = true;
+    bc.is_qi = qi_of_column_[bc.col] != SIZE_MAX;
+    if (bc.is_qi) {
+      bc.qi = qi_of_column_[bc.col];
+      const Hierarchy& h = rel_context_->hierarchy(bc.qi);
+      for (size_t id = 0; id < dict.size(); ++id) {
+        if (!bc.match[id]) continue;
+        auto leaf = h.LeafOf(dict.value(static_cast<ValueId>(id)));
+        if (!leaf.ok()) return leaf.status();
+        bc.leaf_positions.push_back(h.leaf_interval_begin(leaf.value()));
+      }
+      std::sort(bc.leaf_positions.begin(), bc.leaf_positions.end());
+    }
+    bound.clauses.push_back(std::move(bc));
+  }
+  for (const std::string& item : query.items) {
+    auto id = dataset_->item_dictionary().Lookup(item);
+    if (!id.ok()) {
+      bound.impossible = true;
+      continue;
+    }
+    bound.items.push_back(id.value());
+  }
+  std::sort(bound.items.begin(), bound.items.end());
+  bound.items.erase(std::unique(bound.items.begin(), bound.items.end()),
+                    bound.items.end());
+  return bound;
+}
+
+Result<double> QueryEvaluator::ExactCount(const CountQuery& query) const {
+  SECRETA_ASSIGN_OR_RETURN(BoundQuery bound, Bind(query));
+  if (bound.impossible) return 0.0;
+  double count = 0;
+  for (size_t r = 0; r < dataset_->num_records(); ++r) {
+    bool ok = true;
+    for (const BoundClause& bc : bound.clauses) {
+      if (!bc.match[static_cast<size_t>(dataset_->value(r, bc.col))]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && !bound.items.empty()) {
+      const auto& txn = dataset_->items(r);
+      ok = std::includes(txn.begin(), txn.end(), bound.items.begin(),
+                         bound.items.end());
+    }
+    if (ok) count += 1;
+  }
+  return count;
+}
+
+Result<double> QueryEvaluator::EstimatedCount(
+    const CountQuery& query, const RelationalRecoding* relational,
+    const TransactionRecoding* transaction) const {
+  SECRETA_ASSIGN_OR_RETURN(BoundQuery bound, Bind(query));
+  if (bound.impossible) return 0.0;
+  if (relational != nullptr && rel_context_ == nullptr) {
+    return Status::FailedPrecondition(
+        "estimation over a relational recoding requires a context");
+  }
+  double total = 0;
+  for (size_t r = 0; r < dataset_->num_records(); ++r) {
+    double p = 1.0;
+    for (const BoundClause& bc : bound.clauses) {
+      if (p == 0.0) break;
+      if (relational != nullptr && bc.is_qi) {
+        const Hierarchy& h = rel_context_->hierarchy(bc.qi);
+        NodeId node = relational->at(r, bc.qi);
+        int32_t begin = h.leaf_interval_begin(node);
+        int32_t end = h.leaf_interval_end(node);
+        auto lo = std::lower_bound(bc.leaf_positions.begin(),
+                                   bc.leaf_positions.end(), begin);
+        auto hi = std::lower_bound(bc.leaf_positions.begin(),
+                                   bc.leaf_positions.end(), end);
+        double overlap = static_cast<double>(hi - lo);
+        p *= overlap / static_cast<double>(end - begin);
+      } else {
+        p *= bc.match[static_cast<size_t>(dataset_->value(r, bc.col))] ? 1.0 : 0.0;
+      }
+    }
+    if (p == 0.0) continue;
+    if (!bound.items.empty()) {
+      if (transaction == nullptr) {
+        const auto& txn = dataset_->items(r);
+        if (!std::includes(txn.begin(), txn.end(), bound.items.begin(),
+                           bound.items.end())) {
+          p = 0.0;
+        }
+      } else {
+        const auto& gens = transaction->records[r];
+        for (ItemId item : bound.items) {
+          // Find the generalized item in this record that covers `item`.
+          double q = 0.0;
+          if (!transaction->item_map.empty()) {
+            int32_t g = transaction->item_map[static_cast<size_t>(item)];
+            if (g != kSuppressedGen &&
+                std::binary_search(gens.begin(), gens.end(), g)) {
+              q = 1.0 / static_cast<double>(
+                            transaction->gens[static_cast<size_t>(g)].covers.size());
+            }
+          } else {
+            for (int32_t g : gens) {
+              const auto& covers = transaction->gens[static_cast<size_t>(g)].covers;
+              if (std::binary_search(covers.begin(), covers.end(), item)) {
+                q = 1.0 / static_cast<double>(covers.size());
+                break;
+              }
+            }
+          }
+          p *= q;
+          if (p == 0.0) break;
+        }
+      }
+    }
+    total += p;
+  }
+  return total;
+}
+
+Result<AreReport> QueryEvaluator::Are(const Workload& workload,
+                                      const RelationalRecoding* relational,
+                                      const TransactionRecoding* transaction) const {
+  if (workload.empty()) {
+    return Status::InvalidArgument("workload is empty");
+  }
+  AreReport report;
+  double total = 0;
+  for (const CountQuery& query : workload.queries()) {
+    SECRETA_ASSIGN_OR_RETURN(double actual, ExactCount(query));
+    SECRETA_ASSIGN_OR_RETURN(double estimated,
+                             EstimatedCount(query, relational, transaction));
+    report.actual.push_back(actual);
+    report.estimated.push_back(estimated);
+    total += std::fabs(actual - estimated) / std::max(actual, 1.0);
+  }
+  report.are = total / static_cast<double>(workload.size());
+  return report;
+}
+
+}  // namespace secreta

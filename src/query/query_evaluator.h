@@ -1,0 +1,73 @@
+// Query evaluation and Average Relative Error (ARE, Xu et al. [12]) — the
+// paper's de-facto utility indicator. Exact counts run against the original
+// dataset; estimated counts run against an anonymized recoding under the
+// standard uniformity assumption.
+
+#ifndef SECRETA_QUERY_QUERY_EVALUATOR_H_
+#define SECRETA_QUERY_QUERY_EVALUATOR_H_
+
+#include <vector>
+
+#include "core/context.h"
+#include "core/results.h"
+#include "query/query.h"
+
+namespace secreta {
+
+/// Per-workload ARE report.
+struct AreReport {
+  double are = 0;
+  std::vector<double> actual;     // exact count per query
+  std::vector<double> estimated;  // estimated count per query
+};
+
+/// \brief Evaluates COUNT queries exactly and on anonymized recodings.
+///
+/// Non-owning: dataset and context must outlive the evaluator. `rel_context`
+/// may be null when the dataset has no QI recoding to estimate against.
+class QueryEvaluator {
+ public:
+  static Result<QueryEvaluator> Create(const Dataset& dataset,
+                                       const RelationalContext* rel_context);
+
+  /// Exact count of records in the original dataset matching `query`.
+  Result<double> ExactCount(const CountQuery& query) const;
+
+  /// Expected count over the anonymized data: relational clauses use the
+  /// leaf-overlap fraction of each record's generalized node; item clauses use
+  /// 1/|g| for a covering generalized item g present in the record. Pass
+  /// nullptr for a side that was not anonymized (falls back to exact
+  /// matching on that side).
+  Result<double> EstimatedCount(const CountQuery& query,
+                                const RelationalRecoding* relational,
+                                const TransactionRecoding* transaction) const;
+
+  /// ARE over a workload: mean of |actual - estimated| / max(actual, 1).
+  Result<AreReport> Are(const Workload& workload,
+                        const RelationalRecoding* relational,
+                        const TransactionRecoding* transaction) const;
+
+ private:
+  struct BoundClause {
+    size_t col = 0;            // relational column index
+    bool is_qi = false;        // participates in the QI recoding
+    size_t qi = 0;             // QI position when is_qi
+    std::vector<char> match;   // per ValueId: does the clause match?
+    std::vector<int32_t> leaf_positions;  // sorted DFS positions (is_qi only)
+  };
+  struct BoundQuery {
+    std::vector<BoundClause> clauses;
+    std::vector<ItemId> items;  // sorted
+    bool impossible = false;    // referenced a value/item absent from the data
+  };
+
+  Result<BoundQuery> Bind(const CountQuery& query) const;
+
+  const Dataset* dataset_ = nullptr;
+  const RelationalContext* rel_context_ = nullptr;
+  std::vector<size_t> qi_of_column_;  // SIZE_MAX when not a QI column
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_QUERY_QUERY_EVALUATOR_H_

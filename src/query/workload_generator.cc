@@ -1,0 +1,78 @@
+#include "query/workload_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace secreta {
+
+Result<Workload> GenerateWorkload(const Dataset& dataset,
+                                  const WorkloadGenOptions& options) {
+  if (dataset.num_records() == 0) {
+    return Status::FailedPrecondition("dataset is empty");
+  }
+  if (options.domain_fraction <= 0 || options.domain_fraction > 1) {
+    return Status::InvalidArgument("domain_fraction must be in (0, 1]");
+  }
+  size_t num_rel = dataset.num_relational();
+  int clauses = std::min<int>(options.relational_clauses,
+                              static_cast<int>(num_rel));
+  if (clauses == 0 && options.items_per_query == 0) {
+    return Status::InvalidArgument("queries would have no clauses");
+  }
+  Rng rng(options.seed);
+  Workload workload;
+  for (size_t qn = 0; qn < options.num_queries; ++qn) {
+    CountQuery query;
+    // Pick distinct relational columns.
+    std::vector<size_t> cols =
+        rng.Sample(num_rel, static_cast<size_t>(clauses));
+    for (size_t col : cols) {
+      const Dictionary& dict = dataset.dictionary(col);
+      if (dict.empty()) continue;
+      std::vector<ValueId> domain = dataset.SortedDomain(col);
+      size_t width = std::max<size_t>(
+          1, static_cast<size_t>(std::llround(
+                 options.domain_fraction * static_cast<double>(domain.size()))));
+      size_t start = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(domain.size() - width)));
+      QueryClause clause;
+      clause.attribute =
+          dataset.schema().attribute(dataset.AttributeOfColumn(col)).name;
+      if (dataset.is_numeric(col)) {
+        clause.is_range = true;
+        clause.lo = dataset.numeric_value(col, domain[start]);
+        clause.hi = dataset.numeric_value(col, domain[start + width - 1]);
+      } else {
+        for (size_t i = start; i < start + width; ++i) {
+          clause.values.push_back(dict.value(domain[i]));
+        }
+      }
+      query.relational.push_back(std::move(clause));
+    }
+    if (options.items_per_query > 0 && dataset.has_transaction()) {
+      // Sample a record and take items from it so the query can match.
+      size_t row = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(dataset.num_records() - 1)));
+      const auto& txn = dataset.items(row);
+      if (!txn.empty()) {
+        size_t take = std::min<size_t>(
+            static_cast<size_t>(options.items_per_query), txn.size());
+        for (size_t idx : rng.Sample(txn.size(), take)) {
+          query.items.push_back(dataset.item_dictionary().value(txn[idx]));
+        }
+      }
+    }
+    if (query.relational.empty() && query.items.empty()) {
+      continue;  // degenerate draw (e.g. empty transaction); skip
+    }
+    workload.Add(std::move(query));
+  }
+  if (workload.empty()) {
+    return Status::Internal("workload generation produced no queries");
+  }
+  return workload;
+}
+
+}  // namespace secreta

@@ -1,0 +1,32 @@
+// Random COUNT-query workload generation (Queries Editor: "generated
+// automatically"). Queries are drawn so that a reasonable fraction have
+// non-zero exact counts: item clauses are sampled from actual records.
+
+#ifndef SECRETA_QUERY_WORKLOAD_GENERATOR_H_
+#define SECRETA_QUERY_WORKLOAD_GENERATOR_H_
+
+#include "data/dataset.h"
+#include "query/query.h"
+
+namespace secreta {
+
+/// Options for GenerateWorkload.
+struct WorkloadGenOptions {
+  size_t num_queries = 50;
+  /// Relational clauses per query (capped at the number of relational
+  /// attributes).
+  int relational_clauses = 2;
+  /// Items per query (0 disables the items clause; capped by record size).
+  int items_per_query = 2;
+  /// Fraction of an attribute's domain covered by each clause (0, 1].
+  double domain_fraction = 0.25;
+  uint64_t seed = 7;
+};
+
+/// Generates a random workload over `dataset` (see options).
+Result<Workload> GenerateWorkload(const Dataset& dataset,
+                                  const WorkloadGenOptions& options);
+
+}  // namespace secreta
+
+#endif  // SECRETA_QUERY_WORKLOAD_GENERATOR_H_

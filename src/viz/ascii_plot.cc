@@ -1,0 +1,171 @@
+#include "viz/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace secreta {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+struct Range {
+  double lo = 0;
+  double hi = 1;
+
+  void Include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  double Norm(double v) const { return hi > lo ? (v - lo) / (hi - lo) : 0.5; }
+};
+
+Range RangeOf(const std::vector<Series>& series, bool use_x) {
+  Range range;
+  bool first = true;
+  for (const auto& s : series) {
+    const auto& values = use_x ? s.x : s.y;
+    for (double v : values) {
+      if (first) {
+        range.lo = range.hi = v;
+        first = false;
+      } else {
+        range.Include(v);
+      }
+    }
+  }
+  if (first) range = {0, 1};
+  if (range.hi == range.lo) range.hi = range.lo + 1;
+  return range;
+}
+
+}  // namespace
+
+std::string RenderLineChart(const std::vector<Series>& series,
+                            const PlotOptions& options) {
+  std::string out;
+  if (!options.title.empty()) out += options.title + "\n";
+  if (series.empty()) return out + "(no series)\n";
+  Range xr = RangeOf(series, true);
+  Range yr = RangeOf(series, false);
+  size_t w = std::max<size_t>(options.width, 8);
+  size_t h = std::max<size_t>(options.height, 4);
+  std::vector<std::string> grid(h, std::string(w, ' '));
+  for (size_t si = 0; si < series.size(); ++si) {
+    char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    for (size_t p = 0; p < series[si].size(); ++p) {
+      size_t col = static_cast<size_t>(
+          std::lround(xr.Norm(series[si].x[p]) * static_cast<double>(w - 1)));
+      size_t row = static_cast<size_t>(
+          std::lround(yr.Norm(series[si].y[p]) * static_cast<double>(h - 1)));
+      grid[h - 1 - row][col] = glyph;
+    }
+  }
+  out += StrFormat("%10.4g +", yr.hi) + grid[0] + "\n";
+  for (size_t row = 1; row + 1 < h; ++row) {
+    out += std::string(10, ' ') + " |" + grid[row] + "\n";
+  }
+  out += StrFormat("%10.4g +", yr.lo) + grid[h - 1] + "\n";
+  out += std::string(11, ' ') + '+' + std::string(w, '-') + "\n";
+  out += std::string(12, ' ') + StrFormat("%-10.4g", xr.lo) +
+         std::string(w > 20 ? w - 20 : 0, ' ') + StrFormat("%10.4g", xr.hi) +
+         "\n";
+  for (size_t si = 0; si < series.size(); ++si) {
+    out += StrFormat("  %c %s\n", kGlyphs[si % sizeof(kGlyphs)],
+                     series[si].name.c_str());
+  }
+  return out;
+}
+
+std::string RenderHistogram(const Histogram& histogram,
+                            const PlotOptions& options) {
+  std::vector<std::pair<std::string, double>> bars;
+  bars.reserve(histogram.size());
+  for (const auto& bucket : histogram) {
+    bars.emplace_back(bucket.label, static_cast<double>(bucket.count));
+  }
+  return RenderBars(bars, options);
+}
+
+std::string RenderBars(const std::vector<std::pair<std::string, double>>& bars,
+                       const PlotOptions& options) {
+  std::string out;
+  if (!options.title.empty()) out += options.title + "\n";
+  if (bars.empty()) return out + "(empty)\n";
+  double max_value = 0;
+  size_t label_width = 0;
+  for (const auto& [label, value] : bars) {
+    max_value = std::max(max_value, value);
+    label_width = std::max(label_width, label.size());
+  }
+  label_width = std::min<size_t>(label_width, 24);
+  size_t w = std::max<size_t>(options.width, 8);
+  for (const auto& [label, value] : bars) {
+    std::string shown = label.size() > label_width
+                            ? label.substr(0, label_width - 2) + ".."
+                            : label;
+    size_t len = max_value > 0 ? static_cast<size_t>(std::lround(
+                                     value / max_value *
+                                     static_cast<double>(w)))
+                               : 0;
+    out += StrFormat("%-*s |%s %g\n", static_cast<int>(label_width),
+                     shown.c_str(), std::string(len, '#').c_str(), value);
+  }
+  return out;
+}
+
+std::string RenderHierarchyTree(const Hierarchy& hierarchy,
+                                size_t max_children_shown) {
+  std::string out;
+  if (!hierarchy.finalized()) return "(hierarchy not finalized)\n";
+  struct Frame {
+    NodeId node;
+    size_t depth;
+  };
+  std::vector<Frame> stack{{hierarchy.root(), 0}};
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    out += std::string(frame.depth * 2, ' ');
+    out += hierarchy.label(frame.node);
+    if (!hierarchy.IsLeaf(frame.node)) {
+      out += StrFormat(" (%zu leaves)", hierarchy.LeafCount(frame.node));
+    }
+    out += '\n';
+    const auto& children = hierarchy.children(frame.node);
+    size_t shown = std::min(children.size(), max_children_shown);
+    if (shown < children.size()) {
+      // Announce the elision before descending into the shown children.
+      out += std::string((frame.depth + 1) * 2, ' ');
+      out += StrFormat("... (+%zu more children)\n", children.size() - shown);
+    }
+    // Push in reverse so the printed order matches the child order.
+    for (size_t i = shown; i-- > 0;) {
+      stack.push_back({children[i], frame.depth + 1});
+    }
+  }
+  return out;
+}
+
+std::string GnuplotScript(const std::vector<Series>& series,
+                          const std::string& data_csv_path,
+                          const std::string& title) {
+  std::string out;
+  out += "set datafile separator ','\n";
+  out += "set key outside\n";
+  out += "set grid\n";
+  out += "set title '" + title + "'\n";
+  out += "plot ";
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (i > 0) out += ", \\\n     ";
+    // Column 1 is x; series i occupies column i+2 (see exporter layout).
+    out += StrFormat("'%s' using 1:%zu with linespoints title '%s'",
+                     data_csv_path.c_str(), i + 2, series[i].name.c_str());
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace secreta

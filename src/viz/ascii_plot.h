@@ -1,0 +1,52 @@
+// Plotting Module substitute. The published system renders QWT charts; this
+// headless reproduction renders the same data as (a) ASCII charts for the
+// terminal and (b) gnuplot scripts + CSV for publication-quality output
+// (substitution documented in DESIGN.md Sec. 2).
+
+#ifndef SECRETA_VIZ_ASCII_PLOT_H_
+#define SECRETA_VIZ_ASCII_PLOT_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset_stats.h"
+#include "engine/experiment.h"
+#include "hierarchy/hierarchy.h"
+
+namespace secreta {
+
+/// Options for ASCII rendering.
+struct PlotOptions {
+  size_t width = 64;   ///< chart body width in characters
+  size_t height = 16;  ///< line-chart height in rows
+  std::string title;
+};
+
+/// Renders one or more series as a multi-line ASCII line chart (distinct
+/// glyphs per series, shared axes, legend).
+std::string RenderLineChart(const std::vector<Series>& series,
+                            const PlotOptions& options = {});
+
+/// Renders a histogram as horizontal ASCII bars.
+std::string RenderHistogram(const Histogram& histogram,
+                            const PlotOptions& options = {});
+
+/// Renders labeled values (e.g. per-phase runtimes) as horizontal bars.
+std::string RenderBars(const std::vector<std::pair<std::string, double>>& bars,
+                       const PlotOptions& options = {});
+
+/// Emits a gnuplot script that plots `series` from `data_csv_path` (written
+/// separately by the export module).
+std::string GnuplotScript(const std::vector<Series>& series,
+                          const std::string& data_csv_path,
+                          const std::string& title);
+
+/// Renders a hierarchy as an indented tree (the Configuration Editor's
+/// "fully browsable" hierarchy pane). Subtrees with more than
+/// `max_children_shown` children are elided with a "... (+n)" marker.
+std::string RenderHierarchyTree(const Hierarchy& hierarchy,
+                                size_t max_children_shown = 8);
+
+}  // namespace secreta
+
+#endif  // SECRETA_VIZ_ASCII_PLOT_H_

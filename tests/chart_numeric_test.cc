@@ -1,0 +1,93 @@
+// Numeric correctness of the ASCII chart renderer: glyph placement must
+// reflect the data, axes must carry the real min/max, and degenerate series
+// must not divide by zero.
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "viz/ascii_plot.h"
+
+namespace secreta {
+namespace {
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines = Split(text, '\n');
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  return lines;
+}
+
+TEST(ChartNumericTest, AxisLabelsShowDataRange) {
+  Series s;
+  s.name = "s";
+  s.x = {10, 20, 30};
+  s.y = {-5, 0, 95};
+  std::string chart = RenderLineChart({s});
+  EXPECT_NE(chart.find("95"), std::string::npos);   // y max
+  EXPECT_NE(chart.find("-5"), std::string::npos);   // y min
+  EXPECT_NE(chart.find("10"), std::string::npos);   // x min
+  EXPECT_NE(chart.find("30"), std::string::npos);   // x max
+}
+
+TEST(ChartNumericTest, MonotoneSeriesRendersMonotonically) {
+  // Strictly increasing y: for each plotted column, the glyph row index must
+  // be non-increasing (higher y = nearer the top).
+  Series s;
+  s.name = "inc";
+  for (int i = 0; i < 8; ++i) {
+    s.x.push_back(i);
+    s.y.push_back(i * i);
+  }
+  PlotOptions options;
+  options.width = 40;
+  options.height = 12;
+  std::string chart = RenderLineChart({s}, options);
+  auto lines = Lines(chart);
+  // Chart body: rows containing '|' or the '+' corners; find glyph positions.
+  std::vector<std::pair<size_t, size_t>> glyphs;  // (row, col)
+  for (size_t row = 0; row < lines.size(); ++row) {
+    for (size_t col = 0; col < lines[row].size(); ++col) {
+      if (lines[row][col] == '*') glyphs.emplace_back(row, col);
+    }
+  }
+  ASSERT_GE(glyphs.size(), 4u);
+  std::sort(glyphs.begin(), glyphs.end(),
+            [](auto& a, auto& b) { return a.second < b.second; });
+  for (size_t i = 1; i < glyphs.size(); ++i) {
+    EXPECT_LE(glyphs[i].first, glyphs[i - 1].first)
+        << "increasing series went down between columns";
+  }
+}
+
+TEST(ChartNumericTest, ConstantSeriesHandled) {
+  Series s;
+  s.name = "flat";
+  s.x = {1, 2, 3};
+  s.y = {7, 7, 7};
+  std::string chart = RenderLineChart({s});
+  EXPECT_NE(chart.find('*'), std::string::npos);  // no crash, glyphs placed
+}
+
+TEST(ChartNumericTest, SinglePointSeries) {
+  Series s;
+  s.name = "dot";
+  s.x = {5};
+  s.y = {3};
+  std::string chart = RenderLineChart({s});
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+TEST(ChartNumericTest, BarsLengthProportional) {
+  std::string bars = RenderBars({{"full", 100}, {"half", 50}});
+  auto lines = Lines(bars);
+  ASSERT_EQ(lines.size(), 2u);
+  auto count_hashes = [](const std::string& line) {
+    return std::count(line.begin(), line.end(), '#');
+  };
+  long full = count_hashes(lines[0]);
+  long half = count_hashes(lines[1]);
+  EXPECT_GT(full, 0);
+  EXPECT_NEAR(static_cast<double>(half) / static_cast<double>(full), 0.5, 0.1);
+}
+
+}  // namespace
+}  // namespace secreta

@@ -1,0 +1,200 @@
+// Unit tests for core types: params, contexts, equivalence, guarantees,
+// recoding application.
+
+#include <gtest/gtest.h>
+
+#include "core/equivalence.h"
+#include "core/guarantees.h"
+#include "core/params.h"
+#include "core/recoding.h"
+#include "hierarchy/hierarchy_builder.h"
+#include "tests/test_util.h"
+
+namespace secreta {
+namespace {
+
+TEST(ParamsTest, SetGetByName) {
+  AnonParams params;
+  ASSERT_OK(params.Set("k", 7));
+  ASSERT_OK(params.Set("m", 3));
+  ASSERT_OK(params.Set("delta", 0.5));
+  EXPECT_EQ(params.k, 7);
+  EXPECT_EQ(params.m, 3);
+  EXPECT_DOUBLE_EQ(params.delta, 0.5);
+  EXPECT_DOUBLE_EQ(params.Get("k").value(), 7.0);
+  EXPECT_FALSE(params.Set("bogus", 1).ok());
+  EXPECT_FALSE(params.Get("bogus").ok());
+}
+
+TEST(ParamsTest, Validation) {
+  AnonParams params;
+  EXPECT_OK(params.Validate());
+  params.k = 1;
+  EXPECT_FALSE(params.Validate().ok());
+  params.k = 2;
+  params.m = 0;
+  EXPECT_FALSE(params.Validate().ok());
+  params.m = 1;
+  params.rho = 1.5;
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(ContextTest, RelationalContextBindsQids) {
+  Dataset ds = testing::SmallRtDataset(50);
+  ASSERT_OK_AND_ASSIGN(auto hierarchies, BuildAllColumnHierarchies(ds));
+  ASSERT_OK_AND_ASSIGN(RelationalContext ctx,
+                       RelationalContext::Create(ds, hierarchies));
+  EXPECT_EQ(ctx.num_qi(), 4u);  // Age, Gender, Origin, Occupation
+  for (size_t r = 0; r < 10; ++r) {
+    for (size_t qi = 0; qi < ctx.num_qi(); ++qi) {
+      NodeId leaf = ctx.Leaf(r, qi);
+      EXPECT_TRUE(ctx.hierarchy(qi).IsLeaf(leaf));
+      EXPECT_EQ(ctx.hierarchy(qi).label(leaf),
+                ds.value_string(r, ctx.qi_column(qi)));
+    }
+  }
+}
+
+TEST(ContextTest, MissingHierarchyFails) {
+  Dataset ds = testing::SmallRtDataset(50);
+  std::vector<Hierarchy> empty(ds.num_relational());
+  EXPECT_FALSE(RelationalContext::Create(ds, empty).ok());
+  EXPECT_FALSE(RelationalContext::Create(ds, {}).ok());
+}
+
+TEST(ContextTest, TransactionContextOptionalHierarchy) {
+  Dataset ds = testing::SmallRtDataset(50);
+  ASSERT_OK_AND_ASSIGN(TransactionContext no_h,
+                       TransactionContext::Create(ds, nullptr));
+  EXPECT_FALSE(no_h.has_hierarchy());
+  ASSERT_OK_AND_ASSIGN(Hierarchy h, BuildItemHierarchy(ds));
+  ASSERT_OK_AND_ASSIGN(TransactionContext with_h,
+                       TransactionContext::Create(ds, &h));
+  EXPECT_TRUE(with_h.has_hierarchy());
+  for (size_t i = 0; i < with_h.num_items(); ++i) {
+    NodeId leaf = with_h.Leaf(static_cast<ItemId>(i));
+    EXPECT_EQ(with_h.ItemOfLeaf(leaf), static_cast<ItemId>(i));
+  }
+}
+
+TEST(EquivalenceTest, GroupsByVector) {
+  RelationalRecoding recoding(4, 2);
+  // rows 0,2 identical; 1,3 identical.
+  recoding.set(0, 0, 1);
+  recoding.set(0, 1, 2);
+  recoding.set(2, 0, 1);
+  recoding.set(2, 1, 2);
+  recoding.set(1, 0, 5);
+  recoding.set(1, 1, 5);
+  recoding.set(3, 0, 5);
+  recoding.set(3, 1, 5);
+  EquivalenceClasses classes = GroupByRecoding(recoding);
+  EXPECT_EQ(classes.num_groups(), 2u);
+  EXPECT_EQ(classes.MinGroupSize(), 2u);
+  EXPECT_EQ(classes.group_of[0], classes.group_of[2]);
+  EXPECT_NE(classes.group_of[0], classes.group_of[1]);
+}
+
+TEST(GuaranteesTest, KAnonymity) {
+  RelationalRecoding recoding(3, 1);
+  recoding.set(0, 0, 1);
+  recoding.set(1, 0, 1);
+  recoding.set(2, 0, 2);
+  EXPECT_TRUE(IsKAnonymous(recoding, 1));
+  EXPECT_FALSE(IsKAnonymous(recoding, 2));
+}
+
+TEST(GuaranteesTest, KmViolationDetection) {
+  // gens: itemset {1,2} appears once -> violates k=2, m=2.
+  std::vector<std::vector<int32_t>> records{{1, 2}, {1}, {2}};
+  EXPECT_TRUE(IsKmAnonymous(records, 2, 1));   // singletons fine
+  EXPECT_FALSE(IsKmAnonymous(records, 2, 2));  // pair support 1
+  auto violations = FindKmViolations(records, 2, 2, nullptr, 10);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].itemset, (std::vector<int32_t>{1, 2}));
+  EXPECT_EQ(violations[0].support, 1u);
+}
+
+TEST(GuaranteesTest, KmSubsetRestriction) {
+  std::vector<std::vector<int32_t>> records{{1}, {1}, {2}};
+  std::vector<size_t> subset{0, 1};
+  EXPECT_TRUE(FindKmViolations(records, 2, 1, &subset).empty());
+  std::vector<size_t> bad_subset{1, 2};
+  EXPECT_FALSE(FindKmViolations(records, 2, 1, &bad_subset).empty());
+}
+
+TEST(GuaranteesTest, KKmAnonymity) {
+  RelationalRecoding recoding(4, 1);
+  for (size_t r = 0; r < 4; ++r) recoding.set(r, 0, r < 2 ? 1 : 2);
+  std::vector<std::vector<int32_t>> txn{{7}, {7}, {8}, {8}};
+  EXPECT_TRUE(IsKKmAnonymous(recoding, txn, 2, 1));
+  std::vector<std::vector<int32_t>> bad{{7}, {9}, {8}, {8}};
+  EXPECT_FALSE(IsKKmAnonymous(recoding, bad, 2, 1));
+}
+
+TEST(RecodingTest, ApplyFullDomainLevels) {
+  Dataset ds = testing::SmallRtDataset(40);
+  ASSERT_OK_AND_ASSIGN(auto hierarchies, BuildAllColumnHierarchies(ds));
+  ASSERT_OK_AND_ASSIGN(RelationalContext ctx,
+                       RelationalContext::Create(ds, hierarchies));
+  std::vector<int> levels(ctx.num_qi(), 1);
+  RelationalRecoding recoding = ApplyFullDomainLevels(ctx, levels);
+  for (size_t r = 0; r < ds.num_records(); ++r) {
+    for (size_t qi = 0; qi < ctx.num_qi(); ++qi) {
+      const Hierarchy& h = ctx.hierarchy(qi);
+      EXPECT_TRUE(h.IsAncestorOrSelf(recoding.at(r, qi), ctx.Leaf(r, qi)));
+    }
+  }
+}
+
+TEST(RecodingTest, ApplyCutValidatesCoverage) {
+  Dataset ds = testing::SmallRtDataset(40);
+  ASSERT_OK_AND_ASSIGN(auto hierarchies, BuildAllColumnHierarchies(ds));
+  ASSERT_OK_AND_ASSIGN(RelationalContext ctx,
+                       RelationalContext::Create(ds, hierarchies));
+  // Cut of all roots covers everything.
+  std::vector<std::vector<NodeId>> cut(ctx.num_qi());
+  for (size_t qi = 0; qi < ctx.num_qi(); ++qi) {
+    cut[qi] = {ctx.hierarchy(qi).root()};
+  }
+  ASSERT_OK(ApplyCut(ctx, cut).status());
+  // Missing coverage fails.
+  cut[0] = {ctx.hierarchy(0).children(ctx.hierarchy(0).root())[0]};
+  EXPECT_FALSE(ApplyCut(ctx, cut).ok());
+  // Overlapping cut fails.
+  cut[0] = {ctx.hierarchy(0).root(),
+            ctx.hierarchy(0).children(ctx.hierarchy(0).root())[0]};
+  EXPECT_FALSE(ApplyCut(ctx, cut).ok());
+}
+
+TEST(RecodingTest, BuildAnonymizedDatasetLabels) {
+  Dataset ds = testing::SmallRtDataset(40);
+  ASSERT_OK_AND_ASSIGN(auto hierarchies, BuildAllColumnHierarchies(ds));
+  ASSERT_OK_AND_ASSIGN(RelationalContext ctx,
+                       RelationalContext::Create(ds, hierarchies));
+  std::vector<int> levels(ctx.num_qi(), 100);
+  RelationalRecoding all_root = ApplyFullDomainLevels(ctx, levels);
+  ASSERT_OK_AND_ASSIGN(Dataset anon,
+                       BuildAnonymizedDataset(ds, &ctx, &all_root, nullptr));
+  EXPECT_EQ(anon.num_records(), ds.num_records());
+  ASSERT_OK_AND_ASSIGN(size_t age_col, anon.ColumnByName("Age"));
+  // Fully generalized numeric QID becomes categorical with the root label.
+  EXPECT_FALSE(anon.is_numeric(age_col));
+  EXPECT_EQ(anon.value_string(0, age_col), "*");
+}
+
+TEST(ResultsTest, IdentityTransactionRecoding) {
+  std::vector<std::vector<ItemId>> txns{{0, 2}, {1}};
+  Dictionary dict;
+  dict.GetOrAdd("a");
+  dict.GetOrAdd("b");
+  dict.GetOrAdd("c");
+  TransactionRecoding identity = IdentityTransactionRecoding(txns, 3, dict);
+  EXPECT_EQ(identity.gens.size(), 3u);
+  EXPECT_EQ(identity.records[0].size(), 2u);
+  EXPECT_EQ(identity.gens[identity.records[1][0]].label, "b");
+  EXPECT_EQ(identity.item_map.size(), 3u);
+}
+
+}  // namespace
+}  // namespace secreta

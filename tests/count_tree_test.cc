@@ -1,0 +1,92 @@
+// Tests for the count-tree: agreement with the reference (hash-based)
+// support counting on hand-built and randomized inputs.
+
+#include "algo/transaction/count_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+
+namespace secreta {
+namespace {
+
+TEST(CountTreeTest, SupportsOfKnownItemsets) {
+  std::vector<std::vector<int32_t>> records{{1, 2, 3}, {1, 2}, {2, 3}, {4}};
+  CountTree tree(records, 2);
+  EXPECT_EQ(tree.Support({1}), 2u);
+  EXPECT_EQ(tree.Support({2}), 3u);
+  EXPECT_EQ(tree.Support({1, 2}), 2u);
+  EXPECT_EQ(tree.Support({2, 3}), 2u);
+  EXPECT_EQ(tree.Support({1, 3}), 1u);
+  EXPECT_EQ(tree.Support({4}), 1u);
+  EXPECT_EQ(tree.Support({5}), 0u);
+  EXPECT_EQ(tree.Support({1, 4}), 0u);
+  // m = 2: triples are not stored.
+  EXPECT_EQ(tree.Support({1, 2, 3}), 0u);
+}
+
+TEST(CountTreeTest, EmptyItemsetHasZeroSupport) {
+  CountTree tree({{1}}, 1);
+  EXPECT_EQ(tree.Support({}), 0u);
+}
+
+TEST(CountTreeTest, FindViolationsMatchesReference) {
+  std::vector<std::vector<int32_t>> records{{1, 2, 3}, {1, 2}, {2, 3}, {4}};
+  for (int m = 1; m <= 3; ++m) {
+    for (int k = 2; k <= 4; ++k) {
+      auto tree_violations =
+          CountTree(records, m).FindViolations(k, 1000);
+      auto reference = FindKmViolations(records, k, m, nullptr, 1000);
+      // Same sets of violating itemsets.
+      std::map<std::vector<int32_t>, size_t> a, b;
+      for (const auto& v : tree_violations) a[v.itemset] = v.support;
+      for (const auto& v : reference) b[v.itemset] = v.support;
+      EXPECT_EQ(a, b) << "k=" << k << " m=" << m;
+    }
+  }
+}
+
+TEST(CountTreeTest, RandomizedAgreementWithReference) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::vector<int32_t>> records;
+    size_t n = 40;
+    for (size_t r = 0; r < n; ++r) {
+      std::vector<int32_t> rec;
+      size_t len = static_cast<size_t>(rng.UniformInt(0, 6));
+      for (size_t idx : rng.Sample(12, len)) {
+        rec.push_back(static_cast<int32_t>(idx));
+      }
+      std::sort(rec.begin(), rec.end());
+      records.push_back(std::move(rec));
+    }
+    int m = static_cast<int>(rng.UniformInt(1, 3));
+    int k = static_cast<int>(rng.UniformInt(2, 6));
+    auto tree_violations = CountTree(records, m).FindViolations(k, 100000);
+    auto reference = FindKmViolations(records, k, m, nullptr, 100000);
+    std::map<std::vector<int32_t>, size_t> a, b;
+    for (const auto& v : tree_violations) a[v.itemset] = v.support;
+    for (const auto& v : reference) b[v.itemset] = v.support;
+    EXPECT_EQ(a, b) << "trial " << trial << " k=" << k << " m=" << m;
+  }
+}
+
+TEST(CountTreeTest, ViolationsSortedBySupport) {
+  std::vector<std::vector<int32_t>> records{{1}, {1}, {1}, {2}, {3}, {3}};
+  auto violations = CountTree(records, 1).FindViolations(3, 10);
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_LE(violations[0].support, violations[1].support);
+  EXPECT_EQ(violations[0].itemset, (std::vector<int32_t>{2}));
+}
+
+TEST(CountTreeTest, MaxViolationsCap) {
+  std::vector<std::vector<int32_t>> records{{1}, {2}, {3}, {4}};
+  auto violations = CountTree(records, 1).FindViolations(2, 2);
+  EXPECT_EQ(violations.size(), 2u);
+}
+
+}  // namespace
+}  // namespace secreta

@@ -1,0 +1,92 @@
+// Unit tests for the CSV reader/writer.
+
+#include "csv/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace secreta::csv {
+namespace {
+
+TEST(CsvParseTest, SimpleRows) {
+  ASSERT_OK_AND_ASSIGN(CsvTable t, ParseCsv("a,b,c\n1,2,3\n"));
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(t[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvParseTest, QuotedFieldWithDelimiterAndNewline) {
+  ASSERT_OK_AND_ASSIGN(CsvTable t, ParseCsv("\"a,b\",\"x\ny\"\n"));
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0][0], "a,b");
+  EXPECT_EQ(t[0][1], "x\ny");
+}
+
+TEST(CsvParseTest, DoubledQuoteEscapes) {
+  ASSERT_OK_AND_ASSIGN(CsvTable t, ParseCsv("\"he said \"\"hi\"\"\"\n"));
+  EXPECT_EQ(t[0][0], "he said \"hi\"");
+}
+
+TEST(CsvParseTest, CrLfLineEndings) {
+  ASSERT_OK_AND_ASSIGN(CsvTable t, ParseCsv("a,b\r\nc,d\r\n"));
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[1][1], "d");
+}
+
+TEST(CsvParseTest, SkipsBlankLinesAndComments) {
+  ASSERT_OK_AND_ASSIGN(CsvTable t, ParseCsv("a,b\n\n# comment\nc,d\n"));
+  ASSERT_EQ(t.size(), 2u);
+}
+
+TEST(CsvParseTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsv("\"abc\n").ok());
+}
+
+TEST(CsvParseTest, MissingTrailingNewlineOk) {
+  ASSERT_OK_AND_ASSIGN(CsvTable t, ParseCsv("a,b"));
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].size(), 2u);
+}
+
+TEST(CsvParseTest, EmptyFieldsPreserved) {
+  ASSERT_OK_AND_ASSIGN(CsvTable t, ParseCsv("a,,c\n"));
+  EXPECT_EQ(t[0][1], "");
+}
+
+TEST(CsvParseTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = ';';
+  ASSERT_OK_AND_ASSIGN(CsvTable t, ParseCsv("a;b;c\n", options));
+  EXPECT_EQ(t[0].size(), 3u);
+}
+
+TEST(CsvParseLineTest, RejectsNewline) {
+  EXPECT_FALSE(ParseCsvLine("a,b\nc").ok());
+  ASSERT_OK_AND_ASSIGN(auto row, ParseCsvLine("a,b"));
+  EXPECT_EQ(row.size(), 2u);
+}
+
+TEST(CsvWriteTest, QuotesWhenNeeded) {
+  CsvTable t{{"a,b", "plain", "with \"q\"", " padded "}};
+  std::string text = WriteCsv(t);
+  ASSERT_OK_AND_ASSIGN(CsvTable back, ParseCsv(text));
+  EXPECT_EQ(back, t);
+}
+
+TEST(CsvWriteTest, RoundTripRandomish) {
+  CsvTable t{{"x", "", "a\nb"}, {"1,2", "\"\"", "z"}};
+  ASSERT_OK_AND_ASSIGN(CsvTable back, ParseCsv(WriteCsv(t)));
+  EXPECT_EQ(back, t);
+}
+
+TEST(CsvFileTest, ReadWriteFile) {
+  std::string path = ::testing::TempDir() + "/secreta_csv_test.csv";
+  ASSERT_OK(WriteFile(path, "a,b\n1,2\n"));
+  ASSERT_OK_AND_ASSIGN(CsvTable t, ReadCsvFile(path));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_FALSE(ReadFile(path + ".does-not-exist").ok());
+}
+
+}  // namespace
+}  // namespace secreta::csv

@@ -1,0 +1,102 @@
+// Tests for the synthetic RT-data generator (the substitution for the
+// paper's prepared demo datasets).
+
+#include "datagen/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace secreta {
+namespace {
+
+TEST(SyntheticTest, RtShapeMatchesOptions) {
+  SyntheticOptions options;
+  options.num_records = 500;
+  options.num_items = 40;
+  ASSERT_OK_AND_ASSIGN(Dataset ds, GenerateRtDataset(options));
+  EXPECT_EQ(ds.num_records(), 500u);
+  EXPECT_EQ(ds.schema().num_attributes(), 5u);
+  EXPECT_TRUE(ds.has_transaction());
+  EXPECT_LE(ds.item_dictionary().size(), 40u);
+  for (size_t r = 0; r < ds.num_records(); ++r) {
+    EXPECT_GE(ds.items(r).size(), options.min_items_per_record);
+    EXPECT_LE(ds.items(r).size(), options.max_items_per_record);
+  }
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticOptions options;
+  options.num_records = 100;
+  options.seed = 9;
+  ASSERT_OK_AND_ASSIGN(Dataset a, GenerateRtDataset(options));
+  ASSERT_OK_AND_ASSIGN(Dataset b, GenerateRtDataset(options));
+  EXPECT_EQ(a.ToCsv(), b.ToCsv());
+  options.seed = 10;
+  ASSERT_OK_AND_ASSIGN(Dataset c, GenerateRtDataset(options));
+  EXPECT_NE(a.ToCsv(), c.ToCsv());
+}
+
+TEST(SyntheticTest, AgeWithinBounds) {
+  SyntheticOptions options;
+  options.num_records = 300;
+  options.age_min = 30;
+  options.age_max = 35;
+  ASSERT_OK_AND_ASSIGN(Dataset ds, GenerateRtDataset(options));
+  ASSERT_OK_AND_ASSIGN(size_t age, ds.ColumnByName("Age"));
+  for (size_t r = 0; r < ds.num_records(); ++r) {
+    double v = ds.numeric_value(age, ds.value(r, age));
+    EXPECT_GE(v, 30);
+    EXPECT_LE(v, 35);
+  }
+}
+
+TEST(SyntheticTest, ZipfSkewShowsInSupports) {
+  SyntheticOptions options;
+  options.num_records = 2000;
+  options.num_items = 100;
+  options.item_skew = 1.3;
+  options.correlate = false;
+  ASSERT_OK_AND_ASSIGN(Dataset ds, GenerateTransactionDataset(options));
+  std::vector<size_t> support(ds.item_dictionary().size(), 0);
+  size_t total = 0;
+  for (size_t r = 0; r < ds.num_records(); ++r) {
+    for (ItemId item : ds.items(r)) {
+      support[static_cast<size_t>(item)]++;
+      ++total;
+    }
+  }
+  std::sort(support.rbegin(), support.rend());
+  size_t top10 = 0;
+  for (size_t i = 0; i < 10 && i < support.size(); ++i) top10 += support[i];
+  // Heavy head: top-10 items carry far more than the uniform 10%.
+  EXPECT_GT(top10 * 3, total);
+}
+
+TEST(SyntheticTest, RelationalOnlyAndTransactionOnly) {
+  SyntheticOptions options;
+  options.num_records = 50;
+  ASSERT_OK_AND_ASSIGN(Dataset rel, GenerateRelationalDataset(options));
+  EXPECT_FALSE(rel.has_transaction());
+  EXPECT_EQ(rel.schema().num_attributes(), 4u);
+  ASSERT_OK_AND_ASSIGN(Dataset txn, GenerateTransactionDataset(options));
+  EXPECT_TRUE(txn.has_transaction());
+  EXPECT_EQ(txn.num_relational(), 0u);
+}
+
+TEST(SyntheticTest, InvalidOptionsRejected) {
+  SyntheticOptions options;
+  options.num_records = 0;
+  EXPECT_FALSE(GenerateRtDataset(options).ok());
+  options = SyntheticOptions{};
+  options.age_min = 90;
+  options.age_max = 20;
+  EXPECT_FALSE(GenerateRtDataset(options).ok());
+  options = SyntheticOptions{};
+  options.min_items_per_record = 9;
+  options.max_items_per_record = 2;
+  EXPECT_FALSE(GenerateRtDataset(options).ok());
+}
+
+}  // namespace
+}  // namespace secreta

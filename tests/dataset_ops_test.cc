@@ -1,0 +1,68 @@
+// Tests for dataset sampling / selection / projection, plus the
+// generalized-item histogram.
+
+#include "data/dataset_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/frequency.h"
+#include "tests/test_util.h"
+
+namespace secreta {
+namespace {
+
+TEST(DatasetOpsTest, SelectKeepsContentAndOrder) {
+  Dataset ds = testing::SmallRtDataset(40, 201);
+  ASSERT_OK_AND_ASSIGN(Dataset sel, SelectRecords(ds, {5, 0, 5}));
+  ASSERT_EQ(sel.num_records(), 3u);
+  // Row 0 of the selection equals row 5 of the original (string-compare).
+  EXPECT_EQ(sel.ToCsv()[1], ds.ToCsv()[6]);
+  EXPECT_EQ(sel.ToCsv()[2], ds.ToCsv()[1]);
+  EXPECT_EQ(sel.ToCsv()[3], ds.ToCsv()[6]);
+  EXPECT_FALSE(SelectRecords(ds, {999}).ok());
+}
+
+TEST(DatasetOpsTest, SampleDeterministicAndClamped) {
+  Dataset ds = testing::SmallRtDataset(60, 203);
+  ASSERT_OK_AND_ASSIGN(Dataset a, SampleRecords(ds, 20, 5));
+  ASSERT_OK_AND_ASSIGN(Dataset b, SampleRecords(ds, 20, 5));
+  EXPECT_EQ(a.num_records(), 20u);
+  EXPECT_EQ(a.ToCsv(), b.ToCsv());
+  ASSERT_OK_AND_ASSIGN(Dataset c, SampleRecords(ds, 999, 5));
+  EXPECT_EQ(c.num_records(), 60u);
+}
+
+TEST(DatasetOpsTest, ProjectionKeepsRequestedAttributes) {
+  Dataset ds = testing::SmallRtDataset(30, 205);
+  ASSERT_OK_AND_ASSIGN(Dataset proj,
+                       ProjectAttributes(ds, {"Items", "Age"}));
+  EXPECT_EQ(proj.schema().num_attributes(), 2u);
+  EXPECT_EQ(proj.schema().attribute(0).name, "Items");
+  EXPECT_TRUE(proj.has_transaction());
+  EXPECT_EQ(proj.num_records(), 30u);
+  // Values preserved.
+  ASSERT_OK_AND_ASSIGN(size_t age_src, ds.ColumnByName("Age"));
+  ASSERT_OK_AND_ASSIGN(size_t age_dst, proj.ColumnByName("Age"));
+  for (size_t r = 0; r < 10; ++r) {
+    EXPECT_EQ(proj.value_string(r, age_dst), ds.value_string(r, age_src));
+  }
+  EXPECT_FALSE(ProjectAttributes(ds, {"Nope"}).ok());
+  EXPECT_FALSE(ProjectAttributes(ds, {}).ok());
+}
+
+TEST(GeneralizedItemHistogramTest, CountsAndOrders) {
+  TransactionRecoding recoding;
+  int32_t a = recoding.AddGen("A", {0});
+  int32_t b = recoding.AddGen("B", {1, 2});
+  recoding.AddGen("unused", {3});
+  recoding.records = {{a, b}, {b}, {b}};
+  Histogram hist = GeneralizedItemHistogram(recoding);
+  ASSERT_EQ(hist.size(), 2u);  // unused gen skipped
+  EXPECT_EQ(hist[0].label, "B");
+  EXPECT_EQ(hist[0].count, 3u);
+  EXPECT_EQ(hist[1].label, "A");
+  EXPECT_EQ(hist[1].count, 1u);
+}
+
+}  // namespace
+}  // namespace secreta

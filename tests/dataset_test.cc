@@ -1,0 +1,183 @@
+// Unit tests for the dataset model and Dataset Editor operations.
+
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "data/dataset_stats.h"
+#include "tests/test_util.h"
+
+namespace secreta {
+namespace {
+
+csv::CsvTable DemoTable() {
+  return {
+      {"Age", "Gender", "Items"},
+      {"25", "M", "flu cough"},
+      {"31", "F", "flu"},
+      {"25", "F", "cough fever flu"},
+      {"47", "M", ""},
+  };
+}
+
+TEST(DatasetTest, InferredSchemaTypes) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, Dataset::FromCsvInferred(DemoTable()));
+  ASSERT_EQ(ds.schema().num_attributes(), 3u);
+  EXPECT_EQ(ds.schema().attribute(0).type, AttributeType::kNumeric);
+  EXPECT_EQ(ds.schema().attribute(1).type, AttributeType::kCategorical);
+  EXPECT_EQ(ds.schema().attribute(2).type, AttributeType::kTransaction);
+  EXPECT_EQ(ds.num_records(), 4u);
+  EXPECT_EQ(ds.num_relational(), 2u);
+}
+
+TEST(DatasetTest, TransactionItemsSortedDeduped) {
+  csv::CsvTable t{{"Items"}, {"b a b c a"}};
+  ASSERT_OK_AND_ASSIGN(Dataset ds, Dataset::FromCsvInferred(t));
+  // Single-column with spaces -> transaction.
+  ASSERT_TRUE(ds.has_transaction());
+  EXPECT_EQ(ds.items(0).size(), 3u);
+  EXPECT_TRUE(std::is_sorted(ds.items(0).begin(), ds.items(0).end()));
+}
+
+TEST(DatasetTest, NumericValuesParsed) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, Dataset::FromCsvInferred(DemoTable()));
+  ASSERT_OK_AND_ASSIGN(size_t age, ds.ColumnByName("Age"));
+  EXPECT_TRUE(ds.is_numeric(age));
+  EXPECT_DOUBLE_EQ(ds.numeric_value(age, ds.value(0, age)), 25.0);
+  EXPECT_DOUBLE_EQ(ds.numeric_value(age, ds.value(3, age)), 47.0);
+}
+
+TEST(DatasetTest, SortedDomainNumericOrder) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, Dataset::FromCsvInferred(DemoTable()));
+  ASSERT_OK_AND_ASSIGN(size_t age, ds.ColumnByName("Age"));
+  auto domain = ds.SortedDomain(age);
+  ASSERT_EQ(domain.size(), 3u);  // 25, 31, 47 distinct
+  EXPECT_DOUBLE_EQ(ds.numeric_value(age, domain[0]), 25.0);
+  EXPECT_DOUBLE_EQ(ds.numeric_value(age, domain[2]), 47.0);
+}
+
+TEST(DatasetTest, ToCsvRoundTrips) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, Dataset::FromCsvInferred(DemoTable()));
+  csv::CsvTable out = ds.ToCsv();
+  ASSERT_OK_AND_ASSIGN(Dataset ds2, Dataset::FromCsvInferred(out));
+  EXPECT_EQ(ds2.num_records(), ds.num_records());
+  EXPECT_EQ(ds2.ToCsv(), out);
+}
+
+TEST(DatasetEditTest, SetCellRelationalAndTransaction) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, Dataset::FromCsvInferred(DemoTable()));
+  ASSERT_OK(ds.SetCell(0, 0, "26"));
+  ASSERT_OK_AND_ASSIGN(size_t age, ds.ColumnOf(0));
+  EXPECT_EQ(ds.value_string(0, age), "26");
+  ASSERT_OK(ds.SetCell(0, 2, "zz yy"));
+  EXPECT_EQ(ds.items(0).size(), 2u);
+  EXPECT_FALSE(ds.SetCell(99, 0, "1").ok());
+  EXPECT_FALSE(ds.SetCell(0, 99, "1").ok());
+  EXPECT_FALSE(ds.SetCell(0, 0, "not-a-number").ok());
+}
+
+TEST(DatasetEditTest, AddDeleteRow) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, Dataset::FromCsvInferred(DemoTable()));
+  ASSERT_OK(ds.AddRow({"50", "M", "flu"}));
+  EXPECT_EQ(ds.num_records(), 5u);
+  ASSERT_OK(ds.DeleteRow(0));
+  EXPECT_EQ(ds.num_records(), 4u);
+  ASSERT_OK_AND_ASSIGN(size_t age, ds.ColumnByName("Age"));
+  EXPECT_EQ(ds.value_string(0, age), "31");  // old row 1 shifted up
+  EXPECT_FALSE(ds.AddRow({"1", "2"}).ok());  // wrong arity
+  EXPECT_FALSE(ds.DeleteRow(99).ok());
+}
+
+TEST(DatasetEditTest, RenameAndRemoveAttribute) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, Dataset::FromCsvInferred(DemoTable()));
+  ASSERT_OK(ds.RenameAttribute(1, "Sex"));
+  EXPECT_TRUE(ds.schema().FindAttribute("Sex").has_value());
+  EXPECT_FALSE(ds.RenameAttribute(0, "Sex").ok());  // duplicate
+  ASSERT_OK(ds.RemoveAttribute(1));
+  EXPECT_EQ(ds.num_relational(), 1u);
+  ASSERT_OK_AND_ASSIGN(size_t age, ds.ColumnByName("Age"));
+  EXPECT_EQ(ds.value_string(2, age), "25");  // data intact after column removal
+}
+
+TEST(DatasetEditTest, RemoveTransactionAttribute) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, Dataset::FromCsvInferred(DemoTable()));
+  ASSERT_OK(ds.RemoveAttribute(2));
+  EXPECT_FALSE(ds.has_transaction());
+  EXPECT_EQ(ds.schema().num_attributes(), 2u);
+}
+
+TEST(DatasetEditTest, AddAttributeWithFill) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, Dataset::FromCsvInferred(DemoTable()));
+  AttributeSpec spec{"City", AttributeType::kCategorical,
+                     AttributeRole::kQuasiIdentifier};
+  ASSERT_OK(ds.AddAttribute(spec, "unknown"));
+  ASSERT_OK_AND_ASSIGN(size_t city, ds.ColumnByName("City"));
+  for (size_t r = 0; r < ds.num_records(); ++r) {
+    EXPECT_EQ(ds.value_string(r, city), "unknown");
+  }
+}
+
+TEST(DatasetTest, ExplicitSchemaHeaderMismatchFails) {
+  Schema schema;
+  ASSERT_OK(schema.AddAttribute({"Wrong", AttributeType::kNumeric,
+                                 AttributeRole::kQuasiIdentifier}));
+  csv::CsvTable t{{"Age"}, {"5"}};
+  EXPECT_FALSE(Dataset::FromCsv(t, schema).ok());
+}
+
+TEST(DatasetTest, SecondTransactionAttributeRejected) {
+  Schema schema;
+  ASSERT_OK(schema.AddAttribute({"A", AttributeType::kTransaction,
+                                 AttributeRole::kQuasiIdentifier}));
+  EXPECT_FALSE(schema.AddAttribute({"B", AttributeType::kTransaction,
+                                    AttributeRole::kQuasiIdentifier})
+                   .ok());
+}
+
+TEST(DatasetStatsTest, ValueHistogram) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, Dataset::FromCsvInferred(DemoTable()));
+  ASSERT_OK_AND_ASSIGN(size_t gender, ds.ColumnByName("Gender"));
+  Histogram hist = ValueHistogram(ds, gender);
+  ASSERT_EQ(hist.size(), 2u);
+  // Lexicographic: F first.
+  EXPECT_EQ(hist[0].label, "F");
+  EXPECT_EQ(hist[0].count, 2u);
+  EXPECT_EQ(hist[1].count, 2u);
+}
+
+TEST(DatasetStatsTest, ItemHistogramCountsSupports) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, Dataset::FromCsvInferred(DemoTable()));
+  Histogram hist = ItemHistogram(ds);
+  size_t flu_count = 0;
+  for (const auto& bucket : hist) {
+    if (bucket.label == "flu") flu_count = bucket.count;
+  }
+  EXPECT_EQ(flu_count, 3u);
+}
+
+TEST(DatasetStatsTest, NumericSummaryAndHistogram) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, Dataset::FromCsvInferred(DemoTable()));
+  ASSERT_OK_AND_ASSIGN(size_t age, ds.ColumnByName("Age"));
+  ASSERT_OK_AND_ASSIGN(NumericSummary summary, SummarizeNumeric(ds, age));
+  EXPECT_DOUBLE_EQ(summary.min, 25);
+  EXPECT_DOUBLE_EQ(summary.max, 47);
+  EXPECT_EQ(summary.distinct, 3u);
+  ASSERT_OK_AND_ASSIGN(Histogram hist, NumericHistogram(ds, age, 2));
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist[0].count + hist[1].count, 4u);
+  ASSERT_OK_AND_ASSIGN(size_t gender, ds.ColumnByName("Gender"));
+  EXPECT_FALSE(NumericHistogram(ds, gender, 2).ok());
+}
+
+TEST(DatasetStatsTest, RelativeFrequencyDiff) {
+  Histogram a{{"x", 10}, {"y", 5}, {"z", 0}};
+  Histogram b{{"x", 5}, {"y", 5}};
+  auto diff = RelativeFrequencyDiff(a, b);
+  ASSERT_EQ(diff.size(), 3u);
+  EXPECT_DOUBLE_EQ(diff[0].second, 0.5);  // |10-5|/10
+  EXPECT_DOUBLE_EQ(diff[1].second, 0.0);
+  EXPECT_DOUBLE_EQ(diff[2].second, 0.0);  // 0 vs missing, denom clamped to 1
+}
+
+}  // namespace
+}  // namespace secreta

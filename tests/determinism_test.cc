@@ -1,0 +1,137 @@
+// Determinism: every algorithm must produce bit-identical output for the
+// same inputs and seed (the paper's benchmarks are only meaningful if runs
+// are reproducible), and the end-to-end anonymized CSV must round-trip.
+
+#include <gtest/gtest.h>
+
+#include "core/guarantees.h"
+#include "engine/registry.h"
+#include "frontend/session.h"
+#include "hierarchy/hierarchy_builder.h"
+#include "tests/test_util.h"
+
+namespace secreta {
+namespace {
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = testing::SmallRtDataset(150, 301);
+    hierarchies_ = std::move(BuildAllColumnHierarchies(dataset_)).ValueOrDie();
+    item_hierarchy_ = std::move(BuildItemHierarchy(dataset_)).ValueOrDie();
+    rel_.emplace(std::move(
+        RelationalContext::Create(dataset_, hierarchies_)).ValueOrDie());
+    txn_.emplace(std::move(
+        TransactionContext::Create(dataset_, &item_hierarchy_)).ValueOrDie());
+  }
+
+  Dataset dataset_;
+  std::vector<Hierarchy> hierarchies_;
+  Hierarchy item_hierarchy_;
+  std::optional<RelationalContext> rel_;
+  std::optional<TransactionContext> txn_;
+};
+
+TEST_F(DeterminismTest, RelationalAlgorithmsAreDeterministic) {
+  AnonParams params;
+  params.k = 5;
+  params.seed = 99;
+  for (const std::string& name : RelationalAlgorithmNames()) {
+    ASSERT_OK_AND_ASSIGN(auto algo1, MakeRelationalAnonymizer(name));
+    ASSERT_OK_AND_ASSIGN(auto algo2, MakeRelationalAnonymizer(name));
+    ASSERT_OK_AND_ASSIGN(auto r1, algo1->Anonymize(*rel_, params));
+    ASSERT_OK_AND_ASSIGN(auto r2, algo2->Anonymize(*rel_, params));
+    for (size_t r = 0; r < r1.num_records(); ++r) {
+      for (size_t qi = 0; qi < r1.num_qi(); ++qi) {
+        ASSERT_EQ(r1.at(r, qi), r2.at(r, qi)) << name;
+      }
+    }
+  }
+}
+
+TEST_F(DeterminismTest, TransactionAlgorithmsAreDeterministic) {
+  AnonParams params;
+  params.k = 4;
+  params.m = 2;
+  for (const std::string& name : TransactionAlgorithmNames()) {
+    ASSERT_OK_AND_ASSIGN(auto algo1, MakeTransactionAnonymizer(name));
+    ASSERT_OK_AND_ASSIGN(auto algo2, MakeTransactionAnonymizer(name));
+    ASSERT_OK_AND_ASSIGN(auto r1, algo1->Anonymize(*txn_, params));
+    ASSERT_OK_AND_ASSIGN(auto r2, algo2->Anonymize(*txn_, params));
+    ASSERT_EQ(r1.records, r2.records) << name;
+    ASSERT_EQ(r1.gens.size(), r2.gens.size()) << name;
+    for (size_t g = 0; g < r1.gens.size(); ++g) {
+      ASSERT_EQ(r1.gens[g].covers, r2.gens[g].covers) << name;
+      ASSERT_EQ(r1.gens[g].label, r2.gens[g].label) << name;
+    }
+  }
+}
+
+TEST_F(DeterminismTest, RtPipelineIsDeterministic) {
+  AnonParams params;
+  params.k = 4;
+  params.m = 2;
+  params.delta = 0.3;
+  params.seed = 7;
+  for (MergerKind merger : {MergerKind::kRmerger, MergerKind::kTmerger,
+                            MergerKind::kRTmerger}) {
+    RtResult results[2];
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_OK_AND_ASSIGN(auto rel, MakeRelationalAnonymizer("Cluster"));
+      ASSERT_OK_AND_ASSIGN(auto txn, MakeTransactionAnonymizer("Apriori"));
+      RtAnonymizer rt(rel, txn, merger);
+      ASSERT_OK_AND_ASSIGN(results[i], rt.Anonymize(*rel_, *txn_, params));
+    }
+    EXPECT_EQ(results[0].merges, results[1].merges);
+    EXPECT_EQ(results[0].transaction.records, results[1].transaction.records);
+  }
+}
+
+TEST_F(DeterminismTest, ClusterSeedChangesOutput) {
+  ASSERT_OK_AND_ASSIGN(auto algo, MakeRelationalAnonymizer("Cluster"));
+  AnonParams params;
+  params.k = 5;
+  params.seed = 1;
+  ASSERT_OK_AND_ASSIGN(auto r1, algo->Anonymize(*rel_, params));
+  params.seed = 2;
+  ASSERT_OK_AND_ASSIGN(auto r2, algo->Anonymize(*rel_, params));
+  bool any_difference = false;
+  for (size_t r = 0; r < r1.num_records() && !any_difference; ++r) {
+    for (size_t qi = 0; qi < r1.num_qi(); ++qi) {
+      if (r1.at(r, qi) != r2.at(r, qi)) any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference) << "different seeds should alter clustering";
+}
+
+TEST_F(DeterminismTest, MaterializedOutputRoundTripsAndStaysAnonymous) {
+  // End-to-end: the anonymized CSV, re-grouped purely by its string values,
+  // must still form classes of size >= k (what a recipient can verify).
+  SecretaSession session;
+  ASSERT_OK(session.SetDataset(testing::SmallRtDataset(200, 307)));
+  ASSERT_OK(session.AutoGenerateHierarchies());
+  AlgorithmConfig config;
+  config.mode = AnonMode::kRt;
+  config.relational_algorithm = "Cluster";
+  config.transaction_algorithm = "Apriori";
+  config.params.k = 5;
+  ASSERT_OK_AND_ASSIGN(EvaluationReport report, session.Evaluate(config));
+  ASSERT_OK_AND_ASSIGN(Dataset anon, session.Materialize(report));
+  ASSERT_OK_AND_ASSIGN(Dataset reloaded, Dataset::FromCsvInferred(anon.ToCsv()));
+  std::map<std::vector<std::string>, size_t> classes;
+  std::vector<size_t> qi_cols;
+  for (size_t col = 0; col < reloaded.num_relational(); ++col) {
+    qi_cols.push_back(col);
+  }
+  for (size_t r = 0; r < reloaded.num_records(); ++r) {
+    std::vector<std::string> key;
+    for (size_t col : qi_cols) key.push_back(reloaded.value_string(r, col));
+    classes[key]++;
+  }
+  for (const auto& [key, size] : classes) {
+    EXPECT_GE(size, 5u);
+  }
+}
+
+}  // namespace
+}  // namespace secreta

@@ -1,0 +1,173 @@
+// Tests for the headless frontend: DatasetEditor and SecretaSession workflow
+// (the demo walkthrough of paper Sec. 3, minus the mouse).
+
+#include <gtest/gtest.h>
+
+#include "csv/csv.h"
+#include "frontend/session.h"
+#include "hierarchy/hierarchy_io.h"
+#include "policy/policy_io.h"
+#include "tests/test_util.h"
+
+namespace secreta {
+namespace {
+
+TEST(DatasetEditorTest, LoadEditSaveCycle) {
+  std::string path = ::testing::TempDir() + "/secreta_editor_test.csv";
+  ASSERT_OK(csv::WriteFile(path,
+                           "Age,Gender,Items\n25,M,flu cough\n31,F,flu\n"));
+  DatasetEditor editor;
+  ASSERT_OK(editor.Load(path));
+  EXPECT_EQ(editor.dataset().num_records(), 2u);
+  // The Sec. 3 walkthrough: rename attributes, edit values, save.
+  ASSERT_OK(editor.RenameAttribute("Gender", "Sex"));
+  ASSERT_OK(editor.SetCell(0, "Age", "26"));
+  ASSERT_OK(editor.AddRow({"44", "F", "fever"}));
+  ASSERT_OK(editor.DeleteRow(1));
+  std::string out_path = ::testing::TempDir() + "/secreta_editor_out.csv";
+  ASSERT_OK(editor.Save(out_path));
+  DatasetEditor editor2;
+  ASSERT_OK(editor2.Load(out_path));
+  EXPECT_EQ(editor2.dataset().num_records(), 2u);
+  EXPECT_TRUE(editor2.dataset().schema().FindAttribute("Sex").has_value());
+  EXPECT_FALSE(editor.RenameAttribute("Nope", "X").ok());
+  EXPECT_FALSE(editor.SetCell(0, "Nope", "1").ok());
+}
+
+TEST(DatasetEditorTest, HistogramRendering) {
+  DatasetEditor editor(testing::SmallRtDataset(80));
+  ASSERT_OK_AND_ASSIGN(Histogram gender, editor.HistogramOf("Gender"));
+  EXPECT_EQ(gender.size(), 2u);
+  ASSERT_OK_AND_ASSIGN(Histogram items, editor.HistogramOf("Items"));
+  EXPECT_EQ(items.size(), editor.dataset().item_dictionary().size());
+  ASSERT_OK_AND_ASSIGN(std::string text, editor.HistogramText("Gender"));
+  EXPECT_NE(text.find("frequency of Gender"), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_FALSE(editor.HistogramOf("Nope").ok());
+}
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(session_.SetDataset(testing::SmallRtDataset(160, 81)));
+  }
+  SecretaSession session_;
+};
+
+TEST_F(SessionTest, EvaluateWithoutHierarchiesFails) {
+  AlgorithmConfig config;
+  config.mode = AnonMode::kRelational;
+  EXPECT_FALSE(session_.Evaluate(config).ok());
+}
+
+TEST_F(SessionTest, AutoGenerateThenEvaluate) {
+  ASSERT_OK(session_.AutoGenerateHierarchies());
+  ASSERT_OK_AND_ASSIGN(const Hierarchy* age, session_.HierarchyOf("Age"));
+  EXPECT_TRUE(age->has_numeric_ranges());
+  EXPECT_TRUE(session_.item_hierarchy().has_value());
+  AlgorithmConfig config;
+  config.mode = AnonMode::kRt;
+  config.relational_algorithm = "BottomUp";
+  config.transaction_algorithm = "LRA";
+  config.params.k = 3;
+  ASSERT_OK_AND_ASSIGN(EvaluationReport report, session_.Evaluate(config));
+  EXPECT_TRUE(report.guarantee_ok);
+}
+
+TEST_F(SessionTest, HierarchyFileLoadOverridesAutoGeneration) {
+  // Export an auto-generated hierarchy, then load it back from file.
+  ASSERT_OK(session_.AutoGenerateHierarchies());
+  ASSERT_OK_AND_ASSIGN(const Hierarchy* gender, session_.HierarchyOf("Gender"));
+  std::string path = ::testing::TempDir() + "/secreta_gender_hierarchy.csv";
+  ASSERT_OK(SaveHierarchyFile(*gender, path));
+  ASSERT_OK(session_.LoadHierarchyFile("Gender", path));
+  ASSERT_OK_AND_ASSIGN(const Hierarchy* reloaded, session_.HierarchyOf("Gender"));
+  EXPECT_EQ(reloaded->num_leaves(), 2u);
+  EXPECT_FALSE(session_.LoadHierarchyFile("Nope", path).ok());
+}
+
+TEST_F(SessionTest, PolicyWorkflow) {
+  ASSERT_OK(session_.AutoGenerateHierarchies());
+  PrivacyGenOptions pg;
+  pg.strategy = PrivacyStrategy::kFrequentItems;
+  pg.frequent_fraction = 0.2;
+  UtilityGenOptions ug;
+  ug.strategy = UtilityStrategy::kFrequencyBands;
+  ASSERT_OK(session_.GeneratePolicies(pg, ug));
+  EXPECT_FALSE(session_.privacy_policy().empty());
+  EXPECT_FALSE(session_.utility_policy().empty());
+  // Save/reload through the Data Export path.
+  std::string ppath = ::testing::TempDir() + "/secreta_privacy.txt";
+  std::string upath = ::testing::TempDir() + "/secreta_utility.txt";
+  ASSERT_OK(SavePrivacyPolicyFile(session_.privacy_policy(), session_.dataset(),
+                                  ppath));
+  ASSERT_OK(SaveUtilityPolicyFile(session_.utility_policy(), session_.dataset(),
+                                  upath));
+  ASSERT_OK(session_.LoadPrivacyPolicyFile(ppath));
+  ASSERT_OK(session_.LoadUtilityPolicyFile(upath));
+  // COAT under the loaded policies.
+  AlgorithmConfig config;
+  config.mode = AnonMode::kTransaction;
+  config.transaction_algorithm = "COAT";
+  config.params.k = 5;
+  ASSERT_OK_AND_ASSIGN(EvaluationReport report, session_.Evaluate(config));
+  EXPECT_EQ(report.guarantee_name, "privacy-policy");
+  EXPECT_TRUE(report.guarantee_ok);
+}
+
+TEST_F(SessionTest, WorkloadFileAndGeneration) {
+  ASSERT_OK(session_.AutoGenerateHierarchies());
+  WorkloadGenOptions wl;
+  wl.num_queries = 15;
+  ASSERT_OK(session_.GenerateQueryWorkload(wl));
+  EXPECT_GE(session_.workload().size(), 10u);
+  std::string path = ::testing::TempDir() + "/secreta_workload.txt";
+  ASSERT_OK(session_.workload().SaveFile(path));
+  ASSERT_OK(session_.LoadWorkloadFile(path));
+  // Queries Editor: direct editing.
+  ASSERT_OK_AND_ASSIGN(CountQuery q, CountQuery::Parse("Age:20..30"));
+  session_.mutable_workload().Add(q);
+  AlgorithmConfig config;
+  config.mode = AnonMode::kRelational;
+  config.relational_algorithm = "Cluster";
+  ASSERT_OK_AND_ASSIGN(EvaluationReport report, session_.Evaluate(config));
+  EXPECT_GE(report.are, 0.0);
+}
+
+TEST_F(SessionTest, DatasetEditInvalidatesConfiguration) {
+  ASSERT_OK(session_.AutoGenerateHierarchies());
+  // New value outside the hierarchy leaves.
+  ASSERT_OK(session_.editor().SetCell(0, "Age", "999"));
+  AlgorithmConfig config;
+  config.mode = AnonMode::kRelational;
+  config.relational_algorithm = "Cluster";
+  // Binding must fail loudly (999 is not a hierarchy leaf), not crash.
+  EXPECT_FALSE(session_.Evaluate(config).ok());
+  // Regenerating hierarchies repairs the session... after clearing the stale
+  // ones via SetDataset.
+  Dataset copy = session_.dataset();
+  ASSERT_OK(session_.SetDataset(std::move(copy)));
+  ASSERT_OK(session_.AutoGenerateHierarchies());
+  ASSERT_OK(session_.Evaluate(config).status());
+}
+
+TEST_F(SessionTest, LoadDatasetFileResetsState) {
+  std::string path = ::testing::TempDir() + "/secreta_session_data.csv";
+  ASSERT_OK(csv::WriteFile(
+      path, "Age,Items\n20,a b\n21,a\n22,b c\n23,a c\n24,c\n25,a b c\n"));
+  ASSERT_OK(session_.LoadDatasetFile(path));
+  EXPECT_EQ(session_.dataset().num_records(), 6u);
+  EXPECT_FALSE(session_.item_hierarchy().has_value());
+  ASSERT_OK(session_.AutoGenerateHierarchies());
+  AlgorithmConfig config;
+  config.mode = AnonMode::kRt;
+  config.relational_algorithm = "TopDown";
+  config.transaction_algorithm = "Apriori";
+  config.params.k = 2;
+  config.params.m = 1;
+  ASSERT_OK_AND_ASSIGN(EvaluationReport report, session_.Evaluate(config));
+  EXPECT_TRUE(report.guarantee_ok);
+}
+
+}  // namespace
+}  // namespace secreta

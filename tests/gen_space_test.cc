@@ -1,0 +1,180 @@
+// Unit tests for the transaction generalization machinery: GenSpace
+// (COAT/PCTA substrate) and HierarchyCut (Apriori/LRA/VPA substrate).
+
+#include "algo/transaction/gen_space.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "algo/transaction/cut.h"
+#include "hierarchy/hierarchy_builder.h"
+#include "tests/test_util.h"
+
+namespace secreta {
+namespace {
+
+Dictionary AbcDict() {
+  Dictionary dict;
+  for (const char* s : {"a", "b", "c", "d"}) dict.GetOrAdd(s);
+  return dict;
+}
+
+TEST(GenSpaceTest, IdentityStart) {
+  Dictionary dict = AbcDict();
+  GenSpace space({{0, 1}, {1, 2}, {0}}, dict);
+  EXPECT_EQ(space.num_records(), 3u);
+  EXPECT_EQ(space.GenOf(0), 0);
+  EXPECT_EQ(space.Support(0), 2u);  // "a" in rows 0, 2
+  EXPECT_EQ(space.Support(1), 2u);
+  EXPECT_EQ(space.Support(3), 0u);  // "d" unused
+  EXPECT_EQ(space.LiveGens().size(), 4u);
+}
+
+TEST(GenSpaceTest, MergeRewritesRecordsAndSupports) {
+  Dictionary dict = AbcDict();
+  GenSpace space({{0, 1}, {1, 2}, {0}}, dict);
+  int32_t g = space.Merge(0, 1);  // {a,b}
+  EXPECT_FALSE(space.IsLive(0));
+  EXPECT_FALSE(space.IsLive(1));
+  EXPECT_TRUE(space.IsLive(g));
+  EXPECT_EQ(space.Covers(g).size(), 2u);
+  EXPECT_EQ(space.GenOf(0), g);
+  EXPECT_EQ(space.GenOf(1), g);
+  EXPECT_EQ(space.Support(g), 3u);  // every row has a or b
+  // Row 0 had both a and b: now a single gen occurrence.
+  EXPECT_EQ(space.records()[0].size(), 1u);
+  EXPECT_EQ(space.records()[1].size(), 2u);  // {a,b} and c
+}
+
+TEST(GenSpaceTest, SuppressRemovesEverywhere) {
+  Dictionary dict = AbcDict();
+  GenSpace space({{0, 1}, {0}}, dict);
+  space.Suppress(0);
+  EXPECT_EQ(space.GenOf(0), kSuppressedGen);
+  EXPECT_EQ(space.records()[0].size(), 1u);
+  EXPECT_TRUE(space.records()[1].empty());
+  TransactionRecoding out = space.Export();
+  EXPECT_EQ(out.suppressed_occurrences, 2u);
+  EXPECT_EQ(out.item_map[0], kSuppressedGen);
+}
+
+TEST(GenSpaceTest, CostsAreMonotone) {
+  Dictionary dict = AbcDict();
+  GenSpace space({{0, 1, 2}, {0, 1}, {2, 3}}, dict);
+  // Merging two frequent gens costs more than merging one frequent with one
+  // rare gen of the same sizes (occurrence weighting).
+  double cost_ab = space.MergeCost(0, 1);
+  double cost_cd = space.MergeCost(2, 3);
+  EXPECT_GT(cost_ab, 0);
+  EXPECT_GT(cost_cd, 0);
+  EXPECT_GE(cost_ab, cost_cd);  // a,b have 4 occurrences vs 3 for c,d
+  EXPECT_GT(space.SuppressCost(0), space.MergeCost(0, 1));
+}
+
+TEST(GenSpaceTest, ItemsetSupport) {
+  Dictionary dict = AbcDict();
+  GenSpace space({{0, 1}, {0, 1}, {0}}, dict);
+  EXPECT_EQ(space.ItemsetSupport({0, 1}), 2u);
+  EXPECT_EQ(space.ItemsetSupport({0}), 3u);
+  space.Suppress(1);
+  EXPECT_EQ(space.ItemsetSupport({0, 1}), 0u);  // dead gen
+}
+
+TEST(GenSpaceTest, ExportCompactsGens) {
+  Dictionary dict = AbcDict();
+  GenSpace space({{0, 1}, {2}}, dict);
+  int32_t g = space.Merge(0, 1);
+  (void)g;
+  TransactionRecoding out = space.Export();
+  // Live gens: {a,b}, c, d -> all covers non-empty, indices dense.
+  for (const auto& gen : out.gens) EXPECT_FALSE(gen.covers.empty());
+  EXPECT_EQ(out.records.size(), 2u);
+  for (const auto& rec : out.records) {
+    for (int32_t gi : rec) {
+      ASSERT_GE(gi, 0);
+      ASSERT_LT(static_cast<size_t>(gi), out.gens.size());
+    }
+  }
+  // Labels: merged gen shows braces.
+  bool has_braced = false;
+  for (const auto& gen : out.gens) {
+    if (gen.label.front() == '{') has_braced = true;
+  }
+  EXPECT_TRUE(has_braced);
+}
+
+TEST(GenSpaceTest, InitFromExistingRecoding) {
+  Dictionary dict = AbcDict();
+  std::vector<std::vector<ItemId>> txns{{0, 1}, {2, 3}};
+  TransactionRecoding seed;
+  int32_t g01 = seed.AddGen("{a,b}", {0, 1});
+  int32_t g2 = seed.AddGen("c", {2});
+  seed.item_map = {g01, g01, g2, kSuppressedGen};
+  GenSpace space(txns, dict, seed);
+  EXPECT_EQ(space.GenOf(0), g01);
+  EXPECT_EQ(space.GenOf(3), kSuppressedGen);
+  EXPECT_EQ(space.Support(g01), 1u);
+  EXPECT_EQ(space.records()[1].size(), 1u);  // c only; d suppressed
+  TransactionRecoding out = space.Export();
+  EXPECT_EQ(out.suppressed_occurrences, 1u);
+}
+
+TEST(HierarchyCutTest, StartsAtLeavesAndRaises) {
+  Dataset ds = testing::SmallRtDataset(60, 91);
+  ASSERT_OK_AND_ASSIGN(Hierarchy h, BuildItemHierarchy(ds));
+  ASSERT_OK_AND_ASSIGN(TransactionContext ctx,
+                       TransactionContext::Create(ds, &h));
+  HierarchyCut cut(ctx);
+  for (size_t i = 0; i < ctx.num_items(); ++i) {
+    EXPECT_TRUE(h.IsLeaf(cut.NodeOf(static_cast<ItemId>(i))));
+  }
+  // Raise one root child: all covered items now map to it.
+  NodeId child = h.children(h.root())[0];
+  cut.RaiseTo(child);
+  for (size_t i = 0; i < ctx.num_items(); ++i) {
+    NodeId node = cut.NodeOf(static_cast<ItemId>(i));
+    if (h.IsAncestorOrSelf(child, ctx.Leaf(static_cast<ItemId>(i)))) {
+      EXPECT_EQ(node, child);
+    } else {
+      EXPECT_TRUE(h.IsLeaf(node));
+    }
+  }
+}
+
+TEST(HierarchyCutTest, MaterializeIsConsistent) {
+  Dataset ds = testing::SmallRtDataset(60, 93);
+  ASSERT_OK_AND_ASSIGN(Hierarchy h, BuildItemHierarchy(ds));
+  ASSERT_OK_AND_ASSIGN(TransactionContext ctx,
+                       TransactionContext::Create(ds, &h));
+  HierarchyCut cut(ctx);
+  cut.RaiseTo(h.children(h.root())[0]);
+  std::vector<size_t> subset(ds.num_records());
+  std::iota(subset.begin(), subset.end(), 0);
+  CutRecoding view = cut.Materialize(subset);
+  ASSERT_EQ(view.recoding.records.size(), subset.size());
+  ASSERT_EQ(view.gen_nodes.size(), view.recoding.gens.size());
+  // item_map agrees with NodeOf.
+  for (size_t i = 0; i < ctx.num_items(); ++i) {
+    int32_t g = view.recoding.item_map[i];
+    ASSERT_NE(g, kSuppressedGen);
+    EXPECT_EQ(view.gen_nodes[static_cast<size_t>(g)],
+              cut.NodeOf(static_cast<ItemId>(i)));
+  }
+}
+
+TEST(HierarchyCutTest, SuppressAllEmptiesRecords) {
+  Dataset ds = testing::SmallRtDataset(30, 95);
+  ASSERT_OK_AND_ASSIGN(Hierarchy h, BuildItemHierarchy(ds));
+  ASSERT_OK_AND_ASSIGN(TransactionContext ctx,
+                       TransactionContext::Create(ds, &h));
+  HierarchyCut cut(ctx);
+  cut.SuppressAll();
+  std::vector<size_t> subset{0, 1, 2};
+  CutRecoding view = cut.Materialize(subset);
+  for (const auto& rec : view.recoding.records) EXPECT_TRUE(rec.empty());
+  EXPECT_GT(view.recoding.suppressed_occurrences, 0u);
+}
+
+}  // namespace
+}  // namespace secreta

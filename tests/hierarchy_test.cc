@@ -1,0 +1,203 @@
+// Unit tests for hierarchies: construction, queries, builders, I/O.
+
+#include "hierarchy/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "hierarchy/hierarchy_builder.h"
+#include "hierarchy/hierarchy_io.h"
+#include "tests/test_util.h"
+
+namespace secreta {
+namespace {
+
+// 1..4 under two interior nodes under the root.
+Hierarchy SmallHierarchy() {
+  auto h = Hierarchy::FromPaths(
+      {
+          {"1", "[1-2]", "*"},
+          {"2", "[1-2]", "*"},
+          {"3", "[3-4]", "*"},
+          {"4", "[3-4]", "*"},
+      },
+      "attr");
+  return std::move(h).ValueOrDie();
+}
+
+TEST(HierarchyTest, Topology) {
+  Hierarchy h = SmallHierarchy();
+  EXPECT_EQ(h.num_leaves(), 4u);
+  EXPECT_EQ(h.num_nodes(), 7u);
+  EXPECT_EQ(h.height(), 2);
+  EXPECT_EQ(h.label(h.root()), "*");
+  EXPECT_EQ(h.depth(h.root()), 0);
+}
+
+TEST(HierarchyTest, LeafLookupAndPaths) {
+  Hierarchy h = SmallHierarchy();
+  ASSERT_OK_AND_ASSIGN(NodeId leaf3, h.LeafOf("3"));
+  EXPECT_TRUE(h.IsLeaf(leaf3));
+  EXPECT_EQ(h.depth(leaf3), 2);
+  auto path = h.PathToRoot(leaf3);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], "3");
+  EXPECT_EQ(path[1], "[3-4]");
+  EXPECT_EQ(path[2], "*");
+  EXPECT_FALSE(h.LeafOf("99").ok());
+}
+
+TEST(HierarchyTest, LeafCountAndAncestry) {
+  Hierarchy h = SmallHierarchy();
+  ASSERT_OK_AND_ASSIGN(NodeId mid, h.NodeOf("[1-2]"));
+  ASSERT_OK_AND_ASSIGN(NodeId leaf1, h.LeafOf("1"));
+  ASSERT_OK_AND_ASSIGN(NodeId leaf3, h.LeafOf("3"));
+  EXPECT_EQ(h.LeafCount(mid), 2u);
+  EXPECT_EQ(h.LeafCount(h.root()), 4u);
+  EXPECT_TRUE(h.IsAncestorOrSelf(mid, leaf1));
+  EXPECT_TRUE(h.IsAncestorOrSelf(leaf1, leaf1));
+  EXPECT_FALSE(h.IsAncestorOrSelf(mid, leaf3));
+  EXPECT_FALSE(h.IsAncestorOrSelf(leaf1, mid));
+}
+
+TEST(HierarchyTest, LcaQueries) {
+  Hierarchy h = SmallHierarchy();
+  ASSERT_OK_AND_ASSIGN(NodeId leaf1, h.LeafOf("1"));
+  ASSERT_OK_AND_ASSIGN(NodeId leaf2, h.LeafOf("2"));
+  ASSERT_OK_AND_ASSIGN(NodeId leaf3, h.LeafOf("3"));
+  ASSERT_OK_AND_ASSIGN(NodeId mid, h.NodeOf("[1-2]"));
+  EXPECT_EQ(h.Lca(leaf1, leaf2), mid);
+  EXPECT_EQ(h.Lca(leaf1, leaf3), h.root());
+  EXPECT_EQ(h.Lca(leaf1, leaf1), leaf1);
+  ASSERT_OK_AND_ASSIGN(NodeId lca, h.LcaOfSet({leaf1, leaf2, leaf3}));
+  EXPECT_EQ(lca, h.root());
+  EXPECT_FALSE(h.LcaOfSet({}).ok());
+}
+
+TEST(HierarchyTest, AncestorAtLevelClampsAtRoot) {
+  Hierarchy h = SmallHierarchy();
+  ASSERT_OK_AND_ASSIGN(NodeId leaf1, h.LeafOf("1"));
+  EXPECT_EQ(h.AncestorAtLevel(leaf1, 0), leaf1);
+  ASSERT_OK_AND_ASSIGN(NodeId mid, h.NodeOf("[1-2]"));
+  EXPECT_EQ(h.AncestorAtLevel(leaf1, 1), mid);
+  EXPECT_EQ(h.AncestorAtLevel(leaf1, 2), h.root());
+  EXPECT_EQ(h.AncestorAtLevel(leaf1, 10), h.root());
+}
+
+TEST(HierarchyTest, NumericRanges) {
+  Hierarchy h = SmallHierarchy();
+  ASSERT_TRUE(h.has_numeric_ranges());
+  ASSERT_OK_AND_ASSIGN(NodeId mid, h.NodeOf("[1-2]"));
+  EXPECT_DOUBLE_EQ(h.range_lo(mid), 1);
+  EXPECT_DOUBLE_EQ(h.range_hi(mid), 2);
+  EXPECT_DOUBLE_EQ(h.range_hi(h.root()), 4);
+}
+
+TEST(HierarchyTest, DuplicateLeafInDifferentBranchesFails) {
+  auto h = Hierarchy::FromPaths({{"1", "a", "*"}, {"1", "b", "*"}});
+  EXPECT_FALSE(h.ok());
+}
+
+TEST(HierarchyTest, IdenticalDuplicatePathsMerge) {
+  // The same leaf-to-root line appearing twice denotes the same leaf.
+  ASSERT_OK_AND_ASSIGN(Hierarchy h,
+                       Hierarchy::FromPaths({{"1", "*"}, {"1", "*"}}));
+  EXPECT_EQ(h.num_leaves(), 1u);
+}
+
+TEST(HierarchyTest, DisagreeingRootsFail) {
+  auto h = Hierarchy::FromPaths({{"1", "*"}, {"2", "ALL"}});
+  EXPECT_FALSE(h.ok());
+}
+
+TEST(HierarchyTest, UnbalancedPathsSupported) {
+  ASSERT_OK_AND_ASSIGN(Hierarchy h, Hierarchy::FromPaths({
+                                        {"a", "g1", "*"},
+                                        {"b", "g1", "*"},
+                                        {"c", "*"},
+                                    }));
+  EXPECT_EQ(h.num_leaves(), 3u);
+  EXPECT_EQ(h.height(), 2);
+  ASSERT_OK_AND_ASSIGN(NodeId c, h.LeafOf("c"));
+  EXPECT_EQ(h.depth(c), 1);
+  EXPECT_EQ(h.AncestorAtLevel(c, 2), h.root());
+}
+
+TEST(HierarchyTest, MapDictionaryToLeaves) {
+  Hierarchy h = SmallHierarchy();
+  Dictionary dict;
+  dict.GetOrAdd("3");
+  dict.GetOrAdd("1");
+  ASSERT_OK_AND_ASSIGN(auto mapping, MapDictionaryToLeaves(h, dict));
+  ASSERT_EQ(mapping.size(), 2u);
+  EXPECT_EQ(h.label(mapping[0]), "3");
+  EXPECT_EQ(h.label(mapping[1]), "1");
+  dict.GetOrAdd("nope");
+  EXPECT_FALSE(MapDictionaryToLeaves(h, dict).ok());
+}
+
+TEST(HierarchyIoTest, ParseFormatRoundTrip) {
+  Hierarchy h = SmallHierarchy();
+  std::string text = FormatHierarchy(h);
+  ASSERT_OK_AND_ASSIGN(Hierarchy h2, ParseHierarchy(text, "attr"));
+  EXPECT_EQ(h2.num_nodes(), h.num_nodes());
+  EXPECT_EQ(FormatHierarchy(h2), text);
+}
+
+TEST(HierarchyIoTest, EmptyFails) {
+  EXPECT_FALSE(ParseHierarchy("").ok());
+}
+
+TEST(HierarchyBuilderTest, BalancedTreeProperties) {
+  std::vector<std::string> values;
+  for (int i = 0; i < 27; ++i) values.push_back("v" + std::to_string(i));
+  HierarchyBuildOptions options;
+  options.fanout = 3;
+  ASSERT_OK_AND_ASSIGN(Hierarchy h, BuildBalancedHierarchy(values, "x", options));
+  EXPECT_EQ(h.num_leaves(), 27u);
+  // Fanout-3 over 27 leaves: root + 3 + 9 interior levels, height 3.
+  EXPECT_EQ(h.height(), 3);
+  // Leaf order preserved.
+  EXPECT_EQ(h.label(h.leaves().front()), "v0");
+  EXPECT_EQ(h.label(h.leaves().back()), "v26");
+  for (NodeId node = 0; node < static_cast<NodeId>(h.num_nodes()); ++node) {
+    if (!h.IsLeaf(node)) {
+      EXPECT_LE(h.children(node).size(), options.fanout);
+    }
+  }
+}
+
+TEST(HierarchyBuilderTest, TinyDomains) {
+  ASSERT_OK_AND_ASSIGN(Hierarchy h, BuildBalancedHierarchy({"only"}, "x"));
+  EXPECT_EQ(h.num_leaves(), 1u);
+  EXPECT_FALSE(BuildBalancedHierarchy({}, "x").ok());
+  HierarchyBuildOptions bad;
+  bad.fanout = 1;
+  EXPECT_FALSE(BuildBalancedHierarchy({"a", "b"}, "x", bad).ok());
+}
+
+TEST(HierarchyBuilderTest, ColumnHierarchyCoversDomain) {
+  Dataset ds = testing::SmallRtDataset(100);
+  ASSERT_OK_AND_ASSIGN(size_t age, ds.ColumnByName("Age"));
+  ASSERT_OK_AND_ASSIGN(Hierarchy h, BuildHierarchyForColumn(ds, age));
+  EXPECT_EQ(h.num_leaves(), ds.dictionary(age).size());
+  ASSERT_OK_AND_ASSIGN(auto mapping, MapDictionaryToLeaves(h, ds.dictionary(age)));
+  EXPECT_EQ(mapping.size(), ds.dictionary(age).size());
+  EXPECT_TRUE(h.has_numeric_ranges());
+}
+
+TEST(HierarchyBuilderTest, ItemHierarchyCoversItems) {
+  Dataset ds = testing::SmallRtDataset(100);
+  ASSERT_OK_AND_ASSIGN(Hierarchy h, BuildItemHierarchy(ds));
+  EXPECT_EQ(h.num_leaves(), ds.item_dictionary().size());
+  ASSERT_OK(MapDictionaryToLeaves(h, ds.item_dictionary()).status());
+}
+
+TEST(HierarchyBuilderTest, AllColumnHierarchies) {
+  Dataset ds = testing::SmallRtDataset(100);
+  ASSERT_OK_AND_ASSIGN(auto hierarchies, BuildAllColumnHierarchies(ds));
+  ASSERT_EQ(hierarchies.size(), ds.num_relational());
+  for (const auto& h : hierarchies) EXPECT_TRUE(h.finalized());
+}
+
+}  // namespace
+}  // namespace secreta

@@ -1,0 +1,112 @@
+// End-to-end integration: session workflow -> every mode -> guarantees hold.
+
+#include <gtest/gtest.h>
+
+#include "core/guarantees.h"
+#include "engine/registry.h"
+#include "frontend/session.h"
+#include "tests/test_util.h"
+
+namespace secreta {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(session_.SetDataset(testing::SmallRtDataset(300)));
+    ASSERT_OK(session_.AutoGenerateHierarchies());
+    WorkloadGenOptions wl;
+    wl.num_queries = 20;
+    ASSERT_OK(session_.GenerateQueryWorkload(wl));
+  }
+
+  SecretaSession session_;
+};
+
+TEST_F(IntegrationTest, EvaluationModeRelational) {
+  AlgorithmConfig config;
+  config.mode = AnonMode::kRelational;
+  config.relational_algorithm = "Cluster";
+  config.params.k = 5;
+  ASSERT_OK_AND_ASSIGN(EvaluationReport report, session_.Evaluate(config));
+  EXPECT_TRUE(report.guarantee_checked);
+  EXPECT_TRUE(report.guarantee_ok) << "k-anonymity violated";
+  EXPECT_GT(report.gcp, 0.0);
+  EXPECT_LE(report.gcp, 1.0);
+}
+
+TEST_F(IntegrationTest, EvaluationModeTransaction) {
+  AlgorithmConfig config;
+  config.mode = AnonMode::kTransaction;
+  config.transaction_algorithm = "Apriori";
+  config.params.k = 4;
+  config.params.m = 2;
+  ASSERT_OK_AND_ASSIGN(EvaluationReport report, session_.Evaluate(config));
+  EXPECT_TRUE(report.guarantee_ok) << "k^m-anonymity violated";
+  EXPECT_GE(report.ul, 0.0);
+  EXPECT_LE(report.ul, 1.0);
+}
+
+TEST_F(IntegrationTest, EvaluationModeRt) {
+  AlgorithmConfig config;
+  config.mode = AnonMode::kRt;
+  config.relational_algorithm = "Cluster";
+  config.transaction_algorithm = "Apriori";
+  config.merger = MergerKind::kRTmerger;
+  config.params.k = 4;
+  config.params.m = 2;
+  config.params.delta = 0.3;
+  ASSERT_OK_AND_ASSIGN(EvaluationReport report, session_.Evaluate(config));
+  EXPECT_TRUE(report.guarantee_ok) << "(k,k^m)-anonymity violated";
+  EXPECT_GT(report.run.initial_clusters, 0u);
+  EXPECT_GE(report.run.initial_clusters, report.run.final_clusters);
+}
+
+TEST_F(IntegrationTest, MaterializedDatasetRoundTrips) {
+  AlgorithmConfig config;
+  config.mode = AnonMode::kRt;
+  config.relational_algorithm = "Cluster";
+  config.transaction_algorithm = "Apriori";
+  config.params.k = 4;
+  ASSERT_OK_AND_ASSIGN(EvaluationReport report, session_.Evaluate(config));
+  ASSERT_OK_AND_ASSIGN(Dataset anonymized, session_.Materialize(report));
+  EXPECT_EQ(anonymized.num_records(), session_.dataset().num_records());
+  EXPECT_EQ(anonymized.schema().num_attributes(),
+            session_.dataset().schema().num_attributes());
+}
+
+TEST_F(IntegrationTest, ComparisonModeRunsMultipleConfigs) {
+  std::vector<AlgorithmConfig> configs(2);
+  configs[0].mode = AnonMode::kRt;
+  configs[0].relational_algorithm = "Cluster";
+  configs[0].transaction_algorithm = "Apriori";
+  configs[1].mode = AnonMode::kRt;
+  configs[1].relational_algorithm = "Cluster";
+  configs[1].transaction_algorithm = "COAT";
+  ParamSweep sweep{"k", 2, 6, 2};
+  ASSERT_OK_AND_ASSIGN(std::vector<SweepResult> results,
+                       session_.Compare(configs, sweep));
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& sr : results) {
+    EXPECT_EQ(sr.points.size(), 3u);
+    for (const auto& point : sr.points) {
+      EXPECT_TRUE(point.report.guarantee_ok)
+          << sr.base.Label() << " at k=" << point.value;
+    }
+  }
+}
+
+TEST_F(IntegrationTest, SweepSeriesExtraction) {
+  AlgorithmConfig config;
+  config.mode = AnonMode::kRelational;
+  config.relational_algorithm = "BottomUp";
+  ParamSweep sweep{"k", 2, 10, 4};
+  ASSERT_OK_AND_ASSIGN(SweepResult result, session_.EvaluateSweep(config, sweep));
+  ASSERT_OK_AND_ASSIGN(Series gcp, result.Extract("gcp"));
+  ASSERT_EQ(gcp.size(), 3u);
+  // GCP grows (weakly) with k.
+  EXPECT_LE(gcp.y[0], gcp.y[2] + 1e-12);
+}
+
+}  // namespace
+}  // namespace secreta

@@ -1,0 +1,86 @@
+// Tests for generalization-mapping export.
+
+#include "export/mapping_export.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/recoding.h"
+#include "engine/registry.h"
+#include "hierarchy/hierarchy_builder.h"
+#include "tests/test_util.h"
+
+namespace secreta {
+namespace {
+
+TEST(MappingExportTest, RelationalMappingCoversEveryCell) {
+  Dataset ds = testing::SmallRtDataset(80, 601);
+  ASSERT_OK_AND_ASSIGN(auto hierarchies, BuildAllColumnHierarchies(ds));
+  ASSERT_OK_AND_ASSIGN(RelationalContext ctx,
+                       RelationalContext::Create(ds, hierarchies));
+  std::vector<int> levels(ctx.num_qi(), 1);
+  RelationalRecoding recoding = ApplyFullDomainLevels(ctx, levels);
+  auto mapping = CollectRelationalMapping(ctx, recoding);
+  // Counts per attribute must sum to the record count.
+  std::map<std::string, size_t> totals;
+  for (const auto& entry : mapping) totals[entry.attribute] += entry.count;
+  ASSERT_EQ(totals.size(), ctx.num_qi());
+  for (const auto& [attr, total] : totals) {
+    EXPECT_EQ(total, ds.num_records()) << attr;
+  }
+  // Full-domain recoding: mapping is a function (unique target per original).
+  std::map<std::pair<std::string, std::string>, std::set<std::string>> images;
+  for (const auto& entry : mapping) {
+    images[{entry.attribute, entry.original}].insert(entry.generalized);
+  }
+  for (const auto& [key, targets] : images) {
+    EXPECT_EQ(targets.size(), 1u) << key.first << "/" << key.second;
+  }
+}
+
+TEST(MappingExportTest, TransactionMappingTracksSuppression) {
+  std::vector<std::vector<ItemId>> txns{{0, 1}, {0}, {1}};
+  Dictionary dict;
+  dict.GetOrAdd("a");
+  dict.GetOrAdd("b");
+  TransactionRecoding recoding;
+  int32_t g = recoding.AddGen("{a?}", {0});
+  recoding.item_map = {g, kSuppressedGen};
+  recoding.records = {{g}, {g}, {}};
+  auto mapping = CollectTransactionMapping(recoding, txns, dict);
+  size_t suppressed_count = 0;
+  size_t a_count = 0;
+  for (const auto& entry : mapping) {
+    if (entry.generalized == "(suppressed)") suppressed_count += entry.count;
+    if (entry.original == "a") a_count += entry.count;
+  }
+  EXPECT_EQ(suppressed_count, 2u);  // two occurrences of b
+  EXPECT_EQ(a_count, 2u);
+}
+
+TEST(MappingExportTest, CsvWriteAndReload) {
+  Dataset ds = testing::SmallRtDataset(60, 603);
+  ASSERT_OK_AND_ASSIGN(Hierarchy item_h, BuildItemHierarchy(ds));
+  ASSERT_OK_AND_ASSIGN(TransactionContext ctx,
+                       TransactionContext::Create(ds, &item_h));
+  ASSERT_OK_AND_ASSIGN(auto algo, MakeTransactionAnonymizer("Apriori"));
+  AnonParams params;
+  params.k = 5;
+  ASSERT_OK_AND_ASSIGN(TransactionRecoding recoding,
+                       algo->Anonymize(ctx, params));
+  std::vector<std::vector<ItemId>> txns;
+  for (size_t r = 0; r < ds.num_records(); ++r) txns.push_back(ds.items(r));
+  auto mapping =
+      CollectTransactionMapping(recoding, txns, ds.item_dictionary());
+  EXPECT_FALSE(mapping.empty());
+  std::string path = ::testing::TempDir() + "/secreta_mapping.csv";
+  ASSERT_OK(ExportMapping(mapping, path));
+  ASSERT_OK_AND_ASSIGN(csv::CsvTable table, csv::ReadCsvFile(path));
+  EXPECT_EQ(table.size(), mapping.size() + 1);  // header + rows
+  EXPECT_EQ(table[0][0], "attribute");
+}
+
+}  // namespace
+}  // namespace secreta

@@ -1,0 +1,87 @@
+// Tests for the market-basket generator and its use with the transaction
+// anonymizers.
+
+#include "datagen/market_basket.h"
+
+#include <gtest/gtest.h>
+
+#include "core/guarantees.h"
+#include "engine/registry.h"
+#include "hierarchy/hierarchy_builder.h"
+#include "tests/test_util.h"
+
+namespace secreta {
+namespace {
+
+TEST(MarketBasketTest, ShapeAndDeterminism) {
+  MarketBasketOptions options;
+  options.num_records = 300;
+  options.num_items = 80;
+  options.seed = 5;
+  ASSERT_OK_AND_ASSIGN(Dataset a, GenerateMarketBasket(options));
+  EXPECT_EQ(a.num_records(), 300u);
+  EXPECT_TRUE(a.has_transaction());
+  EXPECT_EQ(a.num_relational(), 0u);
+  EXPECT_LE(a.item_dictionary().size(), 80u);
+  ASSERT_OK_AND_ASSIGN(Dataset b, GenerateMarketBasket(options));
+  EXPECT_EQ(a.ToCsv(), b.ToCsv());
+}
+
+TEST(MarketBasketTest, PatternsCreateFrequentItemsets) {
+  MarketBasketOptions options;
+  options.num_records = 800;
+  options.num_items = 100;
+  options.pattern_share = 0.9;
+  options.seed = 9;
+  ASSERT_OK_AND_ASSIGN(Dataset ds, GenerateMarketBasket(options));
+  // Count pair supports; correlated patterns must produce at least one pair
+  // far above the independence baseline.
+  std::map<std::pair<ItemId, ItemId>, size_t> pairs;
+  for (size_t r = 0; r < ds.num_records(); ++r) {
+    const auto& txn = ds.items(r);
+    for (size_t i = 0; i < txn.size(); ++i) {
+      for (size_t j = i + 1; j < txn.size(); ++j) {
+        ++pairs[{txn[i], txn[j]}];
+      }
+    }
+  }
+  size_t max_pair = 0;
+  for (const auto& [_, count] : pairs) max_pair = std::max(max_pair, count);
+  EXPECT_GT(max_pair, ds.num_records() / 10);
+}
+
+TEST(MarketBasketTest, InvalidOptionsRejected) {
+  MarketBasketOptions options;
+  options.num_records = 0;
+  EXPECT_FALSE(GenerateMarketBasket(options).ok());
+  options = MarketBasketOptions{};
+  options.pattern_share = 1.5;
+  EXPECT_FALSE(GenerateMarketBasket(options).ok());
+  options = MarketBasketOptions{};
+  options.num_patterns = 0;
+  EXPECT_FALSE(GenerateMarketBasket(options).ok());
+}
+
+TEST(MarketBasketTest, AnonymizersHandleBasketData) {
+  MarketBasketOptions options;
+  options.num_records = 250;
+  options.num_items = 60;
+  options.avg_transaction = 6;
+  options.seed = 77;
+  ASSERT_OK_AND_ASSIGN(Dataset ds, GenerateMarketBasket(options));
+  ASSERT_OK_AND_ASSIGN(Hierarchy h, BuildItemHierarchy(ds));
+  ASSERT_OK_AND_ASSIGN(TransactionContext ctx,
+                       TransactionContext::Create(ds, &h));
+  AnonParams params;
+  params.k = 5;
+  params.m = 2;
+  for (const std::string& name : TransactionAlgorithmNames()) {
+    ASSERT_OK_AND_ASSIGN(auto algo, MakeTransactionAnonymizer(name));
+    ASSERT_OK_AND_ASSIGN(TransactionRecoding recoding,
+                         algo->Anonymize(ctx, params));
+    EXPECT_TRUE(IsKmAnonymous(recoding.records, params.k, params.m)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace secreta

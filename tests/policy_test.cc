@@ -1,0 +1,177 @@
+// Unit tests for privacy/utility policies, their I/O and auto-generation.
+
+#include "policy/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hierarchy/hierarchy_builder.h"
+#include "policy/policy_generator.h"
+#include "policy/policy_io.h"
+#include "tests/test_util.h"
+
+namespace secreta {
+namespace {
+
+Dataset ItemsDataset() {
+  csv::CsvTable t{{"Items"}, {"a b"}, {"a c"}, {"b c d"}, {"a b c"}};
+  return std::move(Dataset::FromCsvInferred(t)).ValueOrDie();
+}
+
+TEST(UtilityPolicyTest, CreateBuildsIndex) {
+  ASSERT_OK_AND_ASSIGN(UtilityPolicy policy,
+                       UtilityPolicy::Create({{0, 1}, {2}}, 4));
+  EXPECT_EQ(policy.constraints.size(), 2u);
+  EXPECT_EQ(policy.constraint_of[0], 0);
+  EXPECT_EQ(policy.constraint_of[1], 0);
+  EXPECT_EQ(policy.constraint_of[2], 1);
+  EXPECT_EQ(policy.constraint_of[3], -1);  // unconstrained
+}
+
+TEST(UtilityPolicyTest, OverlapFails) {
+  EXPECT_FALSE(UtilityPolicy::Create({{0, 1}, {1, 2}}, 3).ok());
+}
+
+TEST(UtilityPolicyTest, OutOfRangeFails) {
+  EXPECT_FALSE(UtilityPolicy::Create({{0, 7}}, 3).ok());
+}
+
+TEST(UtilityPolicyTest, UnrestrictedCoversAll) {
+  UtilityPolicy policy = UtilityPolicy::Unrestricted(5);
+  ASSERT_EQ(policy.constraints.size(), 1u);
+  EXPECT_EQ(policy.constraints[0].size(), 5u);
+}
+
+TEST(PolicySatisfactionTest, ConstraintSupportOnIdentity) {
+  Dataset ds = ItemsDataset();
+  std::vector<std::vector<ItemId>> txns;
+  for (size_t r = 0; r < ds.num_records(); ++r) txns.push_back(ds.items(r));
+  TransactionRecoding identity = IdentityTransactionRecoding(
+      txns, ds.item_dictionary().size(), ds.item_dictionary());
+  ASSERT_OK_AND_ASSIGN(ItemId a, ds.item_dictionary().Lookup("a"));
+  ASSERT_OK_AND_ASSIGN(ItemId b, ds.item_dictionary().Lookup("b"));
+  EXPECT_EQ(ConstraintSupport({{a}, 0}, identity), 3u);
+  EXPECT_EQ(ConstraintSupport({{a, b}, 0}, identity), 2u);
+  PrivacyPolicy policy;
+  policy.constraints.push_back({{a}, 3});
+  EXPECT_TRUE(SatisfiesPrivacyPolicy(policy, identity, 2));
+  policy.constraints.push_back({{a, b}, 3});
+  EXPECT_FALSE(SatisfiesPrivacyPolicy(policy, identity, 2));
+}
+
+TEST(PolicySatisfactionTest, ZeroSupportSatisfies) {
+  Dataset ds = ItemsDataset();
+  std::vector<std::vector<ItemId>> txns;
+  for (size_t r = 0; r < ds.num_records(); ++r) txns.push_back(ds.items(r));
+  TransactionRecoding recoding = IdentityTransactionRecoding(
+      txns, ds.item_dictionary().size(), ds.item_dictionary());
+  ASSERT_OK_AND_ASSIGN(ItemId d, ds.item_dictionary().Lookup("d"));
+  // Suppress d everywhere.
+  int32_t d_gen = recoding.item_map[static_cast<size_t>(d)];
+  for (auto& rec : recoding.records) {
+    rec.erase(std::remove(rec.begin(), rec.end(), d_gen), rec.end());
+  }
+  recoding.item_map[static_cast<size_t>(d)] = kSuppressedGen;
+  PrivacyPolicy policy;
+  policy.constraints.push_back({{d}, 100});
+  EXPECT_TRUE(SatisfiesPrivacyPolicy(policy, recoding, 100));
+}
+
+TEST(PolicyIoTest, PrivacyRoundTrip) {
+  Dataset ds = ItemsDataset();
+  ASSERT_OK_AND_ASSIGN(PrivacyPolicy policy,
+                       ParsePrivacyPolicy("a b;4\nc\n# comment\n", ds));
+  ASSERT_EQ(policy.size(), 2u);
+  EXPECT_EQ(policy.constraints[0].items.size(), 2u);
+  EXPECT_EQ(policy.constraints[0].k, 4);
+  EXPECT_EQ(policy.constraints[1].k, 0);
+  std::string text = FormatPrivacyPolicy(policy, ds);
+  ASSERT_OK_AND_ASSIGN(PrivacyPolicy policy2, ParsePrivacyPolicy(text, ds));
+  EXPECT_EQ(FormatPrivacyPolicy(policy2, ds), text);
+}
+
+TEST(PolicyIoTest, UnknownItemFails) {
+  Dataset ds = ItemsDataset();
+  EXPECT_FALSE(ParsePrivacyPolicy("zz\n", ds).ok());
+  EXPECT_FALSE(ParseUtilityPolicy("zz\n", ds).ok());
+  EXPECT_FALSE(ParsePrivacyPolicy("a;0\n", ds).ok());
+}
+
+TEST(PolicyIoTest, UtilityRoundTrip) {
+  Dataset ds = ItemsDataset();
+  ASSERT_OK_AND_ASSIGN(UtilityPolicy policy,
+                       ParseUtilityPolicy("a b\nc d\n", ds));
+  EXPECT_EQ(policy.constraints.size(), 2u);
+  std::string text = FormatUtilityPolicy(policy, ds);
+  ASSERT_OK_AND_ASSIGN(UtilityPolicy policy2, ParseUtilityPolicy(text, ds));
+  EXPECT_EQ(FormatUtilityPolicy(policy2, ds), text);
+}
+
+TEST(PolicyGeneratorTest, AllItemsStrategy) {
+  Dataset ds = ItemsDataset();
+  PrivacyGenOptions options;
+  options.strategy = PrivacyStrategy::kAllItems;
+  ASSERT_OK_AND_ASSIGN(PrivacyPolicy policy, GeneratePrivacyPolicy(ds, options));
+  EXPECT_EQ(policy.size(), ds.item_dictionary().size());
+  for (const auto& c : policy.constraints) EXPECT_EQ(c.items.size(), 1u);
+}
+
+TEST(PolicyGeneratorTest, FrequentItemsStrategy) {
+  Dataset ds = testing::SmallRtDataset(100);
+  PrivacyGenOptions options;
+  options.strategy = PrivacyStrategy::kFrequentItems;
+  options.frequent_fraction = 0.1;
+  ASSERT_OK_AND_ASSIGN(PrivacyPolicy policy, GeneratePrivacyPolicy(ds, options));
+  EXPECT_GE(policy.size(), 1u);
+  EXPECT_LT(policy.size(), ds.item_dictionary().size());
+}
+
+TEST(PolicyGeneratorTest, RandomItemsetsComeFromRecords) {
+  Dataset ds = testing::SmallRtDataset(100);
+  PrivacyGenOptions options;
+  options.strategy = PrivacyStrategy::kRandomItemsets;
+  options.num_itemsets = 10;
+  options.max_itemset_size = 2;
+  ASSERT_OK_AND_ASSIGN(PrivacyPolicy policy, GeneratePrivacyPolicy(ds, options));
+  EXPECT_GE(policy.size(), 1u);
+  for (const auto& c : policy.constraints) {
+    EXPECT_GE(c.items.size(), 1u);
+    EXPECT_LE(c.items.size(), 2u);
+    // Every generated itemset occurs in some record.
+    bool found = false;
+    for (size_t r = 0; r < ds.num_records() && !found; ++r) {
+      const auto& txn = ds.items(r);
+      found = std::includes(txn.begin(), txn.end(), c.items.begin(),
+                            c.items.end());
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(PolicyGeneratorTest, FrequencyBandsPartitionDomain) {
+  Dataset ds = testing::SmallRtDataset(100);
+  UtilityGenOptions options;
+  options.strategy = UtilityStrategy::kFrequencyBands;
+  options.band_size = 7;
+  ASSERT_OK_AND_ASSIGN(UtilityPolicy policy, GenerateUtilityPolicy(ds, options));
+  size_t covered = 0;
+  for (const auto& group : policy.constraints) covered += group.size();
+  EXPECT_EQ(covered, ds.item_dictionary().size());
+  for (int32_t c : policy.constraint_of) EXPECT_NE(c, -1);
+}
+
+TEST(PolicyGeneratorTest, HierarchyLevelStrategy) {
+  Dataset ds = testing::SmallRtDataset(100);
+  ASSERT_OK_AND_ASSIGN(Hierarchy h, BuildItemHierarchy(ds));
+  UtilityGenOptions options;
+  options.strategy = UtilityStrategy::kHierarchyLevel;
+  options.hierarchy_depth = 1;
+  ASSERT_OK_AND_ASSIGN(UtilityPolicy policy,
+                       GenerateUtilityPolicy(ds, options, &h));
+  EXPECT_EQ(policy.constraints.size(), h.children(h.root()).size());
+  EXPECT_FALSE(GenerateUtilityPolicy(ds, options, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace secreta

@@ -1,0 +1,186 @@
+// Unit tests for COUNT queries, workloads, the evaluator and ARE.
+
+#include "query/query.h"
+
+#include <gtest/gtest.h>
+
+#include "core/recoding.h"
+#include "hierarchy/hierarchy_builder.h"
+#include "query/query_evaluator.h"
+#include "query/workload_generator.h"
+#include "tests/test_util.h"
+
+namespace secreta {
+namespace {
+
+Dataset QueryDataset() {
+  csv::CsvTable t{
+      {"Age", "Gender", "Items"}, {"20", "M", "a b"},   {"30", "F", "a"},
+      {"40", "M", "b c"},         {"50", "F", "a b c"}, {"60", "M", "c"},
+  };
+  return std::move(Dataset::FromCsvInferred(t)).ValueOrDie();
+}
+
+TEST(QueryParseTest, RangeValuesAndItems) {
+  ASSERT_OK_AND_ASSIGN(CountQuery q,
+                       CountQuery::Parse("Age:20..40;Gender:M|F;items:a b"));
+  ASSERT_EQ(q.relational.size(), 2u);
+  EXPECT_TRUE(q.relational[0].is_range);
+  EXPECT_DOUBLE_EQ(q.relational[0].lo, 20);
+  EXPECT_DOUBLE_EQ(q.relational[0].hi, 40);
+  EXPECT_EQ(q.relational[1].values.size(), 2u);
+  EXPECT_EQ(q.items.size(), 2u);
+}
+
+TEST(QueryParseTest, RoundTrip) {
+  ASSERT_OK_AND_ASSIGN(CountQuery q,
+                       CountQuery::Parse("Age:20..40;items:a"));
+  ASSERT_OK_AND_ASSIGN(CountQuery q2, CountQuery::Parse(q.ToString()));
+  EXPECT_EQ(q2.ToString(), q.ToString());
+}
+
+TEST(QueryParseTest, Malformed) {
+  EXPECT_FALSE(CountQuery::Parse("").ok());
+  EXPECT_FALSE(CountQuery::Parse("noclause").ok());
+  EXPECT_FALSE(CountQuery::Parse("Age:").ok());
+  EXPECT_FALSE(CountQuery::Parse("Age:50..20").ok());
+}
+
+TEST(WorkloadTest, ParseEditSave) {
+  ASSERT_OK_AND_ASSIGN(Workload wl,
+                       Workload::Parse("Age:20..30\n# note\nitems:a\n"));
+  EXPECT_EQ(wl.size(), 2u);
+  ASSERT_OK(wl.Remove(0));
+  EXPECT_EQ(wl.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(CountQuery q, CountQuery::Parse("Gender:M"));
+  wl.Add(q);
+  ASSERT_OK(wl.Replace(0, q));
+  EXPECT_FALSE(wl.Remove(9).ok());
+  ASSERT_OK_AND_ASSIGN(Workload wl2, Workload::Parse(wl.Format()));
+  EXPECT_EQ(wl2.Format(), wl.Format());
+}
+
+TEST(QueryEvaluatorTest, ExactCounts) {
+  Dataset ds = QueryDataset();
+  ASSERT_OK_AND_ASSIGN(QueryEvaluator ev, QueryEvaluator::Create(ds, nullptr));
+  ASSERT_OK_AND_ASSIGN(CountQuery q1, CountQuery::Parse("Age:20..40"));
+  EXPECT_DOUBLE_EQ(ev.ExactCount(q1).value(), 3);
+  ASSERT_OK_AND_ASSIGN(CountQuery q2, CountQuery::Parse("Gender:M;items:b"));
+  EXPECT_DOUBLE_EQ(ev.ExactCount(q2).value(), 2);
+  ASSERT_OK_AND_ASSIGN(CountQuery q3, CountQuery::Parse("items:a b c"));
+  EXPECT_DOUBLE_EQ(ev.ExactCount(q3).value(), 1);
+  ASSERT_OK_AND_ASSIGN(CountQuery q4, CountQuery::Parse("items:zz"));
+  EXPECT_DOUBLE_EQ(ev.ExactCount(q4).value(), 0);
+  ASSERT_OK_AND_ASSIGN(CountQuery q5, CountQuery::Parse("Nope:1..2"));
+  EXPECT_FALSE(ev.ExactCount(q5).ok());
+}
+
+TEST(QueryEvaluatorTest, EstimateEqualsExactOnIdentityRecoding) {
+  Dataset ds = QueryDataset();
+  ASSERT_OK_AND_ASSIGN(auto hierarchies, BuildAllColumnHierarchies(ds));
+  ASSERT_OK_AND_ASSIGN(RelationalContext ctx,
+                       RelationalContext::Create(ds, hierarchies));
+  RelationalRecoding identity = IdentityRecoding(ctx);
+  ASSERT_OK_AND_ASSIGN(QueryEvaluator ev, QueryEvaluator::Create(ds, &ctx));
+  for (const char* text : {"Age:20..40", "Gender:F", "Age:30..60;Gender:M"}) {
+    ASSERT_OK_AND_ASSIGN(CountQuery q, CountQuery::Parse(text));
+    ASSERT_OK_AND_ASSIGN(double exact, ev.ExactCount(q));
+    ASSERT_OK_AND_ASSIGN(double est, ev.EstimatedCount(q, &identity, nullptr));
+    EXPECT_NEAR(exact, est, 1e-9) << text;
+  }
+}
+
+TEST(QueryEvaluatorTest, FullGeneralizationGivesUniformEstimate) {
+  Dataset ds = QueryDataset();
+  ASSERT_OK_AND_ASSIGN(auto hierarchies, BuildAllColumnHierarchies(ds));
+  ASSERT_OK_AND_ASSIGN(RelationalContext ctx,
+                       RelationalContext::Create(ds, hierarchies));
+  // Everything to the root.
+  std::vector<int> levels(ctx.num_qi(), 100);
+  RelationalRecoding all_root = ApplyFullDomainLevels(ctx, levels);
+  ASSERT_OK_AND_ASSIGN(QueryEvaluator ev, QueryEvaluator::Create(ds, &ctx));
+  // Age domain has 5 distinct values; a clause covering 3 of them should
+  // estimate n * 3/5 = 3.
+  ASSERT_OK_AND_ASSIGN(CountQuery q, CountQuery::Parse("Age:20..40"));
+  ASSERT_OK_AND_ASSIGN(double est, ev.EstimatedCount(q, &all_root, nullptr));
+  EXPECT_NEAR(est, 3.0, 1e-9);
+}
+
+TEST(QueryEvaluatorTest, AreZeroOnIdentity) {
+  Dataset ds = QueryDataset();
+  ASSERT_OK_AND_ASSIGN(auto hierarchies, BuildAllColumnHierarchies(ds));
+  ASSERT_OK_AND_ASSIGN(RelationalContext ctx,
+                       RelationalContext::Create(ds, hierarchies));
+  RelationalRecoding identity = IdentityRecoding(ctx);
+  ASSERT_OK_AND_ASSIGN(Workload wl, Workload::Parse("Age:20..40\nGender:F\n"));
+  ASSERT_OK_AND_ASSIGN(QueryEvaluator ev, QueryEvaluator::Create(ds, &ctx));
+  ASSERT_OK_AND_ASSIGN(AreReport report, ev.Are(wl, &identity, nullptr));
+  EXPECT_NEAR(report.are, 0.0, 1e-9);
+  EXPECT_EQ(report.actual.size(), 2u);
+}
+
+TEST(QueryEvaluatorTest, ItemEstimateUsesCoverShare) {
+  Dataset ds = QueryDataset();
+  // Merge items a and b into one gen everywhere.
+  std::vector<std::vector<ItemId>> txns;
+  for (size_t r = 0; r < ds.num_records(); ++r) txns.push_back(ds.items(r));
+  ASSERT_OK_AND_ASSIGN(ItemId a, ds.item_dictionary().Lookup("a"));
+  ASSERT_OK_AND_ASSIGN(ItemId b, ds.item_dictionary().Lookup("b"));
+  ASSERT_OK_AND_ASSIGN(ItemId c, ds.item_dictionary().Lookup("c"));
+  TransactionRecoding recoding;
+  std::vector<ItemId> ab{std::min(a, b), std::max(a, b)};
+  int32_t g_ab = recoding.AddGen("{a,b}", ab);
+  int32_t g_c = recoding.AddGen("c", {c});
+  recoding.item_map.assign(ds.item_dictionary().size(), kSuppressedGen);
+  recoding.item_map[static_cast<size_t>(a)] = g_ab;
+  recoding.item_map[static_cast<size_t>(b)] = g_ab;
+  recoding.item_map[static_cast<size_t>(c)] = g_c;
+  for (const auto& txn : txns) {
+    std::vector<int32_t> rec;
+    for (ItemId item : txn) rec.push_back(recoding.item_map[item]);
+    std::sort(rec.begin(), rec.end());
+    rec.erase(std::unique(rec.begin(), rec.end()), rec.end());
+    recoding.records.push_back(rec);
+  }
+  ASSERT_OK_AND_ASSIGN(QueryEvaluator ev, QueryEvaluator::Create(ds, nullptr));
+  ASSERT_OK_AND_ASSIGN(CountQuery q, CountQuery::Parse("items:a"));
+  // Records containing {a,b}: 4 of 5; each contributes 1/2.
+  ASSERT_OK_AND_ASSIGN(double est, ev.EstimatedCount(q, nullptr, &recoding));
+  EXPECT_NEAR(est, 2.0, 1e-9);
+}
+
+TEST(WorkloadGeneratorTest, ProducesAnswerableQueries) {
+  Dataset ds = testing::SmallRtDataset(150);
+  WorkloadGenOptions options;
+  options.num_queries = 30;
+  ASSERT_OK_AND_ASSIGN(Workload wl, GenerateWorkload(ds, options));
+  EXPECT_GE(wl.size(), 25u);
+  ASSERT_OK_AND_ASSIGN(QueryEvaluator ev, QueryEvaluator::Create(ds, nullptr));
+  size_t nonzero = 0;
+  for (const auto& q : wl.queries()) {
+    ASSERT_OK_AND_ASSIGN(double count, ev.ExactCount(q));
+    if (count > 0) ++nonzero;
+  }
+  // Items are sampled from real records, so a healthy share must match.
+  EXPECT_GE(nonzero, wl.size() / 4);
+}
+
+TEST(WorkloadGeneratorTest, Deterministic) {
+  Dataset ds = testing::SmallRtDataset(80);
+  WorkloadGenOptions options;
+  options.num_queries = 10;
+  options.seed = 99;
+  ASSERT_OK_AND_ASSIGN(Workload w1, GenerateWorkload(ds, options));
+  ASSERT_OK_AND_ASSIGN(Workload w2, GenerateWorkload(ds, options));
+  EXPECT_EQ(w1.Format(), w2.Format());
+}
+
+TEST(WorkloadGeneratorTest, BadOptions) {
+  Dataset ds = testing::SmallRtDataset(50);
+  WorkloadGenOptions options;
+  options.domain_fraction = 0;
+  EXPECT_FALSE(GenerateWorkload(ds, options).ok());
+}
+
+}  // namespace
+}  // namespace secreta

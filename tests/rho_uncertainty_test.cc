@@ -1,0 +1,99 @@
+// Tests for the rho-uncertainty extension ([2], the paper's future-work
+// algorithm).
+
+#include "algo/transaction/rho_uncertainty.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace secreta {
+namespace {
+
+Dataset RuleDataset() {
+  // "a" strongly implies "s": conf(a -> s) = 3/4.
+  csv::CsvTable t{{"Items"}, {"a s"}, {"a s"}, {"a s"}, {"a b"},
+                  {"b c"},   {"b c"}, {"c s"}};
+  return std::move(Dataset::FromCsvInferred(t)).ValueOrDie();
+}
+
+TEST(RhoUncertaintyTest, BreaksHighConfidenceRule) {
+  Dataset ds = RuleDataset();
+  ASSERT_OK_AND_ASSIGN(TransactionContext ctx,
+                       TransactionContext::Create(ds, nullptr));
+  ASSERT_OK_AND_ASSIGN(ItemId s, ds.item_dictionary().Lookup("s"));
+  RhoUncertaintyAnonymizer algo({s});
+  AnonParams params;
+  params.rho = 0.5;
+  params.m = 1;
+  ASSERT_OK_AND_ASSIGN(TransactionRecoding recoding,
+                       algo.Anonymize(ctx, params));
+  std::vector<char> is_sensitive(ds.item_dictionary().size(), 0);
+  is_sensitive[static_cast<size_t>(s)] = 1;
+  EXPECT_TRUE(SatisfiesRhoUncertainty(recoding, is_sensitive, params.rho,
+                                      params.m));
+  EXPECT_GT(recoding.suppressed_occurrences, 0u);
+}
+
+TEST(RhoUncertaintyTest, NoOpWhenAlreadySafe) {
+  csv::CsvTable t{{"Items"}, {"a s"}, {"a b"}, {"a c"}, {"a d"}};
+  ASSERT_OK_AND_ASSIGN(Dataset ds, Dataset::FromCsvInferred(t));
+  ASSERT_OK_AND_ASSIGN(TransactionContext ctx,
+                       TransactionContext::Create(ds, nullptr));
+  ASSERT_OK_AND_ASSIGN(ItemId s, ds.item_dictionary().Lookup("s"));
+  RhoUncertaintyAnonymizer algo({s});
+  AnonParams params;
+  params.rho = 0.5;  // conf(a->s) = 1/4 <= 0.5
+  params.m = 1;
+  ASSERT_OK_AND_ASSIGN(TransactionRecoding recoding,
+                       algo.Anonymize(ctx, params));
+  EXPECT_EQ(recoding.suppressed_occurrences, 0u);
+}
+
+TEST(RhoUncertaintyTest, DefaultSensitiveSelection) {
+  Dataset ds = testing::SmallRtDataset(150, 61);
+  ASSERT_OK_AND_ASSIGN(TransactionContext ctx,
+                       TransactionContext::Create(ds, nullptr));
+  RhoUncertaintyAnonymizer algo;  // infer sensitive items from rarity
+  AnonParams params;
+  params.rho = 0.4;
+  params.m = 2;
+  ASSERT_OK_AND_ASSIGN(TransactionRecoding recoding,
+                       algo.Anonymize(ctx, params));
+  EXPECT_EQ(recoding.records.size(), ds.num_records());
+}
+
+TEST(RhoUncertaintyTest, HigherRhoSuppressesLess) {
+  Dataset ds = testing::SmallRtDataset(150, 67);
+  ASSERT_OK_AND_ASSIGN(TransactionContext ctx,
+                       TransactionContext::Create(ds, nullptr));
+  size_t suppressed[2];
+  double rhos[2] = {0.3, 0.9};
+  for (int i = 0; i < 2; ++i) {
+    RhoUncertaintyAnonymizer algo;
+    AnonParams params;
+    params.rho = rhos[i];
+    params.m = 1;
+    ASSERT_OK_AND_ASSIGN(TransactionRecoding recoding,
+                         algo.Anonymize(ctx, params));
+    suppressed[i] = recoding.suppressed_occurrences;
+  }
+  EXPECT_GE(suppressed[0], suppressed[1]);
+}
+
+TEST(RhoUncertaintyTest, CheckerDetectsViolation) {
+  // Identity recoding on RuleDataset: conf(a->s) = 0.75 > 0.5.
+  Dataset ds = RuleDataset();
+  std::vector<std::vector<ItemId>> txns;
+  for (size_t r = 0; r < ds.num_records(); ++r) txns.push_back(ds.items(r));
+  TransactionRecoding identity = IdentityTransactionRecoding(
+      txns, ds.item_dictionary().size(), ds.item_dictionary());
+  ASSERT_OK_AND_ASSIGN(ItemId s, ds.item_dictionary().Lookup("s"));
+  std::vector<char> is_sensitive(ds.item_dictionary().size(), 0);
+  is_sensitive[static_cast<size_t>(s)] = 1;
+  EXPECT_FALSE(SatisfiesRhoUncertainty(identity, is_sensitive, 0.5, 1));
+  EXPECT_TRUE(SatisfiesRhoUncertainty(identity, is_sensitive, 0.8, 1));
+}
+
+}  // namespace
+}  // namespace secreta

@@ -1,0 +1,162 @@
+// Failure-injection and edge-case robustness: malformed inputs and
+// degenerate datasets must yield clean Status errors or valid outputs —
+// never crashes or silent corruption.
+
+#include <gtest/gtest.h>
+
+#include "core/guarantees.h"
+#include "csv/csv.h"
+#include "engine/registry.h"
+#include "frontend/session.h"
+#include "hierarchy/hierarchy_builder.h"
+#include "hierarchy/hierarchy_io.h"
+#include "policy/policy_io.h"
+#include "tests/test_util.h"
+
+namespace secreta {
+namespace {
+
+TEST(RobustnessTest, MalformedHierarchyFiles) {
+  // Disagreeing roots.
+  EXPECT_FALSE(ParseHierarchy("a;*\nb;ROOT\n").ok());
+  // Duplicate leaf across branches.
+  EXPECT_FALSE(ParseHierarchy("a;g1;*\na;g2;*\n").ok());
+  // Empty and comment-only files.
+  EXPECT_FALSE(ParseHierarchy("").ok());
+  EXPECT_FALSE(ParseHierarchy("# nothing\n").ok());
+  // Stray whitespace is tolerated.
+  ASSERT_OK(ParseHierarchy("  a ; g ; * \n b;g;*\n").status());
+}
+
+TEST(RobustnessTest, HierarchyMissingDatasetValue) {
+  csv::CsvTable t{{"X", "Items"}, {"a", "i j"}, {"b", "i"}, {"zz", "j k"}};
+  ASSERT_OK_AND_ASSIGN(Dataset ds, Dataset::FromCsvInferred(t));
+  ASSERT_OK_AND_ASSIGN(Hierarchy h, ParseHierarchy("a;*\nb;*\n", "X"));
+  std::vector<Hierarchy> hierarchies(ds.num_relational());
+  ASSERT_OK_AND_ASSIGN(size_t col, ds.ColumnByName("X"));
+  hierarchies[col] = std::move(h);
+  // 'zz' has no leaf: binding must fail with NotFound, not crash.
+  auto ctx = RelationalContext::Create(ds, hierarchies);
+  ASSERT_FALSE(ctx.ok());
+  EXPECT_EQ(ctx.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RobustnessTest, MalformedPolicyFiles) {
+  Dataset ds = testing::SmallRtDataset(30);
+  EXPECT_FALSE(ParsePrivacyPolicy("i000;notanumber\n", ds).ok());
+  EXPECT_FALSE(ParsePrivacyPolicy("unknown_item\n", ds).ok());
+  EXPECT_FALSE(ParsePrivacyPolicy(";5\n", ds).ok());
+  // Utility constraints overlapping on an item.
+  EXPECT_FALSE(ParseUtilityPolicy("i000 i001\ni001 i002\n", ds).ok());
+}
+
+TEST(RobustnessTest, WorkloadValidation) {
+  Dataset ds = testing::SmallRtDataset(30);
+  ASSERT_OK_AND_ASSIGN(Workload bad_attr, Workload::Parse("Nope:1..2\n"));
+  EXPECT_FALSE(bad_attr.ValidateAgainst(ds).ok());
+  ASSERT_OK_AND_ASSIGN(Workload bad_range, Workload::Parse("Gender:1..2\n"));
+  EXPECT_FALSE(bad_range.ValidateAgainst(ds).ok());
+  ASSERT_OK_AND_ASSIGN(Workload good, Workload::Parse("Age:20..30;items:i000\n"));
+  EXPECT_OK(good.ValidateAgainst(ds));
+  // No transaction attribute -> item clauses invalid.
+  SyntheticOptions gen;
+  gen.num_records = 20;
+  ASSERT_OK_AND_ASSIGN(Dataset rel_only, GenerateRelationalDataset(gen));
+  ASSERT_OK_AND_ASSIGN(Workload items, Workload::Parse("items:i000\n"));
+  EXPECT_FALSE(items.ValidateAgainst(rel_only).ok());
+}
+
+TEST(RobustnessTest, EmptyTransactionsAreHandledEverywhere) {
+  // Some records with no items at all.
+  csv::CsvTable t{{"Age", "Items"}, {"20", "a b"}, {"21", ""},
+                  {"22", "a"},      {"23", ""},   {"24", "b a"},
+                  {"25", "b"}};
+  ASSERT_OK_AND_ASSIGN(Dataset ds, Dataset::FromCsvInferred(t));
+  ASSERT_OK_AND_ASSIGN(Hierarchy item_h, BuildItemHierarchy(ds));
+  ASSERT_OK_AND_ASSIGN(TransactionContext ctx,
+                       TransactionContext::Create(ds, &item_h));
+  AnonParams params;
+  params.k = 2;
+  params.m = 2;
+  for (const std::string& name : TransactionAlgorithmNames()) {
+    ASSERT_OK_AND_ASSIGN(auto algo, MakeTransactionAnonymizer(name));
+    ASSERT_OK_AND_ASSIGN(TransactionRecoding recoding,
+                         algo->Anonymize(ctx, params));
+    EXPECT_TRUE(IsKmAnonymous(recoding.records, params.k, params.m)) << name;
+    EXPECT_TRUE(recoding.records[1].empty()) << name;  // stays empty
+  }
+}
+
+TEST(RobustnessTest, AllIdenticalRecords) {
+  csv::CsvTable t{{"Age", "Items"}};
+  for (int i = 0; i < 10; ++i) t.push_back({"30", "a b"});
+  ASSERT_OK_AND_ASSIGN(Dataset ds, Dataset::FromCsvInferred(t));
+  SecretaSession session;
+  ASSERT_OK(session.SetDataset(std::move(ds)));
+  ASSERT_OK(session.AutoGenerateHierarchies());
+  AlgorithmConfig config;
+  config.mode = AnonMode::kRt;
+  config.relational_algorithm = "TopDown";
+  config.transaction_algorithm = "Apriori";
+  config.params.k = 5;
+  ASSERT_OK_AND_ASSIGN(EvaluationReport report, session.Evaluate(config));
+  EXPECT_TRUE(report.guarantee_ok);
+  // Identical data needs no generalization at all.
+  EXPECT_NEAR(report.gcp, 0.0, 1e-12);
+  EXPECT_NEAR(report.ul, 0.0, 1e-12);
+}
+
+TEST(RobustnessTest, SingleDistinctValuePerAttribute) {
+  csv::CsvTable t{{"X"}};
+  for (int i = 0; i < 6; ++i) t.push_back({"only"});
+  ASSERT_OK_AND_ASSIGN(Dataset ds, Dataset::FromCsvInferred(t));
+  ASSERT_OK_AND_ASSIGN(auto hierarchies, BuildAllColumnHierarchies(ds));
+  ASSERT_OK_AND_ASSIGN(RelationalContext ctx,
+                       RelationalContext::Create(ds, hierarchies));
+  for (const std::string& name : RelationalAlgorithmNames()) {
+    ASSERT_OK_AND_ASSIGN(auto algo, MakeRelationalAnonymizer(name));
+    AnonParams params;
+    params.k = 3;
+    ASSERT_OK_AND_ASSIGN(RelationalRecoding recoding,
+                         algo->Anonymize(ctx, params));
+    EXPECT_TRUE(IsKAnonymous(recoding, 3)) << name;
+  }
+}
+
+TEST(RobustnessTest, CorruptCsvDatasets) {
+  EXPECT_FALSE(Dataset::FromCsvInferred({}).ok());
+  // Rows with wrong arity.
+  csv::CsvTable ragged{{"A", "B"}, {"1"}};
+  EXPECT_FALSE(Dataset::FromCsvInferred(ragged).ok());
+  // Unterminated quote at the file level.
+  EXPECT_FALSE(csv::ParseCsv("a,\"b\n").ok());
+}
+
+TEST(RobustnessTest, SessionSurvivesFailedRuns) {
+  SecretaSession session;
+  ASSERT_OK(session.SetDataset(testing::SmallRtDataset(30)));
+  ASSERT_OK(session.AutoGenerateHierarchies());
+  AlgorithmConfig config;
+  config.mode = AnonMode::kRelational;
+  config.relational_algorithm = "Cluster";
+  config.params.k = 500;  // > n: must fail cleanly
+  EXPECT_FALSE(session.Evaluate(config).ok());
+  config.params.k = 3;  // ...and the session keeps working afterwards
+  ASSERT_OK(session.Evaluate(config).status());
+}
+
+TEST(RobustnessTest, HierarchyValidateAcceptsBuildersAndIo) {
+  Dataset ds = testing::SmallRtDataset(60);
+  ASSERT_OK_AND_ASSIGN(auto hierarchies, BuildAllColumnHierarchies(ds));
+  for (const auto& h : hierarchies) EXPECT_OK(h.Validate());
+  ASSERT_OK_AND_ASSIGN(Hierarchy item_h, BuildItemHierarchy(ds));
+  EXPECT_OK(item_h.Validate());
+  ASSERT_OK_AND_ASSIGN(Hierarchy reparsed,
+                       ParseHierarchy(FormatHierarchy(item_h)));
+  EXPECT_OK(reparsed.Validate());
+  Hierarchy unfinalized;
+  EXPECT_FALSE(unfinalized.Validate().ok());
+}
+
+}  // namespace
+}  // namespace secreta

@@ -1,0 +1,197 @@
+// Property tests for the RT pipeline: all 20 relational x transaction
+// combinations under each of the 3 bounding methods must produce
+// (k, k^m)-anonymous output; delta must trade relational loss against
+// transaction loss in the documented direction.
+
+#include <gtest/gtest.h>
+
+#include "algo/rt/rt_anonymizer.h"
+#include "core/guarantees.h"
+#include "engine/registry.h"
+#include "hierarchy/hierarchy_builder.h"
+#include "metrics/information_loss.h"
+#include "tests/test_util.h"
+
+namespace secreta {
+namespace {
+
+struct RtCase {
+  std::string relational;
+  std::string transaction;
+  MergerKind merger;
+};
+
+class RtAlgoTest : public ::testing::TestWithParam<RtCase> {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(testing::SmallRtDataset(200, 51));
+    hierarchies_ = new std::vector<Hierarchy>(
+        std::move(BuildAllColumnHierarchies(*dataset_)).ValueOrDie());
+    item_hierarchy_ = new Hierarchy(
+        std::move(BuildItemHierarchy(*dataset_)).ValueOrDie());
+    rel_context_ = new RelationalContext(std::move(
+        RelationalContext::Create(*dataset_, *hierarchies_)).ValueOrDie());
+    txn_context_ = new TransactionContext(std::move(
+        TransactionContext::Create(*dataset_, item_hierarchy_)).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete txn_context_;
+    delete rel_context_;
+    delete item_hierarchy_;
+    delete hierarchies_;
+    delete dataset_;
+    dataset_ = nullptr;
+    hierarchies_ = nullptr;
+    item_hierarchy_ = nullptr;
+    rel_context_ = nullptr;
+    txn_context_ = nullptr;
+  }
+
+  static Dataset* dataset_;
+  static std::vector<Hierarchy>* hierarchies_;
+  static Hierarchy* item_hierarchy_;
+  static RelationalContext* rel_context_;
+  static TransactionContext* txn_context_;
+};
+
+Dataset* RtAlgoTest::dataset_ = nullptr;
+std::vector<Hierarchy>* RtAlgoTest::hierarchies_ = nullptr;
+Hierarchy* RtAlgoTest::item_hierarchy_ = nullptr;
+RelationalContext* RtAlgoTest::rel_context_ = nullptr;
+TransactionContext* RtAlgoTest::txn_context_ = nullptr;
+
+TEST_P(RtAlgoTest, OutputIsKKmAnonymous) {
+  const RtCase& c = GetParam();
+  ASSERT_OK_AND_ASSIGN(auto rel, MakeRelationalAnonymizer(c.relational));
+  ASSERT_OK_AND_ASSIGN(auto txn, MakeTransactionAnonymizer(c.transaction));
+  RtAnonymizer rt(rel, txn, c.merger);
+  AnonParams params;
+  params.k = 4;
+  params.m = 2;
+  params.delta = 0.4;
+  ASSERT_OK_AND_ASSIGN(RtResult result,
+                       rt.Anonymize(*rel_context_, *txn_context_, params));
+  EXPECT_TRUE(IsKKmAnonymous(result.relational, result.transaction.records,
+                             params.k, params.m));
+  EXPECT_GE(result.initial_clusters, result.final_clusters);
+  EXPECT_EQ(result.transaction.records.size(), dataset_->num_records());
+  // Phase breakdown is populated.
+  EXPECT_EQ(result.phases.phases().size(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TwentyCombinationsTimesMergers, RtAlgoTest,
+    ::testing::ValuesIn([] {
+      // The full 4 x 5 grid with a rotating merger (every merger still sees
+      // multiple combinations; the full 4 x 5 x 3 grid runs in the bench).
+      std::vector<RtCase> cases;
+      int i = 0;
+      for (const std::string& rel : RelationalAlgorithmNames()) {
+        for (const std::string& txn : TransactionAlgorithmNames()) {
+          MergerKind merger = static_cast<MergerKind>(i % 3);
+          cases.push_back({rel, txn, merger});
+          ++i;
+        }
+      }
+      return cases;
+    }()),
+    [](const ::testing::TestParamInfo<RtCase>& info) {
+      return info.param.relational + "_" + info.param.transaction + "_" +
+             MergerKindToString(info.param.merger);
+    });
+
+class RtDeltaTest : public RtAlgoTest {};
+
+TEST_F(RtDeltaTest, DeltaTradesRelationalForTransactionUtility) {
+  ASSERT_OK_AND_ASSIGN(auto rel, MakeRelationalAnonymizer("Cluster"));
+  ASSERT_OK_AND_ASSIGN(auto txn, MakeTransactionAnonymizer("Apriori"));
+  RtAnonymizer rt(rel, txn, MergerKind::kRTmerger);
+  AnonParams params;
+  params.k = 4;
+  params.m = 2;
+  std::vector<std::vector<ItemId>> original;
+  for (size_t r = 0; r < dataset_->num_records(); ++r) {
+    original.push_back(dataset_->items(r));
+  }
+  // Tight delta (0.05) forces many merges; loose delta (0.9) almost none.
+  params.delta = 0.05;
+  ASSERT_OK_AND_ASSIGN(RtResult tight,
+                       rt.Anonymize(*rel_context_, *txn_context_, params));
+  params.delta = 0.9;
+  ASSERT_OK_AND_ASSIGN(RtResult loose,
+                       rt.Anonymize(*rel_context_, *txn_context_, params));
+  EXPECT_GE(tight.merges, loose.merges);
+  double gcp_tight = RecodingGcp(*rel_context_, tight.relational);
+  double gcp_loose = RecodingGcp(*rel_context_, loose.relational);
+  double ul_tight = TransactionUl(tight.transaction, original,
+                                  dataset_->item_dictionary().size());
+  double ul_loose = TransactionUl(loose.transaction, original,
+                                  dataset_->item_dictionary().size());
+  // More merging: relational coarser, transactions finer.
+  EXPECT_GE(gcp_tight + 1e-9, gcp_loose);
+  EXPECT_LE(ul_tight, ul_loose + 1e-9);
+}
+
+TEST_F(RtDeltaTest, MergerChoiceChangesTradeoff) {
+  AnonParams params;
+  params.k = 4;
+  params.m = 2;
+  params.delta = 0.1;
+  std::vector<std::vector<ItemId>> original;
+  for (size_t r = 0; r < dataset_->num_records(); ++r) {
+    original.push_back(dataset_->items(r));
+  }
+  double gcp[3];
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK_AND_ASSIGN(auto rel, MakeRelationalAnonymizer("Cluster"));
+    ASSERT_OK_AND_ASSIGN(auto txn, MakeTransactionAnonymizer("Apriori"));
+    RtAnonymizer rt(rel, txn, static_cast<MergerKind>(i));
+    ASSERT_OK_AND_ASSIGN(RtResult result,
+                         rt.Anonymize(*rel_context_, *txn_context_, params));
+    gcp[i] = RecodingGcp(*rel_context_, result.relational);
+    EXPECT_TRUE(IsKKmAnonymous(result.relational, result.transaction.records,
+                               params.k, params.m));
+  }
+  // Rmerger optimizes relational loss during merging: it should not be worse
+  // than Tmerger on GCP (weak ordering, with tolerance for greediness).
+  EXPECT_LE(gcp[0], gcp[1] + 0.15);
+}
+
+TEST_F(RtDeltaTest, DeepAdversaryKnowledgeM3) {
+  // (k, k^3)-anonymity — the expensive corner of the parameter space.
+  ASSERT_OK_AND_ASSIGN(auto rel, MakeRelationalAnonymizer("Cluster"));
+  ASSERT_OK_AND_ASSIGN(auto txn, MakeTransactionAnonymizer("COAT"));
+  RtAnonymizer rt(rel, txn, MergerKind::kRTmerger);
+  AnonParams params;
+  params.k = 3;
+  params.m = 3;
+  params.delta = 0.4;
+  ASSERT_OK_AND_ASSIGN(RtResult result,
+                       rt.Anonymize(*rel_context_, *txn_context_, params));
+  EXPECT_TRUE(IsKKmAnonymous(result.relational, result.transaction.records,
+                             params.k, params.m));
+}
+
+TEST(RtEdgeTest, MismatchedContextsRejected) {
+  Dataset a = testing::SmallRtDataset(50, 1);
+  Dataset b = testing::SmallRtDataset(50, 2);
+  ASSERT_OK_AND_ASSIGN(auto ha, BuildAllColumnHierarchies(a));
+  ASSERT_OK_AND_ASSIGN(auto ctx_a, RelationalContext::Create(a, ha));
+  ASSERT_OK_AND_ASSIGN(Hierarchy hb, BuildItemHierarchy(b));
+  ASSERT_OK_AND_ASSIGN(auto ctx_b, TransactionContext::Create(b, &hb));
+  ASSERT_OK_AND_ASSIGN(auto rel, MakeRelationalAnonymizer("Cluster"));
+  ASSERT_OK_AND_ASSIGN(auto txn, MakeTransactionAnonymizer("Apriori"));
+  RtAnonymizer rt(rel, txn, MergerKind::kRmerger);
+  AnonParams params;
+  EXPECT_FALSE(rt.Anonymize(ctx_a, ctx_b, params).ok());
+}
+
+TEST(RtEdgeTest, NameIncludesAllParts) {
+  ASSERT_OK_AND_ASSIGN(auto rel, MakeRelationalAnonymizer("TopDown"));
+  ASSERT_OK_AND_ASSIGN(auto txn, MakeTransactionAnonymizer("COAT"));
+  RtAnonymizer rt(rel, txn, MergerKind::kTmerger);
+  EXPECT_EQ(rt.name(), "TopDown+COAT/Tmerger");
+}
+
+}  // namespace
+}  // namespace secreta

@@ -1,0 +1,47 @@
+// Seed-stability: across independent data seeds the pipeline must always
+// satisfy its guarantee and keep its utility metrics inside sane bounds —
+// a guard against seed-specific flukes in the other suites.
+
+#include <gtest/gtest.h>
+
+#include "frontend/session.h"
+#include "tests/test_util.h"
+
+namespace secreta {
+namespace {
+
+class SeedStabilityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedStabilityTest, RtPipelineStableAcrossDataSeeds) {
+  SecretaSession session;
+  ASSERT_OK(session.SetDataset(testing::SmallRtDataset(180, GetParam())));
+  ASSERT_OK(session.AutoGenerateHierarchies());
+  WorkloadGenOptions wl;
+  wl.num_queries = 15;
+  wl.seed = GetParam() + 1;
+  ASSERT_OK(session.GenerateQueryWorkload(wl));
+  AlgorithmConfig config;
+  config.mode = AnonMode::kRt;
+  config.relational_algorithm = "Cluster";
+  config.transaction_algorithm = "Apriori";
+  config.params.k = 4;
+  config.params.m = 2;
+  config.params.delta = 0.3;
+  config.params.seed = GetParam() + 2;
+  ASSERT_OK_AND_ASSIGN(EvaluationReport report, session.Evaluate(config));
+  EXPECT_TRUE(report.guarantee_ok);
+  EXPECT_GE(report.gcp, 0.0);
+  EXPECT_LE(report.gcp, 1.0);
+  EXPECT_GE(report.ul, 0.0);
+  EXPECT_LE(report.ul, 1.0);
+  EXPECT_GE(report.are, 0.0);
+  EXPECT_GE(report.entropy_loss, 0.0);
+  EXPECT_LE(report.entropy_loss, 1.0 + 1e-9);
+  EXPECT_GE(report.run.initial_clusters, report.run.final_clusters);
+}
+
+INSTANTIATE_TEST_SUITE_P(DataSeeds, SeedStabilityTest,
+                         ::testing::Values(11u, 222u, 3333u, 44444u, 555555u));
+
+}  // namespace
+}  // namespace secreta

@@ -1,0 +1,86 @@
+// Unit tests for Status / Result<T> and the propagation macros.
+
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace secreta {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad k");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kIOError,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+namespace {
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Result<int> DoubleIfPositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x * 2;
+}
+
+Status Chain(int x) {
+  SECRETA_RETURN_IF_ERROR(FailIfNegative(x));
+  SECRETA_ASSIGN_OR_RETURN(int doubled, DoubleIfPositive(x));
+  return doubled > 100 ? Status::OutOfRange("too big") : Status::OK();
+}
+}  // namespace
+
+TEST(ResultTest, MacrosPropagate) {
+  EXPECT_TRUE(Chain(3).ok());
+  EXPECT_EQ(Chain(-1).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Chain(0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Chain(60).code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace secreta

@@ -1,0 +1,110 @@
+// Tests for the plotting substitute and the Data Export Module.
+
+#include <gtest/gtest.h>
+
+#include "export/exporter.h"
+#include "tests/test_util.h"
+#include "viz/ascii_plot.h"
+
+namespace secreta {
+namespace {
+
+Series MakeSeries(const std::string& name, std::vector<double> ys) {
+  Series s;
+  s.name = name;
+  for (size_t i = 0; i < ys.size(); ++i) {
+    s.x.push_back(static_cast<double>(i));
+    s.y.push_back(ys[i]);
+  }
+  return s;
+}
+
+TEST(AsciiPlotTest, LineChartContainsGlyphsAndLegend) {
+  PlotOptions options;
+  options.title = "ARE vs k";
+  std::string chart = RenderLineChart(
+      {MakeSeries("a", {1, 2, 3}), MakeSeries("b", {3, 2, 1})}, options);
+  EXPECT_NE(chart.find("ARE vs k"), std::string::npos);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+  EXPECT_NE(chart.find("a\n"), std::string::npos);
+  EXPECT_NE(chart.find("b\n"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, EmptySeriesHandled) {
+  EXPECT_NE(RenderLineChart({}).find("(no series)"), std::string::npos);
+  EXPECT_NE(RenderBars({}).find("(empty)"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, BarsScaleToMax) {
+  std::string bars = RenderBars({{"big", 100}, {"small", 1}, {"zero", 0}});
+  EXPECT_NE(bars.find("big"), std::string::npos);
+  // The zero bar must have no '#'.
+  size_t zero_line = bars.find("zero");
+  ASSERT_NE(zero_line, std::string::npos);
+  std::string line = bars.substr(zero_line, bars.find('\n', zero_line) - zero_line);
+  EXPECT_EQ(line.find('#'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, GnuplotScriptReferencesColumns) {
+  std::string script = GnuplotScript(
+      {MakeSeries("s1", {1}), MakeSeries("s2", {2})}, "data.csv", "T");
+  EXPECT_NE(script.find("using 1:2"), std::string::npos);
+  EXPECT_NE(script.find("using 1:3"), std::string::npos);
+  EXPECT_NE(script.find("title 'T'"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, HierarchyTreeRendering) {
+  auto h = std::move(Hierarchy::FromPaths({
+                         {"a", "g1", "*"},
+                         {"b", "g1", "*"},
+                         {"c", "g2", "*"},
+                     }))
+               .ValueOrDie();
+  std::string tree = RenderHierarchyTree(h);
+  EXPECT_NE(tree.find("* (3 leaves)"), std::string::npos);
+  EXPECT_NE(tree.find("  g1 (2 leaves)"), std::string::npos);
+  EXPECT_NE(tree.find("    a"), std::string::npos);
+  // Elision with a tiny cap.
+  std::string elided = RenderHierarchyTree(h, 1);
+  EXPECT_NE(elided.find("more children"), std::string::npos);
+  Hierarchy unfinalized;
+  EXPECT_NE(RenderHierarchyTree(unfinalized).find("not finalized"),
+            std::string::npos);
+}
+
+TEST(ExporterTest, SeriesCsvAlignsOnX) {
+  Series a = MakeSeries("a", {1, 2});
+  Series b;
+  b.name = "b";
+  b.x = {1.0};
+  b.y = {9.0};
+  std::string csv_text = SeriesToCsv({a, b});
+  EXPECT_NE(csv_text.find("x,a,b"), std::string::npos);
+  // x=0 row has empty b column; x=1 row has both.
+  EXPECT_NE(csv_text.find("0,1,"), std::string::npos);
+  EXPECT_NE(csv_text.find("1,2,9"), std::string::npos);
+}
+
+TEST(ExporterTest, ExportSeriesWritesFiles) {
+  std::string csv_path = ::testing::TempDir() + "/secreta_series.csv";
+  std::string gp_path = ::testing::TempDir() + "/secreta_series.gp";
+  ASSERT_OK(ExportSeries({MakeSeries("s", {1, 2, 3})}, csv_path, gp_path,
+                         "title"));
+  ASSERT_OK_AND_ASSIGN(std::string csv_text, csv::ReadFile(csv_path));
+  EXPECT_NE(csv_text.find("x,s"), std::string::npos);
+  ASSERT_OK_AND_ASSIGN(std::string gp_text, csv::ReadFile(gp_path));
+  EXPECT_NE(gp_text.find("plot"), std::string::npos);
+}
+
+TEST(ExporterTest, ExportDatasetRoundTrips) {
+  Dataset ds = testing::SmallRtDataset(20);
+  std::string path = ::testing::TempDir() + "/secreta_export_ds.csv";
+  ASSERT_OK(ExportDataset(ds, path));
+  ASSERT_OK_AND_ASSIGN(Dataset back, Dataset::LoadFile(path));
+  EXPECT_EQ(back.num_records(), 20u);
+  EXPECT_EQ(back.ToCsv(), ds.ToCsv());
+}
+
+}  // namespace
+}  // namespace secreta

@@ -1,0 +1,123 @@
+// Capstone integration test: the paper's full Sec. 3 demonstration plan,
+// executed end-to-end through the public API — load & edit a dataset, load a
+// hierarchy from a file, edit a query workload, evaluate one RT method with
+// all four visualizations, compare multiple methods over a varying
+// parameter, and export everything.
+
+#include <gtest/gtest.h>
+
+#include "metrics/frequency.h"
+#include "secreta.h"
+#include "tests/test_util.h"
+
+namespace secreta {
+namespace {
+
+TEST(WalkthroughTest, FullSectionThreeDemo) {
+  std::string dir = ::testing::TempDir();
+
+  // --- "Using the Dataset Editor" ------------------------------------------
+  // A ready-to-use RT-dataset is loaded...
+  {
+    SyntheticOptions gen;
+    gen.num_records = 400;
+    gen.seed = 99;
+    ASSERT_OK_AND_ASSIGN(Dataset prepared, GenerateRtDataset(gen));
+    ASSERT_OK(ExportDataset(prepared, dir + "/walkthrough_data.csv"));
+  }
+  SecretaSession session;
+  ASSERT_OK(session.LoadDatasetFile(dir + "/walkthrough_data.csv"));
+  // ...the user edits attribute names and values in some records...
+  ASSERT_OK(session.editor().RenameAttribute("Items", "Diagnoses"));
+  ASSERT_OK(session.editor().SetCell(0, "Age", "33"));
+  // ...overwrites the dataset or exports it...
+  ASSERT_OK(session.editor().Save(dir + "/walkthrough_data.csv"));
+  // ...and analyzes it with histograms of any attribute.
+  ASSERT_OK_AND_ASSIGN(Histogram age_hist, session.editor().HistogramOf("Age"));
+  EXPECT_FALSE(age_hist.empty());
+
+  // --- "Using the Configuration and Queries Editor" ------------------------
+  // A predefined hierarchy is loaded from a file (produced here by the
+  // generator so the test is hermetic), browsable and editable...
+  ASSERT_OK(session.AutoGenerateHierarchies());
+  ASSERT_OK_AND_ASSIGN(const Hierarchy* gender_h, session.HierarchyOf("Gender"));
+  ASSERT_OK(SaveHierarchyFile(*gender_h, dir + "/walkthrough_gender.h.csv"));
+  ASSERT_OK(session.LoadHierarchyFile("Gender", dir + "/walkthrough_gender.h.csv"));
+  // ...then a preconstructed query workload is loaded and edited.
+  {
+    WorkloadGenOptions wl;
+    wl.num_queries = 20;
+    ASSERT_OK_AND_ASSIGN(Workload workload,
+                         GenerateWorkload(session.dataset(), wl));
+    ASSERT_OK(workload.SaveFile(dir + "/walkthrough_queries.txt"));
+  }
+  ASSERT_OK(session.LoadWorkloadFile(dir + "/walkthrough_queries.txt"));
+  ASSERT_OK_AND_ASSIGN(CountQuery extra, CountQuery::Parse("Age:30..40"));
+  session.mutable_workload().Add(extra);
+
+  // --- "Evaluating a method for RT-datasets" --------------------------------
+  // Set k, m, delta; select two algorithms and a bounding method; run.
+  ASSERT_OK_AND_ASSIGN(
+      AlgorithmConfig config,
+      ParseAlgorithmConfig(
+          "mode=rt rel=Cluster txn=COAT merger=RTmerger k=4 m=2 delta=0.3"));
+  ASSERT_OK_AND_ASSIGN(EvaluationReport report, session.Evaluate(config));
+  // "a message box with a summary of results": guarantee + metrics.
+  EXPECT_TRUE(report.guarantee_ok);
+  EXPECT_GT(report.are, 0.0);
+  // "the anonymized dataset will be displayed in the output area".
+  ASSERT_OK_AND_ASSIGN(Dataset anonymized, session.Materialize(report));
+  EXPECT_EQ(anonymized.num_records(), session.dataset().num_records());
+  // Visualization (a): ARE for varying delta with fixed k and m.
+  ASSERT_OK_AND_ASSIGN(SweepResult sweep,
+                       session.EvaluateSweep(config, {"delta", 0.1, 0.5, 0.2}));
+  ASSERT_OK_AND_ASSIGN(Series are_series, sweep.Extract("are"));
+  EXPECT_EQ(are_series.size(), 3u);
+  // Visualization (b): time per phase.
+  EXPECT_EQ(report.run.phases.phases().size(), 3u);
+  // Visualization (c): frequencies of generalized values in a relational
+  // attribute.
+  ASSERT_OK_AND_ASSIGN(size_t origin_col, anonymized.ColumnByName("Origin"));
+  EXPECT_FALSE(ValueHistogram(anonymized, origin_col).empty());
+  // Visualization (d): relative error of item frequencies.
+  EXPECT_GE(report.item_freq_error, 0.0);
+
+  // --- "Comparing methods for RT-datasets" ----------------------------------
+  // Several configurations over one varying parameter, run concurrently.
+  std::vector<AlgorithmConfig> configs;
+  for (const char* spec :
+       {"mode=rt rel=Cluster txn=COAT merger=RTmerger m=2 delta=0.3",
+        "mode=rt rel=Cluster txn=Apriori merger=Rmerger m=2 delta=0.3"}) {
+    ASSERT_OK_AND_ASSIGN(AlgorithmConfig c, ParseAlgorithmConfig(spec));
+    configs.push_back(c);
+  }
+  ASSERT_OK_AND_ASSIGN(auto results,
+                       session.Compare(configs, {"k", 2, 6, 2}));
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    for (const auto& point : r.points) {
+      EXPECT_TRUE(point.report.guarantee_ok) << r.base.Label();
+    }
+  }
+  // Graphs in the plotting area -> exported via the Data Export Module.
+  std::vector<Series> chart;
+  for (const auto& r : results) {
+    ASSERT_OK_AND_ASSIGN(Series s, r.Extract("are"));
+    chart.push_back(std::move(s));
+  }
+  ASSERT_OK(ExportSeries(chart, dir + "/walkthrough_fig4.csv",
+                         dir + "/walkthrough_fig4.gp", "ARE vs k"));
+  ASSERT_OK(WriteJsonFile(ComparisonToJson(results),
+                          dir + "/walkthrough_fig4.json"));
+  // Recipient-side audit of the exported anonymized dataset.
+  ASSERT_OK(ExportDataset(anonymized, dir + "/walkthrough_anonymized.csv"));
+  ASSERT_OK_AND_ASSIGN(Dataset republished,
+                       Dataset::LoadFile(dir + "/walkthrough_anonymized.csv"));
+  ASSERT_OK_AND_ASSIGN(AuditReport audit,
+                       AuditAnonymizedDataset(republished, 4, 2, true));
+  EXPECT_TRUE(audit.k_anonymous) << audit.details;
+  EXPECT_TRUE(audit.km_anonymous) << audit.details;
+}
+
+}  // namespace
+}  // namespace secreta
