@@ -1,0 +1,128 @@
+// Job-service benchmark: scheduler throughput on the T20 grid (all 4x5
+// relational x transaction combinations submitted as one batch) and the
+// speedup of the content-addressed ResultCache on an identical resubmission.
+// The acceptance bar is a >= 10x faster warm batch; in practice cache hits
+// complete at Submit time, so the observed factor is orders of magnitude.
+// Outputs: stdout table and bench_out/service_bench.csv.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "csv/csv.h"
+#include "engine/registry.h"
+#include "service/job_scheduler.h"
+#include "service/result_cache.h"
+
+using namespace secreta;
+
+namespace {
+
+std::vector<uint64_t> SubmitGrid(JobScheduler* scheduler,
+                                 const EngineInputs& inputs,
+                                 const Workload* workload,
+                                 uint64_t dataset_fp) {
+  std::vector<uint64_t> ids;
+  for (const std::string& rel : RelationalAlgorithmNames()) {
+    for (const std::string& txn : TransactionAlgorithmNames()) {
+      AlgorithmConfig config;
+      config.mode = AnonMode::kRt;
+      config.relational_algorithm = rel;
+      config.transaction_algorithm = txn;
+      config.merger = MergerKind::kRTmerger;
+      config.params.k = 5;
+      config.params.m = 2;
+      config.params.delta = 0.35;
+      JobOptions options;
+      options.dataset_fingerprint = dataset_fp;  // amortized once per batch
+      ids.push_back(bench::CheckOk(
+          scheduler->Submit(inputs, config, workload, options), "submit"));
+    }
+  }
+  return ids;
+}
+
+}  // namespace
+
+int main() {
+  printf("== service_bench: scheduler throughput + cache speedup ==\n\n");
+  SecretaSession session = bench::MakeSession(1500);
+  AlgorithmConfig probe;
+  probe.mode = AnonMode::kRt;
+  EngineInputs inputs =
+      bench::CheckOk(session.PrepareInputs(probe), "prepare inputs");
+  const Workload* workload = session.workload_or_null();
+
+  Stopwatch fingerprint_watch;
+  const uint64_t dataset_fp = DatasetFingerprint(session.dataset());
+  double fingerprint_seconds = fingerprint_watch.ElapsedSeconds();
+
+  SchedulerOptions options;
+  options.num_workers = 4;
+  options.max_queue = 64;
+  options.cache_capacity = 128;
+  JobScheduler scheduler(options);
+
+  // Cold batch: every job executes the engine.
+  Stopwatch cold_watch;
+  std::vector<uint64_t> cold_ids =
+      SubmitGrid(&scheduler, inputs, workload, dataset_fp);
+  scheduler.WaitAll();
+  double cold_seconds = cold_watch.ElapsedSeconds();
+
+  // Warm batch: identical submissions, all served from the cache.
+  Stopwatch warm_watch;
+  std::vector<uint64_t> warm_ids =
+      SubmitGrid(&scheduler, inputs, workload, dataset_fp);
+  scheduler.WaitAll();
+  double warm_seconds = warm_watch.ElapsedSeconds();
+
+  size_t warm_hits = 0;
+  for (uint64_t id : warm_ids) {
+    JobInfo info = bench::CheckOk(scheduler.GetJob(id), "job");
+    if (info.from_cache) ++warm_hits;
+  }
+  double speedup = warm_seconds > 0 ? cold_seconds / warm_seconds : 0;
+
+  bench::PrintRow({"batch", "jobs", "wall_s", "jobs_per_s", "cache_hits"});
+  bench::PrintRule(5);
+  bench::PrintRow({"cold", StrFormat("%zu", cold_ids.size()),
+                   StrFormat("%.3f", cold_seconds),
+                   StrFormat("%.1f", cold_ids.size() / cold_seconds), "0"});
+  bench::PrintRow({"warm", StrFormat("%zu", warm_ids.size()),
+                   StrFormat("%.6f", warm_seconds),
+                   StrFormat("%.0f", warm_ids.size() / warm_seconds),
+                   StrFormat("%zu", warm_hits)});
+  printf("\ndataset fingerprint: %.6fs (computed once per batch)\n",
+         fingerprint_seconds);
+  printf("cache speedup: %.1fx (%s the 10x acceptance bar)\n", speedup,
+         speedup >= 10 ? "meets" : "BELOW");
+
+  ServiceMetricsSnapshot metrics = scheduler.MetricsSnapshot();
+  printf("queue wait mean %.4fs, execution mean %.4fs over %llu executed "
+         "jobs\n",
+         metrics.queue_wait.mean_seconds(), metrics.execution.mean_seconds(),
+         static_cast<unsigned long long>(metrics.execution.count));
+
+  csv::CsvTable table{{"batch", "jobs", "wall_seconds", "jobs_per_second",
+                       "cache_hits", "speedup"}};
+  table.push_back({"cold", StrFormat("%zu", cold_ids.size()),
+                   StrFormat("%.6f", cold_seconds),
+                   StrFormat("%.2f", cold_ids.size() / cold_seconds), "0",
+                   "1.0"});
+  table.push_back({"warm", StrFormat("%zu", warm_ids.size()),
+                   StrFormat("%.6f", warm_seconds),
+                   StrFormat("%.2f", warm_ids.size() / warm_seconds),
+                   StrFormat("%zu", warm_hits), StrFormat("%.2f", speedup)});
+  bench::CheckOk(csv::WriteFile(bench::OutDir() + "/service_bench.csv",
+                                csv::WriteCsv(table)),
+                 "export");
+  if (warm_hits != warm_ids.size()) {
+    printf("ERROR: expected every warm job to hit the cache\n");
+    return 1;
+  }
+  return speedup >= 10 ? 0 : 1;
+}

@@ -82,7 +82,8 @@ std::vector<ItemId> ItemUnion(const Dataset& data,
 
 Result<RtResult> RtAnonymizer::Anonymize(const RelationalContext& rel_context,
                                          const TransactionContext& txn_context,
-                                         const AnonParams& params) const {
+                                         const AnonParams& params,
+                                         const CancellationToken* cancel) const {
   SECRETA_RETURN_IF_ERROR(params.Validate());
   const Dataset& data = rel_context.dataset();
   if (&data != &txn_context.dataset()) {
@@ -91,6 +92,7 @@ Result<RtResult> RtAnonymizer::Anonymize(const RelationalContext& rel_context,
   }
   RtResult result;
   // Phase 1: relational clustering.
+  SECRETA_RETURN_IF_ERROR(CheckCancelled(cancel, "rt relational phase"));
   result.phases.Begin("relational");
   SECRETA_ASSIGN_OR_RETURN(result.relational,
                            relational_->Anonymize(rel_context, params));
@@ -112,6 +114,7 @@ Result<RtResult> RtAnonymizer::Anonymize(const RelationalContext& rel_context,
     return Status::OK();
   };
   for (size_t c = 0; c < classes.num_groups(); ++c) {
+    SECRETA_RETURN_IF_ERROR(CheckCancelled(cancel, "rt transaction phase"));
     Cluster& cluster = clusters[c];
     cluster.rows = classes.groups[c];
     cluster.nodes.resize(rel_context.num_qi());
@@ -127,6 +130,7 @@ Result<RtResult> RtAnonymizer::Anonymize(const RelationalContext& rel_context,
   result.phases.Begin("merging");
   size_t alive = clusters.size();
   while (alive > 1) {
+    SECRETA_RETURN_IF_ERROR(CheckCancelled(cancel, "rt merging phase"));
     // Worst offender first.
     size_t worst = SIZE_MAX;
     for (size_t c = 0; c < clusters.size(); ++c) {

@@ -11,6 +11,7 @@
 
 #include <memory>
 
+#include "common/cancellation.h"
 #include "common/stopwatch.h"
 #include "core/algorithm.h"
 
@@ -50,10 +51,15 @@ class RtAnonymizer {
 
   std::string name() const;
 
-  /// Runs the pipeline; the output satisfies (k, k^m)-anonymity.
+  /// Runs the pipeline; the output satisfies (k, k^m)-anonymity. `cancel`
+  /// (optional, non-owning) is polled at every phase boundary — before the
+  /// relational phase, before each per-cluster transaction anonymization,
+  /// and before each merge step — so a cancelled run stops within one phase
+  /// boundary and returns Status::Cancelled.
   Result<RtResult> Anonymize(const RelationalContext& rel_context,
                              const TransactionContext& txn_context,
-                             const AnonParams& params) const;
+                             const AnonParams& params,
+                             const CancellationToken* cancel = nullptr) const;
 
  private:
   std::shared_ptr<RelationalAnonymizer> relational_;

@@ -1,0 +1,10 @@
+#include "common/cancellation.h"
+
+namespace secreta {
+
+Status CancellationToken::Check(const char* where) const {
+  if (!cancelled()) return Status::OK();
+  return Status::Cancelled(std::string(where) + ": cancelled");
+}
+
+}  // namespace secreta

@@ -1,0 +1,48 @@
+// Cooperative cancellation. A CancellationToken is a cheap, copyable handle
+// to shared cancellation state; long-running engine code polls it at phase
+// boundaries (between sweep points, between RT-pipeline phases, between
+// cluster merges) and unwinds with Status::Cancelled. Cancellation is
+// cooperative: Cancel() never interrupts a running computation, it only makes
+// the next checkpoint fail.
+
+#ifndef SECRETA_COMMON_CANCELLATION_H_
+#define SECRETA_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <memory>
+
+#include "common/status.h"
+
+namespace secreta {
+
+/// Copyable handle to shared cancellation state. All copies observe the same
+/// flag; Cancel() is sticky (there is no reset — make a fresh token per job).
+/// Thread-safe: Cancel() and cancelled()/Check() may race freely.
+class CancellationToken {
+ public:
+  CancellationToken() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation. Idempotent.
+  void Cancel() { state_->store(true, std::memory_order_release); }
+
+  /// True once Cancel() has been called on any copy of this token.
+  bool cancelled() const { return state_->load(std::memory_order_acquire); }
+
+  /// Checkpoint: OK while live, Status::Cancelled("<where>: cancelled") after
+  /// Cancel(). `where` names the phase boundary for diagnostics.
+  Status Check(const char* where) const;
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+/// Checkpoint through an optional token pointer (the engine plumbing carries
+/// `const CancellationToken*`, null meaning "not cancellable").
+inline Status CheckCancelled(const CancellationToken* token, const char* where) {
+  if (token == nullptr) return Status::OK();
+  return token->Check(where);
+}
+
+}  // namespace secreta
+
+#endif  // SECRETA_COMMON_CANCELLATION_H_

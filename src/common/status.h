@@ -23,6 +23,9 @@ enum class StatusCode {
   kIOError,
   kUnimplemented,
   kInternal,
+  kResourceExhausted,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 /// Returns a human-readable name for a status code (e.g. "InvalidArgument").
@@ -63,6 +66,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -108,4 +108,17 @@ std::string ToLower(std::string_view input) {
   return out;
 }
 
+uint64_t Fnv1a64(std::string_view input) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : input) {
+    hash ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
 }  // namespace secreta

@@ -43,6 +43,14 @@ inline bool StartsWith(std::string_view text, std::string_view prefix) {
   return text.substr(0, prefix.size()) == prefix;
 }
 
+/// 64-bit FNV-1a hash. Stable across runs, platforms and standard-library
+/// implementations (unlike std::hash), so it is safe to use for
+/// content-addressed cache keys and persisted fingerprints.
+uint64_t Fnv1a64(std::string_view input);
+
+/// Combines two 64-bit hashes order-dependently (boost::hash_combine-style).
+uint64_t HashCombine(uint64_t seed, uint64_t value);
+
 }  // namespace secreta
 
 #endif  // SECRETA_COMMON_STRING_UTIL_H_

@@ -35,6 +35,16 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+size_t ThreadPool::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+size_t ThreadPool::active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_ - queue_.size();
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;

@@ -16,7 +16,8 @@ namespace secreta {
 /// A minimal fixed-size thread pool with a Wait() barrier.
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (at least 1).
+  /// Spawns `num_threads` workers. A request for zero workers is clamped to
+  /// one — a pool with no workers would deadlock every Submit()+Wait() pair.
   explicit ThreadPool(size_t num_threads);
   ~ThreadPool();
 
@@ -31,12 +32,19 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Tasks submitted but not yet picked up by a worker. Snapshot only: the
+  /// value may be stale by the time the caller reads it.
+  size_t queued() const;
+
+  /// Tasks currently executing on a worker. Snapshot only.
+  size_t active() const;
+
  private:
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
   size_t in_flight_ = 0;

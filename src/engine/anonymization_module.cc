@@ -41,6 +41,7 @@ Result<RunResult> RunAnonymization(const EngineInputs& inputs,
   if (inputs.dataset == nullptr) {
     return Status::InvalidArgument("EngineInputs.dataset is required");
   }
+  SECRETA_RETURN_IF_ERROR(CheckCancelled(inputs.cancel, "run"));
   RunResult result;
   result.config = config;
   Stopwatch watch;
@@ -56,6 +57,8 @@ Result<RunResult> RunAnonymization(const EngineInputs& inputs,
       }
       SECRETA_ASSIGN_OR_RETURN(
           auto algo, MakeRelationalAnonymizer(config.relational_algorithm));
+      SECRETA_RETURN_IF_ERROR(
+          CheckCancelled(inputs.cancel, "relational phase"));
       result.phases.Begin("relational");
       SECRETA_ASSIGN_OR_RETURN(RelationalRecoding recoding,
                                algo->Anonymize(*inputs.relational,
@@ -73,6 +76,8 @@ Result<RunResult> RunAnonymization(const EngineInputs& inputs,
           auto algo,
           MakeTransactionAnonymizer(config.transaction_algorithm,
                                     std::move(privacy), std::move(utility)));
+      SECRETA_RETURN_IF_ERROR(
+          CheckCancelled(inputs.cancel, "transaction phase"));
       result.phases.Begin("transaction");
       SECRETA_ASSIGN_OR_RETURN(TransactionRecoding recoding,
                                algo->Anonymize(*inputs.transaction,
@@ -94,7 +99,8 @@ Result<RunResult> RunAnonymization(const EngineInputs& inputs,
       RtAnonymizer rt(std::move(rel), std::move(txn), config.merger);
       SECRETA_ASSIGN_OR_RETURN(
           RtResult rt_result,
-          rt.Anonymize(*inputs.relational, *inputs.transaction, config.params));
+          rt.Anonymize(*inputs.relational, *inputs.transaction, config.params,
+                       inputs.cancel));
       result.relational = std::move(rt_result.relational);
       result.transaction = std::move(rt_result.transaction);
       result.phases = rt_result.phases;

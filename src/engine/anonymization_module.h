@@ -9,6 +9,7 @@
 #include <string>
 
 #include "algo/rt/rt_anonymizer.h"
+#include "common/cancellation.h"
 #include "common/stopwatch.h"
 #include "core/context.h"
 #include "core/params.h"
@@ -43,6 +44,11 @@ struct EngineInputs {
   const TransactionContext* transaction = nullptr;
   const PrivacyPolicy* privacy = nullptr;
   const UtilityPolicy* utility = nullptr;
+  /// Optional cooperative cancellation handle (non-owning). When set, the
+  /// engine polls it at phase boundaries — before each anonymization phase,
+  /// between RT cluster merges, and between sweep points — and unwinds with
+  /// Status::Cancelled.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Structured output of one run.

@@ -34,14 +34,23 @@ Result<std::vector<SweepResult>> CompareMethods(
   }
   for (size_t i = 0; i < configs.size(); ++i) {
     pool.Submit([&, i] {
-      // Inputs are read-only; each run builds its own working state.
+      // Inputs are read-only; each run builds its own working state. A
+      // cancelled comparison short-circuits configs that have not started
+      // (RunSweep also polls the token between points of running sweeps).
       Result<SweepResult> r =
-          RunSweep(inputs, configs[i], sweep, workload, serialized, i);
+          !CheckCancelled(inputs.cancel, "compare config").ok()
+              ? Result<SweepResult>(
+                    Status::Cancelled("compare config: cancelled"))
+              : RunSweep(inputs, configs[i], sweep, workload, serialized, i);
       std::lock_guard<std::mutex> lock(mutex);
       results[i] = std::move(r);
     });
   }
   pool.Wait();
+  // Report cancellation ahead of the per-config statuses so the caller sees
+  // one canonical Status::Cancelled rather than whichever config lost the
+  // race.
+  SECRETA_RETURN_IF_ERROR(CheckCancelled(inputs.cancel, "compare"));
   std::vector<SweepResult> out;
   out.reserve(configs.size());
   for (auto& r : results) {

@@ -17,12 +17,20 @@ struct CompareOptions {
   /// Worker threads; 0 = one per configuration (capped at hardware threads).
   size_t num_threads = 0;
   /// Optional progress observer; invocations are serialized across workers
-  /// (the "progressive comparison" of the paper's Comparison mode).
+  /// (the "progressive comparison" of the paper's Comparison mode). The
+  /// serialization guarantee holds unconditionally — including while the
+  /// comparison is being cancelled through `EngineInputs::cancel`: a callback
+  /// never overlaps another callback, and no callback fires for a sweep
+  /// point that was cut off by cancellation. Callbacks may cancel the token
+  /// themselves (e.g. an "abort after first result" UI); the in-flight sweeps
+  /// then stop at their next point boundary.
   ProgressCallback progress;
 };
 
 /// Runs every configuration over `sweep` concurrently. Results are in the
-/// order of `configs`; a failure of any run fails the comparison.
+/// order of `configs`; a failure of any run fails the comparison. If
+/// `inputs.cancel` fires mid-comparison, the whole comparison returns
+/// Status::Cancelled once the in-flight points finish.
 Result<std::vector<SweepResult>> CompareMethods(
     const EngineInputs& inputs, const std::vector<AlgorithmConfig>& configs,
     const ParamSweep& sweep, const Workload* workload,

@@ -72,4 +72,23 @@ std::string FormatAlgorithmConfig(const AlgorithmConfig& config) {
   return out;
 }
 
+std::string CanonicalConfigString(const AlgorithmConfig& config) {
+  // Field order is part of the format: never reorder or omit fields, or every
+  // previously computed cache key / fingerprint silently changes. %.17g
+  // round-trips IEEE doubles exactly and is locale-independent for the
+  // values AnonParams holds.
+  return StrFormat(
+      "mode=%s rel=%s txn=%s merger=%s k=%d m=%d delta=%.17g "
+      "lra_partitions=%d vpa_parts=%d rho=%.17g seed=%llu",
+      AnonModeToString(config.mode), config.relational_algorithm.c_str(),
+      config.transaction_algorithm.c_str(), MergerKindToString(config.merger),
+      config.params.k, config.params.m, config.params.delta,
+      config.params.lra_partitions, config.params.vpa_parts, config.params.rho,
+      static_cast<unsigned long long>(config.params.seed));
+}
+
+uint64_t CanonicalConfigHash(const AlgorithmConfig& config) {
+  return Fnv1a64(CanonicalConfigString(config));
+}
+
 }  // namespace secreta

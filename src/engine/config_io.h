@@ -5,6 +5,7 @@
 #ifndef SECRETA_ENGINE_CONFIG_IO_H_
 #define SECRETA_ENGINE_CONFIG_IO_H_
 
+#include <cstdint>
 #include <string>
 
 #include "engine/anonymization_module.h"
@@ -18,6 +19,18 @@ Result<AlgorithmConfig> ParseAlgorithmConfig(const std::string& spec);
 
 /// Serializes a config into the spec form (inverse of ParseAlgorithmConfig).
 std::string FormatAlgorithmConfig(const AlgorithmConfig& config);
+
+/// Canonical serialization used for content addressing: every field is
+/// emitted, always, in one fixed order, with locale-independent shortest
+/// round-trip formatting for doubles. Unlike FormatAlgorithmConfig (which
+/// drops defaulted/inapplicable fields for readability), two configs produce
+/// the same canonical string iff every field compares equal — the property
+/// the job service's ResultCache keys rely on.
+std::string CanonicalConfigString(const AlgorithmConfig& config);
+
+/// Stable 64-bit content hash of the canonical serialization. Identical
+/// across runs and platforms (FNV-1a, no std::hash involvement).
+uint64_t CanonicalConfigHash(const AlgorithmConfig& config);
 
 }  // namespace secreta
 

@@ -25,6 +25,7 @@ Result<double> EvaluationReport::Metric(const std::string& name) const {
 
 Result<EvaluationReport> BuildReport(const EngineInputs& inputs,
                                      RunResult run, const Workload* workload) {
+  SECRETA_RETURN_IF_ERROR(CheckCancelled(inputs.cancel, "metrics phase"));
   EvaluationReport report;
   const Dataset& data = *inputs.dataset;
   if (run.relational.has_value()) {

@@ -37,6 +37,7 @@ Result<SweepResult> RunSweep(const EngineInputs& inputs,
   result.sweep = sweep;
   SECRETA_ASSIGN_OR_RETURN(std::vector<double> values, sweep.Values());
   for (size_t i = 0; i < values.size(); ++i) {
+    SECRETA_RETURN_IF_ERROR(CheckCancelled(inputs.cancel, "sweep point"));
     double value = values[i];
     AlgorithmConfig point_config = config;
     SECRETA_RETURN_IF_ERROR(point_config.params.Set(sweep.parameter, value));

@@ -214,6 +214,70 @@ std::string SweepResultToJson(const SweepResult& sweep) {
   return w.TakeString();
 }
 
+namespace {
+
+void WriteHistogram(JsonWriter* w, const HistogramSnapshot& histogram) {
+  w->BeginObject();
+  w->Key("count");
+  w->Int(static_cast<int64_t>(histogram.count));
+  w->Key("sum_seconds");
+  w->Number(histogram.sum_seconds);
+  w->Key("mean_seconds");
+  w->Number(histogram.mean_seconds());
+  w->Key("min_seconds");
+  w->Number(histogram.min_seconds);
+  w->Key("max_seconds");
+  w->Number(histogram.max_seconds);
+  w->Key("bucket_bounds_seconds");
+  w->BeginArray();
+  for (double bound : LatencyHistogram::BucketBounds()) w->Number(bound);
+  w->EndArray();
+  w->Key("bucket_counts");
+  w->BeginArray();
+  for (uint64_t count : histogram.buckets) {
+    w->Int(static_cast<int64_t>(count));
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string ServiceMetricsToJson(const ServiceMetricsSnapshot& snapshot) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("jobs");
+  w.BeginObject();
+  w.Key("submitted");
+  w.Int(static_cast<int64_t>(snapshot.jobs_submitted));
+  w.Key("completed");
+  w.Int(static_cast<int64_t>(snapshot.jobs_completed));
+  w.Key("cancelled");
+  w.Int(static_cast<int64_t>(snapshot.jobs_cancelled));
+  w.Key("failed");
+  w.Int(static_cast<int64_t>(snapshot.jobs_failed));
+  w.Key("timed_out");
+  w.Int(static_cast<int64_t>(snapshot.jobs_timed_out));
+  w.Key("rejected");
+  w.Int(static_cast<int64_t>(snapshot.jobs_rejected));
+  w.EndObject();
+  w.Key("cache");
+  w.BeginObject();
+  w.Key("hits");
+  w.Int(static_cast<int64_t>(snapshot.cache_hits));
+  w.Key("misses");
+  w.Int(static_cast<int64_t>(snapshot.cache_misses));
+  w.Key("hit_rate");
+  w.Number(snapshot.cache_hit_rate);
+  w.EndObject();
+  w.Key("queue_wait");
+  WriteHistogram(&w, snapshot.queue_wait);
+  w.Key("execution");
+  WriteHistogram(&w, snapshot.execution);
+  w.EndObject();
+  return w.TakeString();
+}
+
 std::string ComparisonToJson(const std::vector<SweepResult>& results) {
   std::string out = "[";
   for (size_t i = 0; i < results.size(); ++i) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "engine/experiment.h"
+#include "service/service_metrics.h"
 
 namespace secreta {
 
@@ -57,6 +58,10 @@ std::string SweepResultToJson(const SweepResult& sweep);
 
 /// Serializes a set of comparison sweeps.
 std::string ComparisonToJson(const std::vector<SweepResult>& results);
+
+/// Serializes a job-service metrics snapshot (counters, cache hit rate, and
+/// the queue-wait / execution latency histograms with their bucket bounds).
+std::string ServiceMetricsToJson(const ServiceMetricsSnapshot& snapshot);
 
 /// Writes any of the above to a file.
 Status WriteJsonFile(const std::string& json, const std::string& path);

@@ -51,6 +51,8 @@ std::string CommandLineInterface::HelpText() {
       "compare:   add-config | configs | compare <param> <start> <end> <step>\n"
       "export:    save-output <path> | export-json <path> |\n"
       "           save-mapping <path>\n"
+      "service:   submit [prio=P] [timeout=S] [key=value ...] | jobs |\n"
+      "           job <id> | cancel <id> | wait [<id>] | metrics\n"
       "misc:      demo | help | quit\n";
 }
 
@@ -81,8 +83,29 @@ Status CommandLineInterface::RequireDataset() const {
   return Status::OK();
 }
 
+Status CommandLineInterface::RequireNoLiveJobs() const {
+  if (scheduler_ != nullptr &&
+      scheduler_->num_queued() + scheduler_->num_running() > 0) {
+    return Status::FailedPrecondition(
+        "jobs are in flight and hold pointers into the session; 'wait' for "
+        "them or 'cancel' them first");
+  }
+  return Status::OK();
+}
+
 Status CommandLineInterface::Dispatch(const std::vector<std::string>& args) {
   const std::string& cmd = args[0];
+  // These commands rebuild or mutate the session state that in-flight jobs
+  // point into; refuse them while jobs are live.
+  for (const char* mutating :
+       {"generate", "load", "set-cell", "rename-attr", "del-row",
+        "hierarchies", "hierarchy", "policies", "policy", "workload", "run",
+        "sweep", "compare"}) {
+    if (cmd == mutating) {
+      SECRETA_RETURN_IF_ERROR(RequireNoLiveJobs());
+      break;
+    }
+  }
   if (cmd == "help") {
     *out_ << HelpText();
     return Status::OK();
@@ -306,6 +329,34 @@ Status CommandLineInterface::Dispatch(const std::vector<std::string>& args) {
     *out_ << "results written to " << args[1] << "\n";
     return Status::OK();
   }
+  if (cmd == "submit") return CmdSubmit(args);
+  if (cmd == "jobs") {
+    if (scheduler_ == nullptr) {
+      *out_ << "  (no jobs submitted)\n";
+      return Status::OK();
+    }
+    for (const JobInfo& info : scheduler_->ListJobs()) PrintJobLine(info);
+    return Status::OK();
+  }
+  if (cmd == "job") return CmdJob(args);
+  if (cmd == "cancel") {
+    SECRETA_RETURN_IF_ERROR(Arity(args, 1, 1));
+    if (scheduler_ == nullptr) {
+      return Status::FailedPrecondition("no jobs submitted yet");
+    }
+    SECRETA_ASSIGN_OR_RETURN(int64_t id, ParseInt(args[1]));
+    SECRETA_RETURN_IF_ERROR(scheduler_->CancelJob(static_cast<uint64_t>(id)));
+    *out_ << "cancellation requested for job " << id << "\n";
+    return Status::OK();
+  }
+  if (cmd == "wait") return CmdWaitJobs(args);
+  if (cmd == "metrics") {
+    if (scheduler_ == nullptr) {
+      return Status::FailedPrecondition("no jobs submitted yet");
+    }
+    *out_ << ServiceMetricsToJson(scheduler_->MetricsSnapshot()) << "\n";
+    return Status::OK();
+  }
   return Status::NotFound("unknown command: " + cmd + " (try 'help')");
 }
 
@@ -485,6 +536,89 @@ Status CommandLineInterface::CmdCompare(const std::vector<std::string>& args) {
   }
   last_comparison_ = std::move(results);
   last_sweep_.reset();
+  return Status::OK();
+}
+
+void CommandLineInterface::PrintJobLine(const JobInfo& info) {
+  *out_ << StrFormat("  [%llu] %-9s prio=%d%s queue=%.3fs run=%.3fs %s",
+                     static_cast<unsigned long long>(info.id),
+                     JobStateToString(info.state), info.priority,
+                     info.from_cache ? " (cache)" : "", info.queue_seconds,
+                     info.run_seconds, info.label.c_str());
+  if (!info.status.ok()) *out_ << " — " << info.status.ToString();
+  *out_ << "\n";
+}
+
+Status CommandLineInterface::CmdSubmit(const std::vector<std::string>& args) {
+  SECRETA_RETURN_IF_ERROR(RequireDataset());
+  JobOptions options;
+  std::vector<std::string> spec_parts;
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("prio=", 0) == 0) {
+      SECRETA_ASSIGN_OR_RETURN(int64_t priority, ParseInt(arg.substr(5)));
+      options.priority = static_cast<int>(priority);
+    } else if (arg.rfind("timeout=", 0) == 0) {
+      SECRETA_ASSIGN_OR_RETURN(options.timeout_seconds,
+                               ParseDouble(arg.substr(8)));
+    } else {
+      spec_parts.push_back(arg);
+    }
+  }
+  AlgorithmConfig config = current_;
+  if (!spec_parts.empty()) {
+    SECRETA_ASSIGN_OR_RETURN(config,
+                             ParseAlgorithmConfig(Join(spec_parts, " ")));
+  }
+  SECRETA_ASSIGN_OR_RETURN(EngineInputs inputs, session_.PrepareInputs(config));
+  if (scheduler_ == nullptr) {
+    scheduler_ = std::make_unique<JobScheduler>();
+  }
+  SECRETA_ASSIGN_OR_RETURN(
+      uint64_t id, scheduler_->Submit(inputs, config,
+                                      session_.workload_or_null(), options));
+  SECRETA_ASSIGN_OR_RETURN(JobInfo info, scheduler_->GetJob(id));
+  *out_ << "job " << id << " " << JobStateToString(info.state)
+        << (info.from_cache ? " (cache hit)" : "") << ": " << info.label
+        << "\n";
+  return Status::OK();
+}
+
+Status CommandLineInterface::CmdJob(const std::vector<std::string>& args) {
+  SECRETA_RETURN_IF_ERROR(Arity(args, 1, 1));
+  if (scheduler_ == nullptr) {
+    return Status::FailedPrecondition("no jobs submitted yet");
+  }
+  SECRETA_ASSIGN_OR_RETURN(int64_t id, ParseInt(args[1]));
+  SECRETA_ASSIGN_OR_RETURN(JobInfo info,
+                           scheduler_->GetJob(static_cast<uint64_t>(id)));
+  PrintJobLine(info);
+  if (info.state == JobState::kDone && info.report != nullptr) {
+    PrintReport(*info.report);
+  }
+  return Status::OK();
+}
+
+Status CommandLineInterface::CmdWaitJobs(const std::vector<std::string>& args) {
+  SECRETA_RETURN_IF_ERROR(Arity(args, 0, 1));
+  if (scheduler_ == nullptr) {
+    return Status::FailedPrecondition("no jobs submitted yet");
+  }
+  if (args.size() > 1) {
+    SECRETA_ASSIGN_OR_RETURN(int64_t id, ParseInt(args[1]));
+    SECRETA_ASSIGN_OR_RETURN(JobInfo info,
+                             scheduler_->WaitJob(static_cast<uint64_t>(id)));
+    PrintJobLine(info);
+    if (info.state == JobState::kDone && info.report != nullptr) {
+      PrintReport(*info.report);
+      last_report_ = *info.report;
+      last_sweep_.reset();
+      last_comparison_.clear();
+    }
+    return Status::OK();
+  }
+  scheduler_->WaitAll();
+  for (const JobInfo& info : scheduler_->ListJobs()) PrintJobLine(info);
   return Status::OK();
 }
 

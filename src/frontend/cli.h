@@ -7,11 +7,13 @@
 #define SECRETA_FRONTEND_CLI_H_
 
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "frontend/session.h"
+#include "service/job_scheduler.h"
 
 namespace secreta {
 
@@ -48,6 +50,14 @@ namespace secreta {
 ///   compare <param> <start> <end> <step>  Comparison mode over the queue
 ///   save-output <path>                 export last anonymized dataset
 ///   export-json <path>                 export last report/comparison as JSON
+///   submit [prio=P] [timeout=S] [key=value ...]
+///                                      queue an async evaluation job (uses
+///                                      the current config unless overridden)
+///   jobs                               list submitted jobs
+///   job <id>                           one job's status (+ report when done)
+///   cancel <id>                        cancel a queued/running job
+///   wait [<id>]                        block until one job / all jobs finish
+///   metrics                            job-service metrics as JSON
 class CommandLineInterface {
  public:
   explicit CommandLineInterface(std::ostream* out) : out_(out) {}
@@ -69,6 +79,9 @@ class CommandLineInterface {
  private:
   Status Dispatch(const std::vector<std::string>& args);
   Status RequireDataset() const;
+  /// Engine inputs handed to async jobs point into session state; refuse to
+  /// mutate that state while jobs are queued or running.
+  Status RequireNoLiveJobs() const;
   Status CmdGenerate(const std::vector<std::string>& args);
   Status CmdHierarchy(const std::vector<std::string>& args);
   Status CmdPolicy(const std::vector<std::string>& args);
@@ -76,6 +89,10 @@ class CommandLineInterface {
   Status CmdRun();
   Status CmdSweep(const std::vector<std::string>& args);
   Status CmdCompare(const std::vector<std::string>& args);
+  Status CmdSubmit(const std::vector<std::string>& args);
+  Status CmdJob(const std::vector<std::string>& args);
+  Status CmdWaitJobs(const std::vector<std::string>& args);
+  void PrintJobLine(const JobInfo& info);
   void PrintReport(const EvaluationReport& report);
 
   SecretaSession session_;
@@ -86,6 +103,8 @@ class CommandLineInterface {
   std::optional<EvaluationReport> last_report_;
   std::optional<SweepResult> last_sweep_;
   std::vector<SweepResult> last_comparison_;
+  // Created lazily by the first `submit`; lives for the session.
+  std::unique_ptr<JobScheduler> scheduler_;
 };
 
 }  // namespace secreta

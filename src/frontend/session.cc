@@ -155,6 +155,41 @@ Result<EngineInputs> SecretaSession::MakeInputs(const AlgorithmConfig& config) {
   return inputs;
 }
 
+Result<EngineInputs> SecretaSession::PrepareInputs(
+    const AlgorithmConfig& config) {
+  bool need_rel = config.mode != AnonMode::kTransaction;
+  bool need_txn = config.mode != AnonMode::kRelational;
+  // Bind only what is missing: re-binding would move the context objects and
+  // dangle the EngineInputs of jobs already in flight.
+  if (need_rel && !rel_context_.has_value()) {
+    if (column_hierarchies_.size() != dataset().num_relational()) {
+      return Status::FailedPrecondition(
+          "no hierarchies configured; load them or call "
+          "AutoGenerateHierarchies()");
+    }
+    SECRETA_ASSIGN_OR_RETURN(
+        RelationalContext ctx,
+        RelationalContext::Create(dataset(), column_hierarchies_));
+    rel_context_ = std::move(ctx);
+  }
+  if (need_txn && !txn_context_.has_value()) {
+    const Hierarchy* item_h =
+        item_hierarchy_.has_value() ? &*item_hierarchy_ : nullptr;
+    SECRETA_ASSIGN_OR_RETURN(TransactionContext ctx,
+                             TransactionContext::Create(dataset(), item_h));
+    txn_context_ = std::move(ctx);
+  }
+  EngineInputs inputs;
+  inputs.dataset = &dataset();
+  inputs.relational =
+      need_rel && rel_context_.has_value() ? &*rel_context_ : nullptr;
+  inputs.transaction =
+      need_txn && txn_context_.has_value() ? &*txn_context_ : nullptr;
+  inputs.privacy = privacy_.empty() ? nullptr : &privacy_;
+  inputs.utility = utility_.empty() ? nullptr : &utility_;
+  return inputs;
+}
+
 Result<EvaluationReport> SecretaSession::Evaluate(const AlgorithmConfig& config) {
   SECRETA_ASSIGN_OR_RETURN(EngineInputs inputs, MakeInputs(config));
   const Workload* workload = workload_.empty() ? nullptr : &workload_;

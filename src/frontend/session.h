@@ -90,6 +90,23 @@ class SecretaSession {
       const std::vector<AlgorithmConfig>& configs, const ParamSweep& sweep,
       const CompareOptions& options = {});
 
+  // ---- Job service -----------------------------------------------------------
+
+  /// Engine inputs for asynchronous execution (JobScheduler::Submit). Unlike
+  /// the synchronous entry points — which rebuild contexts on every call so
+  /// edits are always reflected — this binds only the contexts that are
+  /// missing, keeping previously returned pointers stable across
+  /// submissions. The returned pointers reference session-owned state: they
+  /// stay valid until the dataset or a hierarchy is (re)loaded, edited, or
+  /// regenerated; don't do any of that while jobs using them are in flight.
+  Result<EngineInputs> PrepareInputs(const AlgorithmConfig& config);
+
+  /// The session's query workload for job submission, or null when empty.
+  /// Same lifetime rules as PrepareInputs.
+  const Workload* workload_or_null() const {
+    return workload_.empty() ? nullptr : &workload_;
+  }
+
  private:
   /// (Re)binds contexts to the current dataset + hierarchies. Called before
   /// every engine entry so edits are always reflected.

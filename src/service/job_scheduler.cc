@@ -1,0 +1,387 @@
+#include "service/job_scheduler.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "export/json_export.h"
+
+namespace secreta {
+
+namespace {
+
+double ToSeconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
+
+const char* JobStateToString(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kTimedOut:
+      return "timed-out";
+  }
+  return "?";
+}
+
+bool IsTerminalJobState(JobState state) {
+  return state != JobState::kQueued && state != JobState::kRunning;
+}
+
+JobScheduler::JobScheduler(const SchedulerOptions& options)
+    : options_(options), cache_(options.cache_capacity) {
+  pool_ = std::make_unique<ThreadPool>(options.num_workers);
+  reaper_ = std::thread([this] { ReaperLoop(); });
+}
+
+JobScheduler::~JobScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    std::vector<std::shared_ptr<Job>> queued;
+    queued.reserve(queue_.size());
+    for (const QueueEntry& entry : queue_) queued.push_back(entry.job);
+    queue_.clear();
+    for (const auto& job : queued) {
+      job->token.Cancel();
+      Finalize(job.get(), JobState::kCancelled,
+               Status::Cancelled("scheduler shutdown"));
+    }
+    for (const auto& [id, job] : jobs_) {
+      if (job->state == JobState::kRunning) job->token.Cancel();
+    }
+  }
+  reaper_wake_.notify_all();
+  // Joins the workers; leftover pool tasks find an empty queue and return.
+  pool_.reset();
+  if (reaper_.joinable()) reaper_.join();
+}
+
+Result<uint64_t> JobScheduler::Submit(const EngineInputs& inputs,
+                                      const AlgorithmConfig& config,
+                                      const Workload* workload,
+                                      const JobOptions& options) {
+  if (inputs.dataset == nullptr) {
+    return Status::InvalidArgument("EngineInputs.dataset is required");
+  }
+  auto job = std::make_shared<Job>();
+  job->label = config.Label();
+  job->priority = options.priority;
+  job->timeout_seconds = options.timeout_seconds;
+  job->export_path = options.export_json_path;
+  if (options.use_cache && options_.cache_capacity > 0) {
+    uint64_t dataset_fp = options.dataset_fingerprint != 0
+                              ? options.dataset_fingerprint
+                              : DatasetFingerprint(*inputs.dataset);
+    job->cache_key =
+        RunCacheKey(config, dataset_fp, WorkloadFingerprint(workload));
+    job->cacheable = true;
+    if (std::shared_ptr<const EvaluationReport> hit =
+            cache_.Lookup(job->cache_key)) {
+      metrics_.IncrCacheHit();
+      Status export_status;
+      if (!job->export_path.empty()) {
+        export_status =
+            WriteJsonFile(EvaluationReportToJson(*hit), job->export_path);
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (shutdown_) {
+        return Status::FailedPrecondition("scheduler is shutting down");
+      }
+      job->id = next_id_++;
+      job->submitted_at = Clock::now();
+      job->from_cache = true;
+      metrics_.IncrSubmitted();
+      jobs_[job->id] = job;
+      if (export_status.ok()) {
+        job->report = std::move(hit);
+        Finalize(job.get(), JobState::kDone, Status::OK());
+      } else {
+        Finalize(job.get(), JobState::kFailed, std::move(export_status));
+      }
+      return job->id;
+    }
+    metrics_.IncrCacheMiss();
+  }
+  EngineInputs captured = inputs;
+  job->fn = [captured, config,
+             workload](const CancellationToken& token) -> Result<EvaluationReport> {
+    EngineInputs in = captured;
+    in.cancel = &token;
+    return EvaluateMethod(in, config, workload);
+  };
+  return Enqueue(std::move(job));
+}
+
+Result<uint64_t> JobScheduler::SubmitFn(JobFn fn, std::string label,
+                                        const JobOptions& options) {
+  if (!fn) return Status::InvalidArgument("SubmitFn requires a callable");
+  auto job = std::make_shared<Job>();
+  job->label = std::move(label);
+  job->priority = options.priority;
+  job->timeout_seconds = options.timeout_seconds;
+  job->export_path = options.export_json_path;
+  job->fn = std::move(fn);
+  return Enqueue(std::move(job));
+}
+
+Result<uint64_t> JobScheduler::Enqueue(std::shared_ptr<Job> job) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_) {
+    return Status::FailedPrecondition("scheduler is shutting down");
+  }
+  if (queue_.size() >= options_.max_queue) {
+    metrics_.IncrRejected();
+    return Status::ResourceExhausted(
+        StrFormat("job queue full (%zu queued, max %zu)", queue_.size(),
+                  options_.max_queue));
+  }
+  job->id = next_id_++;
+  job->seq = next_seq_++;
+  job->submitted_at = Clock::now();
+  if (job->timeout_seconds > 0) {
+    job->has_deadline = true;
+    job->deadline =
+        job->submitted_at + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(
+                                    job->timeout_seconds));
+  }
+  metrics_.IncrSubmitted();
+  jobs_[job->id] = job;
+  queue_.insert(QueueEntry{job->priority, job->seq, job});
+  pool_->Submit([this] { RunNext(); });
+  if (job->has_deadline) reaper_wake_.notify_all();
+  return job->id;
+}
+
+void JobScheduler::RunNext() {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // The queue may have shrunk since this pool task was enqueued (cancel,
+    // queued-timeout, shutdown drain): one task per Submit is an upper
+    // bound, not a 1:1 pairing.
+    if (queue_.empty()) return;
+    auto it = queue_.begin();
+    job = it->job;
+    queue_.erase(it);
+    Clock::time_point now = Clock::now();
+    job->queue_seconds = ToSeconds(now - job->submitted_at);
+    if (job->token.cancelled()) {
+      Finalize(job.get(),
+               job->timeout_fired ? JobState::kTimedOut : JobState::kCancelled,
+               job->timeout_fired
+                   ? Status::DeadlineExceeded("deadline expired in queue")
+                   : Status::Cancelled("cancelled while queued"));
+      return;
+    }
+    if (job->has_deadline && now >= job->deadline) {
+      job->timeout_fired = true;
+      job->token.Cancel();
+      Finalize(job.get(), JobState::kTimedOut,
+               Status::DeadlineExceeded("deadline expired in queue"));
+      return;
+    }
+    job->state = JobState::kRunning;
+    job->dispatch_order = ++dispatch_counter_;
+    ++running_;
+    metrics_.RecordQueueWait(job->queue_seconds);
+  }
+  Clock::time_point start = Clock::now();
+  Result<EvaluationReport> result = job->fn(job->token);
+  double run_seconds = ToSeconds(Clock::now() - start);
+  // Success-only export, outside the lock (file IO). Failure paths — and in
+  // particular cancellation — never touch the export file.
+  Status export_status;
+  if (result.ok() && !job->export_path.empty()) {
+    export_status = WriteJsonFile(EvaluationReportToJson(result.value()),
+                                  job->export_path);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  job->run_seconds = run_seconds;
+  metrics_.RecordExecution(run_seconds);
+  if (result.ok() && export_status.ok()) {
+    job->report =
+        std::make_shared<const EvaluationReport>(std::move(result).value());
+    if (job->cacheable) cache_.Insert(job->cache_key, job->report);
+    Finalize(job.get(), JobState::kDone, Status::OK());
+  } else if (!result.ok()) {
+    const Status& st = result.status();
+    if (st.code() == StatusCode::kCancelled && job->timeout_fired) {
+      Finalize(job.get(), JobState::kTimedOut,
+               Status::DeadlineExceeded(st.message()));
+    } else if (st.code() == StatusCode::kCancelled) {
+      Finalize(job.get(), JobState::kCancelled, st);
+    } else if (st.code() == StatusCode::kDeadlineExceeded) {
+      Finalize(job.get(), JobState::kTimedOut, st);
+    } else {
+      Finalize(job.get(), JobState::kFailed, st);
+    }
+  } else {
+    Finalize(job.get(), JobState::kFailed, std::move(export_status));
+  }
+}
+
+void JobScheduler::Finalize(Job* job, JobState state, Status status) {
+  if (job->state == JobState::kRunning) --running_;
+  job->state = state;
+  job->status = std::move(status);
+  switch (state) {
+    case JobState::kDone:
+      metrics_.IncrCompleted();
+      break;
+    case JobState::kCancelled:
+      metrics_.IncrCancelled();
+      break;
+    case JobState::kFailed:
+      metrics_.IncrFailed();
+      break;
+    case JobState::kTimedOut:
+      metrics_.IncrTimedOut();
+      break;
+    case JobState::kQueued:
+    case JobState::kRunning:
+      break;  // not terminal; never passed here
+  }
+  job_changed_.notify_all();
+}
+
+void JobScheduler::ReaperLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!shutdown_) {
+    bool have_deadline = false;
+    Clock::time_point next{};
+    for (const auto& [id, job] : jobs_) {
+      if (IsTerminalJobState(job->state) || !job->has_deadline ||
+          job->timeout_fired) {
+        continue;
+      }
+      if (!have_deadline || job->deadline < next) {
+        next = job->deadline;
+        have_deadline = true;
+      }
+    }
+    if (!have_deadline) {
+      reaper_wake_.wait(lock);
+      continue;
+    }
+    reaper_wake_.wait_until(lock, next);
+    if (shutdown_) break;
+    Clock::time_point now = Clock::now();
+    for (const auto& [id, job] : jobs_) {
+      if (IsTerminalJobState(job->state) || !job->has_deadline ||
+          job->timeout_fired || now < job->deadline) {
+        continue;
+      }
+      job->timeout_fired = true;
+      job->token.Cancel();
+      if (job->state == JobState::kQueued) {
+        queue_.erase(QueueEntry{job->priority, job->seq, nullptr});
+        job->queue_seconds = ToSeconds(now - job->submitted_at);
+        Finalize(job.get(), JobState::kTimedOut,
+                 Status::DeadlineExceeded(StrFormat(
+                     "deadline of %.3fs expired while queued",
+                     job->timeout_seconds)));
+      }
+      // Running jobs finalize in RunNext when the engine unwinds with
+      // Status::Cancelled at its next phase boundary.
+    }
+  }
+}
+
+JobInfo JobScheduler::Snapshot(const Job& job) const {
+  JobInfo info;
+  info.id = job.id;
+  info.label = job.label;
+  info.state = job.state;
+  info.priority = job.priority;
+  info.dispatch_order = job.dispatch_order;
+  info.from_cache = job.from_cache;
+  info.queue_seconds = job.queue_seconds;
+  info.run_seconds = job.run_seconds;
+  info.status = job.status;
+  info.report = job.report;
+  return info;
+}
+
+Result<JobInfo> JobScheduler::GetJob(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound(StrFormat("no job %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  return Snapshot(*it->second);
+}
+
+std::vector<JobInfo> JobScheduler::ListJobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JobInfo> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(Snapshot(*job));
+  std::sort(out.begin(), out.end(),
+            [](const JobInfo& a, const JobInfo& b) { return a.id < b.id; });
+  return out;
+}
+
+Status JobScheduler::CancelJob(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound(StrFormat("no job %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  Job* job = it->second.get();
+  if (IsTerminalJobState(job->state)) {
+    return Status::FailedPrecondition(
+        StrFormat("job %llu already %s",
+                  static_cast<unsigned long long>(id),
+                  JobStateToString(job->state)));
+  }
+  job->token.Cancel();
+  if (job->state == JobState::kQueued) {
+    queue_.erase(QueueEntry{job->priority, job->seq, nullptr});
+    job->queue_seconds = ToSeconds(Clock::now() - job->submitted_at);
+    Finalize(job, JobState::kCancelled,
+             Status::Cancelled("cancelled while queued"));
+  }
+  return Status::OK();
+}
+
+Result<JobInfo> JobScheduler::WaitJob(uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound(StrFormat("no job %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  std::shared_ptr<Job> job = it->second;
+  job_changed_.wait(lock, [&] { return IsTerminalJobState(job->state); });
+  return Snapshot(*job);
+}
+
+void JobScheduler::WaitAll() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_changed_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+}
+
+size_t JobScheduler::num_queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+size_t JobScheduler::num_running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+}  // namespace secreta

@@ -1,0 +1,83 @@
+#include "service/result_cache.h"
+
+#include "common/string_util.h"
+#include "csv/csv.h"
+#include "engine/config_io.h"
+#include "query/query.h"
+
+namespace secreta {
+
+uint64_t DatasetFingerprint(const Dataset& dataset) {
+  // The CSV serialization covers the schema header, every relational cell,
+  // and every transaction — exactly the content a run depends on — and is
+  // already deterministic (ToCsv preserves record and column order).
+  return Fnv1a64(csv::WriteCsv(dataset.ToCsv()));
+}
+
+uint64_t WorkloadFingerprint(const Workload* workload) {
+  if (workload == nullptr || workload->empty()) {
+    return 0x5ec7e7a0'00000000ULL;  // sentinel: "no workload"
+  }
+  return Fnv1a64(workload->Format());
+}
+
+uint64_t RunCacheKey(const AlgorithmConfig& config, uint64_t dataset_fp,
+                     uint64_t workload_fp) {
+  uint64_t key = CanonicalConfigHash(config);
+  key = HashCombine(key, dataset_fp);
+  key = HashCombine(key, workload_fp);
+  return key;
+}
+
+std::shared_ptr<const EvaluationReport> ResultCache::Lookup(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return lru_.front().second;
+}
+
+void ResultCache::Insert(uint64_t key,
+                         std::shared_ptr<const EvaluationReport> report) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(report);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(report));
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+double ResultCache::hit_rate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+}
+
+}  // namespace secreta

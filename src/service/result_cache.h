@@ -1,0 +1,76 @@
+// Content-addressed result cache for the job service. A run is fully
+// determined by (algorithm configuration, dataset contents, query workload):
+// the engine is deterministic for a fixed seed, so a completed
+// EvaluationReport can be replayed for any later job with the same key.
+// Bounded LRU with hit/miss counters; safe for concurrent use.
+
+#ifndef SECRETA_SERVICE_RESULT_CACHE_H_
+#define SECRETA_SERVICE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "engine/evaluator.h"
+
+namespace secreta {
+
+/// Stable fingerprint of a dataset's full contents (schema + every cell +
+/// every transaction). O(dataset size); callers submitting many jobs against
+/// one dataset should compute it once and pass it through JobOptions.
+uint64_t DatasetFingerprint(const Dataset& dataset);
+
+/// Stable fingerprint of a query workload. Null/empty workloads hash to a
+/// fixed sentinel distinct from any real workload.
+uint64_t WorkloadFingerprint(const Workload* workload);
+
+/// Combines the canonical config hash with the dataset and workload
+/// fingerprints into the cache key of one run.
+uint64_t RunCacheKey(const AlgorithmConfig& config, uint64_t dataset_fp,
+                     uint64_t workload_fp);
+
+/// \brief Bounded LRU cache from run key to completed report.
+///
+/// Reports are held via shared_ptr-to-const: a Lookup hit hands out the very
+/// object that was inserted (bit-identical replay, no copy), and eviction
+/// never invalidates a report a caller still holds.
+class ResultCache {
+ public:
+  /// `capacity` = maximum retained entries; 0 disables caching entirely
+  /// (every Lookup misses, Insert is a no-op).
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached report (promoting it to most-recently-used) or null.
+  /// Counts one hit or one miss.
+  std::shared_ptr<const EvaluationReport> Lookup(uint64_t key);
+
+  /// Inserts/overwrites the entry, evicting least-recently-used entries
+  /// beyond capacity.
+  void Insert(uint64_t key, std::shared_ptr<const EvaluationReport> report);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const;
+  uint64_t misses() const;
+  /// hits / (hits + misses); 0 before any lookup.
+  double hit_rate() const;
+
+ private:
+  using Entry = std::pair<uint64_t, std::shared_ptr<const EvaluationReport>>;
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_SERVICE_RESULT_CACHE_H_

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <set>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/random.h"
@@ -91,6 +93,24 @@ TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
   pool.Submit([&ran] { ran = true; });
   pool.Wait();
   EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPoolTest, ReportsQueuedAndActiveCounts) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.queued(), 0u);
+  EXPECT_EQ(pool.active(), 0u);
+  std::mutex gate;
+  gate.lock();
+  pool.Submit([&gate] { std::lock_guard<std::mutex> hold(gate); });
+  while (pool.active() == 0) std::this_thread::yield();  // blocker dispatched
+  pool.Submit([] {});
+  pool.Submit([] {});
+  EXPECT_EQ(pool.queued(), 2u);
+  EXPECT_EQ(pool.active(), 1u);
+  gate.unlock();
+  pool.Wait();
+  EXPECT_EQ(pool.queued(), 0u);
+  EXPECT_EQ(pool.active(), 0u);
 }
 
 TEST(StopwatchTest, MeasuresElapsed) {

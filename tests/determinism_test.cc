@@ -4,7 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <set>
+#include <vector>
+
 #include "core/guarantees.h"
+#include "engine/config_io.h"
 #include "engine/registry.h"
 #include "frontend/session.h"
 #include "hierarchy/hierarchy_builder.h"
@@ -131,6 +136,100 @@ TEST_F(DeterminismTest, MaterializedOutputRoundTripsAndStaysAnonymous) {
   for (const auto& [key, size] : classes) {
     EXPECT_GE(size, 5u);
   }
+}
+
+AlgorithmConfig CanonicalBaseConfig() {
+  AlgorithmConfig config;
+  config.mode = AnonMode::kRt;
+  config.relational_algorithm = "Cluster";
+  config.transaction_algorithm = "Apriori";
+  config.merger = MergerKind::kRTmerger;
+  config.params.k = 5;
+  config.params.m = 2;
+  config.params.delta = 0.35;
+  config.params.seed = 2014;
+  return config;
+}
+
+TEST(CanonicalConfigTest, EqualConfigsHashIdentically) {
+  // The canonical string is field-order-stable by construction (one format
+  // string), so two configs built independently must serialize and hash the
+  // same — this is what makes the ResultCache content-addressed.
+  AlgorithmConfig a = CanonicalBaseConfig();
+  AlgorithmConfig b = CanonicalBaseConfig();
+  EXPECT_EQ(CanonicalConfigString(a), CanonicalConfigString(b));
+  EXPECT_EQ(CanonicalConfigHash(a), CanonicalConfigHash(b));
+  // Repeated hashing of the same object is stable too.
+  EXPECT_EQ(CanonicalConfigHash(a), CanonicalConfigHash(a));
+}
+
+TEST(CanonicalConfigTest, EveryFieldAffectsTheHash) {
+  const AlgorithmConfig base = CanonicalBaseConfig();
+  const uint64_t h0 = CanonicalConfigHash(base);
+  std::vector<AlgorithmConfig> variants;
+  {
+    AlgorithmConfig c = base;
+    c.mode = AnonMode::kRelational;
+    variants.push_back(c);
+  }
+  {
+    AlgorithmConfig c = base;
+    c.relational_algorithm = "TopDown";
+    variants.push_back(c);
+  }
+  {
+    AlgorithmConfig c = base;
+    c.transaction_algorithm = "COAT";
+    variants.push_back(c);
+  }
+  {
+    AlgorithmConfig c = base;
+    c.merger = MergerKind::kRmerger;
+    variants.push_back(c);
+  }
+  {
+    AlgorithmConfig c = base;
+    c.params.k = 6;
+    variants.push_back(c);
+  }
+  {
+    AlgorithmConfig c = base;
+    c.params.m = 3;
+    variants.push_back(c);
+  }
+  {
+    AlgorithmConfig c = base;
+    c.params.delta = 0.350001;  // tiny change must still be visible (%.17g)
+    variants.push_back(c);
+  }
+  {
+    AlgorithmConfig c = base;
+    c.params.lra_partitions = 9;
+    variants.push_back(c);
+  }
+  {
+    AlgorithmConfig c = base;
+    c.params.vpa_parts = 7;
+    variants.push_back(c);
+  }
+  {
+    AlgorithmConfig c = base;
+    c.params.rho = 0.9;
+    variants.push_back(c);
+  }
+  {
+    AlgorithmConfig c = base;
+    c.params.seed = 2015;
+    variants.push_back(c);
+  }
+  std::set<uint64_t> hashes{h0};
+  for (const AlgorithmConfig& variant : variants) {
+    uint64_t h = CanonicalConfigHash(variant);
+    EXPECT_NE(h, h0) << CanonicalConfigString(variant);
+    hashes.insert(h);
+  }
+  // All variants are pairwise distinct as well.
+  EXPECT_EQ(hashes.size(), variants.size() + 1);
 }
 
 }  // namespace

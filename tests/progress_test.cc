@@ -8,6 +8,7 @@
 #include <mutex>
 #include <set>
 
+#include "common/cancellation.h"
 #include "engine/comparator.h"
 #include "hierarchy/hierarchy_builder.h"
 #include "tests/test_util.h"
@@ -94,6 +95,40 @@ TEST_F(ProgressTest, ComparatorSerializesEventsAcrossThreads) {
   EXPECT_FALSE(overlapped) << "progress callbacks must be serialized";
   EXPECT_EQ(seen.size(), 9u);  // 3 configs x 3 points, all distinct
   EXPECT_EQ(results.size(), 3u);
+}
+
+TEST_F(ProgressTest, ComparatorSerializesEventsWhenCancelledMidFlight) {
+  // Cancelling from inside a progress callback must not break the
+  // serialization guarantee: points already executing may still finish and
+  // report, but their callbacks stay mutually excluded, and the comparator
+  // returns Cancelled.
+  std::vector<AlgorithmConfig> configs(3);
+  for (size_t i = 0; i < 3; ++i) {
+    configs[i].mode = AnonMode::kTransaction;
+    configs[i].transaction_algorithm =
+        std::vector<std::string>{"Apriori", "COAT", "PCTA"}[i];
+  }
+  ParamSweep sweep{"k", 2, 6, 2};
+  CancellationToken token;
+  std::atomic<int> concurrent{0};
+  std::atomic<bool> overlapped{false};
+  std::atomic<int> events{0};
+  CompareOptions options;
+  options.num_threads = 3;
+  options.progress = [&](const ProgressEvent&) {
+    if (concurrent.fetch_add(1) != 0) overlapped = true;
+    if (events.fetch_add(1) == 0) token.Cancel();  // cancel mid-flight
+    concurrent.fetch_sub(1);
+  };
+  EngineInputs inputs = inputs_;
+  inputs.cancel = &token;
+  Result<std::vector<SweepResult>> result =
+      CompareMethods(inputs, configs, sweep, nullptr, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_GE(events.load(), 1);
+  EXPECT_FALSE(overlapped)
+      << "progress callbacks must stay serialized under cancellation";
 }
 
 }  // namespace

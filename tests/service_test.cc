@@ -1,0 +1,418 @@
+// Job-service tests: priority dispatch order, bounded-queue backpressure,
+// deadline enforcement, cooperative cancellation (including the no-partial-
+// export guarantee), content-addressed result caching, and the metrics
+// counters that observe all of it. Controllable jobs are injected through
+// JobScheduler::SubmitFn; engine-level cancellation is covered at the
+// RtAnonymizer and RunSweep layers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "engine/config_io.h"
+#include "engine/experiment.h"
+#include "engine/registry.h"
+#include "export/json_export.h"
+#include "hierarchy/hierarchy_builder.h"
+#include "service/job_scheduler.h"
+#include "service/result_cache.h"
+#include "tests/test_util.h"
+
+namespace secreta {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// A job the test opens manually: Run() blocks every submitted job until
+/// Release() is called (or the job's token fires).
+class Gate {
+ public:
+  JobScheduler::JobFn Job() {
+    return [this](const CancellationToken& token) -> Result<EvaluationReport> {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++entered_;
+      entered_cv_.notify_all();
+      // Timed wait: cancellation fires the token without notifying this CV.
+      while (!open_ && !token.cancelled()) {
+        open_cv_.wait_for(lock, milliseconds(2));
+      }
+      SECRETA_RETURN_IF_ERROR(token.Check("gated job"));
+      return EvaluationReport{};
+    };
+  }
+
+  void AwaitEntered(int n) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    entered_cv_.wait(lock, [this, n] { return entered_ >= n; });
+  }
+
+  void Release() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    open_ = true;
+    open_cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable entered_cv_;
+  std::condition_variable open_cv_;
+  int entered_ = 0;
+  bool open_ = false;
+};
+
+JobScheduler::JobFn InstantJob() {
+  return [](const CancellationToken&) -> Result<EvaluationReport> {
+    return EvaluationReport{};
+  };
+}
+
+TEST(JobSchedulerTest, DispatchesByPriorityThenFifo) {
+  SchedulerOptions options;
+  options.num_workers = 1;
+  JobScheduler scheduler(options);
+  Gate gate;
+  // Occupy the single worker so everything below stays queued.
+  ASSERT_OK_AND_ASSIGN(uint64_t blocker,
+                       scheduler.SubmitFn(gate.Job(), "blocker"));
+  gate.AwaitEntered(1);
+  JobOptions low, high, mid;
+  low.priority = 0;
+  high.priority = 5;
+  mid.priority = 1;
+  ASSERT_OK_AND_ASSIGN(uint64_t low1, scheduler.SubmitFn(InstantJob(),
+                                                         "low1", low));
+  ASSERT_OK_AND_ASSIGN(uint64_t low2, scheduler.SubmitFn(InstantJob(),
+                                                         "low2", low));
+  ASSERT_OK_AND_ASSIGN(uint64_t high1, scheduler.SubmitFn(InstantJob(),
+                                                          "high1", high));
+  ASSERT_OK_AND_ASSIGN(uint64_t mid1, scheduler.SubmitFn(InstantJob(),
+                                                         "mid1", mid));
+  EXPECT_EQ(scheduler.num_queued(), 4u);
+  EXPECT_EQ(scheduler.num_running(), 1u);
+  gate.Release();
+  scheduler.WaitAll();
+  auto order = [&](uint64_t id) {
+    return std::move(scheduler.GetJob(id)).ValueOrDie().dispatch_order;
+  };
+  EXPECT_EQ(order(blocker), 1u);
+  // Priority 5 first, then 1, then the priority-0 pair in submission order.
+  EXPECT_EQ(order(high1), 2u);
+  EXPECT_EQ(order(mid1), 3u);
+  EXPECT_EQ(order(low1), 4u);
+  EXPECT_EQ(order(low2), 5u);
+}
+
+TEST(JobSchedulerTest, BoundedQueueRejectsWithResourceExhausted) {
+  SchedulerOptions options;
+  options.num_workers = 1;
+  options.max_queue = 2;
+  JobScheduler scheduler(options);
+  Gate gate;
+  ASSERT_OK(scheduler.SubmitFn(gate.Job(), "blocker").status());
+  gate.AwaitEntered(1);
+  ASSERT_OK(scheduler.SubmitFn(InstantJob(), "q1").status());
+  ASSERT_OK(scheduler.SubmitFn(InstantJob(), "q2").status());
+  Result<uint64_t> rejected = scheduler.SubmitFn(InstantJob(), "q3");
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  gate.Release();
+  scheduler.WaitAll();
+  ServiceMetricsSnapshot metrics = scheduler.MetricsSnapshot();
+  EXPECT_EQ(metrics.jobs_rejected, 1u);
+  EXPECT_EQ(metrics.jobs_submitted, 3u);
+  EXPECT_EQ(metrics.jobs_completed, 3u);
+}
+
+TEST(JobSchedulerTest, QueuedJobTimesOutWithDeadlineExceeded) {
+  SchedulerOptions options;
+  options.num_workers = 1;
+  JobScheduler scheduler(options);
+  Gate gate;
+  ASSERT_OK(scheduler.SubmitFn(gate.Job(), "blocker").status());
+  gate.AwaitEntered(1);
+  JobOptions timed;
+  timed.timeout_seconds = 0.05;
+  ASSERT_OK_AND_ASSIGN(uint64_t id,
+                       scheduler.SubmitFn(InstantJob(), "starved", timed));
+  ASSERT_OK_AND_ASSIGN(JobInfo info, scheduler.WaitJob(id));
+  EXPECT_EQ(info.state, JobState::kTimedOut);
+  EXPECT_EQ(info.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(info.dispatch_order, 0u) << "the job must never have run";
+  gate.Release();
+  scheduler.WaitAll();
+  EXPECT_EQ(scheduler.MetricsSnapshot().jobs_timed_out, 1u);
+}
+
+TEST(JobSchedulerTest, RunningJobTimesOutAtNextCheckpoint) {
+  JobScheduler scheduler;
+  JobOptions timed;
+  timed.timeout_seconds = 0.05;
+  // The job cooperates: it spins until the token fires, then unwinds with the
+  // token's status — exactly what the engine does at phase boundaries.
+  auto fn = [](const CancellationToken& token) -> Result<EvaluationReport> {
+    while (!token.cancelled()) {
+      std::this_thread::sleep_for(milliseconds(1));
+    }
+    SECRETA_RETURN_IF_ERROR(token.Check("spin phase"));
+    return EvaluationReport{};
+  };
+  ASSERT_OK_AND_ASSIGN(uint64_t id, scheduler.SubmitFn(fn, "spinner", timed));
+  ASSERT_OK_AND_ASSIGN(JobInfo info, scheduler.WaitJob(id));
+  EXPECT_EQ(info.state, JobState::kTimedOut);
+  EXPECT_EQ(info.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GT(info.dispatch_order, 0u) << "this job did run";
+}
+
+TEST(JobSchedulerTest, CancelledJobLeavesNoPartialExport) {
+  std::string path = ::testing::TempDir() + "cancelled_job_export.json";
+  std::remove(path.c_str());
+  JobScheduler scheduler;
+  Gate gate;
+  JobOptions options;
+  options.export_json_path = path;
+  ASSERT_OK_AND_ASSIGN(uint64_t id,
+                       scheduler.SubmitFn(gate.Job(), "exporting", options));
+  gate.AwaitEntered(1);
+  ASSERT_OK(scheduler.CancelJob(id));
+  ASSERT_OK_AND_ASSIGN(JobInfo info, scheduler.WaitJob(id));
+  EXPECT_EQ(info.state, JobState::kCancelled);
+  EXPECT_EQ(info.status.code(), StatusCode::kCancelled);
+  std::ifstream exported(path);
+  EXPECT_FALSE(exported.good())
+      << "a cancelled job must not leave a partially-written export";
+  EXPECT_EQ(scheduler.MetricsSnapshot().jobs_cancelled, 1u);
+}
+
+TEST(JobSchedulerTest, CancellingQueuedJobNeverRunsIt) {
+  SchedulerOptions options;
+  options.num_workers = 1;
+  JobScheduler scheduler(options);
+  Gate gate;
+  ASSERT_OK(scheduler.SubmitFn(gate.Job(), "blocker").status());
+  gate.AwaitEntered(1);
+  std::atomic<bool> ran{false};
+  auto fn = [&ran](const CancellationToken&) -> Result<EvaluationReport> {
+    ran = true;
+    return EvaluationReport{};
+  };
+  ASSERT_OK_AND_ASSIGN(uint64_t id, scheduler.SubmitFn(fn, "queued"));
+  ASSERT_OK(scheduler.CancelJob(id));
+  ASSERT_OK_AND_ASSIGN(JobInfo info, scheduler.GetJob(id));
+  EXPECT_EQ(info.state, JobState::kCancelled);
+  gate.Release();
+  scheduler.WaitAll();
+  EXPECT_FALSE(ran.load());
+  // Cancelling a finished job is a FailedPrecondition, unknown id NotFound.
+  EXPECT_EQ(scheduler.CancelJob(id).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(scheduler.CancelJob(99999).code(), StatusCode::kNotFound);
+}
+
+TEST(JobSchedulerTest, FailedJobReportsStatusAndMetric) {
+  JobScheduler scheduler;
+  auto fn = [](const CancellationToken&) -> Result<EvaluationReport> {
+    return Status::InvalidArgument("boom");
+  };
+  ASSERT_OK_AND_ASSIGN(uint64_t id, scheduler.SubmitFn(fn, "failing"));
+  ASSERT_OK_AND_ASSIGN(JobInfo info, scheduler.WaitJob(id));
+  EXPECT_EQ(info.state, JobState::kFailed);
+  EXPECT_EQ(info.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(scheduler.MetricsSnapshot().jobs_failed, 1u);
+}
+
+class ServiceEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = testing::SmallRtDataset(120, 811);
+    hierarchies_ = std::move(BuildAllColumnHierarchies(dataset_)).ValueOrDie();
+    item_hierarchy_ = std::move(BuildItemHierarchy(dataset_)).ValueOrDie();
+    rel_.emplace(std::move(
+        RelationalContext::Create(dataset_, hierarchies_)).ValueOrDie());
+    txn_.emplace(std::move(
+        TransactionContext::Create(dataset_, &item_hierarchy_)).ValueOrDie());
+    inputs_.dataset = &dataset_;
+    inputs_.relational = &*rel_;
+    inputs_.transaction = &*txn_;
+    config_.mode = AnonMode::kRt;
+    config_.relational_algorithm = "Cluster";
+    config_.transaction_algorithm = "Apriori";
+    config_.params.k = 4;
+    config_.params.m = 2;
+    config_.params.delta = 0.3;
+  }
+
+  Dataset dataset_;
+  std::vector<Hierarchy> hierarchies_;
+  Hierarchy item_hierarchy_;
+  std::optional<RelationalContext> rel_;
+  std::optional<TransactionContext> txn_;
+  EngineInputs inputs_;
+  AlgorithmConfig config_;
+};
+
+TEST_F(ServiceEngineTest, CacheHitReplaysBitIdenticalReport) {
+  JobScheduler scheduler;
+  ASSERT_OK_AND_ASSIGN(uint64_t first,
+                       scheduler.Submit(inputs_, config_, nullptr));
+  ASSERT_OK_AND_ASSIGN(JobInfo cold, scheduler.WaitJob(first));
+  ASSERT_EQ(cold.state, JobState::kDone);
+  EXPECT_FALSE(cold.from_cache);
+  ASSERT_OK_AND_ASSIGN(uint64_t second,
+                       scheduler.Submit(inputs_, config_, nullptr));
+  ASSERT_OK_AND_ASSIGN(JobInfo warm, scheduler.WaitJob(second));
+  ASSERT_EQ(warm.state, JobState::kDone);
+  EXPECT_TRUE(warm.from_cache);
+  EXPECT_EQ(warm.dispatch_order, 0u) << "cache hits bypass the queue";
+  ASSERT_NE(cold.report, nullptr);
+  ASSERT_NE(warm.report, nullptr);
+  EXPECT_EQ(EvaluationReportToJson(*cold.report),
+            EvaluationReportToJson(*warm.report));
+  ServiceMetricsSnapshot metrics = scheduler.MetricsSnapshot();
+  EXPECT_EQ(metrics.cache_hits, 1u);
+  EXPECT_EQ(metrics.cache_misses, 1u);
+  EXPECT_DOUBLE_EQ(metrics.cache_hit_rate, 0.5);
+
+  // A different config is a different cache key: miss again.
+  AlgorithmConfig other = config_;
+  other.params.k = 5;
+  ASSERT_OK_AND_ASSIGN(uint64_t third,
+                       scheduler.Submit(inputs_, other, nullptr));
+  ASSERT_OK_AND_ASSIGN(JobInfo miss, scheduler.WaitJob(third));
+  EXPECT_FALSE(miss.from_cache);
+  EXPECT_EQ(scheduler.MetricsSnapshot().cache_misses, 2u);
+}
+
+TEST_F(ServiceEngineTest, CacheHitWritesExportAndMetricsHistogramsFill) {
+  std::string path = ::testing::TempDir() + "cached_job_export.json";
+  std::remove(path.c_str());
+  JobScheduler scheduler;
+  ASSERT_OK_AND_ASSIGN(uint64_t first,
+                       scheduler.Submit(inputs_, config_, nullptr));
+  ASSERT_OK(scheduler.WaitJob(first).status());
+  JobOptions with_export;
+  with_export.export_json_path = path;
+  ASSERT_OK_AND_ASSIGN(
+      uint64_t second, scheduler.Submit(inputs_, config_, nullptr, with_export));
+  ASSERT_OK_AND_ASSIGN(JobInfo warm, scheduler.WaitJob(second));
+  EXPECT_TRUE(warm.from_cache);
+  std::ifstream exported(path);
+  EXPECT_TRUE(exported.good()) << "cache hits still honor export_json_path";
+  ServiceMetricsSnapshot metrics = scheduler.MetricsSnapshot();
+  // Only the cold run went through the queue and the workers.
+  EXPECT_EQ(metrics.queue_wait.count, 1u);
+  EXPECT_EQ(metrics.execution.count, 1u);
+  EXPECT_GT(metrics.execution.sum_seconds, 0.0);
+}
+
+TEST_F(ServiceEngineTest, DisabledCacheNeverHits) {
+  SchedulerOptions options;
+  options.cache_capacity = 0;
+  JobScheduler scheduler(options);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_OK_AND_ASSIGN(uint64_t id,
+                         scheduler.Submit(inputs_, config_, nullptr));
+    ASSERT_OK_AND_ASSIGN(JobInfo info, scheduler.WaitJob(id));
+    EXPECT_FALSE(info.from_cache);
+  }
+  EXPECT_EQ(scheduler.MetricsSnapshot().cache_hits, 0u);
+}
+
+TEST_F(ServiceEngineTest, PreCancelledTokenStopsEngineImmediately) {
+  CancellationToken token;
+  token.Cancel();
+  EngineInputs inputs = inputs_;
+  inputs.cancel = &token;
+  Result<EvaluationReport> result = EvaluateMethod(inputs, config_, nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(ServiceEngineTest, SweepCancelsAtNextPointBoundary) {
+  CancellationToken token;
+  EngineInputs inputs = inputs_;
+  inputs.cancel = &token;
+  ParamSweep sweep{"k", 2, 10, 2};
+  size_t completed_points = 0;
+  ProgressCallback progress = [&](const ProgressEvent&) {
+    ++completed_points;
+    token.Cancel();  // cancel after the first finished point
+  };
+  Result<SweepResult> result =
+      RunSweep(inputs, config_, sweep, nullptr, progress);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(completed_points, 1u)
+      << "cancellation must take effect at the next point boundary";
+}
+
+TEST_F(ServiceEngineTest, CancellingInFlightRtJobReturnsCancelled) {
+  SchedulerOptions options;
+  options.cache_capacity = 0;  // force real execution
+  JobScheduler scheduler(options);
+  ASSERT_OK_AND_ASSIGN(uint64_t id,
+                       scheduler.Submit(inputs_, config_, nullptr));
+  // The run may still be queued or already executing; either way the token
+  // fires and the engine unwinds at its next phase-boundary check.
+  Status cancel_status = scheduler.CancelJob(id);
+  ASSERT_OK_AND_ASSIGN(JobInfo info, scheduler.WaitJob(id));
+  if (cancel_status.ok()) {
+    EXPECT_EQ(info.state, JobState::kCancelled);
+    EXPECT_EQ(info.status.code(), StatusCode::kCancelled);
+  } else {
+    // Lost the race: the job finished before the cancel arrived.
+    EXPECT_EQ(info.state, JobState::kDone);
+  }
+}
+
+TEST_F(ServiceEngineTest, FingerprintsDistinguishDatasetsAndWorkloads) {
+  uint64_t fp1 = DatasetFingerprint(dataset_);
+  EXPECT_EQ(fp1, DatasetFingerprint(dataset_));
+  Dataset other = testing::SmallRtDataset(121, 812);
+  EXPECT_NE(fp1, DatasetFingerprint(other));
+  EXPECT_EQ(WorkloadFingerprint(nullptr), WorkloadFingerprint(nullptr));
+  uint64_t key1 = RunCacheKey(config_, fp1, WorkloadFingerprint(nullptr));
+  uint64_t key2 =
+      RunCacheKey(config_, DatasetFingerprint(other), WorkloadFingerprint(nullptr));
+  EXPECT_NE(key1, key2);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  auto report = [](double gcp) {
+    auto r = std::make_shared<EvaluationReport>();
+    r->gcp = gcp;
+    return std::shared_ptr<const EvaluationReport>(r);
+  };
+  cache.Insert(1, report(0.1));
+  cache.Insert(2, report(0.2));
+  EXPECT_NE(cache.Lookup(1), nullptr);  // promotes key 1
+  cache.Insert(3, report(0.3));         // evicts key 2
+  EXPECT_EQ(cache.Lookup(2), nullptr);
+  EXPECT_NE(cache.Lookup(1), nullptr);
+  EXPECT_NE(cache.Lookup(3), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ServiceMetricsJsonTest, SnapshotSerializes) {
+  ServiceMetrics metrics;
+  metrics.IncrSubmitted();
+  metrics.IncrCompleted();
+  metrics.RecordQueueWait(0.003);
+  metrics.RecordExecution(0.5);
+  std::string json = ServiceMetricsToJson(metrics.Snapshot());
+  EXPECT_NE(json.find("\"submitted\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"queue_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"bucket_counts\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace secreta
