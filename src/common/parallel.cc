@@ -1,0 +1,68 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace secreta {
+
+namespace {
+
+struct LoopState {
+  explicit LoopState(size_t total, std::function<void(size_t)> body)
+      : n(total), fn(std::move(body)) {}
+
+  const size_t n;
+  const std::function<void(size_t)> fn;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex mutex;
+  std::condition_variable all_done;
+};
+
+// Claims indices until the range is exhausted. Runs on pool workers and on
+// the calling thread alike.
+void Drain(const std::shared_ptr<LoopState>& state) {
+  for (;;) {
+    size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state->n) return;
+    state->fn(i);
+    if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == state->n) {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->all_done.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto state = std::make_shared<LoopState>(n, fn);
+  // n-1 helpers at most: the caller claims work too, and a helper that finds
+  // the range exhausted exits immediately.
+  size_t helpers = std::min(pool->num_threads(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    pool->Submit([state] { Drain(state); });
+  }
+  Drain(state);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
+}
+
+ThreadPool& SharedEvalPool() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max<size_t>(1, std::thread::hardware_concurrency()));
+  return *pool;
+}
+
+}  // namespace secreta

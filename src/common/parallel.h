@@ -1,0 +1,36 @@
+// Parallel execution helpers layered on ThreadPool. The evaluation pipeline
+// fans metric and query-batch work out with ParallelFor; because the calling
+// thread always participates in the loop, nesting is safe: a pool worker that
+// starts a nested ParallelFor drains the nested indices itself even when
+// every other worker is busy, so composed parallelism (comparator over
+// configs x metrics over a report x batches over a workload) cannot deadlock.
+
+#ifndef SECRETA_COMMON_PARALLEL_H_
+#define SECRETA_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "common/thread_pool.h"
+
+namespace secreta {
+
+/// Runs fn(0), ..., fn(n-1) across `pool` workers plus the calling thread and
+/// returns once every index has finished. Indices are claimed dynamically
+/// (atomic counter), so uneven task costs balance automatically. `pool` may
+/// be null: the loop then runs serially on the caller. `fn` must not throw;
+/// report errors through captured state (e.g. a Status per index).
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+/// The process-wide pool used for intra-evaluation parallelism (metric
+/// fan-out and query batches). Sized to the hardware; distinct from the
+/// per-comparison pools that fan out whole configurations, so config-level
+/// and metric-level parallelism compose without oversubscribing waits: tasks
+/// submitted here are leaves or caller-helping loops, never blocking waits on
+/// further pool capacity.
+ThreadPool& SharedEvalPool();
+
+}  // namespace secreta
+
+#endif  // SECRETA_COMMON_PARALLEL_H_

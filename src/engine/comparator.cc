@@ -15,6 +15,11 @@ Result<std::vector<SweepResult>> CompareMethods(
   if (configs.empty()) {
     return Status::InvalidArgument("no configurations to compare");
   }
+  // Bind the workload once for the entire comparison grid: exact counts and
+  // clause bitmaps depend only on the dataset, so every configuration's every
+  // sweep point shares the same read-only EvalContext.
+  SECRETA_ASSIGN_OR_RETURN(EvalContext shared_eval,
+                           EvalContext::Create(inputs, workload));
   size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
   size_t threads = options.num_threads > 0
                        ? options.num_threads
@@ -41,7 +46,8 @@ Result<std::vector<SweepResult>> CompareMethods(
           !CheckCancelled(inputs.cancel, "compare config").ok()
               ? Result<SweepResult>(
                     Status::Cancelled("compare config: cancelled"))
-              : RunSweep(inputs, configs[i], sweep, workload, serialized, i);
+              : RunSweep(inputs, configs[i], sweep, workload, serialized, i,
+                         &shared_eval);
       std::lock_guard<std::mutex> lock(mutex);
       results[i] = std::move(r);
     });

@@ -1,10 +1,15 @@
 #include "engine/evaluator.h"
 
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/stopwatch.h"
 #include "core/guarantees.h"
 #include "metrics/distribution_metrics.h"
 #include "metrics/frequency.h"
 #include "metrics/information_loss.h"
-#include "query/query_evaluator.h"
 
 namespace secreta {
 
@@ -20,83 +25,160 @@ Result<double> EvaluationReport::Metric(const std::string& name) const {
   if (name == "kl_items") return kl_items;
   if (name == "suppressed") return suppressed;
   if (name == "runtime") return run.runtime_seconds;
+  if (name == "evaluation_seconds") return evaluation_seconds;
+  if (name == "queries_per_second") return queries_per_second;
   return Status::InvalidArgument("unknown metric: " + name);
 }
 
+Result<EvalContext> EvalContext::Create(const EngineInputs& inputs,
+                                        const Workload* workload) {
+  EvalContext context;
+  if (workload == nullptr || workload->empty()) return context;
+  SECRETA_ASSIGN_OR_RETURN(
+      QueryEvaluator evaluator,
+      QueryEvaluator::Create(*inputs.dataset, inputs.relational));
+  context.evaluator_.emplace(std::move(evaluator));
+  SECRETA_ASSIGN_OR_RETURN(
+      BoundWorkload bound,
+      context.evaluator_->BindWorkload(*workload, &SharedEvalPool()));
+  context.bound_.emplace(std::move(bound));
+  return context;
+}
+
 Result<EvaluationReport> BuildReport(const EngineInputs& inputs,
-                                     RunResult run, const Workload* workload) {
+                                     RunResult run, const EvalContext& eval) {
   SECRETA_RETURN_IF_ERROR(CheckCancelled(inputs.cancel, "metrics phase"));
+  Stopwatch eval_watch;
   EvaluationReport report;
   const Dataset& data = *inputs.dataset;
+  const CancellationToken* cancel = inputs.cancel;
+  ThreadPool* pool = &SharedEvalPool();
+
+  // Independent metric computations, fanned out over the shared pool. Each
+  // task polls the token on entry and writes a distinct report field, so no
+  // synchronization beyond the final join is needed.
+  std::vector<std::function<Status()>> tasks;
+  auto add_task = [&](const char* where, std::function<void()> body) {
+    tasks.push_back([where, cancel, body = std::move(body)]() -> Status {
+      SECRETA_RETURN_IF_ERROR(CheckCancelled(cancel, where));
+      body();
+      return Status::OK();
+    });
+  };
+
   if (run.relational.has_value()) {
-    report.gcp = RecodingGcp(*inputs.relational, *run.relational);
-    EquivalenceClasses classes = GroupByRecoding(*run.relational);
-    report.discernibility = Discernibility(classes);
-    report.cavg = AverageClassSize(classes, run.config.params.k);
-    report.entropy_loss = NonUniformEntropyLoss(*inputs.relational,
-                                                *run.relational);
-    report.kl_relational = MeanKlDivergence(*inputs.relational,
-                                            *run.relational);
+    const RelationalRecoding& recoding = *run.relational;
+    add_task("gcp metric",
+             [&] { report.gcp = RecodingGcp(*inputs.relational, recoding); });
+    add_task("class metrics", [&, k = run.config.params.k] {
+      EquivalenceClasses classes = GroupByRecoding(recoding);
+      report.discernibility = Discernibility(classes);
+      report.cavg = AverageClassSize(classes, k);
+    });
+    add_task("entropy metric", [&] {
+      report.entropy_loss = NonUniformEntropyLoss(*inputs.relational, recoding);
+    });
+    add_task("kl metric", [&] {
+      report.kl_relational = MeanKlDivergence(*inputs.relational, recoding);
+    });
   }
+  std::vector<std::vector<ItemId>> original;
   if (run.transaction.has_value()) {
-    std::vector<std::vector<ItemId>> original;
+    const TransactionRecoding& recoding = *run.transaction;
     original.reserve(data.num_records());
     for (size_t r = 0; r < data.num_records(); ++r) {
       original.push_back(data.items(r));
     }
-    report.ul = TransactionUl(*run.transaction, original,
-                              data.item_dictionary().size());
-    report.item_freq_error = MeanItemFrequencyError(
-        *run.transaction, original, data.item_dictionary());
-    report.kl_items = ItemKlDivergence(*run.transaction, original,
-                                       data.item_dictionary().size());
-    report.suppressed =
-        static_cast<double>(run.transaction->suppressed_occurrences);
+    add_task("ul metric", [&] {
+      report.ul =
+          TransactionUl(recoding, original, data.item_dictionary().size());
+    });
+    add_task("item frequency metric", [&] {
+      report.item_freq_error =
+          MeanItemFrequencyError(recoding, original, data.item_dictionary());
+    });
+    add_task("item kl metric", [&] {
+      report.kl_items =
+          ItemKlDivergence(recoding, original, data.item_dictionary().size());
+    });
+    report.suppressed = static_cast<double>(recoding.suppressed_occurrences);
   }
-  if (workload != nullptr && !workload->empty()) {
-    SECRETA_ASSIGN_OR_RETURN(
-        QueryEvaluator evaluator,
-        QueryEvaluator::Create(data, inputs.relational));
-    const RelationalRecoding* rel =
-        run.relational.has_value() ? &*run.relational : nullptr;
-    const TransactionRecoding* txn =
-        run.transaction.has_value() ? &*run.transaction : nullptr;
-    SECRETA_ASSIGN_OR_RETURN(AreReport are,
-                             evaluator.Are(*workload, rel, txn));
-    report.are = are.are;
+  Status are_status;
+  double are_seconds = 0;
+  if (eval.has_workload()) {
+    tasks.push_back([&]() -> Status {
+      const RelationalRecoding* rel =
+          run.relational.has_value() ? &*run.relational : nullptr;
+      const TransactionRecoding* txn =
+          run.transaction.has_value() ? &*run.transaction : nullptr;
+      Stopwatch are_watch;
+      // Nested fan-out over the same pool: the ARE task helps drain its own
+      // query batches, so composing with the metric fan-out (and with
+      // comparator-level parallelism above) cannot deadlock.
+      Result<AreReport> are = eval.evaluator().Are(eval.bound_workload(), rel,
+                                                   txn, pool, cancel);
+      are_seconds = are_watch.ElapsedSeconds();
+      if (!are.ok()) return are.status();
+      report.are = are.value().are;
+      return Status::OK();
+    });
   }
-  // Guarantee verification.
-  const AnonParams& params = run.config.params;
-  report.guarantee_checked = true;
-  switch (run.config.mode) {
-    case AnonMode::kRelational:
-      report.guarantee_name = "k-anonymity";
-      report.guarantee_ok = IsKAnonymous(*run.relational, params.k);
-      break;
-    case AnonMode::kTransaction:
-      if (inputs.privacy != nullptr && !inputs.privacy->empty()) {
-        report.guarantee_name = "privacy-policy";
-        report.guarantee_ok =
-            SatisfiesPrivacyPolicy(*inputs.privacy, *run.transaction, params.k);
-      } else if (run.config.transaction_algorithm == "RhoUncertainty") {
-        // Checked by the dedicated property tests; the checker needs the
-        // sensitive-item marking, which the engine does not retain.
-        report.guarantee_checked = false;
-        report.guarantee_name = "rho-uncertainty";
-      } else {
-        report.guarantee_name = "km-anonymity";
-        report.guarantee_ok =
-            IsKmAnonymous(run.transaction->records, params.k, params.m);
-      }
-      break;
-    case AnonMode::kRt:
-      report.guarantee_name = "(k,km)-anonymity";
-      report.guarantee_ok = IsKKmAnonymous(
-          *run.relational, run.transaction->records, params.k, params.m);
-      break;
+  add_task("guarantee check", [&] {
+    const AnonParams& params = run.config.params;
+    report.guarantee_checked = true;
+    switch (run.config.mode) {
+      case AnonMode::kRelational:
+        report.guarantee_name = "k-anonymity";
+        report.guarantee_ok = IsKAnonymous(*run.relational, params.k);
+        break;
+      case AnonMode::kTransaction:
+        if (inputs.privacy != nullptr && !inputs.privacy->empty()) {
+          report.guarantee_name = "privacy-policy";
+          report.guarantee_ok = SatisfiesPrivacyPolicy(
+              *inputs.privacy, *run.transaction, params.k);
+        } else if (run.config.transaction_algorithm == "RhoUncertainty") {
+          // Checked by the dedicated property tests; the checker needs the
+          // sensitive-item marking, which the engine does not retain.
+          report.guarantee_checked = false;
+          report.guarantee_name = "rho-uncertainty";
+        } else {
+          report.guarantee_name = "km-anonymity";
+          report.guarantee_ok =
+              IsKmAnonymous(run.transaction->records, params.k, params.m);
+        }
+        break;
+      case AnonMode::kRt:
+        report.guarantee_name = "(k,km)-anonymity";
+        report.guarantee_ok = IsKKmAnonymous(
+            *run.relational, run.transaction->records, params.k, params.m);
+        break;
+    }
+  });
+
+  std::vector<Status> statuses(tasks.size());
+  ParallelFor(pool, tasks.size(),
+              [&](size_t i) { statuses[i] = tasks[i](); });
+  // Report cancellation canonically ahead of whichever task observed it.
+  SECRETA_RETURN_IF_ERROR(CheckCancelled(inputs.cancel, "metrics phase"));
+  for (const Status& status : statuses) {
+    SECRETA_RETURN_IF_ERROR(status);
   }
+
+  report.evaluation_seconds = eval_watch.ElapsedSeconds();
+  if (eval.has_workload() && are_seconds > 0) {
+    report.queries_per_second =
+        static_cast<double>(eval.workload_size()) / are_seconds;
+  }
+  run.phases.Add("evaluation", report.evaluation_seconds);
   report.run = std::move(run);
   return report;
+}
+
+Result<EvaluationReport> BuildReport(const EngineInputs& inputs,
+                                     RunResult run, const Workload* workload) {
+  SECRETA_ASSIGN_OR_RETURN(EvalContext eval,
+                           EvalContext::Create(inputs, workload));
+  return BuildReport(inputs, std::move(run), eval);
 }
 
 Result<EvaluationReport> EvaluateMethod(const EngineInputs& inputs,

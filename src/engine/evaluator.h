@@ -2,14 +2,23 @@
 // assembles the full utility/privacy report — information loss (GCP, UL),
 // ARE over a query workload, discernibility, class sizes, item-frequency
 // distortion, runtime with phase breakdown, and a guarantee verification.
+//
+// Metric computation is parallel: the independent relational metrics,
+// transaction metrics, the ARE workload (itself batched) and the guarantee
+// check fan out over the shared evaluation pool, and the cancellation token
+// is polled per metric task and per query batch. Results are value-identical
+// to serial computation (each metric is computed exactly as before; only the
+// scheduling changes).
 
 #ifndef SECRETA_ENGINE_EVALUATOR_H_
 #define SECRETA_ENGINE_EVALUATOR_H_
 
+#include <optional>
 #include <string>
 
 #include "engine/anonymization_module.h"
 #include "query/query.h"
+#include "query/query_evaluator.h"
 
 namespace secreta {
 
@@ -26,14 +35,45 @@ struct EvaluationReport {
   double kl_relational = 0;     ///< mean KL divergence over QI attributes
   double kl_items = 0;          ///< KL divergence of item supports
   double suppressed = 0;        ///< suppressed item occurrences (absolute)
+  /// Wall time of the evaluation phase (all metrics + ARE), reported
+  /// separately from the anonymization runtime in `run.runtime_seconds`.
+  double evaluation_seconds = 0;
+  /// Workload throughput of the ARE phase (0 without a workload).
+  double queries_per_second = 0;
   bool guarantee_checked = false;
   bool guarantee_ok = false;
   std::string guarantee_name;
 
   /// Metric accessor by name: "gcp", "ul", "are", "discernibility", "cavg",
   /// "item_freq_error", "entropy_loss", "kl_relational", "kl_items",
-  /// "suppressed", "runtime".
+  /// "suppressed", "runtime", "evaluation_seconds", "queries_per_second".
   Result<double> Metric(const std::string& name) const;
+};
+
+/// \brief Bind-once evaluation state shared across runs.
+///
+/// Owns a QueryEvaluator plus the workload bound against the dataset's query
+/// index (clause bitmaps, overlap caches, precomputed exact counts). Exact
+/// counts do not depend on any recoding, so one EvalContext serves every run
+/// on the same (dataset, workload) pair: a sweep binds once for all its
+/// points, and a comparison grid binds once for all configurations.
+/// Read-only after Create — safe to share across comparator threads.
+class EvalContext {
+ public:
+  /// Binds `workload` (may be null/empty: ARE is skipped) against the
+  /// dataset of `inputs`. The context borrows `inputs.dataset` and
+  /// `inputs.relational`, which must outlive it.
+  static Result<EvalContext> Create(const EngineInputs& inputs,
+                                    const Workload* workload);
+
+  bool has_workload() const { return bound_.has_value(); }
+  const QueryEvaluator& evaluator() const { return *evaluator_; }
+  const BoundWorkload& bound_workload() const { return *bound_; }
+  size_t workload_size() const { return bound_ ? bound_->size() : 0; }
+
+ private:
+  std::optional<QueryEvaluator> evaluator_;
+  std::optional<BoundWorkload> bound_;
 };
 
 /// Runs `config` and computes every applicable metric. `workload` may be
@@ -44,9 +84,17 @@ Result<EvaluationReport> EvaluateMethod(const EngineInputs& inputs,
                                         const AlgorithmConfig& config,
                                         const Workload* workload);
 
-/// Computes the metrics for an existing run (no re-execution).
+/// Computes the metrics for an existing run (no re-execution). Binds the
+/// workload once for this call; prefer the EvalContext overload when
+/// evaluating several runs against the same workload.
 Result<EvaluationReport> BuildReport(const EngineInputs& inputs,
                                      RunResult run, const Workload* workload);
+
+/// Computes the metrics for an existing run against a pre-bound evaluation
+/// context (no re-binding). `eval` must have been created from the same
+/// inputs.
+Result<EvaluationReport> BuildReport(const EngineInputs& inputs,
+                                     RunResult run, const EvalContext& eval);
 
 }  // namespace secreta
 

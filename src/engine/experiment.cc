@@ -31,19 +31,31 @@ Result<SweepResult> RunSweep(const EngineInputs& inputs,
                              const AlgorithmConfig& config,
                              const ParamSweep& sweep, const Workload* workload,
                              const ProgressCallback& progress,
-                             size_t config_index) {
+                             size_t config_index,
+                             const EvalContext* shared_eval) {
   SweepResult result;
   result.base = config;
   result.sweep = sweep;
   SECRETA_ASSIGN_OR_RETURN(std::vector<double> values, sweep.Values());
+  // Bind the workload once for the whole sweep (unless the caller already
+  // shares a context across several sweeps) instead of once per point.
+  std::optional<EvalContext> own_eval;
+  if (shared_eval == nullptr) {
+    SECRETA_ASSIGN_OR_RETURN(EvalContext created,
+                             EvalContext::Create(inputs, workload));
+    own_eval.emplace(std::move(created));
+    shared_eval = &*own_eval;
+  }
   for (size_t i = 0; i < values.size(); ++i) {
     SECRETA_RETURN_IF_ERROR(CheckCancelled(inputs.cancel, "sweep point"));
     double value = values[i];
     AlgorithmConfig point_config = config;
     SECRETA_RETURN_IF_ERROR(point_config.params.Set(sweep.parameter, value));
     SECRETA_RETURN_IF_ERROR(point_config.params.Validate());
+    SECRETA_ASSIGN_OR_RETURN(RunResult run,
+                             RunAnonymization(inputs, point_config));
     SECRETA_ASSIGN_OR_RETURN(EvaluationReport report,
-                             EvaluateMethod(inputs, point_config, workload));
+                             BuildReport(inputs, std::move(run), *shared_eval));
     result.points.push_back({value, std::move(report)});
     if (progress) {
       ProgressEvent event;

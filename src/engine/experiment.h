@@ -68,12 +68,16 @@ struct SweepResult {
 
 /// Runs `config` once per sweep value (the varying parameter overrides the
 /// corresponding field of config.params). `progress` (optional) fires after
-/// each point; `config_index` tags Comparison-mode events.
+/// each point; `config_index` tags Comparison-mode events. `shared_eval`
+/// (optional) supplies a pre-bound evaluation context — the comparator binds
+/// the workload once and shares it across every configuration; when null the
+/// sweep binds once for all of its own points.
 Result<SweepResult> RunSweep(const EngineInputs& inputs,
                              const AlgorithmConfig& config,
                              const ParamSweep& sweep, const Workload* workload,
                              const ProgressCallback& progress = nullptr,
-                             size_t config_index = 0);
+                             size_t config_index = 0,
+                             const EvalContext* shared_eval = nullptr);
 
 }  // namespace secreta
 

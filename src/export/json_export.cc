@@ -147,7 +147,7 @@ void WriteReportBody(JsonWriter* w, const EvaluationReport& report) {
   for (const char* metric :
        {"gcp", "ul", "are", "discernibility", "cavg", "item_freq_error",
         "entropy_loss", "kl_relational", "kl_items", "suppressed",
-        "runtime"}) {
+        "runtime", "evaluation_seconds", "queries_per_second"}) {
     w->Key(metric);
     w->Number(std::move(report.Metric(metric)).ValueOrDie());
   }

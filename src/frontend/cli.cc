@@ -457,7 +457,12 @@ void CommandLineInterface::PrintReport(const EvaluationReport& report) {
         << "\n"
         << StrFormat("GCP %.4f | UL %.4f | ARE %.4f | runtime %.3fs\n",
                      report.gcp, report.ul, report.are,
-                     report.run.runtime_seconds);
+                     report.run.runtime_seconds)
+        << StrFormat("evaluation %.3fs", report.evaluation_seconds);
+  if (report.queries_per_second > 0) {
+    *out_ << StrFormat(" | %.0f queries/s", report.queries_per_second);
+  }
+  *out_ << "\n";
   for (const auto& [phase, seconds] : report.run.phases.phases()) {
     *out_ << StrFormat("  %-12s %.3fs\n", phase.c_str(), seconds);
   }

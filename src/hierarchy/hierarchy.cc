@@ -79,6 +79,8 @@ Status Hierarchy::Finalize() {
   leaf_begin_.assign(n, 0);
   leaf_end_.assign(n, 0);
   leaf_order_.clear();
+  post_order_.clear();
+  post_order_.reserve(n);
   // Iterative DFS assigning depths and leaf intervals.
   struct Frame {
     NodeId node;
@@ -100,6 +102,7 @@ Status Hierarchy::Finalize() {
       stack.push_back({child, 0});
     } else {
       leaf_end_[idx] = static_cast<int32_t>(leaf_order_.size());
+      post_order_.push_back(frame.node);
       stack.pop_back();
     }
   }

@@ -127,6 +127,11 @@ class Hierarchy {
   /// All leaf node ids in DFS order.
   const std::vector<NodeId>& leaves() const { return leaf_order_; }
 
+  /// Every node id in DFS post-order (children before parents, root last).
+  /// Lets bottom-up aggregations — e.g. the query index's per-clause leaf
+  /// overlap counts — run in O(nodes) without recursion.
+  const std::vector<NodeId>& PostOrder() const { return post_order_; }
+
   /// Verifies structural invariants of a finalized hierarchy: parent/child
   /// symmetry, DFS depths, contiguous and partitioning leaf intervals, and
   /// unique leaf labels. Intended for tests and after deserialization.
@@ -142,6 +147,7 @@ class Hierarchy {
   std::vector<int32_t> leaf_begin_;
   std::vector<int32_t> leaf_end_;
   std::vector<NodeId> leaf_order_;  // leaf ids by DFS position
+  std::vector<NodeId> post_order_;  // all ids, children before parents
   std::unordered_map<std::string, NodeId> leaf_index_;
   std::unordered_map<std::string, NodeId> node_index_;
   std::vector<double> range_lo_;

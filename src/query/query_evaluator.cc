@@ -1,9 +1,56 @@
 #include "query/query_evaluator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace secreta {
+
+namespace {
+
+// Share of item `item` contributed by the generalized record `record_gens`
+// (sorted gen indices): 1/|covers| of the covering gen present in the record,
+// 0 if none (or suppressed). `gens_of_item` is the reverse map for local
+// recodings (ignored when the recoding has an item_map).
+double ItemCoverShare(const TransactionRecoding& txn,
+                      const std::vector<std::vector<int32_t>>& gens_of_item,
+                      const std::vector<int32_t>& record_gens, ItemId item) {
+  if (!txn.item_map.empty()) {
+    int32_t g = txn.item_map[static_cast<size_t>(item)];
+    if (g != kSuppressedGen &&
+        std::binary_search(record_gens.begin(), record_gens.end(), g)) {
+      return 1.0 /
+             static_cast<double>(txn.gens[static_cast<size_t>(g)].covers.size());
+    }
+    return 0.0;
+  }
+  // Local recoding: record gens are sorted ascending, so the first covering
+  // gen in record order is the smallest covering gen id present.
+  for (int32_t g : gens_of_item[static_cast<size_t>(item)]) {
+    if (std::binary_search(record_gens.begin(), record_gens.end(), g)) {
+      return 1.0 /
+             static_cast<double>(txn.gens[static_cast<size_t>(g)].covers.size());
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::vector<std::vector<int32_t>> BuildItemToGensMap(
+    const TransactionRecoding& recoding, size_t num_items) {
+  std::vector<std::vector<int32_t>> map(num_items);
+  for (size_t g = 0; g < recoding.gens.size(); ++g) {
+    for (ItemId item : recoding.gens[g].covers) {
+      if (static_cast<size_t>(item) < num_items) {
+        map[static_cast<size_t>(item)].push_back(static_cast<int32_t>(g));
+      }
+    }
+  }
+  return map;  // ascending per item by construction
+}
 
 Result<QueryEvaluator> QueryEvaluator::Create(
     const Dataset& dataset, const RelationalContext* rel_context) {
@@ -61,6 +108,7 @@ Result<QueryEvaluator::BoundQuery> QueryEvaluator::Bind(
         auto leaf = h.LeafOf(dict.value(static_cast<ValueId>(id)));
         if (!leaf.ok()) return leaf.status();
         bc.leaf_positions.push_back(h.leaf_interval_begin(leaf.value()));
+        bc.matched_leaves.push_back(leaf.value());
       }
       std::sort(bc.leaf_positions.begin(), bc.leaf_positions.end());
     }
@@ -111,6 +159,14 @@ Result<double> QueryEvaluator::EstimatedCount(
     return Status::FailedPrecondition(
         "estimation over a relational recoding requires a context");
   }
+  // Reverse item->gens map, built once per call (local recodings only):
+  // without it every query item would scan every gen's covers per record.
+  std::vector<std::vector<int32_t>> gens_of_item;
+  if (transaction != nullptr && transaction->item_map.empty() &&
+      !bound.items.empty()) {
+    gens_of_item =
+        BuildItemToGensMap(*transaction, dataset_->item_dictionary().size());
+  }
   double total = 0;
   for (size_t r = 0; r < dataset_->num_records(); ++r) {
     double p = 1.0;
@@ -142,25 +198,7 @@ Result<double> QueryEvaluator::EstimatedCount(
       } else {
         const auto& gens = transaction->records[r];
         for (ItemId item : bound.items) {
-          // Find the generalized item in this record that covers `item`.
-          double q = 0.0;
-          if (!transaction->item_map.empty()) {
-            int32_t g = transaction->item_map[static_cast<size_t>(item)];
-            if (g != kSuppressedGen &&
-                std::binary_search(gens.begin(), gens.end(), g)) {
-              q = 1.0 / static_cast<double>(
-                            transaction->gens[static_cast<size_t>(g)].covers.size());
-            }
-          } else {
-            for (int32_t g : gens) {
-              const auto& covers = transaction->gens[static_cast<size_t>(g)].covers;
-              if (std::binary_search(covers.begin(), covers.end(), item)) {
-                q = 1.0 / static_cast<double>(covers.size());
-                break;
-              }
-            }
-          }
-          p *= q;
+          p *= ItemCoverShare(*transaction, gens_of_item, gens, item);
           if (p == 0.0) break;
         }
       }
@@ -170,24 +208,353 @@ Result<double> QueryEvaluator::EstimatedCount(
   return total;
 }
 
+BoundWorkload::FastQuery QueryEvaluator::BuildFastQuery(
+    const BoundQuery& bound, const QueryIndex& index, double* out_exact) const {
+  BoundWorkload::FastQuery fq;
+  fq.impossible = bound.impossible;
+  for (const BoundClause& bc : bound.clauses) {
+    RecordBitmap bitmap = index.ClauseBitmap(bc.col, bc.match);
+    if (bc.is_qi) {
+      if (fq.has_qi) {
+        fq.qi_mask.AndWith(bitmap);
+      } else {
+        fq.qi_mask = std::move(bitmap);
+        fq.has_qi = true;
+      }
+      // Leaf-overlap cache: matched-leaf counts aggregated bottom-up, then
+      // divided by each node's leaf count — the same integers the scan path
+      // derives per record via lower_bound, computed once per node.
+      const Hierarchy& h = rel_context_->hierarchy(bc.qi);
+      BoundWorkload::QiClauseCache cache;
+      cache.qi = bc.qi;
+      std::vector<int32_t> counts(h.num_nodes(), 0);
+      for (NodeId leaf : bc.matched_leaves) counts[static_cast<size_t>(leaf)] += 1;
+      for (NodeId node : h.PostOrder()) {
+        size_t idx = static_cast<size_t>(node);
+        if (!h.IsLeaf(node)) {
+          int32_t sum = 0;
+          for (NodeId child : h.children(node)) {
+            sum += counts[static_cast<size_t>(child)];
+          }
+          counts[idx] = sum;
+        }
+      }
+      cache.node_prob.resize(h.num_nodes());
+      for (size_t node = 0; node < h.num_nodes(); ++node) {
+        cache.node_prob[node] =
+            static_cast<double>(counts[node]) /
+            static_cast<double>(h.LeafCount(static_cast<NodeId>(node)));
+      }
+      fq.qi_clauses.push_back(std::move(cache));
+    } else {
+      if (fq.has_nonqi) {
+        fq.nonqi_mask.AndWith(bitmap);
+      } else {
+        fq.nonqi_mask = std::move(bitmap);
+        fq.has_nonqi = true;
+      }
+    }
+  }
+  fq.items = bound.items;
+  if (!fq.items.empty()) fq.item_recs = index.ItemIntersection(fq.items);
+  // Exact count: AND of every clause bitmap, intersected with the itemset
+  // containment list.
+  if (fq.impossible) {
+    *out_exact = 0.0;
+    return fq;
+  }
+  size_t count = 0;
+  auto passes_masks = [&fq](uint32_t r) {
+    return (!fq.has_nonqi || fq.nonqi_mask.Test(r)) &&
+           (!fq.has_qi || fq.qi_mask.Test(r));
+  };
+  if (!fq.items.empty()) {
+    for (uint32_t r : fq.item_recs) {
+      if (passes_masks(r)) ++count;
+    }
+  } else if (fq.has_nonqi && fq.has_qi) {
+    const auto& a = fq.nonqi_mask.words();
+    const auto& b = fq.qi_mask.words();
+    for (size_t w = 0; w < a.size(); ++w) {
+      count += static_cast<size_t>(__builtin_popcountll(a[w] & b[w]));
+    }
+  } else if (fq.has_nonqi) {
+    count = fq.nonqi_mask.Count();
+  } else if (fq.has_qi) {
+    count = fq.qi_mask.Count();
+  } else {
+    count = index.num_records();
+  }
+  *out_exact = static_cast<double>(count);
+  return fq;
+}
+
+Result<BoundWorkload> QueryEvaluator::BindWorkload(const Workload& workload,
+                                                   ThreadPool* pool) {
+  if (index_ == nullptr) {
+    index_ = std::make_shared<const QueryIndex>(QueryIndex::Build(*dataset_));
+  }
+  BoundWorkload bound;
+  bound.index_ = index_;
+  size_t n = workload.size();
+  bound.queries_.resize(n);
+  bound.exact_.assign(n, 0.0);
+  std::vector<Status> statuses(n);
+  const std::vector<CountQuery>& queries = workload.queries();
+  ParallelFor(pool, n, [&](size_t i) {
+    Result<BoundQuery> bq = Bind(queries[i]);
+    if (!bq.ok()) {
+      statuses[i] = bq.status();
+      return;
+    }
+    bound.queries_[i] = BuildFastQuery(bq.value(), *index_, &bound.exact_[i]);
+  });
+  for (const Status& status : statuses) {
+    SECRETA_RETURN_IF_ERROR(status);
+  }
+  return bound;
+}
+
+QueryEvaluator::AreCaches QueryEvaluator::BuildAreCaches(
+    const RelationalRecoding* relational,
+    const TransactionRecoding* transaction) const {
+  AreCaches caches;
+  size_t n = dataset_->num_records();
+  if (relational != nullptr) {
+    // Partition records into equivalence classes (identical recoded node
+    // tuples) by sorting record ids lexicographically on the tuples.
+    size_t nq = relational->num_qi();
+    std::vector<uint32_t> order(n);
+    for (size_t r = 0; r < n; ++r) order[r] = static_cast<uint32_t>(r);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      const NodeId* ra = relational->row(a);
+      const NodeId* rb = relational->row(b);
+      return std::lexicographical_compare(ra, ra + nq, rb, rb + nq);
+    });
+    caches.class_of.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t r = order[i];
+      if (i == 0 || !std::equal(relational->row(order[i - 1]),
+                                relational->row(order[i - 1]) + nq,
+                                relational->row(r))) {
+        caches.class_rep.push_back(r);
+      }
+      caches.class_of[r] =
+          static_cast<uint32_t>(caches.class_rep.size() - 1);
+    }
+  }
+  if (transaction != nullptr) {
+    caches.gen_recs.resize(transaction->gens.size());
+    for (size_t r = 0; r < transaction->records.size(); ++r) {
+      for (int32_t g : transaction->records[r]) {
+        caches.gen_recs[static_cast<size_t>(g)].push_back(
+            static_cast<uint32_t>(r));
+      }
+    }
+    if (transaction->item_map.empty()) {
+      caches.gens_of_item =
+          BuildItemToGensMap(*transaction, dataset_->item_dictionary().size());
+    }
+  }
+  return caches;
+}
+
+namespace {
+
+// Intersection of sorted record lists, smallest list first.
+std::vector<uint32_t> IntersectSorted(
+    std::vector<const std::vector<uint32_t>*> lists) {
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::vector<uint32_t> result = *lists[0];
+  std::vector<uint32_t> next;
+  for (size_t i = 1; i < lists.size() && !result.empty(); ++i) {
+    next.clear();
+    std::set_intersection(result.begin(), result.end(), lists[i]->begin(),
+                          lists[i]->end(), std::back_inserter(next));
+    result.swap(next);
+  }
+  return result;
+}
+
+}  // namespace
+
+double QueryEvaluator::EstimateFast(
+    const BoundWorkload::FastQuery& q, const RelationalRecoding* relational,
+    const TransactionRecoding* transaction, const AreCaches& caches) const {
+  if (q.impossible) return 0.0;
+  const bool qi_estimated = relational != nullptr;
+  // Clauses evaluated by exact match: always the non-QI group, plus the QI
+  // group when there is no relational recoding to estimate against.
+  const RecordBitmap* masks[2];
+  int num_masks = 0;
+  if (q.has_nonqi) masks[num_masks++] = &q.nonqi_mask;
+  if (!qi_estimated && q.has_qi) masks[num_masks++] = &q.qi_mask;
+
+  // QI probability product per equivalence class: every record of a class
+  // has the same node tuple, so the product (computed with the scan oracle's
+  // exact multiply sequence) is shared. Skipping a zero-probability record
+  // or adding its 0.0 are bit-identical (x + 0.0 == x for x >= 0).
+  const bool use_class = qi_estimated && !q.qi_clauses.empty();
+  std::vector<double> class_qi;
+  if (use_class) {
+    class_qi.resize(caches.class_rep.size());
+    for (size_t c = 0; c < caches.class_rep.size(); ++c) {
+      double p = 1.0;
+      size_t rep = caches.class_rep[c];
+      for (const BoundWorkload::QiClauseCache& qc : q.qi_clauses) {
+        p *= qc.node_prob[static_cast<size_t>(relational->at(rep, qc.qi))];
+        if (p == 0.0) break;
+      }
+      class_qi[c] = p;
+    }
+  }
+  auto qi_prob = [&](size_t r) -> double {
+    return use_class ? class_qi[caches.class_of[r]] : 1.0;
+  };
+  auto passes_masks = [&](uint32_t r) {
+    for (int m = 0; m < num_masks; ++m) {
+      if (!masks[m]->Test(r)) return false;
+    }
+    return true;
+  };
+
+  double total = 0;
+  if (!q.items.empty() && transaction == nullptr) {
+    // Containment is exact: enumerate the (typically short) itemset
+    // intersection and filter through the clause masks.
+    for (uint32_t r : q.item_recs) {
+      if (passes_masks(r)) total += qi_prob(r);
+    }
+  } else if (!q.items.empty()) {
+    // A record whose generalized transaction lacks a covering gen for some
+    // query item contributes a 0 factor, so the only records with nonzero
+    // estimates lie in the intersection of the covering gens' posting lists
+    // (per item: one gen for global recodings, the union of covering gens
+    // for local ones).
+    bool zero = false;
+    std::vector<std::vector<uint32_t>> owned;
+    std::vector<const std::vector<uint32_t>*> lists;
+    if (!transaction->item_map.empty()) {
+      for (ItemId item : q.items) {
+        int32_t g = transaction->item_map[static_cast<size_t>(item)];
+        if (g == kSuppressedGen) {
+          zero = true;
+          break;
+        }
+        lists.push_back(&caches.gen_recs[static_cast<size_t>(g)]);
+      }
+    } else {
+      owned.reserve(q.items.size());
+      for (ItemId item : q.items) {
+        const std::vector<int32_t>& gens =
+            caches.gens_of_item[static_cast<size_t>(item)];
+        if (gens.empty()) {
+          zero = true;
+          break;
+        }
+        std::vector<uint32_t> merged;
+        for (int32_t g : gens) {
+          const auto& recs = caches.gen_recs[static_cast<size_t>(g)];
+          merged.insert(merged.end(), recs.begin(), recs.end());
+        }
+        std::sort(merged.begin(), merged.end());
+        merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+        owned.push_back(std::move(merged));
+      }
+      for (const auto& u : owned) lists.push_back(&u);
+    }
+    if (!zero) {
+      for (uint32_t r : IntersectSorted(std::move(lists))) {
+        if (!passes_masks(r)) continue;
+        double p = qi_prob(r);
+        if (p == 0.0) continue;
+        const std::vector<int32_t>& gens = transaction->records[r];
+        for (ItemId item : q.items) {
+          p *= ItemCoverShare(*transaction, caches.gens_of_item, gens, item);
+          if (p == 0.0) break;
+        }
+        total += p;
+      }
+    }
+  } else if (num_masks > 0) {
+    const std::vector<uint64_t>& first = masks[0]->words();
+    for (size_t w = 0; w < first.size(); ++w) {
+      uint64_t bits = first[w];
+      for (int m = 1; m < num_masks; ++m) bits &= masks[m]->words()[w];
+      while (bits != 0) {
+        unsigned bit = static_cast<unsigned>(__builtin_ctzll(bits));
+        total += qi_prob((w << 6) + bit);
+        bits &= bits - 1;
+      }
+    }
+  } else {
+    for (size_t r = 0; r < dataset_->num_records(); ++r) {
+      total += qi_prob(r);
+    }
+  }
+  return total;
+}
+
+Result<AreReport> QueryEvaluator::Are(const BoundWorkload& bound,
+                                      const RelationalRecoding* relational,
+                                      const TransactionRecoding* transaction,
+                                      ThreadPool* pool,
+                                      const CancellationToken* cancel) const {
+  if (bound.empty()) {
+    return Status::InvalidArgument("workload is empty");
+  }
+  if (relational != nullptr && rel_context_ == nullptr) {
+    return Status::FailedPrecondition(
+        "estimation over a relational recoding requires a context");
+  }
+  SECRETA_RETURN_IF_ERROR(CheckCancelled(cancel, "are workload"));
+  // Recoding-derived caches (equivalence classes, gen posting lists), built
+  // once and shared read-only by every query batch.
+  AreCaches caches = BuildAreCaches(relational, transaction);
+  size_t n = bound.size();
+  AreReport report;
+  report.actual = bound.exact_counts();
+  report.estimated.assign(n, 0.0);
+  // Queries fan out in batches; the token is polled per batch so a long
+  // workload cancels mid-evaluation instead of running to completion.
+  constexpr size_t kBatch = 16;
+  size_t num_batches = (n + kBatch - 1) / kBatch;
+  std::atomic<bool> cancelled{false};
+  ParallelFor(pool, num_batches, [&](size_t b) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      cancelled.store(true, std::memory_order_relaxed);
+      return;
+    }
+    size_t begin = b * kBatch;
+    size_t end = std::min(n, begin + kBatch);
+    for (size_t i = begin; i < end; ++i) {
+      report.estimated[i] =
+          EstimateFast(bound.queries_[i], relational, transaction, caches);
+    }
+  });
+  if (cancelled.load(std::memory_order_relaxed)) {
+    return Status::Cancelled("are workload: cancelled");
+  }
+  // Serial reduction in query order keeps the ARE bit-identical to the scan
+  // path regardless of batch scheduling.
+  double total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += std::fabs(report.actual[i] - report.estimated[i]) /
+             std::max(report.actual[i], 1.0);
+  }
+  report.are = total / static_cast<double>(n);
+  return report;
+}
+
 Result<AreReport> QueryEvaluator::Are(const Workload& workload,
                                       const RelationalRecoding* relational,
-                                      const TransactionRecoding* transaction) const {
+                                      const TransactionRecoding* transaction) {
   if (workload.empty()) {
     return Status::InvalidArgument("workload is empty");
   }
-  AreReport report;
-  double total = 0;
-  for (const CountQuery& query : workload.queries()) {
-    SECRETA_ASSIGN_OR_RETURN(double actual, ExactCount(query));
-    SECRETA_ASSIGN_OR_RETURN(double estimated,
-                             EstimatedCount(query, relational, transaction));
-    report.actual.push_back(actual);
-    report.estimated.push_back(estimated);
-    total += std::fabs(actual - estimated) / std::max(actual, 1.0);
-  }
-  report.are = total / static_cast<double>(workload.size());
-  return report;
+  SECRETA_ASSIGN_OR_RETURN(BoundWorkload bound, BindWorkload(workload));
+  return Are(bound, relational, transaction, nullptr, nullptr);
 }
 
 }  // namespace secreta

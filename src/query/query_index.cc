@@ -1,0 +1,91 @@
+#include "query/query_index.h"
+
+#include <algorithm>
+
+namespace secreta {
+
+RecordBitmap::RecordBitmap(size_t num_records, bool ones)
+    : num_records_(num_records),
+      words_((num_records + 63) / 64, ones ? ~uint64_t{0} : 0) {
+  if (ones && num_records % 64 != 0 && !words_.empty()) {
+    words_.back() = (uint64_t{1} << (num_records % 64)) - 1;
+  }
+}
+
+void RecordBitmap::AndWith(const RecordBitmap& other) {
+  for (size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+}
+
+size_t RecordBitmap::Count() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += static_cast<size_t>(__builtin_popcountll(w));
+  return total;
+}
+
+QueryIndex QueryIndex::Build(const Dataset& dataset) {
+  QueryIndex index;
+  index.num_records_ = dataset.num_records();
+  size_t cols = dataset.num_relational();
+  index.columns_.resize(cols);
+  for (size_t col = 0; col < cols; ++col) {
+    ColumnIndex& ci = index.columns_[col];
+    size_t domain = dataset.dictionary(col).size();
+    // Counting sort into CSR: one pass for counts, one to place records.
+    ci.offsets.assign(domain + 1, 0);
+    for (size_t r = 0; r < index.num_records_; ++r) {
+      ++ci.offsets[static_cast<size_t>(dataset.value(r, col)) + 1];
+    }
+    for (size_t v = 0; v < domain; ++v) ci.offsets[v + 1] += ci.offsets[v];
+    ci.records.resize(index.num_records_);
+    std::vector<uint32_t> cursor(ci.offsets.begin(), ci.offsets.end() - 1);
+    for (size_t r = 0; r < index.num_records_; ++r) {
+      size_t v = static_cast<size_t>(dataset.value(r, col));
+      ci.records[cursor[v]++] = static_cast<uint32_t>(r);
+    }
+  }
+  index.item_records_.resize(dataset.item_dictionary().size());
+  if (dataset.has_transaction()) {
+    for (size_t r = 0; r < index.num_records_; ++r) {
+      for (ItemId item : dataset.items(r)) {
+        index.item_records_[static_cast<size_t>(item)].push_back(
+            static_cast<uint32_t>(r));
+      }
+    }
+  }
+  return index;
+}
+
+RecordBitmap QueryIndex::ClauseBitmap(size_t col,
+                                      const std::vector<char>& match) const {
+  RecordBitmap bitmap(num_records_);
+  for (size_t v = 0; v < match.size(); ++v) {
+    if (!match[v]) continue;
+    size_t n = 0;
+    const uint32_t* recs = postings(col, static_cast<ValueId>(v), &n);
+    for (size_t i = 0; i < n; ++i) bitmap.Set(recs[i]);
+  }
+  return bitmap;
+}
+
+std::vector<uint32_t> QueryIndex::ItemIntersection(
+    const std::vector<ItemId>& items) const {
+  if (items.empty()) return {};
+  // Intersect starting from the rarest item so intermediates only shrink.
+  std::vector<const std::vector<uint32_t>*> lists;
+  lists.reserve(items.size());
+  for (ItemId item : items) lists.push_back(&item_postings(item));
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::vector<uint32_t> result = *lists[0];
+  std::vector<uint32_t> next;
+  for (size_t i = 1; i < lists.size() && !result.empty(); ++i) {
+    next.clear();
+    next.reserve(std::min(result.size(), lists[i]->size()));
+    std::set_intersection(result.begin(), result.end(), lists[i]->begin(),
+                          lists[i]->end(), std::back_inserter(next));
+    result.swap(next);
+  }
+  return result;
+}
+
+}  // namespace secreta

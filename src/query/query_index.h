@@ -1,0 +1,105 @@
+// Query acceleration structures built once per dataset: per-column posting
+// lists (value -> sorted record ids, CSR layout) and an item inverted index.
+// A bound clause turns its matching values' posting lists into a record
+// selection bitmap; ExactCount then reduces to bitmap AND + popcount and an
+// itemset clause to a sorted posting-list intersection — no full dataset
+// scans. EstimatedCount reuses the same bitmaps to enumerate candidate
+// records and memoizes hierarchy leaf-overlap probabilities per (clause,
+// node), so records sharing a recoding node pay the lookup once.
+
+#ifndef SECRETA_QUERY_QUERY_INDEX_H_
+#define SECRETA_QUERY_QUERY_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace secreta {
+
+/// \brief Fixed-size bitmap over the records of one dataset.
+class RecordBitmap {
+ public:
+  RecordBitmap() = default;
+  /// `ones` = true starts with every record selected (tail bits stay clear).
+  explicit RecordBitmap(size_t num_records, bool ones = false);
+
+  size_t num_records() const { return num_records_; }
+  bool empty() const { return num_records_ == 0; }
+
+  void Set(size_t record) { words_[record >> 6] |= uint64_t{1} << (record & 63); }
+  bool Test(size_t record) const {
+    return (words_[record >> 6] >> (record & 63)) & 1;
+  }
+
+  /// In-place intersection; `other` must cover the same record count.
+  void AndWith(const RecordBitmap& other);
+
+  /// Number of selected records.
+  size_t Count() const;
+
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  /// Calls fn(record) for every selected record in ascending order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        unsigned bit = static_cast<unsigned>(__builtin_ctzll(bits));
+        fn((w << 6) + bit);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  size_t num_records_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// \brief Immutable per-dataset inverted indexes (relational + items).
+///
+/// Non-owning of the dataset; build once and share (thread-safe const reads).
+class QueryIndex {
+ public:
+  /// Indexes every relational column and the item domain of `dataset`.
+  static QueryIndex Build(const Dataset& dataset);
+
+  size_t num_records() const { return num_records_; }
+
+  /// Sorted record ids holding value `id` in relational column `col`.
+  const uint32_t* postings(size_t col, ValueId id, size_t* out_size) const {
+    const ColumnIndex& ci = columns_[col];
+    size_t v = static_cast<size_t>(id);
+    *out_size = ci.offsets[v + 1] - ci.offsets[v];
+    return ci.records.data() + ci.offsets[v];
+  }
+
+  /// Sorted record ids whose transaction contains `item`.
+  const std::vector<uint32_t>& item_postings(ItemId item) const {
+    return item_records_[static_cast<size_t>(item)];
+  }
+
+  /// Bitmap of records matching a value disjunction on `col`: the union of
+  /// the matching values' posting lists. `match` is indexed by ValueId.
+  RecordBitmap ClauseBitmap(size_t col, const std::vector<char>& match) const;
+
+  /// Sorted record ids containing every item of `items` (sorted ItemIds):
+  /// the intersection of the items' posting lists, smallest list first.
+  std::vector<uint32_t> ItemIntersection(const std::vector<ItemId>& items) const;
+
+ private:
+  struct ColumnIndex {
+    std::vector<uint32_t> offsets;  // per ValueId, size = dict size + 1
+    std::vector<uint32_t> records;  // grouped by value, ascending within
+  };
+
+  size_t num_records_ = 0;
+  std::vector<ColumnIndex> columns_;
+  std::vector<std::vector<uint32_t>> item_records_;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_QUERY_QUERY_INDEX_H_

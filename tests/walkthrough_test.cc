@@ -73,8 +73,9 @@ TEST(WalkthroughTest, FullSectionThreeDemo) {
                        session.EvaluateSweep(config, {"delta", 0.1, 0.5, 0.2}));
   ASSERT_OK_AND_ASSIGN(Series are_series, sweep.Extract("are"));
   EXPECT_EQ(are_series.size(), 3u);
-  // Visualization (b): time per phase.
-  EXPECT_EQ(report.run.phases.phases().size(), 3u);
+  // Visualization (b): time per phase (3 anonymization phases + the
+  // evaluation phase recorded by BuildReport).
+  EXPECT_EQ(report.run.phases.phases().size(), 4u);
   // Visualization (c): frequencies of generalized values in a relational
   // attribute.
   ASSERT_OK_AND_ASSIGN(size_t origin_col, anonymized.ColumnByName("Origin"));
