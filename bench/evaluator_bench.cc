@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "metrics/distribution_metrics.h"
 #include "metrics/frequency.h"
 #include "metrics/information_loss.h"
+#include "obs/trace.h"
 #include "query/query_evaluator.h"
 #include "query/workload_generator.h"
 
@@ -223,6 +225,36 @@ int main(int argc, char** argv) {
   }
   double report_speedup = serial_report_seconds / parallel_report_seconds;
 
+  // --- Tracer overhead on the report path: the span macros are always
+  // compiled in, so "disabled" is the production default (a span costs one
+  // relaxed atomic load) and "enabled" additionally records every span.
+  // Best-of-3 each to damp scheduler noise.
+  auto best_report_seconds = [&]() {
+    double best = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      Stopwatch watch;
+      EvaluationReport traced = bench::CheckOk(
+          BuildReport(inputs, make_run(), eval), "traced report");
+      double seconds = watch.ElapsedSeconds();
+      if (traced.are != scan_are) {
+        fprintf(stderr, "FAIL: traced BuildReport ARE mismatch\n");
+        exit(1);
+      }
+      if (rep == 0 || seconds < best) best = seconds;
+    }
+    return best;
+  };
+  Tracer::Get().Disable();
+  double untraced_report_seconds = best_report_seconds();
+  Tracer::Get().Reset();
+  Tracer::Get().Enable();
+  double traced_report_seconds = best_report_seconds();
+  size_t traced_spans = Tracer::Get().num_events();
+  Tracer::Get().Disable();
+  Tracer::Get().Reset();
+  double traced_overhead_pct =
+      (traced_report_seconds / untraced_report_seconds - 1.0) * 100.0;
+
   bench::PrintRow({"measurement", "seconds", "speedup vs scan"});
   bench::PrintRule(3);
   bench::PrintRow({"scan exact counts", StrFormat("%.3f", scan_exact_seconds),
@@ -245,9 +277,17 @@ int main(int argc, char** argv) {
   bench::PrintRow({"parallel full report",
                    StrFormat("%.3f", parallel_report_seconds),
                    StrFormat("%.2fx", report_speedup)});
+  bench::PrintRule(3);
+  bench::PrintRow({"report, tracer disabled",
+                   StrFormat("%.3f", untraced_report_seconds), ""});
+  bench::PrintRow({"report, tracer enabled",
+                   StrFormat("%.3f", traced_report_seconds),
+                   StrFormat("%+.1f%%", traced_overhead_pct)});
   printf("\nARE = %.6f over %zu queries; parallel throughput %.0f queries/s\n",
          scan_are, workload.size(),
          static_cast<double>(workload.size()) / parallel_are_seconds);
+  printf("tracer: %zu spans recorded, enabled overhead %+.1f%%\n",
+         traced_spans, traced_overhead_pct);
 
   JsonWriter w;
   w.BeginObject();
@@ -283,6 +323,14 @@ int main(int argc, char** argv) {
   w.Number(parallel_report_seconds);
   w.Key("report_speedup");
   w.Number(report_speedup);
+  w.Key("untraced_report_seconds");
+  w.Number(untraced_report_seconds);
+  w.Key("traced_report_seconds");
+  w.Number(traced_report_seconds);
+  w.Key("traced_overhead_pct");
+  w.Number(traced_overhead_pct);
+  w.Key("traced_spans");
+  w.Int(static_cast<int64_t>(traced_spans));
   w.Key("evaluation_seconds");
   w.Number(report.evaluation_seconds);
   w.Key("queries_per_second");

@@ -3,6 +3,13 @@
 //   ./build/examples/example_secreta_cli               # interactive
 //   ./build/examples/example_secreta_cli script.txt    # run a command file
 //
+// Observability flags (may precede or follow the script path):
+//   --trace-out <file>     enable the span tracer; on exit write the collected
+//                          spans as Chrome trace-event JSON (open the file in
+//                          chrome://tracing or https://ui.perfetto.dev)
+//   --metrics-out <file>   on exit write the global metrics registry snapshot
+//                          (counters, gauges, latency histograms) as JSON
+//
 // Try:
 //   generate 2000
 //   hierarchies auto
@@ -18,19 +25,70 @@
 
 #include <fstream>
 #include <iostream>
+#include <string>
 
+#include "export/json_export.h"
 #include "frontend/cli.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace {
+
+// Writes trace/metrics files (if requested) before exit. Returns the process
+// exit code, folding in any export failure.
+int Finish(int code, const std::string& trace_out,
+           const std::string& metrics_out) {
+  if (!trace_out.empty()) {
+    secreta::Status status = secreta::Tracer::Get().WriteChromeTrace(trace_out);
+    if (!status.ok()) {
+      std::cerr << "cannot write trace: " << status.ToString() << "\n";
+      if (code == 0) code = 1;
+    }
+  }
+  if (!metrics_out.empty()) {
+    std::string json = secreta::MetricsSnapshotToJson(
+        secreta::MetricsRegistry::Global().Snapshot());
+    secreta::Status status = secreta::WriteJsonFile(json, metrics_out);
+    if (!status.ok()) {
+      std::cerr << "cannot write metrics: " << status.ToString() << "\n";
+      if (code == 0) code = 1;
+    }
+  }
+  return code;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  secreta::CommandLineInterface cli(&std::cout);
-  if (argc > 1) {
-    std::ifstream script(argv[1]);
-    if (!script) {
-      std::cerr << "cannot open script: " << argv[1] << "\n";
+  std::string script_path;
+  std::string trace_out;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if ((arg == "--trace-out" || arg == "--metrics-out") && i + 1 < argc) {
+      (arg == "--trace-out" ? trace_out : metrics_out) = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [--trace-out FILE] [--metrics-out FILE] [script]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
       return 1;
+    } else {
+      script_path = arg;
+    }
+  }
+  if (!trace_out.empty()) secreta::Tracer::Get().Enable();
+
+  secreta::CommandLineInterface cli(&std::cout);
+  if (!script_path.empty()) {
+    std::ifstream script(script_path);
+    if (!script) {
+      std::cerr << "cannot open script: " << script_path << "\n";
+      return Finish(1, trace_out, metrics_out);
     }
     size_t failures = cli.RunScript(script, /*stop_on_error=*/true);
-    return failures == 0 ? 0 : 1;
+    return Finish(failures == 0 ? 0 : 1, trace_out, metrics_out);
   }
   std::cout << "SECRETA CLI — type 'help' for commands, 'quit' to leave\n";
   std::string line;
@@ -40,5 +98,5 @@ int main(int argc, char** argv) {
     secreta::Status status = cli.Execute(line);
     if (!status.ok()) std::cout << "error: " << status.ToString() << "\n";
   }
-  return 0;
+  return Finish(0, trace_out, metrics_out);
 }

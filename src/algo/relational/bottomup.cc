@@ -5,11 +5,13 @@
 #include "algo/relational/cut_state.h"
 #include "core/equivalence.h"
 #include "metrics/information_loss.h"
+#include "obs/trace.h"
 
 namespace secreta {
 
 Result<RelationalRecoding> BottomUpAnonymizer::Anonymize(
     const RelationalContext& context, const AnonParams& params) {
+  SECRETA_TRACE_SPAN("algo.BottomUp");
   SECRETA_RETURN_IF_ERROR(params.Validate());
   size_t n = context.num_records();
   if (n < static_cast<size_t>(params.k)) {

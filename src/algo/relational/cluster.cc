@@ -4,6 +4,7 @@
 
 #include "common/random.h"
 #include "metrics/information_loss.h"
+#include "obs/trace.h"
 
 namespace secreta {
 
@@ -37,6 +38,7 @@ struct ClusterHead {
 
 Result<RelationalRecoding> ClusterAnonymizer::Anonymize(
     const RelationalContext& context, const AnonParams& params) {
+  SECRETA_TRACE_SPAN("algo.Cluster");
   SECRETA_RETURN_IF_ERROR(params.Validate());
   size_t n = context.num_records();
   size_t k = static_cast<size_t>(params.k);

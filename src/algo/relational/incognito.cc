@@ -9,6 +9,7 @@
 #include "core/equivalence.h"
 #include "core/recoding.h"
 #include "metrics/information_loss.h"
+#include "obs/trace.h"
 
 namespace secreta {
 
@@ -214,6 +215,7 @@ Result<std::vector<std::vector<int>>> IncognitoAnonymizer::MinimalAnonymousLevel
 
 Result<RelationalRecoding> IncognitoAnonymizer::Anonymize(
     const RelationalContext& context, const AnonParams& params) {
+  SECRETA_TRACE_SPAN("algo.Incognito");
   SECRETA_ASSIGN_OR_RETURN(std::vector<std::vector<int>> frontier,
                            MinimalAnonymousLevels(context, params));
   // Pick the minimal anonymous vector with the lowest GCP.

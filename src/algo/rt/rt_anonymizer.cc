@@ -1,10 +1,12 @@
 #include "algo/rt/rt_anonymizer.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 
 #include "core/equivalence.h"
 #include "metrics/information_loss.h"
+#include "obs/trace.h"
 
 namespace secreta {
 
@@ -91,9 +93,14 @@ Result<RtResult> RtAnonymizer::Anonymize(const RelationalContext& rel_context,
         "relational and transaction contexts must wrap the same dataset");
   }
   RtResult result;
+  SECRETA_TRACE_SPAN("anonymize.rt");
+  // One span per phase, rotated alongside the PhaseTimer (emplace closes the
+  // previous span before opening the next).
+  std::optional<ScopedSpan> phase_span;
   // Phase 1: relational clustering.
   SECRETA_RETURN_IF_ERROR(CheckCancelled(cancel, "rt relational phase"));
   result.phases.Begin("relational");
+  phase_span.emplace(std::string_view("rt.relational"));
   SECRETA_ASSIGN_OR_RETURN(result.relational,
                            relational_->Anonymize(rel_context, params));
   EquivalenceClasses classes = GroupByRecoding(result.relational);
@@ -101,6 +108,7 @@ Result<RtResult> RtAnonymizer::Anonymize(const RelationalContext& rel_context,
 
   // Phase 2: per-cluster transaction anonymization.
   result.phases.Begin("transaction");
+  phase_span.emplace(std::string_view("rt.transaction"));
   std::vector<Cluster> clusters(classes.num_groups());
   size_t num_items = data.item_dictionary().size();
   auto anonymize_cluster = [&](Cluster* cluster) -> Status {
@@ -128,6 +136,7 @@ Result<RtResult> RtAnonymizer::Anonymize(const RelationalContext& rel_context,
   // Phase 3: bounded merging. While some cluster's transaction loss exceeds
   // delta, merge it into the neighbour chosen by the bounding method.
   result.phases.Begin("merging");
+  phase_span.emplace(std::string_view("rt.merging"));
   size_t alive = clusters.size();
   while (alive > 1) {
     SECRETA_RETURN_IF_ERROR(CheckCancelled(cancel, "rt merging phase"));
@@ -180,6 +189,7 @@ Result<RtResult> RtAnonymizer::Anonymize(const RelationalContext& rel_context,
     ++result.merges;
   }
   result.phases.End();
+  phase_span.reset();
   result.final_clusters = alive;
 
   // Assemble the global outputs.

@@ -4,6 +4,7 @@
 
 #include "algo/transaction/count_tree.h"
 #include "metrics/information_loss.h"
+#include "obs/trace.h"
 
 namespace secreta {
 
@@ -49,6 +50,7 @@ Result<bool> RunAprioriLoop(HierarchyCut* cut, const std::vector<size_t>& subset
 Result<TransactionRecoding> AprioriAnonymizer::AnonymizeSubset(
     const TransactionContext& context, const std::vector<size_t>& subset,
     const AnonParams& params) {
+  SECRETA_TRACE_SPAN("algo.Apriori");
   SECRETA_RETURN_IF_ERROR(params.Validate());
   if (!context.has_hierarchy()) {
     return Status::FailedPrecondition("Apriori requires an item hierarchy");

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "algo/transaction/count_tree.h"
+#include "obs/trace.h"
 
 namespace secreta {
 
@@ -107,6 +108,7 @@ Status FixItemsetSupport(GenSpace* space, std::vector<int32_t> gens, int k,
 Result<TransactionRecoding> CoatAnonymizer::AnonymizeSubset(
     const TransactionContext& context, const std::vector<size_t>& subset,
     const AnonParams& params) {
+  SECRETA_TRACE_SPAN("algo.Coat");
   SECRETA_RETURN_IF_ERROR(params.Validate());
   std::vector<std::vector<ItemId>> txns;
   txns.reserve(subset.size());

@@ -6,6 +6,7 @@
 
 #include "algo/transaction/apriori.h"
 #include "algo/transaction/cut.h"
+#include "obs/trace.h"
 
 namespace secreta {
 
@@ -19,6 +20,7 @@ uint64_t GrayRank(uint64_t gray) {
 Result<TransactionRecoding> LraAnonymizer::AnonymizeSubset(
     const TransactionContext& context, const std::vector<size_t>& subset,
     const AnonParams& params) {
+  SECRETA_TRACE_SPAN("algo.Lra");
   SECRETA_RETURN_IF_ERROR(params.Validate());
   if (!context.has_hierarchy()) {
     return Status::FailedPrecondition("LRA requires an item hierarchy");

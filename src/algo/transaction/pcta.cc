@@ -4,12 +4,14 @@
 
 #include "algo/transaction/coat.h"
 #include "algo/transaction/count_tree.h"
+#include "obs/trace.h"
 
 namespace secreta {
 
 Result<TransactionRecoding> PctaAnonymizer::AnonymizeSubset(
     const TransactionContext& context, const std::vector<size_t>& subset,
     const AnonParams& params) {
+  SECRETA_TRACE_SPAN("algo.Pcta");
   SECRETA_RETURN_IF_ERROR(params.Validate());
   std::vector<std::vector<ItemId>> txns;
   txns.reserve(subset.size());

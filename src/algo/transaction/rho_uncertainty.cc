@@ -4,6 +4,7 @@
 #include <functional>
 #include <numeric>
 #include <unordered_map>
+#include "obs/trace.h"
 
 namespace secreta {
 
@@ -114,6 +115,7 @@ bool SatisfiesRhoUncertainty(const TransactionRecoding& recoding,
 Result<TransactionRecoding> RhoUncertaintyAnonymizer::AnonymizeSubset(
     const TransactionContext& context, const std::vector<size_t>& subset,
     const AnonParams& params) {
+  SECRETA_TRACE_SPAN("algo.RhoUncertainty");
   SECRETA_RETURN_IF_ERROR(params.Validate());
   size_t num_items = context.num_items();
   std::vector<char> is_sensitive(num_items, 0);

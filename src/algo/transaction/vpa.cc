@@ -7,6 +7,7 @@
 #include "algo/transaction/cut.h"
 #include "algo/transaction/gen_space.h"
 #include "metrics/information_loss.h"
+#include "obs/trace.h"
 
 namespace secreta {
 
@@ -42,6 +43,7 @@ std::vector<Part> SplitDomain(const Hierarchy& h, int requested_parts) {
 Result<TransactionRecoding> VpaAnonymizer::AnonymizeSubset(
     const TransactionContext& context, const std::vector<size_t>& subset,
     const AnonParams& params) {
+  SECRETA_TRACE_SPAN("algo.Vpa");
   SECRETA_RETURN_IF_ERROR(params.Validate());
   if (!context.has_hierarchy()) {
     return Status::FailedPrecondition("VPA requires an item hierarchy");

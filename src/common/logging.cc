@@ -1,14 +1,20 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
+#include <ostream>
+
+#include "common/string_util.h"
 
 namespace secreta {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::atomic<LogSink> g_sink{LogSink::kText};
 std::mutex g_log_mutex;
+std::ostream* g_stream = nullptr;  // guarded by g_log_mutex
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -25,28 +31,93 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+const char* Basename(const char* file) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+void AppendJsonString(std::string* out, const std::string& raw) {
+  *out += '"';
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 
+void SetLogSink(LogSink sink) { g_sink.store(sink); }
+LogSink GetLogSink() { return g_sink.load(); }
+
+void SetLogStream(std::ostream* stream) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_stream = stream;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(level >= g_level.load()), level_(level) {
-  if (enabled_) {
-    const char* base = file;
-    for (const char* p = file; *p; ++p) {
-      if (*p == '/') base = p + 1;
-    }
-    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
-  }
-}
+    : enabled_(level >= g_level.load()),
+      level_(level),
+      file_(file),
+      line_(line) {}
 
 LogMessage::~LogMessage() {
-  if (enabled_) {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
-    fprintf(stderr, "%s\n", stream_.str().c_str());
+  if (!enabled_) return;
+  // Format the complete record first, then emit it with a single guarded
+  // write: concurrent workers never interleave within a line.
+  std::string out;
+  if (g_sink.load() == LogSink::kJson) {
+    double ts = std::chrono::duration<double>(
+                    std::chrono::system_clock::now().time_since_epoch())
+                    .count();
+    out += StrFormat("{\"ts\":%.6f,\"level\":", ts);
+    AppendJsonString(&out, LevelName(level_));
+    out += ",\"src\":";
+    AppendJsonString(&out, StrFormat("%s:%d", Basename(file_), line_));
+    out += ",\"msg\":";
+    AppendJsonString(&out, stream_.str());
+    out += "}\n";
+  } else {
+    out = StrFormat("[%s %s:%d] %s\n", LevelName(level_), Basename(file_),
+                    line_, stream_.str().c_str());
+  }
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  if (g_stream != nullptr) {
+    g_stream->write(out.data(), static_cast<std::streamsize>(out.size()));
+    g_stream->flush();
+  } else {
+    fwrite(out.data(), 1, out.size(), stderr);
+    fflush(stderr);
   }
 }
 

@@ -1,9 +1,16 @@
 // Minimal leveled logger. The engine reports progress through this so that
 // long-running benchmark sweeps are observable without a debugger.
+//
+// Two sink formats: classic "[LEVEL file:line] message" text, and structured
+// JSON lines ({"ts":..., "level":..., "src":"file:line", "msg":...}) for log
+// shippers, selected via SetLogSink. Each record is formatted completely and
+// written with one atomic write, so lines from concurrent workers never
+// interleave.
 
 #ifndef SECRETA_COMMON_LOGGING_H_
 #define SECRETA_COMMON_LOGGING_H_
 
+#include <iosfwd>
 #include <sstream>
 #include <string>
 
@@ -15,6 +22,20 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 
 /// that tests and benches stay quiet unless something is wrong.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Output format of the log sink.
+enum class LogSink {
+  kText,  ///< "[LEVEL file:line] message"
+  kJson,  ///< one JSON object per line: ts (unix seconds), level, src, msg
+};
+
+/// Selects the sink format for all subsequent log records. Default: kText.
+void SetLogSink(LogSink sink);
+LogSink GetLogSink();
+
+/// Redirects log output to `stream` (tests); nullptr restores stderr.
+/// The caller keeps ownership and must keep the stream alive until reset.
+void SetLogStream(std::ostream* stream);
 
 namespace internal {
 
@@ -32,6 +53,8 @@ class LogMessage {
  private:
   bool enabled_;
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

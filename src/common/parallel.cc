@@ -61,7 +61,7 @@ void ParallelFor(ThreadPool* pool, size_t n,
 
 ThreadPool& SharedEvalPool() {
   static ThreadPool* pool = new ThreadPool(
-      std::max<size_t>(1, std::thread::hardware_concurrency()));
+      std::max<size_t>(1, std::thread::hardware_concurrency()), "eval");
   return *pool;
 }
 

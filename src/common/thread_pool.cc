@@ -1,11 +1,33 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/metrics_registry.h"
 
 namespace secreta {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+namespace {
+
+double ToSeconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads, const char* name) {
   num_threads = std::max<size_t>(1, num_threads);
+  if (name != nullptr) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    std::string prefix = std::string("pool.") + name;
+    queued_gauge_ = registry.gauge(prefix + ".queued");
+    active_gauge_ = registry.gauge(prefix + ".active");
+    workers_gauge_ = registry.gauge(prefix + ".workers");
+    tasks_counter_ = registry.counter(prefix + ".tasks");
+    wait_histogram_ = registry.histogram(prefix + ".task_wait_seconds");
+    run_histogram_ = registry.histogram(prefix + ".task_run_seconds");
+    workers_gauge_->Add(static_cast<double>(num_threads));
+  }
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -19,13 +41,20 @@ ThreadPool::~ThreadPool() {
   }
   task_available_.notify_all();
   for (auto& worker : workers_) worker.join();
+  if (workers_gauge_ != nullptr) {
+    workers_gauge_->Add(-static_cast<double>(workers_.size()));
+  }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(Task{std::move(task), std::chrono::steady_clock::now()});
     ++in_flight_;
+  }
+  if (queued_gauge_ != nullptr) {
+    queued_gauge_->Add(1);
+    tasks_counter_->Increment();
   }
   task_available_.notify_one();
 }
@@ -47,7 +76,7 @@ size_t ThreadPool::active() const {
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_available_.wait(lock,
@@ -59,7 +88,19 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    std::chrono::steady_clock::time_point start;
+    if (queued_gauge_ != nullptr) {
+      start = std::chrono::steady_clock::now();
+      queued_gauge_->Add(-1);
+      active_gauge_->Add(1);
+      wait_histogram_->Record(ToSeconds(start - task.enqueued));
+    }
+    task.fn();
+    if (queued_gauge_ != nullptr) {
+      active_gauge_->Add(-1);
+      run_histogram_->Record(ToSeconds(std::chrono::steady_clock::now() -
+                                       start));
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;

@@ -1,9 +1,16 @@
 // Fixed-size thread pool. The Method Evaluator/Comparator fans anonymization
 // runs out over "N threads" (paper Fig. 1); this is that substrate.
+//
+// A pool constructed with a name publishes its health into the global
+// MetricsRegistry: queue-depth and active-worker gauges plus task wait/run
+// histograms, under "pool.<name>.*". Pools sharing a name share those
+// instruments (gauges are updated by +/- deltas, so concurrent same-named
+// pools aggregate correctly).
 
 #ifndef SECRETA_COMMON_THREAD_POOL_H_
 #define SECRETA_COMMON_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -13,12 +20,19 @@
 
 namespace secreta {
 
+class Counter;
+class Gauge;
+class LatencyHistogram;
+
 /// A minimal fixed-size thread pool with a Wait() barrier.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers. A request for zero workers is clamped to
   /// one — a pool with no workers would deadlock every Submit()+Wait() pair.
-  explicit ThreadPool(size_t num_threads);
+  /// A non-null `name` registers the pool's gauges and histograms in
+  /// MetricsRegistry::Global() as "pool.<name>.queued", ".active",
+  /// ".workers", ".tasks", ".task_wait_seconds", ".task_run_seconds".
+  explicit ThreadPool(size_t num_threads, const char* name = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -40,15 +54,28 @@ class ThreadPool {
   size_t active() const;
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   mutable std::mutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+
+  // Registry instruments; all null for unnamed pools.
+  Gauge* queued_gauge_ = nullptr;
+  Gauge* active_gauge_ = nullptr;
+  Gauge* workers_gauge_ = nullptr;
+  Counter* tasks_counter_ = nullptr;
+  LatencyHistogram* wait_histogram_ = nullptr;
+  LatencyHistogram* run_histogram_ = nullptr;
 };
 
 }  // namespace secreta

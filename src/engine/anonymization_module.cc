@@ -3,6 +3,7 @@
 #include "common/string_util.h"
 #include "core/recoding.h"
 #include "engine/registry.h"
+#include "obs/trace.h"
 
 namespace secreta {
 
@@ -42,6 +43,7 @@ Result<RunResult> RunAnonymization(const EngineInputs& inputs,
     return Status::InvalidArgument("EngineInputs.dataset is required");
   }
   SECRETA_RETURN_IF_ERROR(CheckCancelled(inputs.cancel, "run"));
+  SECRETA_TRACE_SPAN("anonymize");
   RunResult result;
   result.config = config;
   Stopwatch watch;
@@ -60,6 +62,7 @@ Result<RunResult> RunAnonymization(const EngineInputs& inputs,
       SECRETA_RETURN_IF_ERROR(
           CheckCancelled(inputs.cancel, "relational phase"));
       result.phases.Begin("relational");
+      SECRETA_TRACE_SPAN("anonymize.relational");
       SECRETA_ASSIGN_OR_RETURN(RelationalRecoding recoding,
                                algo->Anonymize(*inputs.relational,
                                                config.params));
@@ -79,6 +82,7 @@ Result<RunResult> RunAnonymization(const EngineInputs& inputs,
       SECRETA_RETURN_IF_ERROR(
           CheckCancelled(inputs.cancel, "transaction phase"));
       result.phases.Begin("transaction");
+      SECRETA_TRACE_SPAN("anonymize.transaction");
       SECRETA_ASSIGN_OR_RETURN(TransactionRecoding recoding,
                                algo->Anonymize(*inputs.transaction,
                                                config.params));

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace secreta {
 
@@ -15,6 +16,7 @@ Result<std::vector<SweepResult>> CompareMethods(
   if (configs.empty()) {
     return Status::InvalidArgument("no configurations to compare");
   }
+  SECRETA_TRACE_SPAN("compare");
   // Bind the workload once for the entire comparison grid: exact counts and
   // clause bitmaps depend only on the dataset, so every configuration's every
   // sweep point shares the same read-only EvalContext.
@@ -24,7 +26,7 @@ Result<std::vector<SweepResult>> CompareMethods(
   size_t threads = options.num_threads > 0
                        ? options.num_threads
                        : std::min(configs.size(), hw);
-  ThreadPool pool(threads);
+  ThreadPool pool(threads, "compare");
   std::vector<Result<SweepResult>> results(
       configs.size(), Result<SweepResult>(Status::Internal("not run")));
   std::mutex mutex;
@@ -42,6 +44,9 @@ Result<std::vector<SweepResult>> CompareMethods(
       // Inputs are read-only; each run builds its own working state. A
       // cancelled comparison short-circuits configs that have not started
       // (RunSweep also polls the token between points of running sweeps).
+      // The span names the grid cell so a trace shows which configuration
+      // occupied which worker.
+      ScopedSpan span("compare.config " + configs[i].Label());
       Result<SweepResult> r =
           !CheckCancelled(inputs.cancel, "compare config").ok()
               ? Result<SweepResult>(

@@ -10,6 +10,7 @@
 #include "metrics/distribution_metrics.h"
 #include "metrics/frequency.h"
 #include "metrics/information_loss.h"
+#include "obs/trace.h"
 
 namespace secreta {
 
@@ -48,6 +49,7 @@ Result<EvalContext> EvalContext::Create(const EngineInputs& inputs,
 Result<EvaluationReport> BuildReport(const EngineInputs& inputs,
                                      RunResult run, const EvalContext& eval) {
   SECRETA_RETURN_IF_ERROR(CheckCancelled(inputs.cancel, "metrics phase"));
+  SECRETA_TRACE_SPAN("evaluate");
   Stopwatch eval_watch;
   EvaluationReport report;
   const Dataset& data = *inputs.dataset;
@@ -61,6 +63,9 @@ Result<EvaluationReport> BuildReport(const EngineInputs& inputs,
   auto add_task = [&](const char* where, std::function<void()> body) {
     tasks.push_back([where, cancel, body = std::move(body)]() -> Status {
       SECRETA_RETURN_IF_ERROR(CheckCancelled(cancel, where));
+      // Spans are named after the task ("evaluate.gcp metric", ...), so a
+      // trace shows which metric dominated the fan-out.
+      ScopedSpan span(std::string("evaluate.") + where);
       body();
       return Status::OK();
     });
@@ -112,6 +117,7 @@ Result<EvaluationReport> BuildReport(const EngineInputs& inputs,
       const TransactionRecoding* txn =
           run.transaction.has_value() ? &*run.transaction : nullptr;
       Stopwatch are_watch;
+      ScopedSpan span(std::string_view("evaluate.are"));
       // Nested fan-out over the same pool: the ARE task helps drain its own
       // query batches, so composing with the metric fan-out (and with
       // comparator-level parallelism above) cannot deadlock.
@@ -170,6 +176,11 @@ Result<EvaluationReport> BuildReport(const EngineInputs& inputs,
         static_cast<double>(eval.workload_size()) / are_seconds;
   }
   run.phases.Add("evaluation", report.evaluation_seconds);
+  // Break the ARE sub-phase out of the aggregate evaluation row so reports
+  // and JSON exports show where query estimation time goes.
+  if (eval.has_workload() && are_seconds > 0) {
+    run.phases.Add("are", are_seconds);
+  }
   report.run = std::move(run);
   return report;
 }

@@ -1,5 +1,7 @@
 #include "engine/experiment.h"
 
+#include "obs/trace.h"
+
 namespace secreta {
 
 Result<std::vector<double>> ParamSweep::Values() const {
@@ -48,6 +50,7 @@ Result<SweepResult> RunSweep(const EngineInputs& inputs,
   }
   for (size_t i = 0; i < values.size(); ++i) {
     SECRETA_RETURN_IF_ERROR(CheckCancelled(inputs.cancel, "sweep point"));
+    SECRETA_TRACE_SPAN("sweep.point");
     double value = values[i];
     AlgorithmConfig point_config = config;
     SECRETA_RETURN_IF_ERROR(point_config.params.Set(sweep.parameter, value));

@@ -278,6 +278,34 @@ std::string ServiceMetricsToJson(const ServiceMetricsSnapshot& snapshot) {
   return w.TakeString();
 }
 
+std::string MetricsSnapshotToJson(const MetricsSnapshot& snapshot) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    w.Key(name);
+    w.Int(static_cast<int64_t>(value));
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    w.Key(name);
+    w.Number(value);
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    w.Key(name);
+    WriteHistogram(&w, histogram);
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
 std::string ComparisonToJson(const std::vector<SweepResult>& results) {
   std::string out = "[";
   for (size_t i = 0; i < results.size(); ++i) {

@@ -63,6 +63,10 @@ std::string ComparisonToJson(const std::vector<SweepResult>& results);
 /// the queue-wait / execution latency histograms with their bucket bounds).
 std::string ServiceMetricsToJson(const ServiceMetricsSnapshot& snapshot);
 
+/// Serializes a unified-registry snapshot: {"counters":{...},"gauges":{...},
+/// "histograms":{name:{count,...,bucket_counts}}}.
+std::string MetricsSnapshotToJson(const MetricsSnapshot& snapshot);
+
 /// Writes any of the above to a file.
 Status WriteJsonFile(const std::string& json, const std::string& path);
 

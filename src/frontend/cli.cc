@@ -13,6 +13,8 @@
 #include "export/exporter.h"
 #include "export/json_export.h"
 #include "hierarchy/hierarchy_io.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "viz/ascii_plot.h"
 
 namespace secreta {
@@ -52,7 +54,8 @@ std::string CommandLineInterface::HelpText() {
       "export:    save-output <path> | export-json <path> |\n"
       "           save-mapping <path>\n"
       "service:   submit [prio=P] [timeout=S] [key=value ...] | jobs |\n"
-      "           job <id> | cancel <id> | wait [<id>] | metrics\n"
+      "           job <id> | cancel <id> | wait [<id>] | metrics [text]\n"
+      "observe:   trace on | trace off | trace save <path>\n"
       "misc:      demo | help | quit\n";
 }
 
@@ -350,13 +353,8 @@ Status CommandLineInterface::Dispatch(const std::vector<std::string>& args) {
     return Status::OK();
   }
   if (cmd == "wait") return CmdWaitJobs(args);
-  if (cmd == "metrics") {
-    if (scheduler_ == nullptr) {
-      return Status::FailedPrecondition("no jobs submitted yet");
-    }
-    *out_ << ServiceMetricsToJson(scheduler_->MetricsSnapshot()) << "\n";
-    return Status::OK();
-  }
+  if (cmd == "metrics") return CmdMetrics(args);
+  if (cmd == "trace") return CmdTrace(args);
   return Status::NotFound("unknown command: " + cmd + " (try 'help')");
 }
 
@@ -587,6 +585,51 @@ Status CommandLineInterface::CmdSubmit(const std::vector<std::string>& args) {
         << (info.from_cache ? " (cache hit)" : "") << ": " << info.label
         << "\n";
   return Status::OK();
+}
+
+Status CommandLineInterface::CmdMetrics(const std::vector<std::string>& args) {
+  SECRETA_RETURN_IF_ERROR(Arity(args, 0, 1));
+  if (args.size() > 1 && args[1] == "text") {
+    *out_ << MetricsRegistry::Global().ToText();
+    return Status::OK();
+  }
+  if (args.size() > 1) {
+    return Status::InvalidArgument("usage: metrics [text]");
+  }
+  // One JSON object: the process-wide registry (pools, engine, caches) plus
+  // the job service's private metrics when a scheduler exists.
+  *out_ << "{\"registry\":"
+        << MetricsSnapshotToJson(MetricsRegistry::Global().Snapshot())
+        << ",\"service\":";
+  if (scheduler_ != nullptr) {
+    *out_ << ServiceMetricsToJson(scheduler_->MetricsSnapshot());
+  } else {
+    *out_ << "null";
+  }
+  *out_ << "}\n";
+  return Status::OK();
+}
+
+Status CommandLineInterface::CmdTrace(const std::vector<std::string>& args) {
+  SECRETA_RETURN_IF_ERROR(Arity(args, 1, 2));
+  if (args[1] == "on") {
+    Tracer::Get().Enable();
+    *out_ << "tracing enabled\n";
+    return Status::OK();
+  }
+  if (args[1] == "off") {
+    Tracer::Get().Disable();
+    *out_ << "tracing disabled\n";
+    return Status::OK();
+  }
+  if (args[1] == "save") {
+    SECRETA_RETURN_IF_ERROR(Arity(args, 2, 2));
+    SECRETA_RETURN_IF_ERROR(Tracer::Get().WriteChromeTrace(args[2]));
+    *out_ << Tracer::Get().num_events() << " spans written to " << args[2]
+          << " (open in chrome://tracing or ui.perfetto.dev)\n";
+    return Status::OK();
+  }
+  return Status::InvalidArgument("usage: trace on|off|save <path>");
 }
 
 Status CommandLineInterface::CmdJob(const std::vector<std::string>& args) {

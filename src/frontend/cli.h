@@ -57,7 +57,11 @@ namespace secreta {
 ///   job <id>                           one job's status (+ report when done)
 ///   cancel <id>                        cancel a queued/running job
 ///   wait [<id>]                        block until one job / all jobs finish
-///   metrics                            job-service metrics as JSON
+///   metrics [text]                     unified metrics (global registry +
+///                                      job service) as JSON, or plain text
+///   trace on|off                       toggle the span tracer
+///   trace save <path>                  write collected spans as Chrome
+///                                      trace-event JSON (Perfetto-ready)
 class CommandLineInterface {
  public:
   explicit CommandLineInterface(std::ostream* out) : out_(out) {}
@@ -92,6 +96,8 @@ class CommandLineInterface {
   Status CmdSubmit(const std::vector<std::string>& args);
   Status CmdJob(const std::vector<std::string>& args);
   Status CmdWaitJobs(const std::vector<std::string>& args);
+  Status CmdMetrics(const std::vector<std::string>& args);
+  Status CmdTrace(const std::vector<std::string>& args);
   void PrintJobLine(const JobInfo& info);
   void PrintReport(const EvaluationReport& report);
 

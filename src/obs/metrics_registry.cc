@@ -1,0 +1,106 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace secreta {
+
+const std::vector<double>& LatencyHistogram::BucketBounds() {
+  // Leaked: workers of the process-lifetime pools may record during exit,
+  // after static destructors would have run.
+  static const std::vector<double>* kBounds = new std::vector<double>{
+      0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1,
+      0.2,   0.5,   1.0,   2.0,  5.0,  10.0};
+  return *kBounds;
+}
+
+LatencyHistogram::LatencyHistogram() : buckets_(BucketBounds().size() + 1, 0) {}
+
+void LatencyHistogram::Record(double seconds) {
+  seconds = std::max(0.0, seconds);
+  const std::vector<double>& bounds = BucketBounds();
+  size_t bucket =
+      std::upper_bound(bounds.begin(), bounds.end(), seconds) - bounds.begin();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0 || seconds < min_) min_ = seconds;
+  if (seconds > max_) max_ = seconds;
+  ++count_;
+  sum_ += seconds;
+  ++buckets_[bucket];
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSnapshot snap;
+  snap.count = count_;
+  snap.sum_seconds = sum_;
+  snap.min_seconds = min_;
+  snap.max_seconds = max_;
+  snap.buckets = buckets_;
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace_back(name, histogram->Snapshot());
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::ToText() const {
+  MetricsSnapshot snap = Snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    out += StrFormat("%s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out += StrFormat("%s %g\n", name.c_str(), value);
+  }
+  for (const auto& [name, histogram] : snap.histograms) {
+    out += StrFormat("%s count=%llu mean=%.6fs max=%.6fs\n", name.c_str(),
+                     static_cast<unsigned long long>(histogram.count),
+                     histogram.mean_seconds(), histogram.max_seconds);
+  }
+  return out;
+}
+
+}  // namespace secreta

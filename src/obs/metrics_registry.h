@@ -1,0 +1,128 @@
+// Unified metrics: named counters, gauges, and fixed-bucket latency
+// histograms behind one registry. This is the counting half of the
+// observability layer (the span tracer in obs/trace.h is the timing half).
+// ServiceMetrics (job service) is a thin adapter over a registry, the
+// ThreadPool publishes queue/activity gauges and task wait/run histograms
+// here, and the CLI `metrics` command and --metrics-out flag snapshot the
+// global registry as text or JSON.
+//
+// Handles returned by the registry are stable for its lifetime: register
+// once (mutex-protected map lookup), then update through lock-free atomics
+// (counters, gauges) or a short per-histogram mutex.
+
+#ifndef SECRETA_OBS_METRICS_REGISTRY_H_
+#define SECRETA_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace secreta {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous value that can move both ways (queue depth, active workers).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Immutable copy of one histogram's state.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum_seconds = 0;
+  double min_seconds = 0;  ///< 0 when count == 0
+  double max_seconds = 0;
+  /// counts[i] = samples with latency < bounds()[i]; the last bucket is
+  /// unbounded (+inf).
+  std::vector<uint64_t> buckets;
+
+  double mean_seconds() const { return count == 0 ? 0 : sum_seconds / count; }
+};
+
+/// \brief Fixed-bucket latency histogram (log-scale bounds, 1ms .. 10s).
+class LatencyHistogram {
+ public:
+  /// Upper bounds (seconds) of the finite buckets; one overflow bucket
+  /// follows.
+  static const std::vector<double>& BucketBounds();
+
+  LatencyHistogram();
+
+  void Record(double seconds);
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  std::vector<uint64_t> buckets_;
+};
+
+/// Point-in-time copy of a whole registry, sorted by name within each kind.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// \brief Named metric registry.
+///
+/// One process-wide instance (Global()) collects cross-cutting metrics —
+/// thread pools, caches, engine phases. Components that need isolated
+/// counting (one JobScheduler's ServiceMetrics vs. another's) construct
+/// their own instance.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter named `name`, creating it on first use. The handle
+  /// stays valid for the registry's lifetime; repeated calls return the same
+  /// handle.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  LatencyHistogram* histogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Human-readable dump: one "name value" line per metric, histograms as
+  /// "name count=N mean=Xs max=Ys".
+  std::string ToText() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_OBS_METRICS_REGISTRY_H_

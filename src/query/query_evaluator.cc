@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/parallel.h"
+#include "obs/trace.h"
 
 namespace secreta {
 
@@ -526,6 +527,7 @@ Result<AreReport> QueryEvaluator::Are(const BoundWorkload& bound,
       cancelled.store(true, std::memory_order_relaxed);
       return;
     }
+    SECRETA_TRACE_SPAN("are.batch");
     size_t begin = b * kBatch;
     size_t end = std::min(n, begin + kBatch);
     for (size_t i = begin; i < end; ++i) {

@@ -4,6 +4,7 @@
 
 #include "common/string_util.h"
 #include "export/json_export.h"
+#include "obs/trace.h"
 
 namespace secreta {
 
@@ -39,7 +40,7 @@ bool IsTerminalJobState(JobState state) {
 
 JobScheduler::JobScheduler(const SchedulerOptions& options)
     : options_(options), cache_(options.cache_capacity) {
-  pool_ = std::make_unique<ThreadPool>(options.num_workers);
+  pool_ = std::make_unique<ThreadPool>(options.num_workers, "jobs");
   reaper_ = std::thread([this] { ReaperLoop(); });
 }
 
@@ -197,7 +198,10 @@ void JobScheduler::RunNext() {
     metrics_.RecordQueueWait(job->queue_seconds);
   }
   Clock::time_point start = Clock::now();
-  Result<EvaluationReport> result = job->fn(job->token);
+  Result<EvaluationReport> result = [&]() -> Result<EvaluationReport> {
+    ScopedSpan span("job.run " + job->label);
+    return job->fn(job->token);
+  }();
   double run_seconds = ToSeconds(Clock::now() - start);
   // Success-only export, outside the lock (file IO). Failure paths — and in
   // particular cancellation — never touch the export file.

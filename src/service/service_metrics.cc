@@ -1,58 +1,40 @@
 #include "service/service_metrics.h"
 
-#include <algorithm>
-
 namespace secreta {
 
-const std::vector<double>& LatencyHistogram::BucketBounds() {
-  static const std::vector<double> kBounds = {
-      0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1,
-      0.2,   0.5,   1.0,   2.0,  5.0,  10.0};
-  return kBounds;
-}
-
-LatencyHistogram::LatencyHistogram()
-    : buckets_(BucketBounds().size() + 1, 0) {}
-
-void LatencyHistogram::Record(double seconds) {
-  seconds = std::max(0.0, seconds);
-  const std::vector<double>& bounds = BucketBounds();
-  size_t bucket =
-      std::upper_bound(bounds.begin(), bounds.end(), seconds) - bounds.begin();
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (count_ == 0 || seconds < min_) min_ = seconds;
-  if (seconds > max_) max_ = seconds;
-  ++count_;
-  sum_ += seconds;
-  ++buckets_[bucket];
-}
-
-HistogramSnapshot LatencyHistogram::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  HistogramSnapshot snap;
-  snap.count = count_;
-  snap.sum_seconds = sum_;
-  snap.min_seconds = min_;
-  snap.max_seconds = max_;
-  snap.buckets = buckets_;
-  return snap;
+ServiceMetrics::ServiceMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    owned_ = std::make_unique<MetricsRegistry>();
+    registry = owned_.get();
+  }
+  registry_ = registry;
+  submitted_ = registry->counter("jobs.submitted");
+  completed_ = registry->counter("jobs.completed");
+  cancelled_ = registry->counter("jobs.cancelled");
+  failed_ = registry->counter("jobs.failed");
+  timed_out_ = registry->counter("jobs.timed_out");
+  rejected_ = registry->counter("jobs.rejected");
+  cache_hits_ = registry->counter("result_cache.hits");
+  cache_misses_ = registry->counter("result_cache.misses");
+  queue_wait_ = registry->histogram("job.queue_wait_seconds");
+  execution_ = registry->histogram("job.execution_seconds");
 }
 
 ServiceMetricsSnapshot ServiceMetrics::Snapshot() const {
   ServiceMetricsSnapshot snap;
-  snap.jobs_submitted = submitted_.load(std::memory_order_relaxed);
-  snap.jobs_completed = completed_.load(std::memory_order_relaxed);
-  snap.jobs_cancelled = cancelled_.load(std::memory_order_relaxed);
-  snap.jobs_failed = failed_.load(std::memory_order_relaxed);
-  snap.jobs_timed_out = timed_out_.load(std::memory_order_relaxed);
-  snap.jobs_rejected = rejected_.load(std::memory_order_relaxed);
-  snap.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  snap.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  snap.jobs_submitted = submitted_->value();
+  snap.jobs_completed = completed_->value();
+  snap.jobs_cancelled = cancelled_->value();
+  snap.jobs_failed = failed_->value();
+  snap.jobs_timed_out = timed_out_->value();
+  snap.jobs_rejected = rejected_->value();
+  snap.cache_hits = cache_hits_->value();
+  snap.cache_misses = cache_misses_->value();
   uint64_t lookups = snap.cache_hits + snap.cache_misses;
   snap.cache_hit_rate =
       lookups == 0 ? 0.0 : static_cast<double>(snap.cache_hits) / lookups;
-  snap.queue_wait = queue_wait_.Snapshot();
-  snap.execution = execution_.Snapshot();
+  snap.queue_wait = queue_wait_->Snapshot();
+  snap.execution = execution_->Snapshot();
   return snap;
 }
 

@@ -1,51 +1,17 @@
-// Run metrics for the job service: monotonic lifecycle counters plus latency
-// histograms separating queue wait from execution time. Everything is
-// thread-safe and cheap enough to record on every job transition; snapshots
-// are exported as JSON via export/json_export (ServiceMetricsToJson).
+// Run metrics for the job service, as a thin adapter over the unified
+// obs::MetricsRegistry: monotonic lifecycle counters plus latency histograms
+// separating queue wait from execution time. Each ServiceMetrics owns a
+// private registry so schedulers count independently; the typed Snapshot()
+// keeps the stable shape exported by ServiceMetricsToJson.
 
 #ifndef SECRETA_SERVICE_SERVICE_METRICS_H_
 #define SECRETA_SERVICE_SERVICE_METRICS_H_
 
-#include <atomic>
 #include <cstdint>
-#include <mutex>
-#include <vector>
+
+#include "obs/metrics_registry.h"
 
 namespace secreta {
-
-/// Immutable copy of one histogram's state.
-struct HistogramSnapshot {
-  uint64_t count = 0;
-  double sum_seconds = 0;
-  double min_seconds = 0;  ///< 0 when count == 0
-  double max_seconds = 0;
-  /// counts[i] = samples with latency < bounds()[i]; the last bucket is
-  /// unbounded (+inf).
-  std::vector<uint64_t> buckets;
-
-  double mean_seconds() const { return count == 0 ? 0 : sum_seconds / count; }
-};
-
-/// \brief Fixed-bucket latency histogram (log-scale bounds, 1ms .. 10s).
-class LatencyHistogram {
- public:
-  /// Upper bounds (seconds) of the finite buckets; one overflow bucket
-  /// follows.
-  static const std::vector<double>& BucketBounds();
-
-  LatencyHistogram();
-
-  void Record(double seconds);
-  HistogramSnapshot Snapshot() const;
-
- private:
-  mutable std::mutex mutex_;
-  uint64_t count_ = 0;
-  double sum_ = 0;
-  double min_ = 0;
-  double max_ = 0;
-  std::vector<uint64_t> buckets_;
-};
 
 /// Point-in-time copy of every service metric, safe to serialize or compare
 /// without holding any lock.
@@ -63,40 +29,48 @@ struct ServiceMetricsSnapshot {
   HistogramSnapshot execution;
 };
 
-/// \brief The job service's metric registry.
+/// \brief The job service's metric facade.
 ///
-/// Counters are lock-free atomics; histograms take a short mutex. One
-/// instance lives inside each JobScheduler, but the type is independent so
-/// other serving layers can reuse it.
+/// Counters are lock-free registry atomics; histograms take a short mutex.
+/// One instance lives inside each JobScheduler with its own private registry
+/// (scheduler metrics never bleed into each other); pass an external
+/// registry to aggregate several services into one.
 class ServiceMetrics {
  public:
-  void IncrSubmitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
-  void IncrCompleted() { completed_.fetch_add(1, std::memory_order_relaxed); }
-  void IncrCancelled() { cancelled_.fetch_add(1, std::memory_order_relaxed); }
-  void IncrFailed() { failed_.fetch_add(1, std::memory_order_relaxed); }
-  void IncrTimedOut() { timed_out_.fetch_add(1, std::memory_order_relaxed); }
-  void IncrRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
-  void IncrCacheHit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
-  void IncrCacheMiss() {
-    cache_misses_.fetch_add(1, std::memory_order_relaxed);
-  }
+  /// Registers the service metrics in `registry`, or in a private registry
+  /// when `registry` is null.
+  explicit ServiceMetrics(MetricsRegistry* registry = nullptr);
 
-  void RecordQueueWait(double seconds) { queue_wait_.Record(seconds); }
-  void RecordExecution(double seconds) { execution_.Record(seconds); }
+  void IncrSubmitted() { submitted_->Increment(); }
+  void IncrCompleted() { completed_->Increment(); }
+  void IncrCancelled() { cancelled_->Increment(); }
+  void IncrFailed() { failed_->Increment(); }
+  void IncrTimedOut() { timed_out_->Increment(); }
+  void IncrRejected() { rejected_->Increment(); }
+  void IncrCacheHit() { cache_hits_->Increment(); }
+  void IncrCacheMiss() { cache_misses_->Increment(); }
+
+  void RecordQueueWait(double seconds) { queue_wait_->Record(seconds); }
+  void RecordExecution(double seconds) { execution_->Record(seconds); }
 
   ServiceMetricsSnapshot Snapshot() const;
 
+  /// The registry the metrics live in (the private one unless injected).
+  const MetricsRegistry& registry() const { return *registry_; }
+
  private:
-  std::atomic<uint64_t> submitted_{0};
-  std::atomic<uint64_t> completed_{0};
-  std::atomic<uint64_t> cancelled_{0};
-  std::atomic<uint64_t> failed_{0};
-  std::atomic<uint64_t> timed_out_{0};
-  std::atomic<uint64_t> rejected_{0};
-  std::atomic<uint64_t> cache_hits_{0};
-  std::atomic<uint64_t> cache_misses_{0};
-  LatencyHistogram queue_wait_;
-  LatencyHistogram execution_;
+  std::unique_ptr<MetricsRegistry> owned_;
+  MetricsRegistry* registry_;
+  Counter* submitted_;
+  Counter* completed_;
+  Counter* cancelled_;
+  Counter* failed_;
+  Counter* timed_out_;
+  Counter* rejected_;
+  Counter* cache_hits_;
+  Counter* cache_misses_;
+  LatencyHistogram* queue_wait_;
+  LatencyHistogram* execution_;
 };
 
 }  // namespace secreta

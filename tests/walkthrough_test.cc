@@ -74,8 +74,9 @@ TEST(WalkthroughTest, FullSectionThreeDemo) {
   ASSERT_OK_AND_ASSIGN(Series are_series, sweep.Extract("are"));
   EXPECT_EQ(are_series.size(), 3u);
   // Visualization (b): time per phase (3 anonymization phases + the
-  // evaluation phase recorded by BuildReport).
-  EXPECT_EQ(report.run.phases.phases().size(), 4u);
+  // evaluation phase recorded by BuildReport + the ARE sub-phase, since this
+  // config evaluates a query workload).
+  EXPECT_EQ(report.run.phases.phases().size(), 5u);
   // Visualization (c): frequencies of generalized values in a relational
   // attribute.
   ASSERT_OK_AND_ASSIGN(size_t origin_col, anonymized.ColumnByName("Origin"));
