@@ -10,6 +10,20 @@
 //   --metrics-out <file>   on exit write the global metrics registry snapshot
 //                          (counters, gauges, latency histograms) as JSON
 //
+// Robustness flags:
+//   --faults <spec>        arm the fault injector (requires a build with
+//                          -DSECRETA_FAULTS=ON); spec grammar is
+//                          site:action:arg[,site:action:arg...], e.g.
+//                          sweep.point:fail:0.05 — see
+//                          src/robust/fault_injection.h. The SECRETA_FAULTS
+//                          environment variable is a fallback for the flag;
+//                          SECRETA_FAULT_SEED (integer) seeds the
+//                          probabilistic triggers deterministically.
+//   --mem-budget-mb <n>    soft memory budget: the engine sheds optional
+//                          work (ARE query workload, distribution copies)
+//                          instead of exceeding it, and flags affected
+//                          reports as degraded
+//
 // Try:
 //   generate 2000
 //   hierarchies auto
@@ -23,6 +37,7 @@
 //   sweep delta 0.1 0.5 0.2
 //   save-output anon.csv
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -31,6 +46,8 @@
 #include "frontend/cli.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
+#include "robust/fault_injection.h"
+#include "robust/memory_budget.h"
 
 namespace {
 
@@ -63,13 +80,24 @@ int main(int argc, char** argv) {
   std::string script_path;
   std::string trace_out;
   std::string metrics_out;
+  std::string fault_spec;
+  size_t mem_budget_mb = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if ((arg == "--trace-out" || arg == "--metrics-out") && i + 1 < argc) {
       (arg == "--trace-out" ? trace_out : metrics_out) = argv[++i];
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      fault_spec = arg.substr(9);
+    } else if (arg == "--faults" && i + 1 < argc) {
+      fault_spec = argv[++i];
+    } else if (arg.rfind("--mem-budget-mb=", 0) == 0) {
+      mem_budget_mb = static_cast<size_t>(std::atoll(arg.c_str() + 16));
+    } else if (arg == "--mem-budget-mb" && i + 1 < argc) {
+      mem_budget_mb = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
-                << " [--trace-out FILE] [--metrics-out FILE] [script]\n";
+                << " [--trace-out FILE] [--metrics-out FILE]"
+                << " [--faults SPEC] [--mem-budget-mb N] [script]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown flag: " << arg << "\n";
@@ -78,9 +106,32 @@ int main(int argc, char** argv) {
       script_path = arg;
     }
   }
+  if (fault_spec.empty()) {
+    if (const char* env = std::getenv("SECRETA_FAULTS")) fault_spec = env;
+  }
+  if (!fault_spec.empty()) {
+    if (!secreta::FaultInjector::CompiledIn()) {
+      std::cerr << "--faults requires a build with -DSECRETA_FAULTS=ON "
+                   "(the fault sites are compiled out)\n";
+      return 1;
+    }
+    uint64_t seed = 0;
+    if (const char* env = std::getenv("SECRETA_FAULT_SEED")) {
+      seed = static_cast<uint64_t>(std::atoll(env));
+    }
+    secreta::Status status =
+        secreta::FaultInjector::Global().Configure(fault_spec, seed);
+    if (!status.ok()) {
+      std::cerr << "bad fault spec: " << status.ToString() << "\n";
+      return 1;
+    }
+    std::cerr << "fault injection armed: " << fault_spec << "\n";
+  }
   if (!trace_out.empty()) secreta::Tracer::Get().Enable();
 
   secreta::CommandLineInterface cli(&std::cout);
+  secreta::MemoryBudget budget(mem_budget_mb * 1024 * 1024);
+  if (mem_budget_mb > 0) cli.session().set_memory_budget(&budget);
   if (!script_path.empty()) {
     std::ifstream script(script_path);
     if (!script) {

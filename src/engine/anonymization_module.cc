@@ -4,6 +4,7 @@
 #include "core/recoding.h"
 #include "engine/registry.h"
 #include "obs/trace.h"
+#include "robust/fault_injection.h"
 
 namespace secreta {
 
@@ -43,6 +44,7 @@ Result<RunResult> RunAnonymization(const EngineInputs& inputs,
     return Status::InvalidArgument("EngineInputs.dataset is required");
   }
   SECRETA_RETURN_IF_ERROR(CheckCancelled(inputs.cancel, "run"));
+  SECRETA_FAULT_POINT("anonymize");
   SECRETA_TRACE_SPAN("anonymize");
   RunResult result;
   result.config = config;

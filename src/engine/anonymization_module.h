@@ -18,6 +18,8 @@
 
 namespace secreta {
 
+class MemoryBudget;
+
 /// Which side(s) of the dataset a run anonymizes.
 enum class AnonMode { kRelational, kTransaction, kRt };
 
@@ -49,6 +51,11 @@ struct EngineInputs {
   /// between RT cluster merges, and between sweep points — and unwinds with
   /// Status::Cancelled.
   const CancellationToken* cancel = nullptr;
+  /// Optional soft memory budget (non-owning). When set, the evaluator
+  /// charges its large optional structures (bound ARE workload, original-
+  /// transaction copies) against it and sheds them — flagging the report
+  /// `degraded` — instead of allocating past the limit.
+  MemoryBudget* memory = nullptr;
 };
 
 /// Structured output of one run.

@@ -6,6 +6,8 @@
 
 #include "common/thread_pool.h"
 #include "obs/trace.h"
+#include "robust/checkpoint.h"
+#include "robust/fault_injection.h"
 
 namespace secreta {
 
@@ -22,6 +24,14 @@ Result<std::vector<SweepResult>> CompareMethods(
   // sweep point shares the same read-only EvalContext.
   SECRETA_ASSIGN_OR_RETURN(EvalContext shared_eval,
                            EvalContext::Create(inputs, workload));
+  // One shared, thread-safe checkpoint log for the whole grid; each worker
+  // appends its configuration's cells keyed by (point config, config index).
+  std::unique_ptr<CheckpointLog> checkpoint;
+  if (!options.checkpoint_path.empty()) {
+    SECRETA_ASSIGN_OR_RETURN(
+        checkpoint,
+        OpenCheckpointForRun(options.checkpoint_path, inputs, workload));
+  }
   size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
   size_t threads = options.num_threads > 0
                        ? options.num_threads
@@ -47,12 +57,13 @@ Result<std::vector<SweepResult>> CompareMethods(
       // The span names the grid cell so a trace shows which configuration
       // occupied which worker.
       ScopedSpan span("compare.config " + configs[i].Label());
-      Result<SweepResult> r =
-          !CheckCancelled(inputs.cancel, "compare config").ok()
-              ? Result<SweepResult>(
-                    Status::Cancelled("compare config: cancelled"))
-              : RunSweep(inputs, configs[i], sweep, workload, serialized, i,
-                         &shared_eval);
+      Result<SweepResult> r = [&]() -> Result<SweepResult> {
+        SECRETA_RETURN_IF_ERROR(
+            CheckCancelled(inputs.cancel, "compare config"));
+        SECRETA_FAULT_POINT("compare.config");
+        return RunSweep(inputs, configs[i], sweep, workload, serialized, i,
+                        &shared_eval, checkpoint.get());
+      }();
       std::lock_guard<std::mutex> lock(mutex);
       results[i] = std::move(r);
     });

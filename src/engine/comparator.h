@@ -25,6 +25,12 @@ struct CompareOptions {
   /// themselves (e.g. an "abort after first result" UI); the in-flight sweeps
   /// then stop at their next point boundary.
   ProgressCallback progress;
+  /// When non-empty, checkpoint/resume for the whole grid: every completed
+  /// (configuration, sweep value) cell is appended to this file, and a
+  /// restarted comparison replays recorded cells bit-identically instead of
+  /// recomputing them. The file is validated against the dataset/workload
+  /// fingerprints (FailedPrecondition on mismatch).
+  std::string checkpoint_path;
 };
 
 /// Runs every configuration over `sweep` concurrently. Results are in the

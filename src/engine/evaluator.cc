@@ -6,11 +6,13 @@
 
 #include "common/parallel.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "core/guarantees.h"
 #include "metrics/distribution_metrics.h"
 #include "metrics/frequency.h"
 #include "metrics/information_loss.h"
 #include "obs/trace.h"
+#include "robust/fault_injection.h"
 
 namespace secreta {
 
@@ -28,6 +30,7 @@ Result<double> EvaluationReport::Metric(const std::string& name) const {
   if (name == "runtime") return run.runtime_seconds;
   if (name == "evaluation_seconds") return evaluation_seconds;
   if (name == "queries_per_second") return queries_per_second;
+  if (name == "degraded") return degraded ? 1.0 : 0.0;
   return Status::InvalidArgument("unknown metric: " + name);
 }
 
@@ -35,6 +38,18 @@ Result<EvalContext> EvalContext::Create(const EngineInputs& inputs,
                                         const Workload* workload) {
   EvalContext context;
   if (workload == nullptr || workload->empty()) return context;
+  // Graceful degradation: the bound workload (clause bitmaps, per-node
+  // overlap caches, exact counts) is the evaluator's largest optional
+  // structure. Charge an estimate against the soft budget first and shed
+  // ARE entirely — reports then carry the `degraded` flag — rather than
+  // binding past the limit.
+  size_t records = inputs.dataset->num_records();
+  size_t estimate = workload->size() * (records / 8 + 160) + records * 16;
+  ScopedCharge charge(inputs.memory, estimate);
+  if (!charge.acquired()) {
+    context.workload_shed_ = true;
+    return context;
+  }
   SECRETA_ASSIGN_OR_RETURN(
       QueryEvaluator evaluator,
       QueryEvaluator::Create(*inputs.dataset, inputs.relational));
@@ -43,12 +58,14 @@ Result<EvalContext> EvalContext::Create(const EngineInputs& inputs,
       BoundWorkload bound,
       context.evaluator_->BindWorkload(*workload, &SharedEvalPool()));
   context.bound_.emplace(std::move(bound));
+  context.charge_ = std::move(charge);
   return context;
 }
 
 Result<EvaluationReport> BuildReport(const EngineInputs& inputs,
                                      RunResult run, const EvalContext& eval) {
   SECRETA_RETURN_IF_ERROR(CheckCancelled(inputs.cancel, "metrics phase"));
+  SECRETA_FAULT_POINT("evaluate.metrics");
   SECRETA_TRACE_SPAN("evaluate");
   Stopwatch eval_watch;
   EvaluationReport report;
@@ -87,26 +104,46 @@ Result<EvaluationReport> BuildReport(const EngineInputs& inputs,
       report.kl_relational = MeanKlDivergence(*inputs.relational, recoding);
     });
   }
+  std::vector<std::string> shed;
   std::vector<std::vector<ItemId>> original;
+  ScopedCharge original_charge;
   if (run.transaction.has_value()) {
     const TransactionRecoding& recoding = *run.transaction;
-    original.reserve(data.num_records());
+    // The distribution metrics need a full copy of the original
+    // transactions. Charge it against the soft budget; when it does not fit,
+    // shed those metrics (they read 0, the report says so) and keep the
+    // cheap ones.
+    size_t original_bytes = 0;
     for (size_t r = 0; r < data.num_records(); ++r) {
-      original.push_back(data.items(r));
+      original_bytes +=
+          data.items(r).size() * sizeof(ItemId) + sizeof(std::vector<ItemId>);
     }
-    add_task("ul metric", [&] {
-      report.ul =
-          TransactionUl(recoding, original, data.item_dictionary().size());
-    });
-    add_task("item frequency metric", [&] {
-      report.item_freq_error =
-          MeanItemFrequencyError(recoding, original, data.item_dictionary());
-    });
-    add_task("item kl metric", [&] {
-      report.kl_items =
-          ItemKlDivergence(recoding, original, data.item_dictionary().size());
-    });
+    original_charge = ScopedCharge(inputs.memory, original_bytes);
+    if (original_charge.acquired()) {
+      original.reserve(data.num_records());
+      for (size_t r = 0; r < data.num_records(); ++r) {
+        original.push_back(data.items(r));
+      }
+      add_task("ul metric", [&] {
+        report.ul =
+            TransactionUl(recoding, original, data.item_dictionary().size());
+      });
+      add_task("item frequency metric", [&] {
+        report.item_freq_error =
+            MeanItemFrequencyError(recoding, original, data.item_dictionary());
+      });
+      add_task("item kl metric", [&] {
+        report.kl_items =
+            ItemKlDivergence(recoding, original, data.item_dictionary().size());
+      });
+    } else {
+      shed.push_back(
+          "transaction distribution metrics (ul, item_freq_error, kl_items)");
+    }
     report.suppressed = static_cast<double>(recoding.suppressed_occurrences);
+  }
+  if (eval.workload_shed()) {
+    shed.push_back("ARE query workload");
   }
   Status are_status;
   double are_seconds = 0;
@@ -170,6 +207,11 @@ Result<EvaluationReport> BuildReport(const EngineInputs& inputs,
     SECRETA_RETURN_IF_ERROR(status);
   }
 
+  if (!shed.empty()) {
+    report.degraded = true;
+    report.degraded_detail =
+        "memory budget exceeded; shed: " + Join(shed, "; ");
+  }
   report.evaluation_seconds = eval_watch.ElapsedSeconds();
   if (eval.has_workload() && are_seconds > 0) {
     report.queries_per_second =

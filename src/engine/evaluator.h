@@ -19,6 +19,7 @@
 #include "engine/anonymization_module.h"
 #include "query/query.h"
 #include "query/query_evaluator.h"
+#include "robust/memory_budget.h"
 
 namespace secreta {
 
@@ -43,10 +44,16 @@ struct EvaluationReport {
   bool guarantee_checked = false;
   bool guarantee_ok = false;
   std::string guarantee_name;
+  /// True when the engine shed optional work (ARE workload, transaction
+  /// distribution metrics) under a MemoryBudget instead of computing it; the
+  /// shed metrics read 0 and `degraded_detail` names them.
+  bool degraded = false;
+  std::string degraded_detail;
 
   /// Metric accessor by name: "gcp", "ul", "are", "discernibility", "cavg",
   /// "item_freq_error", "entropy_loss", "kl_relational", "kl_items",
-  /// "suppressed", "runtime", "evaluation_seconds", "queries_per_second".
+  /// "suppressed", "runtime", "evaluation_seconds", "queries_per_second",
+  /// "degraded" (0/1).
   Result<double> Metric(const std::string& name) const;
 };
 
@@ -70,10 +77,16 @@ class EvalContext {
   const QueryEvaluator& evaluator() const { return *evaluator_; }
   const BoundWorkload& bound_workload() const { return *bound_; }
   size_t workload_size() const { return bound_ ? bound_->size() : 0; }
+  /// True when a non-empty workload was requested but shed because binding
+  /// it would have exceeded `inputs.memory`; reports built against this
+  /// context are flagged degraded.
+  bool workload_shed() const { return workload_shed_; }
 
  private:
   std::optional<QueryEvaluator> evaluator_;
   std::optional<BoundWorkload> bound_;
+  ScopedCharge charge_;  // released when the context is destroyed
+  bool workload_shed_ = false;
 };
 
 /// Runs `config` and computes every applicable metric. `workload` may be

@@ -1,6 +1,9 @@
 #include "engine/experiment.h"
 
+#include "obs/metrics_registry.h"
 #include "obs/trace.h"
+#include "robust/checkpoint.h"
+#include "robust/fault_injection.h"
 
 namespace secreta {
 
@@ -34,7 +37,8 @@ Result<SweepResult> RunSweep(const EngineInputs& inputs,
                              const ParamSweep& sweep, const Workload* workload,
                              const ProgressCallback& progress,
                              size_t config_index,
-                             const EvalContext* shared_eval) {
+                             const EvalContext* shared_eval,
+                             CheckpointLog* checkpoint) {
   SweepResult result;
   result.base = config;
   result.sweep = sweep;
@@ -50,16 +54,45 @@ Result<SweepResult> RunSweep(const EngineInputs& inputs,
   }
   for (size_t i = 0; i < values.size(); ++i) {
     SECRETA_RETURN_IF_ERROR(CheckCancelled(inputs.cancel, "sweep point"));
+    SECRETA_FAULT_POINT("sweep.point");
     SECRETA_TRACE_SPAN("sweep.point");
     double value = values[i];
     AlgorithmConfig point_config = config;
     SECRETA_RETURN_IF_ERROR(point_config.params.Set(sweep.parameter, value));
     SECRETA_RETURN_IF_ERROR(point_config.params.Validate());
-    SECRETA_ASSIGN_OR_RETURN(RunResult run,
-                             RunAnonymization(inputs, point_config));
-    SECRETA_ASSIGN_OR_RETURN(EvaluationReport report,
-                             BuildReport(inputs, std::move(run), *shared_eval));
-    result.points.push_back({value, std::move(report)});
+    uint64_t point_key = 0;
+    bool from_checkpoint = false;
+    if (checkpoint != nullptr) {
+      point_key = CheckpointLog::PointKey(
+          point_config, checkpoint->dataset_fingerprint(),
+          checkpoint->workload_fingerprint(), config_index);
+      EvaluationReport restored;
+      if (checkpoint->Find(point_key, &restored)) {
+        // The log stores everything but the config and recodings; the config
+        // is recomputed above exactly as the recorded run computed it.
+        restored.run.config = point_config;
+        result.points.push_back({value, std::move(restored)});
+        from_checkpoint = true;
+        MetricsRegistry::Global()
+            .counter("checkpoint.points_restored")
+            ->Increment();
+      }
+    }
+    if (!from_checkpoint) {
+      SECRETA_ASSIGN_OR_RETURN(RunResult run,
+                               RunAnonymization(inputs, point_config));
+      SECRETA_ASSIGN_OR_RETURN(
+          EvaluationReport report,
+          BuildReport(inputs, std::move(run), *shared_eval));
+      result.points.push_back({value, std::move(report)});
+      if (checkpoint != nullptr) {
+        SECRETA_RETURN_IF_ERROR(checkpoint->Append(
+            point_key, value, result.points.back().report));
+        MetricsRegistry::Global()
+            .counter("checkpoint.points_appended")
+            ->Increment();
+      }
+    }
     if (progress) {
       ProgressEvent event;
       event.config_index = config_index;
@@ -67,6 +100,7 @@ Result<SweepResult> RunSweep(const EngineInputs& inputs,
       event.total_points = values.size();
       event.value = value;
       event.report = &result.points.back().report;
+      event.from_checkpoint = from_checkpoint;
       progress(event);
     }
   }

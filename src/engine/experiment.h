@@ -13,6 +13,8 @@
 
 namespace secreta {
 
+class CheckpointLog;
+
 /// Progress notification emitted after every completed sweep point — the
 /// mechanism behind the paper's "interactive and progressive" analysis: the
 /// frontend can render partial series while the experiment continues.
@@ -22,6 +24,8 @@ struct ProgressEvent {
   size_t total_points = 0;   ///< points in this sweep
   double value = 0;          ///< the varying parameter's value
   const EvaluationReport* report = nullptr;  ///< finished point (borrowed)
+  /// True when the point was replayed from a checkpoint instead of computed.
+  bool from_checkpoint = false;
 };
 
 /// Observer for progress events. In Comparison mode callbacks may fire from
@@ -71,13 +75,18 @@ struct SweepResult {
 /// each point; `config_index` tags Comparison-mode events. `shared_eval`
 /// (optional) supplies a pre-bound evaluation context — the comparator binds
 /// the workload once and shares it across every configuration; when null the
-/// sweep binds once for all of its own points.
+/// sweep binds once for all of its own points. `checkpoint` (optional)
+/// enables resume: points already recorded in the log are replayed
+/// bit-identically (ProgressEvent::from_checkpoint set) instead of
+/// recomputed, and every freshly computed point is appended to the log
+/// before the sweep moves on.
 Result<SweepResult> RunSweep(const EngineInputs& inputs,
                              const AlgorithmConfig& config,
                              const ParamSweep& sweep, const Workload* workload,
                              const ProgressCallback& progress = nullptr,
                              size_t config_index = 0,
-                             const EvalContext* shared_eval = nullptr);
+                             const EvalContext* shared_eval = nullptr,
+                             CheckpointLog* checkpoint = nullptr);
 
 }  // namespace secreta
 

@@ -181,6 +181,10 @@ void WriteReportBody(JsonWriter* w, const EvaluationReport& report) {
   w->Key("ok");
   w->Bool(report.guarantee_ok);
   w->EndObject();
+  w->Key("degraded");
+  w->Bool(report.degraded);
+  w->Key("degraded_detail");
+  w->String(report.degraded_detail);
   w->EndObject();
 }
 

@@ -48,12 +48,15 @@ std::string CommandLineInterface::HelpText() {
       "method:    mode rt|relational|transaction | algo rel <name> |\n"
       "           algo txn <name> | merger <name> | param <name> <value> |\n"
       "           config [key=value ...] | algorithms\n"
-      "evaluate:  run | sweep <param> <start> <end> <step> |\n"
+      "evaluate:  run | sweep <param> <start> <end> <step> "
+      "[checkpoint=PATH] |\n"
       "           audit <k> <m> [global] | classes\n"
-      "compare:   add-config | configs | compare <param> <start> <end> <step>\n"
+      "compare:   add-config | configs |\n"
+      "           compare <param> <start> <end> <step> [checkpoint=PATH]\n"
       "export:    save-output <path> | export-json <path> |\n"
       "           save-mapping <path>\n"
-      "service:   submit [prio=P] [timeout=S] [key=value ...] | jobs |\n"
+      "service:   submit [prio=P] [timeout=S] [retries=N] [backoff=S]\n"
+      "                  [key=value ...] | jobs |\n"
       "           job <id> | cancel <id> | wait [<id>] | metrics [text]\n"
       "observe:   trace on | trace off | trace save <path>\n"
       "misc:      demo | help | quit\n";
@@ -461,6 +464,9 @@ void CommandLineInterface::PrintReport(const EvaluationReport& report) {
     *out_ << StrFormat(" | %.0f queries/s", report.queries_per_second);
   }
   *out_ << "\n";
+  if (report.degraded) {
+    *out_ << "DEGRADED: " << report.degraded_detail << "\n";
+  }
   for (const auto& [phase, seconds] : report.run.phases.phases()) {
     *out_ << StrFormat("  %-12s %.3fs\n", phase.c_str(), seconds);
   }
@@ -477,21 +483,31 @@ Status CommandLineInterface::CmdRun() {
 }
 
 Status CommandLineInterface::CmdSweep(const std::vector<std::string>& args) {
-  SECRETA_RETURN_IF_ERROR(Arity(args, 4, 4));
+  SECRETA_RETURN_IF_ERROR(Arity(args, 4, 5));
   SECRETA_RETURN_IF_ERROR(RequireDataset());
   ParamSweep sweep;
   sweep.parameter = args[1];
   SECRETA_ASSIGN_OR_RETURN(sweep.start, ParseDouble(args[2]));
   SECRETA_ASSIGN_OR_RETURN(sweep.end, ParseDouble(args[3]));
   SECRETA_ASSIGN_OR_RETURN(sweep.step, ParseDouble(args[4]));
+  std::string checkpoint_path;
+  if (args.size() > 5) {
+    if (args[5].rfind("checkpoint=", 0) != 0) {
+      return Status::InvalidArgument(
+          "usage: sweep <param> <start> <end> <step> [checkpoint=PATH]");
+    }
+    checkpoint_path = args[5].substr(11);
+  }
   ProgressCallback progress = [this](const ProgressEvent& event) {
-    *out_ << StrFormat("  [%zu/%zu] %s=%g done (%.3fs)\n",
+    *out_ << StrFormat("  [%zu/%zu] %s=%g done (%.3fs)%s\n",
                        event.point_index + 1, event.total_points,
                        "point", event.value,
-                       event.report->run.runtime_seconds);
+                       event.report->run.runtime_seconds,
+                       event.from_checkpoint ? " (checkpoint)" : "");
   };
-  SECRETA_ASSIGN_OR_RETURN(SweepResult result,
-                           session_.EvaluateSweep(current_, sweep, progress));
+  SECRETA_ASSIGN_OR_RETURN(
+      SweepResult result,
+      session_.EvaluateSweep(current_, sweep, progress, checkpoint_path));
   std::vector<Series> series;
   for (const char* metric : {"are", "gcp", "ul"}) {
     SECRETA_ASSIGN_OR_RETURN(Series s, result.Extract(metric));
@@ -507,7 +523,7 @@ Status CommandLineInterface::CmdSweep(const std::vector<std::string>& args) {
 }
 
 Status CommandLineInterface::CmdCompare(const std::vector<std::string>& args) {
-  SECRETA_RETURN_IF_ERROR(Arity(args, 4, 4));
+  SECRETA_RETURN_IF_ERROR(Arity(args, 4, 5));
   SECRETA_RETURN_IF_ERROR(RequireDataset());
   if (queued_.empty()) {
     return Status::FailedPrecondition(
@@ -519,10 +535,18 @@ Status CommandLineInterface::CmdCompare(const std::vector<std::string>& args) {
   SECRETA_ASSIGN_OR_RETURN(sweep.end, ParseDouble(args[3]));
   SECRETA_ASSIGN_OR_RETURN(sweep.step, ParseDouble(args[4]));
   CompareOptions compare_options;
+  if (args.size() > 5) {
+    if (args[5].rfind("checkpoint=", 0) != 0) {
+      return Status::InvalidArgument(
+          "usage: compare <param> <start> <end> <step> [checkpoint=PATH]");
+    }
+    compare_options.checkpoint_path = args[5].substr(11);
+  }
   compare_options.progress = [this](const ProgressEvent& event) {
-    *out_ << StrFormat("  config %zu: [%zu/%zu] value %g done\n",
+    *out_ << StrFormat("  config %zu: [%zu/%zu] value %g done%s\n",
                        event.config_index + 1, event.point_index + 1,
-                       event.total_points, event.value);
+                       event.total_points, event.value,
+                       event.from_checkpoint ? " (checkpoint)" : "");
   };
   SECRETA_ASSIGN_OR_RETURN(std::vector<SweepResult> results,
                            session_.Compare(queued_, sweep, compare_options));
@@ -548,6 +572,7 @@ void CommandLineInterface::PrintJobLine(const JobInfo& info) {
                      JobStateToString(info.state), info.priority,
                      info.from_cache ? " (cache)" : "", info.queue_seconds,
                      info.run_seconds, info.label.c_str());
+  if (info.attempts > 1) *out_ << StrFormat(" attempts=%d", info.attempts);
   if (!info.status.ok()) *out_ << " — " << info.status.ToString();
   *out_ << "\n";
 }
@@ -563,6 +588,12 @@ Status CommandLineInterface::CmdSubmit(const std::vector<std::string>& args) {
       options.priority = static_cast<int>(priority);
     } else if (arg.rfind("timeout=", 0) == 0) {
       SECRETA_ASSIGN_OR_RETURN(options.timeout_seconds,
+                               ParseDouble(arg.substr(8)));
+    } else if (arg.rfind("retries=", 0) == 0) {
+      SECRETA_ASSIGN_OR_RETURN(int64_t retries, ParseInt(arg.substr(8)));
+      options.max_retries = static_cast<int>(retries);
+    } else if (arg.rfind("backoff=", 0) == 0) {
+      SECRETA_ASSIGN_OR_RETURN(options.retry_initial_backoff_seconds,
                                ParseDouble(arg.substr(8)));
     } else {
       spec_parts.push_back(arg);

@@ -43,16 +43,23 @@ namespace secreta {
 ///   run                                Evaluation mode, single execution
 ///   audit <k> <m> [global]             recipient-side guarantee audit of
 ///                                      the last run's output
-///   sweep <param> <start> <end> <step> Evaluation mode, varying parameter
+///   sweep <param> <start> <end> <step> [checkpoint=PATH]
+///                                      Evaluation mode, varying parameter;
+///                                      with a checkpoint file, completed
+///                                      points are replayed on restart
 ///   add-config                         push current config to the
 ///                                      experimenter area
 ///   configs                            list queued configs
-///   compare <param> <start> <end> <step>  Comparison mode over the queue
+///   compare <param> <start> <end> <step> [checkpoint=PATH]
+///                                      Comparison mode over the queue
+///                                      (checkpoint covers the whole grid)
 ///   save-output <path>                 export last anonymized dataset
 ///   export-json <path>                 export last report/comparison as JSON
-///   submit [prio=P] [timeout=S] [key=value ...]
+///   submit [prio=P] [timeout=S] [retries=N] [backoff=S] [key=value ...]
 ///                                      queue an async evaluation job (uses
-///                                      the current config unless overridden)
+///                                      the current config unless overridden;
+///                                      retries re-queue transient failures
+///                                      with exponential backoff)
 ///   jobs                               list submitted jobs
 ///   job <id>                           one job's status (+ report when done)
 ///   cancel <id>                        cancel a queued/running job

@@ -2,6 +2,7 @@
 
 #include "hierarchy/hierarchy_io.h"
 #include "policy/policy_io.h"
+#include "robust/checkpoint.h"
 
 namespace secreta {
 
@@ -152,6 +153,7 @@ Result<EngineInputs> SecretaSession::MakeInputs(const AlgorithmConfig& config) {
   inputs.transaction = txn_context_.has_value() ? &*txn_context_ : nullptr;
   inputs.privacy = privacy_.empty() ? nullptr : &privacy_;
   inputs.utility = utility_.empty() ? nullptr : &utility_;
+  inputs.memory = memory_budget_;
   return inputs;
 }
 
@@ -187,6 +189,7 @@ Result<EngineInputs> SecretaSession::PrepareInputs(
       need_txn && txn_context_.has_value() ? &*txn_context_ : nullptr;
   inputs.privacy = privacy_.empty() ? nullptr : &privacy_;
   inputs.utility = utility_.empty() ? nullptr : &utility_;
+  inputs.memory = memory_budget_;
   return inputs;
 }
 
@@ -198,10 +201,17 @@ Result<EvaluationReport> SecretaSession::Evaluate(const AlgorithmConfig& config)
 
 Result<SweepResult> SecretaSession::EvaluateSweep(
     const AlgorithmConfig& config, const ParamSweep& sweep,
-    const ProgressCallback& progress) {
+    const ProgressCallback& progress, const std::string& checkpoint_path) {
   SECRETA_ASSIGN_OR_RETURN(EngineInputs inputs, MakeInputs(config));
   const Workload* workload = workload_.empty() ? nullptr : &workload_;
-  return RunSweep(inputs, config, sweep, workload, progress);
+  std::unique_ptr<CheckpointLog> checkpoint;
+  if (!checkpoint_path.empty()) {
+    SECRETA_ASSIGN_OR_RETURN(
+        checkpoint, OpenCheckpointForRun(checkpoint_path, inputs, workload));
+  }
+  return RunSweep(inputs, config, sweep, workload, progress,
+                  /*config_index=*/0, /*shared_eval=*/nullptr,
+                  checkpoint.get());
 }
 
 Result<Dataset> SecretaSession::Materialize(const EvaluationReport& report) {
@@ -253,6 +263,7 @@ Result<std::vector<SweepResult>> SecretaSession::Compare(
   inputs.transaction = txn_context_.has_value() ? &*txn_context_ : nullptr;
   inputs.privacy = privacy_.empty() ? nullptr : &privacy_;
   inputs.utility = utility_.empty() ? nullptr : &utility_;
+  inputs.memory = memory_budget_;
   const Workload* workload = workload_.empty() ? nullptr : &workload_;
   return CompareMethods(inputs, configs, sweep, workload, options);
 }

@@ -71,10 +71,14 @@ class SecretaSession {
   Result<EvaluationReport> Evaluate(const AlgorithmConfig& config);
   /// Varying-parameter execution for one configuration. `progress`
   /// (optional) fires after every finished point — the GUI's progressive
-  /// plotting hook.
+  /// plotting hook. `checkpoint_path` (optional) enables crash-resume: every
+  /// finished point is appended to the file, and a restart with the same
+  /// path replays completed points bit-identically instead of recomputing
+  /// them (see robust/checkpoint.h for the fingerprint validation rules).
   Result<SweepResult> EvaluateSweep(const AlgorithmConfig& config,
                                     const ParamSweep& sweep,
-                                    const ProgressCallback& progress = nullptr);
+                                    const ProgressCallback& progress = nullptr,
+                                    const std::string& checkpoint_path = "");
 
   /// Materializes the anonymized dataset of a report (for display/export).
   Result<Dataset> Materialize(const EvaluationReport& report);
@@ -107,6 +111,16 @@ class SecretaSession {
     return workload_.empty() ? nullptr : &workload_;
   }
 
+  // ---- Robustness ------------------------------------------------------------
+
+  /// Installs a soft memory budget applied to every subsequent engine entry
+  /// (see robust/memory_budget.h): when a charge is rejected the engine
+  /// sheds optional work and flags the report as degraded instead of
+  /// failing. Not owned; pass nullptr to remove. The budget must outlive
+  /// every run that uses it.
+  void set_memory_budget(MemoryBudget* budget) { memory_budget_ = budget; }
+  MemoryBudget* memory_budget() const { return memory_budget_; }
+
  private:
   /// (Re)binds contexts to the current dataset + hierarchies. Called before
   /// every engine entry so edits are always reflected.
@@ -122,6 +136,7 @@ class SecretaSession {
   // Rebuilt by BindContexts; must not outlive dataset/hierarchy edits.
   std::optional<RelationalContext> rel_context_;
   std::optional<TransactionContext> txn_context_;
+  MemoryBudget* memory_budget_ = nullptr;  // not owned
 };
 
 }  // namespace secreta

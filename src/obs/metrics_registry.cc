@@ -8,7 +8,10 @@ namespace secreta {
 
 const std::vector<double>& LatencyHistogram::BucketBounds() {
   // Leaked: workers of the process-lifetime pools may record during exit,
-  // after static destructors would have run.
+  // after static destructors would have run. Suppressed for LeakSanitizer in
+  // .lsan-suppressions.txt (used by the asan CI workflow), together with the
+  // other intentional singleton leaks: MetricsRegistry::Global, Tracer::Get,
+  // FaultInjector::Global and SharedEvalPool.
   static const std::vector<double>* kBounds = new std::vector<double>{
       0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1,
       0.2,   0.5,   1.0,   2.0,  5.0,  10.0};

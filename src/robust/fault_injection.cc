@@ -1,0 +1,176 @@
+#include "robust/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/string_util.h"
+#include "obs/metrics_registry.h"
+
+namespace secreta {
+
+const char* FaultActionToString(FaultAction action) {
+  switch (action) {
+    case FaultAction::kFail:
+      return "fail";
+    case FaultAction::kOom:
+      return "oom";
+    case FaultAction::kAbort:
+      return "abort";
+    case FaultAction::kDelay:
+      return "delay";
+  }
+  return "?";
+}
+
+FaultInjector& FaultInjector::Global() {
+  // Leaked for shutdown-order safety, like MetricsRegistry::Global(): fault
+  // sites may be hit by pool workers draining during static destruction.
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+Result<std::vector<FaultRule>> FaultInjector::ParseSpec(
+    const std::string& spec) {
+  std::vector<FaultRule> rules;
+  for (const std::string& entry : Split(spec, ',')) {
+    std::string_view trimmed = Trim(entry);
+    if (trimmed.empty()) continue;
+    std::vector<std::string> parts = Split(trimmed, ':');
+    if (parts.size() != 3 || parts[0].empty()) {
+      return Status::InvalidArgument(
+          StrFormat("fault rule '%s' is not <site>:<action>:<arg>",
+                    std::string(trimmed).c_str()));
+    }
+    FaultRule rule;
+    rule.site = parts[0];
+    const std::string& action = parts[1];
+    if (action == "fail") {
+      rule.action = FaultAction::kFail;
+    } else if (action == "oom") {
+      rule.action = FaultAction::kOom;
+    } else if (action == "abort") {
+      rule.action = FaultAction::kAbort;
+    } else if (action == "delay") {
+      rule.action = FaultAction::kDelay;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unknown fault action '%s' (fail|oom|abort|delay)",
+                    action.c_str()));
+    }
+    const std::string& arg = parts[2];
+    if (rule.action == FaultAction::kDelay) {
+      SECRETA_ASSIGN_OR_RETURN(rule.delay_seconds, ParseDouble(arg));
+      if (rule.delay_seconds < 0) {
+        return Status::InvalidArgument("fault delay must be >= 0");
+      }
+    } else if (!arg.empty() && arg[0] == '@') {
+      SECRETA_ASSIGN_OR_RETURN(int64_t nth, ParseInt(arg.substr(1)));
+      if (nth <= 0) {
+        return Status::InvalidArgument("fault trigger @N requires N >= 1");
+      }
+      rule.nth = static_cast<uint64_t>(nth);
+    } else {
+      SECRETA_ASSIGN_OR_RETURN(rule.probability, ParseDouble(arg));
+      if (rule.probability < 0 || rule.probability > 1) {
+        return Status::InvalidArgument(
+            "fault probability must be in [0, 1]");
+      }
+    }
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+Status FaultInjector::Configure(const std::string& spec, uint64_t seed) {
+  SECRETA_ASSIGN_OR_RETURN(std::vector<FaultRule> rules, ParseSpec(spec));
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.clear();
+  injected_ = 0;
+  for (FaultRule& rule : rules) {
+    SiteState state;
+    // Per-site deterministic stream: two sites with the same global seed
+    // still draw independent sequences.
+    state.rng = Rng(seed ^ Fnv1a64(rule.site));
+    state.rule = std::move(rule);
+    rules_.push_back(std::move(state));
+  }
+  armed_.store(!rules_.empty(), std::memory_order_release);
+  return Status::OK();
+}
+
+void FaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.clear();
+  injected_ = 0;
+  armed_.store(false, std::memory_order_release);
+}
+
+Status FaultInjector::Hit(std::string_view site) {
+  if (!armed()) return Status::OK();
+  double delay_seconds = 0;
+  Status poisoned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (SiteState& state : rules_) {
+      if (state.rule.site != site) continue;
+      ++state.hits;
+      bool fire = false;
+      if (state.rule.action == FaultAction::kDelay) {
+        fire = true;
+      } else if (state.rule.nth > 0) {
+        fire = state.hits == state.rule.nth;
+      } else {
+        fire = state.rng.Bernoulli(state.rule.probability);
+      }
+      if (!fire) continue;
+      if (state.rule.action == FaultAction::kDelay) {
+        delay_seconds += state.rule.delay_seconds;
+        continue;
+      }
+      ++injected_;
+      std::string where(site);
+      switch (state.rule.action) {
+        case FaultAction::kFail:
+          poisoned = Status::ResourceExhausted(
+              "injected transient fault at " + where);
+          break;
+        case FaultAction::kOom:
+          poisoned = Status::ResourceExhausted(
+              "injected allocation failure at " + where);
+          break;
+        case FaultAction::kAbort:
+          poisoned = Status::Cancelled("injected task abort at " + where);
+          break;
+        case FaultAction::kDelay:
+          break;  // handled above
+      }
+      break;  // first firing poison rule wins
+    }
+  }
+  // Sleep outside the lock so concurrent sites are not serialized by a
+  // delay rule.
+  if (delay_seconds > 0) {
+    MetricsRegistry::Global().counter("faults.delays")->Increment();
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay_seconds));
+  }
+  if (!poisoned.ok()) {
+    MetricsRegistry::Global().counter("faults.injected")->Increment();
+  }
+  return poisoned;
+}
+
+uint64_t FaultInjector::hits(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const SiteState& state : rules_) {
+    if (state.rule.site == site) total += state.hits;
+  }
+  return total;
+}
+
+uint64_t FaultInjector::injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_;
+}
+
+}  // namespace secreta

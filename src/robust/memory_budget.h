@@ -1,0 +1,118 @@
+// Soft memory budget for graceful degradation. The engine charges its large
+// optional allocations (bound ARE workloads with their per-node overlap
+// caches, the original-transaction copies behind the distribution metrics)
+// against the budget before making them; when a charge would exceed the
+// limit, the work is shed and the report carries an explicit `degraded` flag
+// instead of the process dying under memory pressure.
+//
+// The budget is advisory and engine-scoped: it does not intercept the
+// allocator, it gates the known-large optional structures. Core metrics
+// (GCP, discernibility, guarantee checks) always run.
+
+#ifndef SECRETA_ROBUST_MEMORY_BUDGET_H_
+#define SECRETA_ROBUST_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace secreta {
+
+/// \brief Thread-safe byte accounting against a soft limit.
+class MemoryBudget {
+ public:
+  /// `soft_limit_bytes` = the budget; 0 means "shed everything optional".
+  explicit MemoryBudget(size_t soft_limit_bytes) : limit_(soft_limit_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// Reserves `bytes` if they fit under the limit; returns false (and
+  /// charges nothing, counting one rejection) otherwise.
+  bool TryCharge(size_t bytes) {
+    size_t used = used_.load(std::memory_order_relaxed);
+    do {
+      if (bytes > limit_ || used > limit_ - bytes) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    } while (!used_.compare_exchange_weak(used, used + bytes,
+                                          std::memory_order_relaxed));
+    return true;
+  }
+
+  /// Returns previously charged bytes.
+  void Release(size_t bytes) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+  size_t limit() const { return limit_; }
+  /// How many TryCharge calls were refused (i.e. sheds requested).
+  uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const size_t limit_;
+  std::atomic<size_t> used_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+/// \brief Movable RAII charge: acquires in the constructor, releases in the
+/// destructor.
+///
+/// With a null budget the charge trivially succeeds (no budget = no
+/// shedding), so call sites need no null checks.
+class ScopedCharge {
+ public:
+  ScopedCharge() = default;
+  ScopedCharge(MemoryBudget* budget, size_t bytes)
+      : budget_(budget),
+        bytes_(bytes),
+        acquired_(budget == nullptr || budget->TryCharge(bytes)) {}
+
+  ScopedCharge(ScopedCharge&& other) noexcept
+      : budget_(other.budget_),
+        bytes_(other.bytes_),
+        acquired_(other.acquired_) {
+    other.budget_ = nullptr;
+    other.acquired_ = true;
+  }
+
+  ScopedCharge& operator=(ScopedCharge&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      budget_ = other.budget_;
+      bytes_ = other.bytes_;
+      acquired_ = other.acquired_;
+      other.budget_ = nullptr;
+      other.acquired_ = true;
+    }
+    return *this;
+  }
+
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+
+  ~ScopedCharge() { Reset(); }
+
+  /// True when the bytes fit (or no budget is attached): proceed. False:
+  /// shed the work this charge was guarding.
+  bool acquired() const { return acquired_; }
+
+ private:
+  void Reset() {
+    if (budget_ != nullptr && acquired_) budget_->Release(bytes_);
+    budget_ = nullptr;
+    acquired_ = true;
+  }
+
+  MemoryBudget* budget_ = nullptr;
+  size_t bytes_ = 0;
+  bool acquired_ = true;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_ROBUST_MEMORY_BUDGET_H_

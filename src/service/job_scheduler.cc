@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "common/random.h"
 #include "common/string_util.h"
 #include "export/json_export.h"
+#include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
 namespace secreta {
@@ -59,6 +61,12 @@ JobScheduler::~JobScheduler() {
     }
     for (const auto& [id, job] : jobs_) {
       if (job->state == JobState::kRunning) job->token.Cancel();
+      // Jobs parked in a retry backoff are kQueued but live outside queue_.
+      if (job->retry_waiting && job->state == JobState::kQueued) {
+        job->token.Cancel();
+        Finalize(job.get(), JobState::kCancelled,
+                 Status::Cancelled("scheduler shutdown"));
+      }
     }
   }
   reaper_wake_.notify_all();
@@ -79,6 +87,9 @@ Result<uint64_t> JobScheduler::Submit(const EngineInputs& inputs,
   job->priority = options.priority;
   job->timeout_seconds = options.timeout_seconds;
   job->export_path = options.export_json_path;
+  job->max_retries = options.max_retries;
+  job->retry_initial_backoff = options.retry_initial_backoff_seconds;
+  job->retry_max_backoff = options.retry_max_backoff_seconds;
   if (options.use_cache && options_.cache_capacity > 0) {
     uint64_t dataset_fp = options.dataset_fingerprint != 0
                               ? options.dataset_fingerprint
@@ -131,6 +142,9 @@ Result<uint64_t> JobScheduler::SubmitFn(JobFn fn, std::string label,
   job->priority = options.priority;
   job->timeout_seconds = options.timeout_seconds;
   job->export_path = options.export_json_path;
+  job->max_retries = options.max_retries;
+  job->retry_initial_backoff = options.retry_initial_backoff_seconds;
+  job->retry_max_backoff = options.retry_max_backoff_seconds;
   job->fn = std::move(fn);
   return Enqueue(std::move(job));
 }
@@ -194,12 +208,18 @@ void JobScheduler::RunNext() {
     }
     job->state = JobState::kRunning;
     job->dispatch_order = ++dispatch_counter_;
+    ++job->attempts;
     ++running_;
     metrics_.RecordQueueWait(job->queue_seconds);
   }
   Clock::time_point start = Clock::now();
   Result<EvaluationReport> result = [&]() -> Result<EvaluationReport> {
-    ScopedSpan span("job.run " + job->label);
+    // One span per attempt; retries are visible as separate "job.retry"
+    // spans in the trace.
+    ScopedSpan span(job->attempts > 1
+                        ? StrFormat("job.retry #%d %s", job->attempts,
+                                    job->label.c_str())
+                        : "job.run " + job->label);
     return job->fn(job->token);
   }();
   double run_seconds = ToSeconds(Clock::now() - start);
@@ -217,6 +237,9 @@ void JobScheduler::RunNext() {
     job->report =
         std::make_shared<const EvaluationReport>(std::move(result).value());
     if (job->cacheable) cache_.Insert(job->cache_key, job->report);
+    if (job->attempts > 1) {
+      MetricsRegistry::Global().counter("retry.succeeded")->Increment();
+    }
     Finalize(job.get(), JobState::kDone, Status::OK());
   } else if (!result.ok()) {
     const Status& st = result.status();
@@ -227,7 +250,15 @@ void JobScheduler::RunNext() {
       Finalize(job.get(), JobState::kCancelled, st);
     } else if (st.code() == StatusCode::kDeadlineExceeded) {
       Finalize(job.get(), JobState::kTimedOut, st);
+    } else if (st.code() == StatusCode::kResourceExhausted &&
+               job->attempts <= job->max_retries && !shutdown_ &&
+               !job->token.cancelled()) {
+      ScheduleRetry(job, st);
     } else {
+      if (st.code() == StatusCode::kResourceExhausted &&
+          job->max_retries > 0) {
+        MetricsRegistry::Global().counter("retry.exhausted")->Increment();
+      }
       Finalize(job.get(), JobState::kFailed, st);
     }
   } else {
@@ -235,8 +266,56 @@ void JobScheduler::RunNext() {
   }
 }
 
+void JobScheduler::ScheduleRetry(const std::shared_ptr<Job>& job,
+                                 const Status& cause) {
+  Clock::time_point now = Clock::now();
+  // attempts has already been incremented for the failed attempt: the first
+  // retry (attempts == 1) waits the initial backoff, each further one
+  // doubles it up to the cap.
+  double backoff = job->retry_initial_backoff;
+  for (int i = 1; i < job->attempts; ++i) backoff *= 2;
+  backoff = std::min(backoff, job->retry_max_backoff);
+  // Deterministic ±15% jitter: decorrelates retry storms across jobs while
+  // keeping any single run reproducible.
+  Rng rng(job->id * 0x9e3779b97f4a7c15ULL +
+          static_cast<uint64_t>(job->attempts));
+  backoff *= 0.85 + 0.3 * rng.UniformDouble(0.0, 1.0);
+  Clock::duration delay = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(backoff));
+  if (job->has_deadline && now + delay >= job->deadline) {
+    // Deadline-aware: waiting out the backoff would blow the deadline
+    // anyway; give up now and surface the deadline, not the transient.
+    job->timeout_fired = true;
+    job->token.Cancel();
+    MetricsRegistry::Global()
+        .counter("retry.deadline_abandoned")
+        ->Increment();
+    Finalize(job.get(), JobState::kTimedOut,
+             Status::DeadlineExceeded(StrFormat(
+                 "deadline would expire during the %.3fs backoff after "
+                 "attempt %d (%s)",
+                 backoff, job->attempts, cause.message().c_str())));
+    return;
+  }
+  --running_;
+  job->state = JobState::kQueued;
+  job->status = Status::OK();
+  job->retry_waiting = true;
+  job->retry_at = now + delay;
+  ++retry_waiting_;
+  MetricsRegistry::Global().counter("retry.attempts")->Increment();
+  MetricsRegistry::Global()
+      .histogram("retry.backoff_seconds")
+      ->Record(backoff);
+  reaper_wake_.notify_all();
+}
+
 void JobScheduler::Finalize(Job* job, JobState state, Status status) {
   if (job->state == JobState::kRunning) --running_;
+  if (job->retry_waiting) {
+    job->retry_waiting = false;
+    --retry_waiting_;
+  }
   job->state = state;
   job->status = std::move(status);
   switch (state) {
@@ -262,25 +341,29 @@ void JobScheduler::Finalize(Job* job, JobState state, Status status) {
 void JobScheduler::ReaperLoop() {
   std::unique_lock<std::mutex> lock(mutex_);
   while (!shutdown_) {
-    bool have_deadline = false;
+    bool have_wake = false;
     Clock::time_point next{};
     for (const auto& [id, job] : jobs_) {
-      if (IsTerminalJobState(job->state) || !job->has_deadline ||
-          job->timeout_fired) {
-        continue;
-      }
-      if (!have_deadline || job->deadline < next) {
+      if (IsTerminalJobState(job->state)) continue;
+      if (job->has_deadline && !job->timeout_fired &&
+          (!have_wake || job->deadline < next)) {
         next = job->deadline;
-        have_deadline = true;
+        have_wake = true;
+      }
+      if (job->retry_waiting && (!have_wake || job->retry_at < next)) {
+        next = job->retry_at;
+        have_wake = true;
       }
     }
-    if (!have_deadline) {
+    if (!have_wake) {
       reaper_wake_.wait(lock);
       continue;
     }
     reaper_wake_.wait_until(lock, next);
     if (shutdown_) break;
     Clock::time_point now = Clock::now();
+    // Deadlines first: a deadline that passed during a retry backoff must
+    // time the job out, not grant it another attempt.
     for (const auto& [id, job] : jobs_) {
       if (IsTerminalJobState(job->state) || !job->has_deadline ||
           job->timeout_fired || now < job->deadline) {
@@ -299,6 +382,28 @@ void JobScheduler::ReaperLoop() {
       // Running jobs finalize in RunNext when the engine unwinds with
       // Status::Cancelled at its next phase boundary.
     }
+    // Re-queue retries whose backoff has elapsed.
+    for (const auto& [id, job] : jobs_) {
+      if (!job->retry_waiting || job->state != JobState::kQueued ||
+          now < job->retry_at) {
+        continue;
+      }
+      if (job->token.cancelled()) {
+        Finalize(job.get(),
+                 job->timeout_fired ? JobState::kTimedOut
+                                    : JobState::kCancelled,
+                 job->timeout_fired
+                     ? Status::DeadlineExceeded("deadline expired in backoff")
+                     : Status::Cancelled("cancelled during retry backoff"));
+        continue;
+      }
+      job->retry_waiting = false;
+      --retry_waiting_;
+      job->seq = next_seq_++;
+      queue_.insert(QueueEntry{job->priority, job->seq, job});
+      pool_->Submit([this] { RunNext(); });
+      MetricsRegistry::Global().counter("retry.requeued")->Increment();
+    }
   }
 }
 
@@ -310,6 +415,7 @@ JobInfo JobScheduler::Snapshot(const Job& job) const {
   info.priority = job.priority;
   info.dispatch_order = job.dispatch_order;
   info.from_cache = job.from_cache;
+  info.attempts = job.attempts;
   info.queue_seconds = job.queue_seconds;
   info.run_seconds = job.run_seconds;
   info.status = job.status;
@@ -375,12 +481,15 @@ Result<JobInfo> JobScheduler::WaitJob(uint64_t id) {
 
 void JobScheduler::WaitAll() {
   std::unique_lock<std::mutex> lock(mutex_);
-  job_changed_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+  job_changed_.wait(lock, [&] {
+    return queue_.empty() && running_ == 0 && retry_waiting_ == 0;
+  });
 }
 
 size_t JobScheduler::num_queued() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  // Jobs parked in a retry backoff are queued, just not in queue_ yet.
+  return queue_.size() + retry_waiting_;
 }
 
 size_t JobScheduler::num_running() const {

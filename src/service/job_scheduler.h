@@ -11,7 +11,12 @@
 //   - cooperative cancellation (CancelJob fires the token; running engine
 //     code unwinds at its next phase boundary),
 //   - a content-addressed ResultCache (identical submissions replay the
-//     cached report without executing), and
+//     cached report without executing),
+//   - retry with exponential backoff for retryable failures
+//     (Status::ResourceExhausted — transient overload and injected
+//     transients): a failed attempt re-queues after a jittered,
+//     deadline-aware delay until the attempt cap is reached (retry.*
+//     counters land in the global MetricsRegistry), and
 //   - a ServiceMetrics registry (lifecycle counters + queue-wait/execution
 //     latency histograms).
 
@@ -69,6 +74,17 @@ struct JobOptions {
   /// only on success: a cancelled, failed, or timed-out job never leaves a
   /// partially-written export behind.
   std::string export_json_path;
+  /// Additional attempts after a retryable failure (ResourceExhausted);
+  /// 0 = fail fast. Retries re-enter the queue (skipping the backpressure
+  /// check — the job was already admitted) after the backoff below.
+  int max_retries = 0;
+  /// Backoff before retry attempt N (N >= 2): initial * 2^(N-2), capped at
+  /// the max, then scaled by a deterministic ±15% jitter derived from the
+  /// job id — reproducible, but uncorrelated across jobs. A job whose
+  /// deadline would expire during the backoff gives up immediately as
+  /// kTimedOut instead of waiting.
+  double retry_initial_backoff_seconds = 0.05;
+  double retry_max_backoff_seconds = 2.0;
 };
 
 /// Snapshot of one job, safe to hold after the scheduler moved on.
@@ -81,6 +97,9 @@ struct JobInfo {
   /// (still queued, served from cache, or cancelled/timed out while queued).
   uint64_t dispatch_order = 0;
   bool from_cache = false;
+  /// Executed attempts so far (1 for a job that never retried; 0 while
+  /// queued or when served from cache).
+  int attempts = 0;
   double queue_seconds = 0;  ///< submission -> dispatch
   double run_seconds = 0;    ///< dispatch -> completion
   /// Terminal outcome (OK for kDone; Cancelled / DeadlineExceeded / the
@@ -181,6 +200,12 @@ class JobScheduler {
     bool has_deadline = false;
     Clock::time_point deadline{};
     Clock::time_point submitted_at{};
+    int max_retries = 0;
+    double retry_initial_backoff = 0;
+    double retry_max_backoff = 0;
+    int attempts = 0;            // executed attempts
+    bool retry_waiting = false;  // kQueued, parked until retry_at
+    Clock::time_point retry_at{};
     uint64_t dispatch_order = 0;
     bool from_cache = false;
     double queue_seconds = 0;
@@ -202,6 +227,10 @@ class JobScheduler {
   Result<uint64_t> Enqueue(std::shared_ptr<Job> job);
   /// One worker turn: picks the best queued job and runs it to completion.
   void RunNext();
+  /// Parks a job that failed retryably until its backoff elapses (the reaper
+  /// re-queues it), or times it out when the deadline would expire first.
+  /// Requires the lock; the job must be kRunning.
+  void ScheduleRetry(const std::shared_ptr<Job>& job, const Status& cause);
   /// Marks a live job terminal and wakes waiters. Requires the lock.
   void Finalize(Job* job, JobState state, Status status);
   void ReaperLoop();
@@ -220,6 +249,7 @@ class JobScheduler {
   uint64_t next_seq_ = 1;
   uint64_t dispatch_counter_ = 0;
   size_t running_ = 0;
+  size_t retry_waiting_ = 0;  // jobs parked in a retry backoff
   bool shutdown_ = false;
 
   std::thread reaper_;
