@@ -10,6 +10,7 @@
 #define SECRETA_ALGO_TRANSACTION_RHO_UNCERTAINTY_H_
 
 #include "algo/transaction/gen_space.h"
+#include "common/annotations.h"
 #include "core/algorithm.h"
 
 namespace secreta {
@@ -36,7 +37,7 @@ class RhoUncertaintyAnonymizer : public TransactionAnonymizer {
 /// Checker used by property tests: true when no rule X -> s (|X| <= m,
 /// X non-sensitive items, s sensitive) has confidence > rho in `records`
 /// (original-item space after applying `recoding`'s suppressions).
-bool SatisfiesRhoUncertainty(const TransactionRecoding& recoding,
+SECRETA_MUST_USE_RESULT bool SatisfiesRhoUncertainty(const TransactionRecoding& recoding,
                              const std::vector<char>& is_sensitive, double rho,
                              int m);
 

@@ -1,0 +1,87 @@
+// Copyright (c) SECRETA reproduction authors.
+// Compile-time correctness annotations. Two families:
+//
+//  - Clang thread-safety-analysis attributes (SECRETA_GUARDED_BY and
+//    friends), modeled on Abseil's thread_annotations.h. Under Clang with
+//    -Wthread-safety they let the compiler prove that every access to an
+//    annotated field happens with the right lock held; under other compilers
+//    they expand to nothing. See src/common/mutex.h for the annotated
+//    Mutex/MutexLock/CondVar types these attach to.
+//
+//  - SECRETA_MUST_USE_RESULT, a portable [[nodiscard]] spelling for
+//    status-returning factory and IO functions (Status and Result<T> are
+//    themselves [[nodiscard]] classes; the macro exists for functions whose
+//    return type is not one of those but must still be consumed).
+//
+// The lint gate (.github/workflows/lint.yml) builds the tree with
+// clang -Wthread-safety -Werror, so an annotation that does not hold is a
+// build break, not a code-review comment.
+
+#ifndef SECRETA_COMMON_ANNOTATIONS_H_
+#define SECRETA_COMMON_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define SECRETA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SECRETA_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Declares a class to be a lockable capability ("mutex").
+#define SECRETA_CAPABILITY(x) SECRETA_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SECRETA_SCOPED_CAPABILITY SECRETA_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field/variable may only be read or written while holding `x`.
+#define SECRETA_GUARDED_BY(x) SECRETA_THREAD_ANNOTATION(guarded_by(x))
+
+/// The pointed-to data (not the pointer itself) is protected by `x`.
+#define SECRETA_PT_GUARDED_BY(x) SECRETA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the capability exclusively before calling.
+#define SECRETA_REQUIRES(...) \
+  SECRETA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the capability at least shared before calling.
+#define SECRETA_REQUIRES_SHARED(...) \
+  SECRETA_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function acquires it itself).
+#define SECRETA_EXCLUDES(...) \
+  SECRETA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define SECRETA_ACQUIRE(...) \
+  SECRETA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability it was holding.
+#define SECRETA_RELEASE(...) \
+  SECRETA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Declares an ordering between capabilities (deadlock prevention).
+#define SECRETA_ACQUIRED_BEFORE(...) \
+  SECRETA_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SECRETA_ACQUIRED_AFTER(...) \
+  SECRETA_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define SECRETA_RETURN_CAPABILITY(x) \
+  SECRETA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the analysis is wrong or too weak here; say why in a
+/// comment at every use site.
+#define SECRETA_NO_THREAD_SAFETY_ANALYSIS \
+  SECRETA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Portable "caller must consume the return value". Status and Result<T>
+/// are [[nodiscard]] classes already; use this for other must-check returns
+/// (factory bools, handles) and as documentation on status-returning IO
+/// functions.
+#if defined(__clang__) || defined(__GNUC__)
+#define SECRETA_MUST_USE_RESULT __attribute__((warn_unused_result))
+#else
+#define SECRETA_MUST_USE_RESULT
+#endif
+
+#endif  // SECRETA_COMMON_ANNOTATIONS_H_

@@ -3,9 +3,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 #include <ostream>
 
+#include "common/mutex.h"
 #include "common/string_util.h"
 
 namespace secreta {
@@ -13,8 +13,8 @@ namespace secreta {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
 std::atomic<LogSink> g_sink{LogSink::kText};
-std::mutex g_log_mutex;
-std::ostream* g_stream = nullptr;  // guarded by g_log_mutex
+Mutex g_log_mutex;
+std::ostream* g_stream SECRETA_GUARDED_BY(g_log_mutex) = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -79,7 +79,7 @@ void SetLogSink(LogSink sink) { g_sink.store(sink); }
 LogSink GetLogSink() { return g_sink.load(); }
 
 void SetLogStream(std::ostream* stream) {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   g_stream = stream;
 }
 
@@ -111,7 +111,7 @@ LogMessage::~LogMessage() {
     out = StrFormat("[%s %s:%d] %s\n", LevelName(level_), Basename(file_),
                     line_, stream_.str().c_str());
   }
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   if (g_stream != nullptr) {
     g_stream->write(out.data(), static_cast<std::streamsize>(out.size()));
     g_stream->flush();

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace secreta {
 
@@ -18,8 +18,8 @@ struct LoopState {
   const std::function<void(size_t)> fn;
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
-  std::mutex mutex;
-  std::condition_variable all_done;
+  Mutex mutex;
+  CondVar all_done;
 };
 
 // Claims indices until the range is exhausted. Runs on pool workers and on
@@ -30,8 +30,8 @@ void Drain(const std::shared_ptr<LoopState>& state) {
     if (i >= state->n) return;
     state->fn(i);
     if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == state->n) {
-      std::lock_guard<std::mutex> lock(state->mutex);
-      state->all_done.notify_all();
+      MutexLock lock(state->mutex);
+      state->all_done.NotifyAll();
     }
   }
 }
@@ -53,10 +53,10 @@ void ParallelFor(ThreadPool* pool, size_t n,
     pool->Submit([state] { Drain(state); });
   }
   Drain(state);
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->all_done.wait(lock, [&] {
-    return state->done.load(std::memory_order_acquire) == state->n;
-  });
+  MutexLock lock(state->mutex);
+  while (state->done.load(std::memory_order_acquire) != state->n) {
+    state->all_done.Wait(lock);
+  }
 }
 
 ThreadPool& SharedEvalPool() {

@@ -10,6 +10,8 @@
 #include <string>
 #include <utility>
 
+#include "common/annotations.h"
+
 namespace secreta {
 
 /// Machine-readable category of a Status.
@@ -35,7 +37,12 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// A default-constructed Status is OK. Non-OK statuses carry a code and a
 /// message. Statuses are cheap to copy (OK carries no allocation).
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a silently-swallowed error, which in a
+/// benchmark harness means silently-wrong numbers. Callers that genuinely
+/// cannot act on a failure must say so explicitly with IgnoreError() and a
+/// one-line justification comment.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -81,6 +88,11 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Explicitly discards this status. The only sanctioned way to drop a
+  /// Status return: it defeats [[nodiscard]] visibly and greppably. Every
+  /// call site carries a one-line comment saying why dropping is safe.
+  void IgnoreError() const {}
+
   /// Formats as "Code: message", or "OK".
   std::string ToString() const;
 
@@ -100,7 +112,7 @@ class Status {
 /// builds (assert) and is undefined otherwise; check ok() first or use the
 /// SECRETA_ASSIGN_OR_RETURN macro.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from error status. Constructing from an OK status is a bug.
   Result(Status status)  // NOLINT(google-explicit-constructor)

@@ -36,10 +36,10 @@ ThreadPool::ThreadPool(size_t num_threads, const char* name) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (auto& worker : workers_) worker.join();
   if (workers_gauge_ != nullptr) {
     workers_gauge_->Add(-static_cast<double>(workers_.size()));
@@ -48,7 +48,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(Task{std::move(task), std::chrono::steady_clock::now()});
     ++in_flight_;
   }
@@ -56,21 +56,21 @@ void ThreadPool::Submit(std::function<void()> task) {
     queued_gauge_->Add(1);
     tasks_counter_->Increment();
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) all_done_.Wait(lock);
 }
 
 size_t ThreadPool::queued() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
 size_t ThreadPool::active() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return in_flight_ - queue_.size();
 }
 
@@ -78,9 +78,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(lock,
-                           [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) task_available_.Wait(lock);
       if (queue_.empty()) {
         if (shutting_down_) return;
         continue;
@@ -102,9 +101,9 @@ void ThreadPool::WorkerLoop() {
                                        start));
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

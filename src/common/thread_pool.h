@@ -11,12 +11,13 @@
 #define SECRETA_COMMON_THREAD_POOL_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace secreta {
 
@@ -39,19 +40,19 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) SECRETA_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished.
-  void Wait();
+  void Wait() SECRETA_EXCLUDES(mutex_);
 
   size_t num_threads() const { return workers_.size(); }
 
   /// Tasks submitted but not yet picked up by a worker. Snapshot only: the
   /// value may be stale by the time the caller reads it.
-  size_t queued() const;
+  size_t queued() const SECRETA_EXCLUDES(mutex_);
 
   /// Tasks currently executing on a worker. Snapshot only.
-  size_t active() const;
+  size_t active() const SECRETA_EXCLUDES(mutex_);
 
  private:
   struct Task {
@@ -59,15 +60,15 @@ class ThreadPool {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() SECRETA_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::deque<Task> queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  mutable Mutex mutex_;
+  std::deque<Task> queue_ SECRETA_GUARDED_BY(mutex_);
+  CondVar task_available_;
+  CondVar all_done_;
+  size_t in_flight_ SECRETA_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ SECRETA_GUARDED_BY(mutex_) = false;
 
   // Registry instruments; all null for unnamed pools.
   Gauge* queued_gauge_ = nullptr;

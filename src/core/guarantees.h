@@ -9,13 +9,14 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "core/equivalence.h"
 #include "core/results.h"
 
 namespace secreta {
 
 /// True if every equivalence class of the recoding has >= k records.
-bool IsKAnonymous(const RelationalRecoding& recoding, int k);
+SECRETA_MUST_USE_RESULT bool IsKAnonymous(const RelationalRecoding& recoding, int k);
 
 /// Describes one k^m violation (for diagnostics).
 struct KmViolation {
@@ -26,18 +27,18 @@ struct KmViolation {
 /// Finds up to `max_violations` itemsets of size <= m whose support in
 /// `records` (restricted to indices in `subset`; pass nullptr for all
 /// records) is in (0, k). Empty result means k^m-anonymous.
-std::vector<KmViolation> FindKmViolations(
+SECRETA_MUST_USE_RESULT std::vector<KmViolation> FindKmViolations(
     const std::vector<std::vector<int32_t>>& records, int k, int m,
     const std::vector<size_t>* subset = nullptr, size_t max_violations = 1);
 
 /// True if the generalized transactions are k^m-anonymous.
-bool IsKmAnonymous(const std::vector<std::vector<int32_t>>& records, int k,
+SECRETA_MUST_USE_RESULT bool IsKmAnonymous(const std::vector<std::vector<int32_t>>& records, int k,
                    int m);
 
 /// True if the pair (relational recoding, transaction recoding) is
 /// (k, k^m)-anonymous [9]: k-anonymous relational part and, within every
 /// relational equivalence class, a k^m-anonymous transaction part.
-bool IsKKmAnonymous(const RelationalRecoding& recoding,
+SECRETA_MUST_USE_RESULT bool IsKKmAnonymous(const RelationalRecoding& recoding,
                     const std::vector<std::vector<int32_t>>& txn_records,
                     int k, int m);
 

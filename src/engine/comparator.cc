@@ -1,9 +1,9 @@
 #include "engine/comparator.h"
 
 #include <algorithm>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "obs/trace.h"
 #include "robust/checkpoint.h"
@@ -39,13 +39,13 @@ Result<std::vector<SweepResult>> CompareMethods(
   ThreadPool pool(threads, "compare");
   std::vector<Result<SweepResult>> results(
       configs.size(), Result<SweepResult>(Status::Internal("not run")));
-  std::mutex mutex;
+  Mutex mutex;
   // Serialize user progress callbacks across workers.
-  std::mutex progress_mutex;
+  Mutex progress_mutex;
   ProgressCallback serialized;
   if (options.progress) {
     serialized = [&](const ProgressEvent& event) {
-      std::lock_guard<std::mutex> lock(progress_mutex);
+      MutexLock lock(progress_mutex);
       options.progress(event);
     };
   }
@@ -64,7 +64,7 @@ Result<std::vector<SweepResult>> CompareMethods(
         return RunSweep(inputs, configs[i], sweep, workload, serialized, i,
                         &shared_eval, checkpoint.get());
       }();
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       results[i] = std::move(r);
     });
   }

@@ -25,7 +25,7 @@ void LatencyHistogram::Record(double seconds) {
   const std::vector<double>& bounds = BucketBounds();
   size_t bucket =
       std::upper_bound(bounds.begin(), bounds.end(), seconds) - bounds.begin();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (count_ == 0 || seconds < min_) min_ = seconds;
   if (seconds > max_) max_ = seconds;
   ++count_;
@@ -34,7 +34,7 @@ void LatencyHistogram::Record(double seconds) {
 }
 
 HistogramSnapshot LatencyHistogram::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   HistogramSnapshot snap;
   snap.count = count_;
   snap.sum_seconds = sum_;
@@ -50,28 +50,28 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 LatencyHistogram* MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
   return slot.get();
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {

@@ -17,10 +17,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace secreta {
 
@@ -69,16 +71,16 @@ class LatencyHistogram {
 
   LatencyHistogram();
 
-  void Record(double seconds);
-  HistogramSnapshot Snapshot() const;
+  void Record(double seconds) SECRETA_EXCLUDES(mutex_);
+  HistogramSnapshot Snapshot() const SECRETA_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  uint64_t count_ = 0;
-  double sum_ = 0;
-  double min_ = 0;
-  double max_ = 0;
-  std::vector<uint64_t> buckets_;
+  mutable Mutex mutex_;
+  uint64_t count_ SECRETA_GUARDED_BY(mutex_) = 0;
+  double sum_ SECRETA_GUARDED_BY(mutex_) = 0;
+  double min_ SECRETA_GUARDED_BY(mutex_) = 0;
+  double max_ SECRETA_GUARDED_BY(mutex_) = 0;
+  std::vector<uint64_t> buckets_ SECRETA_GUARDED_BY(mutex_);
 };
 
 /// Point-in-time copy of a whole registry, sorted by name within each kind.
@@ -106,21 +108,25 @@ class MetricsRegistry {
   /// Returns the counter named `name`, creating it on first use. The handle
   /// stays valid for the registry's lifetime; repeated calls return the same
   /// handle.
-  Counter* counter(const std::string& name);
-  Gauge* gauge(const std::string& name);
-  LatencyHistogram* histogram(const std::string& name);
+  Counter* counter(const std::string& name) SECRETA_EXCLUDES(mutex_);
+  Gauge* gauge(const std::string& name) SECRETA_EXCLUDES(mutex_);
+  LatencyHistogram* histogram(const std::string& name)
+      SECRETA_EXCLUDES(mutex_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const SECRETA_EXCLUDES(mutex_);
 
   /// Human-readable dump: one "name value" line per metric, histograms as
   /// "name count=N mean=Xs max=Ys".
-  std::string ToText() const;
+  std::string ToText() const SECRETA_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      SECRETA_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      SECRETA_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      SECRETA_GUARDED_BY(mutex_);
 };
 
 }  // namespace secreta

@@ -33,7 +33,7 @@ uint64_t Tracer::NowNs() const {
 }
 
 uint32_t Tracer::Intern(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = name_ids_.find(std::string(name));
   if (it != name_ids_.end()) return it->second;
   uint32_t id = static_cast<uint32_t>(names_.size());
@@ -49,7 +49,7 @@ Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
   buffer->tail = buffer->head.get();
   ThreadBuffer* raw = buffer.get();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     raw->tid = static_cast<uint32_t>(buffers_.size());
     buffers_.push_back(std::move(buffer));
   }
@@ -83,7 +83,7 @@ std::vector<ResolvedTraceEvent> Tracer::CollectEvents() const {
   std::vector<std::pair<uint32_t, const Chunk*>> heads;
   std::vector<std::string> names;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     heads.reserve(buffers_.size());
     for (const auto& buffer : buffers_) {
       heads.emplace_back(buffer->tid, buffer->head.get());

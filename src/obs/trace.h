@@ -37,12 +37,13 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace secreta {
@@ -81,7 +82,7 @@ class Tracer {
 
   /// Maps `name` to a stable id, inserting on first use. Ids are dense and
   /// never invalidated.
-  uint32_t Intern(std::string_view name);
+  uint32_t Intern(std::string_view name) SECRETA_EXCLUDES(mutex_);
 
   /// Nanoseconds since tracer construction (steady clock).
   uint64_t NowNs() const;
@@ -91,7 +92,8 @@ class Tracer {
               uint32_t depth);
 
   /// Every span recorded since the last Reset(), sorted by (tid, start).
-  std::vector<ResolvedTraceEvent> CollectEvents() const;
+  std::vector<ResolvedTraceEvent> CollectEvents() const
+      SECRETA_EXCLUDES(mutex_);
 
   /// Spans recorded since the last Reset().
   size_t num_events() const;
@@ -125,16 +127,20 @@ class Tracer {
   };
 
   Tracer();
-  ThreadBuffer* BufferForThisThread();
+  ThreadBuffer* BufferForThisThread() SECRETA_EXCLUDES(mutex_);
 
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> discard_before_ns_{0};
   std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex mutex_;  // guards buffers_ registration and names_
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
-  std::vector<std::string> names_;
-  std::unordered_map<std::string, uint32_t> name_ids_;
+  // Guards buffer registration and name interning; the record hot path is
+  // lock-free (per-thread chunks published with release stores).
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+      SECRETA_GUARDED_BY(mutex_);
+  std::vector<std::string> names_ SECRETA_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, uint32_t> name_ids_
+      SECRETA_GUARDED_BY(mutex_);
 };
 
 /// \brief RAII span: measures construction-to-destruction on the current

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 #include "core/results.h"
 #include "data/dataset.h"
@@ -60,12 +61,12 @@ size_t ConstraintSupport(const PrivacyConstraint& constraint,
 
 /// True if every constraint's support is 0 or >= its k (or `global_k` when the
 /// constraint's k is 0).
-bool SatisfiesPrivacyPolicy(const PrivacyPolicy& policy,
+SECRETA_MUST_USE_RESULT bool SatisfiesPrivacyPolicy(const PrivacyPolicy& policy,
                             const TransactionRecoding& recoding, int global_k);
 
 /// True if every generalized item's covered set stays inside one utility
 /// constraint (unconstrained items must remain singletons or be suppressed).
-bool SatisfiesUtilityPolicy(const UtilityPolicy& policy,
+SECRETA_MUST_USE_RESULT bool SatisfiesUtilityPolicy(const UtilityPolicy& policy,
                             const TransactionRecoding& recoding);
 
 }  // namespace secreta

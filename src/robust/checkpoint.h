@@ -28,10 +28,11 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "engine/evaluator.h"
 
 namespace secreta {
@@ -61,11 +62,12 @@ class CheckpointLog {
   /// Copies the stored report for `key` into `*report` (and the sweep value
   /// into `*value` when non-null). False when the key is not recorded.
   bool Find(uint64_t key, EvaluationReport* report,
-            double* value = nullptr) const;
+            double* value = nullptr) const SECRETA_EXCLUDES(mutex_);
 
   /// Appends one completed point and flushes. Later Opens (and Finds on this
   /// instance) will see it.
-  Status Append(uint64_t key, double value, const EvaluationReport& report);
+  Status Append(uint64_t key, double value, const EvaluationReport& report)
+      SECRETA_EXCLUDES(mutex_);
 
   uint64_t dataset_fingerprint() const { return dataset_fp_; }
   uint64_t workload_fingerprint() const { return workload_fp_; }
@@ -73,7 +75,7 @@ class CheckpointLog {
   /// Records loaded from the file at Open time (pre-crash progress).
   size_t loaded() const { return loaded_; }
   /// Records appended through this instance.
-  size_t appended() const;
+  size_t appended() const SECRETA_EXCLUDES(mutex_);
 
  private:
   struct Record {
@@ -91,10 +93,10 @@ class CheckpointLog {
   const uint64_t workload_fp_;
   size_t loaded_ = 0;
 
-  mutable std::mutex mutex_;
-  std::unordered_map<uint64_t, Record> records_;
-  std::ofstream out_;
-  size_t appended_ = 0;
+  mutable Mutex mutex_;
+  std::unordered_map<uint64_t, Record> records_ SECRETA_GUARDED_BY(mutex_);
+  std::ofstream out_ SECRETA_GUARDED_BY(mutex_);
+  size_t appended_ SECRETA_GUARDED_BY(mutex_) = 0;
 };
 
 /// Convenience: computes the dataset/workload fingerprints of `inputs` (an

@@ -83,7 +83,7 @@ Result<std::vector<FaultRule>> FaultInjector::ParseSpec(
 
 Status FaultInjector::Configure(const std::string& spec, uint64_t seed) {
   SECRETA_ASSIGN_OR_RETURN(std::vector<FaultRule> rules, ParseSpec(spec));
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   rules_.clear();
   injected_ = 0;
   for (FaultRule& rule : rules) {
@@ -99,7 +99,7 @@ Status FaultInjector::Configure(const std::string& spec, uint64_t seed) {
 }
 
 void FaultInjector::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   rules_.clear();
   injected_ = 0;
   armed_.store(false, std::memory_order_release);
@@ -110,7 +110,7 @@ Status FaultInjector::Hit(std::string_view site) {
   double delay_seconds = 0;
   Status poisoned;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (SiteState& state : rules_) {
       if (state.rule.site != site) continue;
       ++state.hits;
@@ -160,7 +160,7 @@ Status FaultInjector::Hit(std::string_view site) {
 }
 
 uint64_t FaultInjector::hits(std::string_view site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint64_t total = 0;
   for (const SiteState& state : rules_) {
     if (state.rule.site == site) total += state.hits;
@@ -169,7 +169,7 @@ uint64_t FaultInjector::hits(std::string_view site) const {
 }
 
 uint64_t FaultInjector::injected() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return injected_;
 }
 

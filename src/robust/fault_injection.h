@@ -35,11 +35,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/status.h"
 
@@ -90,10 +91,11 @@ class FaultInjector {
   /// Replaces the active configuration with `spec` and re-seeds the per-site
   /// RNGs from `seed` (callers typically pass the SECRETA_FAULT_SEED value).
   /// An empty spec disarms the injector.
-  Status Configure(const std::string& spec, uint64_t seed = 0);
+  Status Configure(const std::string& spec, uint64_t seed = 0)
+      SECRETA_EXCLUDES(mutex_);
 
   /// Disarms the injector and forgets all rules and hit counts.
-  void Clear();
+  void Clear() SECRETA_EXCLUDES(mutex_);
 
   /// True when at least one rule is active. Lock-free: the fast path of an
   /// unconfigured site is a single relaxed load.
@@ -102,13 +104,13 @@ class FaultInjector {
   /// Evaluates every rule for `site` in configuration order. Returns the
   /// poisoned Status of the first firing fail/oom/abort rule; delays sleep
   /// and fall through. OK when nothing fires (or the injector is disarmed).
-  Status Hit(std::string_view site);
+  Status Hit(std::string_view site) SECRETA_EXCLUDES(mutex_);
 
   /// Total hits recorded for `site` (0 for unknown sites).
-  uint64_t hits(std::string_view site) const;
+  uint64_t hits(std::string_view site) const SECRETA_EXCLUDES(mutex_);
 
   /// Total faults injected (poisoned returns, not delays) since Configure.
-  uint64_t injected() const;
+  uint64_t injected() const SECRETA_EXCLUDES(mutex_);
 
  private:
   struct SiteState {
@@ -118,9 +120,9 @@ class FaultInjector {
   };
 
   std::atomic<bool> armed_{false};
-  mutable std::mutex mutex_;
-  std::vector<SiteState> rules_;
-  uint64_t injected_ = 0;
+  mutable Mutex mutex_;
+  std::vector<SiteState> rules_ SECRETA_GUARDED_BY(mutex_);
+  uint64_t injected_ SECRETA_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace secreta

@@ -48,7 +48,7 @@ JobScheduler::JobScheduler(const SchedulerOptions& options)
 
 JobScheduler::~JobScheduler() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
     std::vector<std::shared_ptr<Job>> queued;
     queued.reserve(queue_.size());
@@ -69,7 +69,7 @@ JobScheduler::~JobScheduler() {
       }
     }
   }
-  reaper_wake_.notify_all();
+  reaper_wake_.NotifyAll();
   // Joins the workers; leftover pool tasks find an empty queue and return.
   pool_.reset();
   if (reaper_.joinable()) reaper_.join();
@@ -105,7 +105,7 @@ Result<uint64_t> JobScheduler::Submit(const EngineInputs& inputs,
         export_status =
             WriteJsonFile(EvaluationReportToJson(*hit), job->export_path);
       }
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (shutdown_) {
         return Status::FailedPrecondition("scheduler is shutting down");
       }
@@ -150,7 +150,7 @@ Result<uint64_t> JobScheduler::SubmitFn(JobFn fn, std::string label,
 }
 
 Result<uint64_t> JobScheduler::Enqueue(std::shared_ptr<Job> job) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (shutdown_) {
     return Status::FailedPrecondition("scheduler is shutting down");
   }
@@ -174,14 +174,14 @@ Result<uint64_t> JobScheduler::Enqueue(std::shared_ptr<Job> job) {
   jobs_[job->id] = job;
   queue_.insert(QueueEntry{job->priority, job->seq, job});
   pool_->Submit([this] { RunNext(); });
-  if (job->has_deadline) reaper_wake_.notify_all();
+  if (job->has_deadline) reaper_wake_.NotifyAll();
   return job->id;
 }
 
 void JobScheduler::RunNext() {
   std::shared_ptr<Job> job;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // The queue may have shrunk since this pool task was enqueued (cancel,
     // queued-timeout, shutdown drain): one task per Submit is an upper
     // bound, not a 1:1 pairing.
@@ -230,7 +230,7 @@ void JobScheduler::RunNext() {
     export_status = WriteJsonFile(EvaluationReportToJson(result.value()),
                                   job->export_path);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   job->run_seconds = run_seconds;
   metrics_.RecordExecution(run_seconds);
   if (result.ok() && export_status.ok()) {
@@ -307,7 +307,7 @@ void JobScheduler::ScheduleRetry(const std::shared_ptr<Job>& job,
   MetricsRegistry::Global()
       .histogram("retry.backoff_seconds")
       ->Record(backoff);
-  reaper_wake_.notify_all();
+  reaper_wake_.NotifyAll();
 }
 
 void JobScheduler::Finalize(Job* job, JobState state, Status status) {
@@ -335,11 +335,11 @@ void JobScheduler::Finalize(Job* job, JobState state, Status status) {
     case JobState::kRunning:
       break;  // not terminal; never passed here
   }
-  job_changed_.notify_all();
+  job_changed_.NotifyAll();
 }
 
 void JobScheduler::ReaperLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   while (!shutdown_) {
     bool have_wake = false;
     Clock::time_point next{};
@@ -356,10 +356,10 @@ void JobScheduler::ReaperLoop() {
       }
     }
     if (!have_wake) {
-      reaper_wake_.wait(lock);
+      reaper_wake_.Wait(lock);
       continue;
     }
-    reaper_wake_.wait_until(lock, next);
+    reaper_wake_.WaitUntil(lock, next);
     if (shutdown_) break;
     Clock::time_point now = Clock::now();
     // Deadlines first: a deadline that passed during a retry backoff must
@@ -424,7 +424,7 @@ JobInfo JobScheduler::Snapshot(const Job& job) const {
 }
 
 Result<JobInfo> JobScheduler::GetJob(uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
     return Status::NotFound(StrFormat("no job %llu",
@@ -434,7 +434,7 @@ Result<JobInfo> JobScheduler::GetJob(uint64_t id) const {
 }
 
 std::vector<JobInfo> JobScheduler::ListJobs() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<JobInfo> out;
   out.reserve(jobs_.size());
   for (const auto& [id, job] : jobs_) out.push_back(Snapshot(*job));
@@ -444,7 +444,7 @@ std::vector<JobInfo> JobScheduler::ListJobs() const {
 }
 
 Status JobScheduler::CancelJob(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
     return Status::NotFound(StrFormat("no job %llu",
@@ -468,32 +468,32 @@ Status JobScheduler::CancelJob(uint64_t id) {
 }
 
 Result<JobInfo> JobScheduler::WaitJob(uint64_t id) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
     return Status::NotFound(StrFormat("no job %llu",
                                       static_cast<unsigned long long>(id)));
   }
   std::shared_ptr<Job> job = it->second;
-  job_changed_.wait(lock, [&] { return IsTerminalJobState(job->state); });
+  while (!IsTerminalJobState(job->state)) job_changed_.Wait(lock);
   return Snapshot(*job);
 }
 
 void JobScheduler::WaitAll() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  job_changed_.wait(lock, [&] {
-    return queue_.empty() && running_ == 0 && retry_waiting_ == 0;
-  });
+  MutexLock lock(mutex_);
+  while (!(queue_.empty() && running_ == 0 && retry_waiting_ == 0)) {
+    job_changed_.Wait(lock);
+  }
 }
 
 size_t JobScheduler::num_queued() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Jobs parked in a retry backoff are queued, just not in queue_ yet.
   return queue_.size() + retry_waiting_;
 }
 
 size_t JobScheduler::num_running() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return running_;
 }
 

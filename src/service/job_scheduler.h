@@ -24,18 +24,18 @@
 #define SECRETA_SERVICE_JOB_SCHEDULER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/cancellation.h"
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "engine/evaluator.h"
 #include "service/result_cache.h"
@@ -147,35 +147,37 @@ class JobScheduler {
   Result<uint64_t> Submit(const EngineInputs& inputs,
                           const AlgorithmConfig& config,
                           const Workload* workload,
-                          const JobOptions& options = {});
+                          const JobOptions& options = {})
+      SECRETA_EXCLUDES(mutex_);
 
   /// Submits an arbitrary work item (never cached). The scheduler machinery
   /// — priorities, backpressure, deadlines, cancellation, metrics — applies
   /// unchanged; this is also the seam tests use to inject controllable jobs.
   Result<uint64_t> SubmitFn(JobFn fn, std::string label,
-                            const JobOptions& options = {});
+                            const JobOptions& options = {})
+      SECRETA_EXCLUDES(mutex_);
 
   /// Snapshot of one job.
-  Result<JobInfo> GetJob(uint64_t id) const;
+  Result<JobInfo> GetJob(uint64_t id) const SECRETA_EXCLUDES(mutex_);
 
   /// Snapshots of every job this scheduler has accepted, in id order.
-  std::vector<JobInfo> ListJobs() const;
+  std::vector<JobInfo> ListJobs() const SECRETA_EXCLUDES(mutex_);
 
   /// Requests cancellation: a queued job is removed and finalized as
   /// kCancelled immediately; a running job's token is fired and the job
   /// finalizes when the work unwinds (within one engine phase boundary).
   /// NotFound for unknown ids, FailedPrecondition for finished jobs.
-  Status CancelJob(uint64_t id);
+  Status CancelJob(uint64_t id) SECRETA_EXCLUDES(mutex_);
 
   /// Blocks until the job is terminal; returns its final snapshot.
-  Result<JobInfo> WaitJob(uint64_t id);
+  Result<JobInfo> WaitJob(uint64_t id) SECRETA_EXCLUDES(mutex_);
 
   /// Blocks until no job is queued or running.
-  void WaitAll();
+  void WaitAll() SECRETA_EXCLUDES(mutex_);
 
   /// Live-job counts (snapshots).
-  size_t num_queued() const;
-  size_t num_running() const;
+  size_t num_queued() const SECRETA_EXCLUDES(mutex_);
+  size_t num_running() const SECRETA_EXCLUDES(mutex_);
 
   ServiceMetricsSnapshot MetricsSnapshot() const { return metrics_.Snapshot(); }
   const ResultCache& cache() const { return cache_; }
@@ -224,33 +226,38 @@ class JobScheduler {
     }
   };
 
-  Result<uint64_t> Enqueue(std::shared_ptr<Job> job);
+  Result<uint64_t> Enqueue(std::shared_ptr<Job> job) SECRETA_EXCLUDES(mutex_);
   /// One worker turn: picks the best queued job and runs it to completion.
-  void RunNext();
+  void RunNext() SECRETA_EXCLUDES(mutex_);
   /// Parks a job that failed retryably until its backoff elapses (the reaper
   /// re-queues it), or times it out when the deadline would expire first.
-  /// Requires the lock; the job must be kRunning.
-  void ScheduleRetry(const std::shared_ptr<Job>& job, const Status& cause);
-  /// Marks a live job terminal and wakes waiters. Requires the lock.
-  void Finalize(Job* job, JobState state, Status status);
-  void ReaperLoop();
-  JobInfo Snapshot(const Job& job) const;
+  /// The job must be kRunning.
+  void ScheduleRetry(const std::shared_ptr<Job>& job, const Status& cause)
+      SECRETA_REQUIRES(mutex_);
+  /// Marks a live job terminal and wakes waiters.
+  void Finalize(Job* job, JobState state, Status status)
+      SECRETA_REQUIRES(mutex_);
+  void ReaperLoop() SECRETA_EXCLUDES(mutex_);
+  /// Copies one job's state; the job is owned by jobs_, hence the lock.
+  JobInfo Snapshot(const Job& job) const SECRETA_REQUIRES(mutex_);
 
   const SchedulerOptions options_;
   ServiceMetrics metrics_;
   ResultCache cache_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable job_changed_;   // job reached a terminal state
-  std::condition_variable reaper_wake_;   // new deadline / shutdown
-  std::unordered_map<uint64_t, std::shared_ptr<Job>> jobs_;
-  std::set<QueueEntry> queue_;
-  uint64_t next_id_ = 1;
-  uint64_t next_seq_ = 1;
-  uint64_t dispatch_counter_ = 0;
-  size_t running_ = 0;
-  size_t retry_waiting_ = 0;  // jobs parked in a retry backoff
-  bool shutdown_ = false;
+  mutable Mutex mutex_;
+  CondVar job_changed_;  // job reached a terminal state
+  CondVar reaper_wake_;  // new deadline / shutdown
+  std::unordered_map<uint64_t, std::shared_ptr<Job>> jobs_
+      SECRETA_GUARDED_BY(mutex_);
+  std::set<QueueEntry> queue_ SECRETA_GUARDED_BY(mutex_);
+  uint64_t next_id_ SECRETA_GUARDED_BY(mutex_) = 1;
+  uint64_t next_seq_ SECRETA_GUARDED_BY(mutex_) = 1;
+  uint64_t dispatch_counter_ SECRETA_GUARDED_BY(mutex_) = 0;
+  size_t running_ SECRETA_GUARDED_BY(mutex_) = 0;
+  // Jobs parked in a retry backoff.
+  size_t retry_waiting_ SECRETA_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ SECRETA_GUARDED_BY(mutex_) = false;
 
   std::thread reaper_;
   // Declared last: destroyed (joined) first, while the state above is alive.

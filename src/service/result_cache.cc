@@ -30,7 +30,7 @@ uint64_t RunCacheKey(const AlgorithmConfig& config, uint64_t dataset_fp,
 }
 
 std::shared_ptr<const EvaluationReport> ResultCache::Lookup(uint64_t key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -44,7 +44,7 @@ std::shared_ptr<const EvaluationReport> ResultCache::Lookup(uint64_t key) {
 void ResultCache::Insert(uint64_t key,
                          std::shared_ptr<const EvaluationReport> report) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = std::move(report);
@@ -60,22 +60,22 @@ void ResultCache::Insert(uint64_t key,
 }
 
 size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return lru_.size();
 }
 
 uint64_t ResultCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return hits_;
 }
 
 uint64_t ResultCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return misses_;
 }
 
 double ResultCache::hit_rate() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint64_t total = hits_ + misses_;
   return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
 }

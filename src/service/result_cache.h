@@ -10,9 +10,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "engine/evaluator.h"
 
 namespace secreta {
@@ -47,28 +48,31 @@ class ResultCache {
 
   /// Returns the cached report (promoting it to most-recently-used) or null.
   /// Counts one hit or one miss.
-  std::shared_ptr<const EvaluationReport> Lookup(uint64_t key);
+  std::shared_ptr<const EvaluationReport> Lookup(uint64_t key)
+      SECRETA_EXCLUDES(mutex_);
 
   /// Inserts/overwrites the entry, evicting least-recently-used entries
   /// beyond capacity.
-  void Insert(uint64_t key, std::shared_ptr<const EvaluationReport> report);
+  void Insert(uint64_t key, std::shared_ptr<const EvaluationReport> report)
+      SECRETA_EXCLUDES(mutex_);
 
-  size_t size() const;
+  size_t size() const SECRETA_EXCLUDES(mutex_);
   size_t capacity() const { return capacity_; }
-  uint64_t hits() const;
-  uint64_t misses() const;
+  uint64_t hits() const SECRETA_EXCLUDES(mutex_);
+  uint64_t misses() const SECRETA_EXCLUDES(mutex_);
   /// hits / (hits + misses); 0 before any lookup.
-  double hit_rate() const;
+  double hit_rate() const SECRETA_EXCLUDES(mutex_);
 
  private:
   using Entry = std::pair<uint64_t, std::shared_ptr<const EvaluationReport>>;
 
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  mutable Mutex mutex_;
+  std::list<Entry> lru_ SECRETA_GUARDED_BY(mutex_);  // front = MRU
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_
+      SECRETA_GUARDED_BY(mutex_);
+  uint64_t hits_ SECRETA_GUARDED_BY(mutex_) = 0;
+  uint64_t misses_ SECRETA_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace secreta

@@ -1,0 +1,20 @@
+// Negative compile test: dropping a [[nodiscard]] Result<T> must fail the
+// build (asserted by the `annotations.nodiscard_result_fires` ctest). Guards
+// against Result<T> losing its [[nodiscard]] while Status keeps it.
+
+#include "common/status.h"
+
+namespace secreta {
+namespace {
+
+Result<int> MakeResult() { return 42; }
+
+int DropResult() {
+  MakeResult();  // discarded Result<int>: must be a hard error
+  return 0;
+}
+
+int force_use = DropResult();
+
+}  // namespace
+}  // namespace secreta

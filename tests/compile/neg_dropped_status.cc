@@ -1,0 +1,22 @@
+// Negative compile test: dropping a [[nodiscard]] Status must fail the
+// build. Compiled by the `annotations.nodiscard_fires` ctest (see
+// tests/CMakeLists.txt), which asserts that this translation unit does NOT
+// compile under the repo's -Werror. If it ever starts compiling, the
+// [[nodiscard]] on Status has silently become a no-op.
+
+#include "common/status.h"
+
+namespace secreta {
+namespace {
+
+Status MakeError() { return Status::IOError("negative test"); }
+
+int DropStatus() {
+  MakeError();  // discarded Status: must be a hard error
+  return 0;
+}
+
+int force_use = DropStatus();
+
+}  // namespace
+}  // namespace secreta

@@ -1,0 +1,30 @@
+// Negative compile test: writing a SECRETA_GUARDED_BY field without holding
+// its mutex must fail a Clang -Wthread-safety -Werror build. Only registered
+// as a ctest under Clang with SECRETA_THREAD_SAFETY_ANALYSIS=ON (GCC cannot
+// check it); the lint.yml workflow runs it on every PR. If this ever starts
+// compiling under Clang, the annotation macros have become no-ops.
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace secreta {
+namespace {
+
+class Counter {
+ public:
+  void Unsafe() {
+    // No MutexLock: under -Wthread-safety this is
+    // "writing variable 'value_' requires holding mutex 'mutex_'".
+    value_ += 1;
+  }
+
+ private:
+  Mutex mutex_;
+  int value_ SECRETA_GUARDED_BY(mutex_) = 0;
+};
+
+Counter counter;
+void Touch() { counter.Unsafe(); }
+
+}  // namespace
+}  // namespace secreta

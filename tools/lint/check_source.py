@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""SECRETA repo-convention linter.
+
+Enforces the conventions the compilers cannot (or that only Clang can, which
+the default GCC build would silently skip):
+
+  naked-mutex       std::mutex / std::condition_variable / std::lock_guard /
+                    std::unique_lock / std::scoped_lock may only be spelled
+                    in src/common/mutex.h. Everything else goes through the
+                    annotated Mutex/MutexLock/CondVar wrappers so the Clang
+                    thread-safety gate covers it.
+  no-throw          `throw` is banned in src/: core code propagates errors
+                    through Status/Result<T> exclusively (see
+                    src/common/status.h).
+  include-style     Internal headers are included with "quotes", system and
+                    third-party headers with <angle brackets>. A <...>
+                    include that resolves to a repo header defeats header
+                    hygiene and the self-include check.
+  self-include-first  Every src/ .cc includes its own header first, proving
+                    each header is self-contained.
+
+Run from the repo root (or pass --root). Exits non-zero with one
+"path:line: rule: message" diagnostic per violation. Suppress a single line
+with a trailing `// lint:allow <rule>` comment and a reason.
+
+This is wired into ctest as `lint.check_source` (label: lint) and into the
+lint.yml CI workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+MUTEX_TOKENS = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(_any)?|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b"
+)
+# `throw` as a statement; `throw()` exception-specs don't occur in this tree.
+THROW_TOKEN = re.compile(r"(^|[^\w.])throw\s")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(<([^>]+)>|"([^"]+)")')
+ALLOW_RE = re.compile(r"//\s*lint:allow\s+([\w-]+)")
+
+# Directories holding internal headers reachable from the src/ include root.
+INTERNAL_TOP_DIRS: set[str] = set()
+
+
+def strip_comments(line: str) -> str:
+    """Removes // comments and a best-effort pass at string literals."""
+    line = re.sub(r'"([^"\\]|\\.)*"', '""', line)
+    return line.split("//", 1)[0]
+
+
+def iter_source_lines(path: Path):
+    text = path.read_text(encoding="utf-8", errors="replace")
+    in_block_comment = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        # Strip /* ... */ spans (single-line and opening multi-line).
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block_comment = True
+                break
+            line = line[:start] + line[end + 2:]
+        yield lineno, raw, line
+
+
+def allowed(raw_line: str, rule: str) -> bool:
+    m = ALLOW_RE.search(raw_line)
+    return m is not None and m.group(1) == rule
+
+
+def check_file(path: Path, rel: str, errors: list[str]) -> None:
+    is_src = rel.startswith("src/")
+    is_mutex_header = rel == "src/common/mutex.h"
+    includes: list[tuple[int, str, bool]] = []  # (lineno, target, angled)
+
+    for lineno, raw, line in iter_source_lines(path):
+        # Includes are matched before string-literal stripping (the stripper
+        # would turn "common/foo.h" into "").
+        m = INCLUDE_RE.match(line)
+        code = strip_comments(line)
+        if not code.strip() and not m:
+            continue
+
+        if m:
+            angled = m.group(2) is not None
+            target = m.group(2) if angled else m.group(3)
+            includes.append((lineno, target, angled))
+
+        if is_src and not is_mutex_header and MUTEX_TOKENS.search(code):
+            if not allowed(raw, "naked-mutex"):
+                errors.append(
+                    f"{rel}:{lineno}: naked-mutex: use secreta::Mutex / "
+                    "MutexLock / CondVar from common/mutex.h so the "
+                    "thread-safety analysis covers this lock"
+                )
+
+        if is_src and THROW_TOKEN.search(code):
+            if not allowed(raw, "no-throw"):
+                errors.append(
+                    f"{rel}:{lineno}: no-throw: core code propagates errors "
+                    "via Status/Result<T>, never exceptions"
+                )
+
+    for lineno, target, angled in includes:
+        top = target.split("/", 1)[0]
+        is_internal = (
+            top in INTERNAL_TOP_DIRS
+            or target in ("secreta.h", "tests/test_util.h")
+            or target.endswith("_test.h")
+        )
+        if angled and is_internal:
+            errors.append(
+                f"{rel}:{lineno}: include-style: internal header "
+                f"<{target}> must be included with quotes"
+            )
+        elif not angled and not is_internal and "/" not in target:
+            # A quoted include that is neither a known internal path nor a
+            # relative repo path is probably a system header in disguise.
+            errors.append(
+                f'{rel}:{lineno}: include-style: "{target}" does not name '
+                "a repo header; system headers use <angle brackets>"
+            )
+
+    if is_src and rel.endswith(".cc") and includes:
+        own_header = rel[len("src/"):-len(".cc")] + ".h"
+        if (Path(path).parent / (path.stem + ".h")).exists():
+            first = includes[0]
+            if first[1] != own_header:
+                errors.append(
+                    f"{rel}:{first[0]}: self-include-first: first include "
+                    f'must be "{own_header}" (got "{first[1]}") so the '
+                    "header proves self-contained"
+                )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument(
+        "files", nargs="*",
+        help="specific files to check (default: all of src/, tests/, bench/, "
+             "examples/)")
+    args = parser.parse_args()
+    root = Path(args.root).resolve()
+
+    src = root / "src"
+    if not src.is_dir():
+        print(f"error: {src} is not a directory (wrong --root?)",
+              file=sys.stderr)
+        return 2
+    for child in sorted(src.iterdir()):
+        if child.is_dir():
+            INTERNAL_TOP_DIRS.add(child.name)
+
+    if args.files:
+        paths = [Path(f).resolve() for f in args.files]
+    else:
+        paths = []
+        for sub in ("src", "tests", "bench", "examples"):
+            paths.extend(sorted((root / sub).rglob("*.cc")))
+            paths.extend(sorted((root / sub).rglob("*.h")))
+
+    errors: list[str] = []
+    checked = 0
+    for path in paths:
+        if path.suffix not in (".cc", ".h"):
+            continue
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        check_file(path, rel, errors)
+        checked += 1
+
+    for err in errors:
+        print(err)
+    print(f"check_source: {checked} files, {len(errors)} violation(s)",
+          file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over the given files (default: every .cc under src/) using
+# the repo's .clang-tidy config and a compile_commands.json.
+#
+#   tools/lint/run_clang_tidy.sh [-p BUILD_DIR] [files...]
+#
+# Generate the compilation database first:
+#   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+#
+# CI (lint.yml) calls this with only the files changed by the PR and caches
+# results keyed on the compile_commands.json hash.
+
+set -euo pipefail
+
+build_dir=build
+while getopts "p:" opt; do
+  case "$opt" in
+    p) build_dir="$OPTARG" ;;
+    *) echo "usage: $0 [-p build_dir] [files...]" >&2; exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+
+repo_root="$(cd "$(dirname "$0")/../.." && pwd)"
+cd "$repo_root"
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "error: $build_dir/compile_commands.json not found;" \
+       "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "error: clang-tidy not on PATH" >&2
+  exit 2
+fi
+
+files=("$@")
+if [[ ${#files[@]} -eq 0 ]]; then
+  mapfile -t files < <(find src -name '*.cc' | sort)
+fi
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "nothing to check"
+  exit 0
+fi
+
+# run-clang-tidy parallelizes when available; fall back to a serial loop.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  printf '%s\n' "${files[@]}" |
+    xargs run-clang-tidy -p "$build_dir" -quiet
+else
+  status=0
+  for f in "${files[@]}"; do
+    clang-tidy -p "$build_dir" --quiet "$f" || status=1
+  done
+  exit "$status"
+fi
