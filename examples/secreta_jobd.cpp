@@ -1,29 +1,46 @@
-// The SECRETA job service end to end: submit the full T20 grid (all 4x5
-// relational x transaction combinations) as asynchronous jobs, watch the
-// queue drain progressively, print per-job metrics, then resubmit the grid
-// to show the content-addressed result cache replaying every report without
-// re-executing. Also demonstrates cancellation of a queued job.
+// secreta_jobd: the SECRETA serving daemon. Publishes anonymized releases of
+// one or more datasets into a DatasetCatalog, then answers COUNT queries
+// over TCP (serve protocol, src/serve/) until SIGINT/SIGTERM.
 //
-//   ./build/examples/example_secreta_jobd
+//   ./build/examples/secreta_jobd --listen 7474
+//   ./build/examples/secreta_jobd --listen 0 --records 500
+//       --tenant admin:admin-token:direct
+//       --tenant demo:demo-token:anonymized:25   (flags continue one line)
+//
+// Defaults stage a self-contained demo: one synthetic RT dataset published
+// as "demo" under Cluster+Apriori (k=5, m=2), an admin tenant with direct
+// access, and an "analyst" tenant limited to anonymized counts at a modest
+// rate. Query it with the scripted client:
+//
+//   ./build/examples/example_serve_client --port 7474
+//       --token demo-token count demo "Age:20..39"
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
+#include <vector>
 
-#include "common/string_util.h"
 #include "datagen/synthetic.h"
-#include "engine/registry.h"
-#include "export/json_export.h"
-#include "frontend/session.h"
+#include "serve/catalog.h"
+#include "serve/server.h"
+#include "serve/session.h"
 #include "service/job_scheduler.h"
-#include "service/result_cache.h"
 
 using namespace secreta;
 
 namespace {
 
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
 void Fail(const Status& status, const char* what) {
-  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  std::fprintf(stderr, "secreta_jobd: %s: %s\n", what,
+               status.ToString().c_str());
   std::exit(1);
 }
 
@@ -33,130 +50,130 @@ T Check(Result<T> result, const char* what) {
   return std::move(result).value();
 }
 
-void PrintJobs(const JobScheduler& scheduler) {
-  std::printf("  %-4s %-10s %-6s %-7s %-8s %-8s %s\n", "id", "state", "prio",
-              "cache", "queue_s", "run_s", "label");
-  for (const JobInfo& job : scheduler.ListJobs()) {
-    std::printf("  %-4llu %-10s %-6d %-7s %-8.3f %-8.3f %s\n",
-                static_cast<unsigned long long>(job.id),
-                JobStateToString(job.state), job.priority,
-                job.from_cache ? "hit" : "-", job.queue_seconds,
-                job.run_seconds, job.label.c_str());
-  }
-}
-
-std::vector<uint64_t> SubmitGrid(JobScheduler* scheduler,
-                                 const EngineInputs& inputs,
-                                 const Workload* workload,
-                                 uint64_t dataset_fp) {
-  std::vector<uint64_t> ids;
-  for (const std::string& rel : RelationalAlgorithmNames()) {
-    for (const std::string& txn : TransactionAlgorithmNames()) {
-      AlgorithmConfig config;
-      config.mode = AnonMode::kRt;
-      config.relational_algorithm = rel;
-      config.transaction_algorithm = txn;
-      config.merger = MergerKind::kRTmerger;
-      config.params.k = 5;
-      config.params.m = 2;
-      config.params.delta = 0.35;
-      JobOptions options;
-      // The fingerprint is O(dataset); computing it once for the whole batch
-      // is the intended amortization.
-      options.dataset_fingerprint = dataset_fp;
-      ids.push_back(Check(
-          scheduler->Submit(inputs, config, workload, options), "submit"));
-    }
-  }
-  return ids;
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: secreta_jobd --listen PORT [options]\n"
+      "  --listen PORT        TCP port (0 = ephemeral, printed at startup)\n"
+      "  --bind ADDR          bind address (default 127.0.0.1)\n"
+      "  --tenant SPEC        name:token:access[:qps[:burst]]; repeatable.\n"
+      "                       default: admin:admin-token:direct and\n"
+      "                       demo:demo-token:anonymized:25\n"
+      "  --dataset NAME       publish a synthetic dataset under NAME;\n"
+      "                       repeatable (default: demo)\n"
+      "  --records N          records per synthetic dataset (default 1500)\n"
+      "  --seed N             synthetic data seed (default 2014)\n"
+      "  --workers N          scheduler workers (default 4)\n"
+      "  --max-connections N  concurrent client connections (default 8)\n"
+      "  --deadline SECONDS   per-query deadline (default 5)\n"
+      "  --idle-timeout SECONDS  drop idle connections (default 300)\n");
+  std::exit(2);
 }
 
 }  // namespace
 
-int main() {
-  std::printf("== secreta_jobd: async job service demo ==\n\n");
-
-  // Stage a session exactly like the CLI would: dataset, hierarchies,
-  // workload, then inputs bound once for async use.
-  SecretaSession session;
-  SyntheticOptions gen;
-  gen.num_records = 1200;
-  gen.seed = 2014;
-  {
-    Status status = session.SetDataset(
-        Check(Result<Dataset>(GenerateRtDataset(gen)), "generate"));
-    if (!status.ok()) Fail(status, "set dataset");
-    if (Status s = session.AutoGenerateHierarchies(); !s.ok()) {
-      Fail(s, "hierarchies");
-    }
-    WorkloadGenOptions wopts;
-    wopts.num_queries = 50;
-    if (Status s = session.GenerateQueryWorkload(wopts); !s.ok()) {
-      Fail(s, "workload");
-    }
-  }
-  AlgorithmConfig probe;
-  probe.mode = AnonMode::kRt;
-  EngineInputs inputs = Check(session.PrepareInputs(probe), "prepare inputs");
-  const Workload* workload = session.workload_or_null();
-  const uint64_t dataset_fp = DatasetFingerprint(session.dataset());
-
+int main(int argc, char** argv) {
+  bool have_listen = false;
+  ServerOptions server_options;
   SchedulerOptions scheduler_options;
   scheduler_options.num_workers = 4;
-  scheduler_options.max_queue = 64;
-  scheduler_options.cache_capacity = 128;
+  SyntheticOptions gen;
+  gen.num_records = 1500;
+  gen.seed = 2014;
+  std::vector<std::string> tenant_specs;
+  std::vector<std::string> dataset_names;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "secreta_jobd: %s needs a value\n", flag);
+        Usage();
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--listen") == 0) {
+      server_options.port = static_cast<uint16_t>(std::atoi(next("--listen")));
+      have_listen = true;
+    } else if (std::strcmp(argv[i], "--bind") == 0) {
+      server_options.bind_address = next("--bind");
+    } else if (std::strcmp(argv[i], "--tenant") == 0) {
+      tenant_specs.push_back(next("--tenant"));
+    } else if (std::strcmp(argv[i], "--dataset") == 0) {
+      dataset_names.push_back(next("--dataset"));
+    } else if (std::strcmp(argv[i], "--records") == 0) {
+      gen.num_records = static_cast<size_t>(std::atol(next("--records")));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      gen.seed = static_cast<uint64_t>(std::atoll(next("--seed")));
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      scheduler_options.num_workers =
+          static_cast<size_t>(std::atol(next("--workers")));
+    } else if (std::strcmp(argv[i], "--max-connections") == 0) {
+      server_options.max_connections =
+          static_cast<size_t>(std::atol(next("--max-connections")));
+    } else if (std::strcmp(argv[i], "--deadline") == 0) {
+      server_options.admission.default_deadline_seconds =
+          std::atof(next("--deadline"));
+    } else if (std::strcmp(argv[i], "--idle-timeout") == 0) {
+      server_options.idle_timeout_seconds = std::atof(next("--idle-timeout"));
+    } else {
+      std::fprintf(stderr, "secreta_jobd: unknown flag %s\n", argv[i]);
+      Usage();
+    }
+  }
+  if (!have_listen) Usage();
+  if (tenant_specs.empty()) {
+    tenant_specs = {"admin:admin-token:direct",
+                    "demo:demo-token:anonymized:25"};
+  }
+  if (dataset_names.empty()) dataset_names = {"demo"};
+
+  TenantRegistry tenants;
+  for (const std::string& spec : tenant_specs) {
+    TenantConfig config = Check(ParseTenantSpec(spec), "parse --tenant");
+    if (Status s = tenants.AddTenant(config); !s.ok()) Fail(s, "add tenant");
+    std::printf("tenant %-12s access=%-10s qps=%s\n", config.name.c_str(),
+                AccessLevelToString(config.access),
+                config.quota_qps > 0
+                    ? std::to_string(config.quota_qps).c_str()
+                    : "unlimited");
+  }
+
+  DatasetCatalog catalog;
+  ReleaseOptions release;
+  release.config.mode = AnonMode::kRt;
+  release.config.relational_algorithm = "Cluster";
+  release.config.transaction_algorithm = "Apriori";
+  release.config.params.k = 5;
+  release.config.params.m = 2;
+  for (size_t i = 0; i < dataset_names.size(); ++i) {
+    SyntheticOptions per = gen;
+    per.seed = gen.seed + i;  // distinct data per published name
+    Dataset dataset = Check(GenerateRtDataset(per), "generate dataset");
+    auto published = Check(
+        catalog.Publish(dataset_names[i], std::move(dataset), release),
+        "publish");
+    std::printf("published %-12s records=%zu version=%llu config=%s\n",
+                published->name().c_str(), published->num_records(),
+                static_cast<unsigned long long>(published->version()),
+                published->config_label().c_str());
+  }
+
   JobScheduler scheduler(scheduler_options);
+  QueryServer server(&catalog, &tenants, &scheduler, server_options);
+  if (Status s = server.Start(); !s.ok()) Fail(s, "start server");
+  std::printf("secreta_jobd listening on %s:%u (%zu connection slots)\n",
+              server_options.bind_address.c_str(),
+              static_cast<unsigned>(server.port()),
+              server_options.max_connections);
+  std::fflush(stdout);
 
-  // --- Batch 1: the T20 grid, cold -----------------------------------------
-  std::printf("submitting the T20 grid (%zu jobs, %zu workers)...\n",
-              RelationalAlgorithmNames().size() *
-                  TransactionAlgorithmNames().size(),
-              scheduler_options.num_workers);
-  std::vector<uint64_t> ids =
-      SubmitGrid(&scheduler, inputs, workload, dataset_fp);
-
-  // Progressive status polling — what a dashboard would do.
-  while (scheduler.num_queued() + scheduler.num_running() > 0) {
-    std::printf("  queued=%zu running=%zu\n", scheduler.num_queued(),
-                scheduler.num_running());
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
   }
-  scheduler.WaitAll();
-  std::printf("\ncold batch finished; per-job metrics:\n");
-  PrintJobs(scheduler);
-
-  // --- Cancellation demo ----------------------------------------------------
-  // A low-priority job behind a fresh batch stays queued long enough to be
-  // cancelled deterministically most of the time.
-  {
-    AlgorithmConfig config;
-    config.mode = AnonMode::kRt;
-    config.relational_algorithm = "Cluster";
-    config.transaction_algorithm = "Apriori";
-    config.params.k = 7;  // not in the cache
-    JobOptions options;
-    options.priority = -100;
-    options.use_cache = false;
-    options.dataset_fingerprint = dataset_fp;
-    uint64_t victim =
-        Check(scheduler.Submit(inputs, config, workload, options), "submit");
-    Status cancel = scheduler.CancelJob(victim);
-    JobInfo info = Check(scheduler.WaitJob(victim), "wait");
-    std::printf("\ncancel demo: job %llu -> %s (%s)\n",
-                static_cast<unsigned long long>(victim),
-                JobStateToString(info.state),
-                cancel.ok() ? "cancel accepted" : cancel.ToString().c_str());
-  }
-
-  // --- Batch 2: identical resubmission, served from the cache ---------------
-  std::printf("\nresubmitting the identical grid...\n");
-  SubmitGrid(&scheduler, inputs, workload, dataset_fp);
-  scheduler.WaitAll();
-  uint64_t hits = scheduler.cache().hits();
-  std::printf("cache hits after resubmission: %llu of %zu jobs\n",
-              static_cast<unsigned long long>(hits), ids.size());
-
-  std::printf("\nservice metrics:\n%s\n",
-              ServiceMetricsToJson(scheduler.MetricsSnapshot()).c_str());
+  std::printf("signal received; shutting down...\n");
+  server.Stop();
+  std::printf("secreta_jobd stopped cleanly\n");
   return 0;
 }

@@ -28,6 +28,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kPermissionDenied:
+      return "PermissionDenied";
   }
   return "Unknown";
 }

@@ -28,6 +28,7 @@ enum class StatusCode {
   kResourceExhausted,
   kDeadlineExceeded,
   kCancelled,
+  kPermissionDenied,
 };
 
 /// Returns a human-readable name for a status code (e.g. "InvalidArgument").
@@ -83,10 +84,27 @@ class [[nodiscard]] Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// Backpressure hint: how long the caller should wait before retrying.
+  /// Populated by admission layers on kResourceExhausted rejections (queue
+  /// full, quota exhausted) so servers can surface HTTP-429-style responses;
+  /// 0 = no hint.
+  double retry_after_seconds() const { return retry_after_seconds_; }
+  bool has_retry_after() const { return retry_after_seconds_ > 0; }
+
+  /// Returns a copy of this status carrying a retry-after hint.
+  Status WithRetryAfter(double seconds) const {
+    Status copy = *this;
+    copy.retry_after_seconds_ = seconds;
+    return copy;
+  }
 
   /// Explicitly discards this status. The only sanctioned way to drop a
   /// Status return: it defeats [[nodiscard]] visibly and greppably. Every
@@ -103,6 +121,7 @@ class [[nodiscard]] Status {
  private:
   StatusCode code_;
   std::string message_;
+  double retry_after_seconds_ = 0;
 };
 
 /// \brief Either a value of type T or an error Status.

@@ -290,13 +290,34 @@ BoundWorkload::FastQuery QueryEvaluator::BuildFastQuery(
   return fq;
 }
 
-Result<BoundWorkload> QueryEvaluator::BindWorkload(const Workload& workload,
-                                                   ThreadPool* pool) {
+Status QueryEvaluator::EnsureIndex() {
   if (index_ == nullptr) {
     index_ = std::make_shared<const QueryIndex>(QueryIndex::Build(*dataset_));
   }
+  return Status::OK();
+}
+
+Result<BoundWorkload> QueryEvaluator::BindWorkload(const Workload& workload,
+                                                   ThreadPool* pool) {
+  SECRETA_RETURN_IF_ERROR(EnsureIndex());
+  return BindAgainst(workload, index_, pool);
+}
+
+Result<BoundWorkload> QueryEvaluator::BindWorkload(const Workload& workload,
+                                                   ThreadPool* pool) const {
+  if (index_ == nullptr) {
+    return Status::FailedPrecondition(
+        "const BindWorkload requires a prebuilt index; call EnsureIndex() "
+        "before sharing the evaluator");
+  }
+  return BindAgainst(workload, index_, pool);
+}
+
+Result<BoundWorkload> QueryEvaluator::BindAgainst(
+    const Workload& workload, std::shared_ptr<const QueryIndex> index,
+    ThreadPool* pool) const {
   BoundWorkload bound;
-  bound.index_ = index_;
+  bound.index_ = std::move(index);
   size_t n = workload.size();
   bound.queries_.resize(n);
   bound.exact_.assign(n, 0.0);
@@ -308,7 +329,8 @@ Result<BoundWorkload> QueryEvaluator::BindWorkload(const Workload& workload,
       statuses[i] = bq.status();
       return;
     }
-    bound.queries_[i] = BuildFastQuery(bq.value(), *index_, &bound.exact_[i]);
+    bound.queries_[i] =
+        BuildFastQuery(bq.value(), *bound.index_, &bound.exact_[i]);
   });
   for (const Status& status : statuses) {
     SECRETA_RETURN_IF_ERROR(status);
@@ -316,10 +338,10 @@ Result<BoundWorkload> QueryEvaluator::BindWorkload(const Workload& workload,
   return bound;
 }
 
-QueryEvaluator::AreCaches QueryEvaluator::BuildAreCaches(
+RecodingCache QueryEvaluator::BuildRecodingCache(
     const RelationalRecoding* relational,
     const TransactionRecoding* transaction) const {
-  AreCaches caches;
+  RecodingCache caches;
   size_t n = dataset_->num_records();
   if (relational != nullptr) {
     // Partition records into equivalence classes (identical recoded node
@@ -382,7 +404,8 @@ std::vector<uint32_t> IntersectSorted(
 
 double QueryEvaluator::EstimateFast(
     const BoundWorkload::FastQuery& q, const RelationalRecoding* relational,
-    const TransactionRecoding* transaction, const AreCaches& caches) const {
+    const TransactionRecoding* transaction,
+    const RecodingCache& caches) const {
   if (q.impossible) return 0.0;
   const bool qi_estimated = relational != nullptr;
   // Clauses evaluated by exact match: always the non-QI group, plus the QI
@@ -502,6 +525,18 @@ Result<AreReport> QueryEvaluator::Are(const BoundWorkload& bound,
                                       const TransactionRecoding* transaction,
                                       ThreadPool* pool,
                                       const CancellationToken* cancel) const {
+  // Recoding-derived caches (equivalence classes, gen posting lists), built
+  // once for this call and shared read-only by every query batch.
+  RecodingCache caches = BuildRecodingCache(relational, transaction);
+  return Are(bound, relational, transaction, caches, pool, cancel);
+}
+
+Result<AreReport> QueryEvaluator::Are(const BoundWorkload& bound,
+                                      const RelationalRecoding* relational,
+                                      const TransactionRecoding* transaction,
+                                      const RecodingCache& caches,
+                                      ThreadPool* pool,
+                                      const CancellationToken* cancel) const {
   if (bound.empty()) {
     return Status::InvalidArgument("workload is empty");
   }
@@ -510,9 +545,6 @@ Result<AreReport> QueryEvaluator::Are(const BoundWorkload& bound,
         "estimation over a relational recoding requires a context");
   }
   SECRETA_RETURN_IF_ERROR(CheckCancelled(cancel, "are workload"));
-  // Recoding-derived caches (equivalence classes, gen posting lists), built
-  // once and shared read-only by every query batch.
-  AreCaches caches = BuildAreCaches(relational, transaction);
   size_t n = bound.size();
   AreReport report;
   report.actual = bound.exact_counts();

@@ -81,6 +81,31 @@ class BoundWorkload {
   std::shared_ptr<const QueryIndex> index_;  // keeps postings alive
 };
 
+/// \brief Recoding-derived evaluation caches, reusable across Are calls.
+///
+/// Everything EstimateFast needs that depends only on the *recoding* (not on
+/// the workload): relational equivalence classes and generalized-transaction
+/// posting lists. Are() builds one per call by default; long-lived servers
+/// evaluating many ad-hoc queries against one published recoding build it
+/// once with QueryEvaluator::BuildRecodingCache and pass it in — the warm
+/// half of a per-dataset serving cache. Immutable after construction;
+/// thread-safe for concurrent const use.
+struct RecodingCache {
+  /// Equivalence classes of the relational recoding: records with the same
+  /// recoded node tuple share one per-query QI probability product
+  /// (computed once per class from `class_rep`, with the exact multiply
+  /// sequence of the scan oracle). Empty when there is no relational
+  /// recoding.
+  std::vector<uint32_t> class_of;   // per record
+  std::vector<uint32_t> class_rep;  // representative record per class
+  /// Posting lists over the generalized transactions: records containing
+  /// gen g, ascending. A record lacking a query item's covering gen
+  /// contributes exactly 0, so candidates reduce to a posting-list
+  /// intersection. Empty when there is no transaction recoding.
+  std::vector<std::vector<uint32_t>> gen_recs;
+  std::vector<std::vector<int32_t>> gens_of_item;  // local recodings only
+};
+
 /// \brief Evaluates COUNT queries exactly and on anonymized recodings.
 ///
 /// Non-owning: dataset and context must outlive the evaluator. `rel_context`
@@ -105,12 +130,25 @@ class QueryEvaluator {
                                 const RelationalRecoding* relational,
                                 const TransactionRecoding* transaction) const;
 
+  /// Builds the dataset's QueryIndex now (idempotent). Call once before
+  /// handing the evaluator to concurrent readers: after it returns, the
+  /// const BindWorkload overload below is safe from any number of threads
+  /// with no further writes to the evaluator.
+  Status EnsureIndex();
+
   /// Binds every query of `workload` once: builds (or reuses) the dataset's
   /// QueryIndex, materializes clause bitmaps, itemset intersections and
   /// leaf-overlap caches, and precomputes all exact counts. `pool` (optional)
   /// parallelizes the per-query binding.
   Result<BoundWorkload> BindWorkload(const Workload& workload,
                                      ThreadPool* pool = nullptr);
+
+  /// Const binding path for shared evaluators (online serving): identical to
+  /// the overload above but never mutates the evaluator, so concurrent calls
+  /// are race-free. Requires EnsureIndex() (or a prior non-const
+  /// BindWorkload) to have built the index; FailedPrecondition otherwise.
+  Result<BoundWorkload> BindWorkload(const Workload& workload,
+                                     ThreadPool* pool = nullptr) const;
 
   /// ARE over a bound workload: mean of |actual - estimated| / max(actual, 1).
   /// Queries are evaluated in batches fanned out over `pool` (null = serial);
@@ -121,6 +159,21 @@ class QueryEvaluator {
                         const TransactionRecoding* transaction,
                         ThreadPool* pool = nullptr,
                         const CancellationToken* cancel = nullptr) const;
+
+  /// Same, against a prebuilt RecodingCache (see BuildRecodingCache): skips
+  /// the per-call O(records) cache construction, which dominates small
+  /// workloads — the online serving path evaluates single ad-hoc queries
+  /// this way. `cache` must have been built from the same recodings.
+  Result<AreReport> Are(const BoundWorkload& bound,
+                        const RelationalRecoding* relational,
+                        const TransactionRecoding* transaction,
+                        const RecodingCache& cache, ThreadPool* pool = nullptr,
+                        const CancellationToken* cancel = nullptr) const;
+
+  /// Builds the recoding-derived caches (equivalence classes, gen posting
+  /// lists) once for reuse across many Are calls on the same recodings.
+  RecodingCache BuildRecodingCache(const RelationalRecoding* relational,
+                                   const TransactionRecoding* transaction) const;
 
   /// Convenience: BindWorkload + indexed Are (serial). Binds on every call —
   /// hoist a BoundWorkload when evaluating several recodings.
@@ -151,32 +204,17 @@ class QueryEvaluator {
                                           const QueryIndex& index,
                                           double* out_exact) const;
 
-  /// Per-recoding derived state, built once per Are call and shared by every
-  /// query of the workload (read-only during the parallel fan-out).
-  struct AreCaches {
-    /// Equivalence classes of the relational recoding: records with the same
-    /// recoded node tuple share one per-query QI probability product
-    /// (computed once per class from `class_rep`, with the exact multiply
-    /// sequence of the scan oracle). Empty when there is no relational
-    /// recoding.
-    std::vector<uint32_t> class_of;   // per record
-    std::vector<uint32_t> class_rep;  // representative record per class
-    /// Posting lists over the generalized transactions: records containing
-    /// gen g, ascending. A record lacking a query item's covering gen
-    /// contributes exactly 0, so candidates reduce to a posting-list
-    /// intersection. Empty when there is no transaction recoding.
-    std::vector<std::vector<uint32_t>> gen_recs;
-    std::vector<std::vector<int32_t>> gens_of_item;  // local recodings only
-  };
-
-  AreCaches BuildAreCaches(const RelationalRecoding* relational,
-                           const TransactionRecoding* transaction) const;
-
   /// Indexed estimated count of one bound query (see EstimatedCount).
   double EstimateFast(const BoundWorkload::FastQuery& q,
                       const RelationalRecoding* relational,
                       const TransactionRecoding* transaction,
-                      const AreCaches& caches) const;
+                      const RecodingCache& caches) const;
+
+  /// Shared implementation of both BindWorkload overloads; `index` is the
+  /// already-built query index.
+  Result<BoundWorkload> BindAgainst(const Workload& workload,
+                                    std::shared_ptr<const QueryIndex> index,
+                                    ThreadPool* pool) const;
 
   const Dataset* dataset_ = nullptr;
   const RelationalContext* rel_context_ = nullptr;

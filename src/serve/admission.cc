@@ -1,0 +1,74 @@
+#include "serve/admission.h"
+
+#include <memory>
+#include <utility>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace secreta {
+
+AdmissionController::AdmissionController(JobScheduler* scheduler,
+                                         const AdmissionOptions& options)
+    : scheduler_(scheduler), options_(options) {}
+
+Result<double> AdmissionController::RunCount(ClientSession& session,
+                                             const std::string& label,
+                                             CountFn fn) {
+  SECRETA_TRACE_SPAN("serve.admission");
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+
+  Status quota = session.ChargeQuota();
+  if (!quota.ok()) {
+    metrics.counter("serve.admission.quota_rejected")->Increment();
+    return quota;
+  }
+
+  // The scheduler's JobFn contract returns an EvaluationReport; a COUNT is
+  // just a double, so the value travels through this side channel while the
+  // report stays empty.
+  auto out = std::make_shared<double>(0);
+  JobScheduler::JobFn job =
+      [fn = std::move(fn), out](const CancellationToken& token)
+      -> Result<EvaluationReport> {
+    if (token.cancelled()) return Status::Cancelled("query cancelled");
+    SECRETA_ASSIGN_OR_RETURN(*out, fn());
+    // The deadline is cooperative: a count that finished after the reaper
+    // fired the token is late, not done. Returning Cancelled here lets the
+    // scheduler classify it — kTimedOut/DeadlineExceeded when the deadline
+    // fired, kCancelled for an explicit cancellation.
+    if (token.cancelled()) return Status::Cancelled("query cancelled");
+    return EvaluationReport{};
+  };
+
+  JobOptions job_options;
+  job_options.priority = options_.priority;
+  job_options.timeout_seconds = options_.default_deadline_seconds;
+  job_options.use_cache = false;
+
+  Result<uint64_t> submitted =
+      scheduler_->SubmitFn(std::move(job), label, job_options);
+  if (!submitted.ok()) {
+    metrics.counter("serve.admission.backpressure_rejected")->Increment();
+    return submitted.status();
+  }
+  metrics.counter("serve.admission.admitted")->Increment();
+
+  SECRETA_ASSIGN_OR_RETURN(JobInfo info, scheduler_->WaitJob(*submitted));
+  switch (info.state) {
+    case JobState::kDone:
+      return *out;
+    case JobState::kTimedOut:
+      metrics.counter("serve.admission.deadline_exceeded")->Increment();
+      return info.status;
+    case JobState::kFailed:
+    case JobState::kCancelled:
+      return info.status;
+    case JobState::kQueued:
+    case JobState::kRunning:
+      break;  // WaitJob only returns terminal states
+  }
+  return Status::Internal("query job left WaitJob in a live state");
+}
+
+}  // namespace secreta

@@ -1,0 +1,65 @@
+// Admission control: the bridge between the query server's connection
+// handlers and the JobScheduler's execution core. Every COUNT a client asks
+// for passes through here, in order:
+//
+//   1. tenant quota (token bucket) — rejected queries never reach the
+//      scheduler, so a noisy tenant cannot starve others of queue slots;
+//   2. scheduler backpressure — SubmitFn fails with ResourceExhausted (+
+//      retry-after hint) when the job queue is full;
+//   3. per-query deadline — the scheduler's reaper fires the job's
+//      cancellation token, and the query fails with DeadlineExceeded.
+//
+// Both rejection paths carry a retry-after hint in the Status, which the
+// protocol layer surfaces as "retry_after_ms" (HTTP-429 style) so clients
+// can back off instead of hammering.
+
+#ifndef SECRETA_SERVE_ADMISSION_H_
+#define SECRETA_SERVE_ADMISSION_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "serve/session.h"
+#include "service/job_scheduler.h"
+
+namespace secreta {
+
+struct AdmissionOptions {
+  /// Wall-clock budget per query; 0 disables the deadline.
+  double default_deadline_seconds = 5.0;
+  /// Scheduler priority for interactive queries. Above the default 0 so
+  /// online COUNTs preempt queued batch evaluation jobs.
+  int priority = 10;
+};
+
+/// \brief Runs client queries through quota, backpressure, and deadline
+/// gates on a shared JobScheduler. Thread-safe: handlers on every
+/// connection call RunCount concurrently.
+class AdmissionController {
+ public:
+  /// `scheduler` must outlive this controller.
+  AdmissionController(JobScheduler* scheduler,
+                      const AdmissionOptions& options = {});
+
+  /// The admitted unit of work: computes one count. Runs on a scheduler
+  /// worker; must be safe to call concurrently with other queries (catalog
+  /// lookups are const reads over published releases).
+  using CountFn = std::function<Result<double>()>;
+
+  /// Admits and executes one COUNT on behalf of `session`. Blocks until the
+  /// query completes or is rejected. Rejections:
+  ///  - ResourceExhausted (+retry-after): quota or queue full;
+  ///  - DeadlineExceeded: ran past the per-query deadline;
+  ///  - any error `fn` returned (bad query, unknown dataset, ...).
+  Result<double> RunCount(ClientSession& session, const std::string& label,
+                          CountFn fn);
+
+ private:
+  JobScheduler* const scheduler_;
+  const AdmissionOptions options_;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_SERVE_ADMISSION_H_

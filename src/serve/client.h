@@ -1,0 +1,73 @@
+// Scripted client for the serve protocol: connect, handshake, query. Used
+// by the example client binary, the smoke test in CI, the serving benchmark,
+// and the end-to-end tests — one implementation of the wire format on the
+// consuming side.
+
+#ifndef SECRETA_SERVE_CLIENT_H_
+#define SECRETA_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/protocol.h"
+
+namespace secreta {
+
+/// \brief One client connection. Synchronous request/response; not
+/// thread-safe (open one client per thread — the server side is concurrent).
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+
+  /// Opens the TCP connection (no handshake yet).
+  Status Connect(const std::string& host, uint16_t port);
+
+  /// Performs the hello handshake. Must be the first request.
+  Status Hello(const std::string& token, const std::string& client_name = "");
+
+  struct CountResult {
+    double count = 0;
+    bool cached = false;
+    double server_seconds = 0;
+  };
+
+  /// COUNT against a published dataset. `access` is "", "anonymized", or
+  /// "direct". Server rejections (quota, backpressure, permission, unknown
+  /// dataset) come back as the server's Status, retry-after hint included.
+  Result<CountResult> Count(const std::string& dataset,
+                            const std::string& query,
+                            const std::string& access = "");
+
+  Result<std::vector<ServeDatasetInfo>> ListDatasets();
+
+  /// The server's counters, flattened to "name value" lines (the greppable
+  /// subset of the metrics snapshot; CI asserts on serve.* counters here).
+  Result<std::string> Metrics();
+
+  Status Ping();
+
+  /// Polite goodbye (the server closes after acknowledging).
+  Status Bye();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  /// Sends `request` and reads the matching response frame.
+  Result<ServeResponse> RoundTrip(const ServeRequest& request);
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_SERVE_CLIENT_H_

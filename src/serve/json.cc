@@ -1,0 +1,364 @@
+#include "serve/json.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace secreta {
+
+namespace {
+
+// Appends `cp` (a Unicode code point) to `out` as UTF-8.
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+}  // namespace
+
+/// Recursive-descent parser over an immutable buffer. Friend of JsonValue so
+/// it can fill the private fields directly.
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Result<JsonValue> Run() {
+    JsonValue root;
+    SECRETA_RETURN_IF_ERROR(ParseValue(&root, 0));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing bytes after JSON document");
+    }
+    return root;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("json: %s at offset %zu", what.c_str(), pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(const char* literal) {
+    for (const char* p = literal; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return Fail(std::string("expected '") + literal + "'");
+      }
+      ++pos_;
+    }
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, size_t depth) {
+    if (depth > max_depth_) return Fail("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind_ = JsonValue::Kind::kString;
+        return ParseString(&out->string_);
+      case 't':
+        SECRETA_RETURN_IF_ERROR(Expect("true"));
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = true;
+        return Status::OK();
+      case 'f':
+        SECRETA_RETURN_IF_ERROR(Expect("false"));
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = false;
+        return Status::OK();
+      case 'n':
+        SECRETA_RETURN_IF_ERROR(Expect("null"));
+        out->kind_ = JsonValue::Kind::kNull;
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, size_t depth) {
+    ++pos_;  // '{'
+    out->kind_ = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key string");
+      }
+      std::string key;
+      SECRETA_RETURN_IF_ERROR(ParseString(&key));
+      SkipSpace();
+      if (!Consume(':')) return Fail("expected ':' after object key");
+      JsonValue value;
+      SECRETA_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      // Last duplicate wins (RFC 8259 leaves it open; pick the predictable
+      // option so a malicious duplicate cannot smuggle an earlier value past
+      // a validator that saw the later one).
+      bool replaced = false;
+      for (auto& member : out->members_) {
+        if (member.first == key) {
+          member.second = std::move(value);
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) out->members_.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, size_t depth) {
+    ++pos_;  // '['
+    out->kind_ = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue value;
+      SECRETA_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->elements_.push_back(std::move(value));
+      SkipSpace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Fail("unterminated string");
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Fail("unescaped control character in string");
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) return Fail("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          uint32_t cp = 0;
+          SECRETA_RETURN_IF_ERROR(ParseHex4(&cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Fail("unpaired surrogate");
+            }
+            pos_ += 2;
+            uint32_t low = 0;
+            SECRETA_RETURN_IF_ERROR(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Fail("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Fail("unpaired surrogate");
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return Fail("invalid escape character");
+      }
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("invalid hex digit in \\u escape");
+      }
+    }
+    *out = value;
+    return Status::OK();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (Consume('-')) {
+      // sign consumed; digits must follow
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return Fail("invalid number");
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Fail("digits required after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Fail("digits required in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(value)) {
+      return Fail("number out of range");
+    }
+    out->kind_ = JsonValue::Kind::kNumber;
+    out->number_ = value;
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  size_t max_depth_;
+};
+
+Result<JsonValue> JsonValue::Parse(const std::string& text, size_t max_depth) {
+  return JsonParser(text, max_depth).Run();
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& member : members_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+Result<std::string> JsonValue::GetString(const std::string& key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) {
+    return Status::InvalidArgument("missing field: " + key);
+  }
+  if (!v->is_string()) {
+    return Status::InvalidArgument("field is not a string: " + key);
+  }
+  return v->string_value();
+}
+
+Result<std::string> JsonValue::GetStringOr(const std::string& key,
+                                           const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_string()) {
+    return Status::InvalidArgument("field is not a string: " + key);
+  }
+  return v->string_value();
+}
+
+Result<double> JsonValue::GetNumber(const std::string& key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) {
+    return Status::InvalidArgument("missing field: " + key);
+  }
+  if (!v->is_number()) {
+    return Status::InvalidArgument("field is not a number: " + key);
+  }
+  return v->number_value();
+}
+
+Result<double> JsonValue::GetNumberOr(const std::string& key,
+                                      double fallback) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    return Status::InvalidArgument("field is not a number: " + key);
+  }
+  return v->number_value();
+}
+
+Result<uint64_t> JsonValue::GetUint(const std::string& key) const {
+  SECRETA_ASSIGN_OR_RETURN(double value, GetNumber(key));
+  if (value < 0 || value != std::floor(value) || value > 1e18) {
+    return Status::InvalidArgument("field is not a non-negative integer: " +
+                                   key);
+  }
+  return static_cast<uint64_t>(value);
+}
+
+Result<uint64_t> JsonValue::GetUintOr(const std::string& key,
+                                      uint64_t fallback) const {
+  if (Find(key) == nullptr) return fallback;
+  return GetUint(key);
+}
+
+Result<bool> JsonValue::GetBoolOr(const std::string& key,
+                                  bool fallback) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_bool()) {
+    return Status::InvalidArgument("field is not a bool: " + key);
+  }
+  return v->bool_value();
+}
+
+}  // namespace secreta

@@ -1,0 +1,90 @@
+// Minimal JSON document model + recursive-descent parser for the serving
+// wire protocol. The repo's JsonWriter (export/json_export.h) covers the
+// producing side; this is the consuming side: the server parses client
+// request frames and the scripted client parses responses. Dependency-free,
+// non-throwing (Status/Result like everything else), and hardened for
+// untrusted network input: depth-limited, rejects trailing garbage, and
+// never reads past the buffer.
+//
+// Scope: RFC 8259 minus exotica the protocol never emits — numbers parse via
+// strtod (so 1e99 works), \uXXXX escapes decode to UTF-8 (surrogate pairs
+// supported), duplicate object keys keep the last value.
+
+#ifndef SECRETA_SERVE_JSON_H_
+#define SECRETA_SERVE_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace secreta {
+
+/// \brief One parsed JSON value (tree-owning, immutable after Parse).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  /// Parses a complete JSON document. Fails with InvalidArgument on any
+  /// syntax error, nesting deeper than `max_depth`, or trailing non-space
+  /// bytes after the document.
+  static Result<JsonValue> Parse(const std::string& text,
+                                 size_t max_depth = 64);
+
+  JsonValue() = default;  // null
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Value accessors; calling the wrong one returns a zero value (never UB)
+  /// — protocol code always checks kind via the typed getters below.
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+
+  /// Object members in document order (duplicates already collapsed).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  /// Array elements in document order.
+  const std::vector<JsonValue>& elements() const { return elements_; }
+
+  /// Object lookup; null when absent or when this is not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  // Typed member getters for protocol decoding. Get* fails with
+  // InvalidArgument when the key is missing or the wrong type; the *Or
+  // variants substitute a default when the key is absent (but still fail on
+  // a type mismatch — a client sending {"id": "seven"} is an error, not a
+  // default).
+  Result<std::string> GetString(const std::string& key) const;
+  Result<std::string> GetStringOr(const std::string& key,
+                                  const std::string& fallback) const;
+  Result<double> GetNumber(const std::string& key) const;
+  Result<double> GetNumberOr(const std::string& key, double fallback) const;
+  Result<uint64_t> GetUint(const std::string& key) const;
+  Result<uint64_t> GetUintOr(const std::string& key, uint64_t fallback) const;
+  Result<bool> GetBoolOr(const std::string& key, bool fallback) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+  std::vector<JsonValue> elements_;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_SERVE_JSON_H_

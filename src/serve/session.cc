@@ -1,0 +1,142 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace secreta {
+
+const char* AccessLevelToString(AccessLevel level) {
+  switch (level) {
+    case AccessLevel::kAnonymized:
+      return "anonymized";
+    case AccessLevel::kDirect:
+      return "direct";
+  }
+  return "unknown";
+}
+
+Result<AccessLevel> ParseAccessLevel(const std::string& name) {
+  if (name == "anonymized") return AccessLevel::kAnonymized;
+  if (name == "direct") return AccessLevel::kDirect;
+  return Status::InvalidArgument(
+      StrFormat("unknown access level \"%s\" (want anonymized|direct)",
+                name.c_str()));
+}
+
+Result<TenantConfig> ParseTenantSpec(const std::string& spec) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t colon = spec.find(':', start);
+    if (colon == std::string::npos) {
+      parts.push_back(spec.substr(start));
+      break;
+    }
+    parts.push_back(spec.substr(start, colon - start));
+    start = colon + 1;
+  }
+  if (parts.size() < 3 || parts.size() > 5) {
+    return Status::InvalidArgument(StrFormat(
+        "tenant spec \"%s\" must be name:token:access[:qps[:burst]]",
+        spec.c_str()));
+  }
+  TenantConfig config;
+  config.name = parts[0];
+  config.token = parts[1];
+  if (config.name.empty() || config.token.empty()) {
+    return Status::InvalidArgument("tenant name and token must be non-empty");
+  }
+  SECRETA_ASSIGN_OR_RETURN(config.access, ParseAccessLevel(parts[2]));
+  if (parts.size() >= 4) {
+    char* end = nullptr;
+    config.quota_qps = std::strtod(parts[3].c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument(
+          StrFormat("bad qps \"%s\" in tenant spec", parts[3].c_str()));
+    }
+  }
+  if (parts.size() == 5) {
+    char* end = nullptr;
+    config.quota_burst = std::strtod(parts[4].c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument(
+          StrFormat("bad burst \"%s\" in tenant spec", parts[4].c_str()));
+    }
+  }
+  return config;
+}
+
+TokenBucket::TokenBucket(double rate, double burst)
+    : rate_(rate),
+      burst_(rate <= 0 ? 0
+                       : (burst > 0 ? std::max(burst, 1.0)
+                                    : std::max(rate, 1.0))),
+      tokens_(burst_),
+      last_refill_(std::chrono::steady_clock::now()) {}
+
+Status TokenBucket::TryAcquire() {
+  if (rate_ <= 0) return Status::OK();
+  MutexLock lock(mutex_);
+  auto now = std::chrono::steady_clock::now();
+  double elapsed =
+      std::chrono::duration<double>(now - last_refill_).count();
+  last_refill_ = now;
+  tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return Status::OK();
+  }
+  double wait = (1.0 - tokens_) / rate_;
+  return Status::ResourceExhausted("tenant query quota exhausted")
+      .WithRetryAfter(wait);
+}
+
+ClientSession::ClientSession(uint64_t id, const TenantConfig& config,
+                             std::shared_ptr<TokenBucket> quota)
+    : id_(id),
+      tenant_(config.name),
+      access_(config.access),
+      quota_(std::move(quota)) {}
+
+bool ClientSession::Allows(AccessLevel requested) const {
+  if (requested == AccessLevel::kDirect) {
+    return access_ == AccessLevel::kDirect;
+  }
+  return true;  // anonymized answers are available to every tenant
+}
+
+Status TenantRegistry::AddTenant(const TenantConfig& config) {
+  if (config.name.empty() || config.token.empty()) {
+    return Status::InvalidArgument("tenant name and token must be non-empty");
+  }
+  if (token_by_name_.count(config.name) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("tenant \"%s\" already registered", config.name.c_str()));
+  }
+  if (by_token_.count(config.token) > 0) {
+    return Status::AlreadyExists("token already in use by another tenant");
+  }
+  Tenant tenant;
+  tenant.config = config;
+  tenant.quota =
+      std::make_shared<TokenBucket>(config.quota_qps, config.quota_burst);
+  token_by_name_.emplace(config.name, config.token);
+  by_token_.emplace(config.token, std::move(tenant));
+  return Status::OK();
+}
+
+Result<std::shared_ptr<ClientSession>> TenantRegistry::Authenticate(
+    const std::string& token) {
+  auto it = by_token_.find(token);
+  if (it == by_token_.end()) {
+    return Status::PermissionDenied("unknown tenant token");
+  }
+  uint64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_shared<ClientSession>(id, it->second.config,
+                                         it->second.quota);
+}
+
+}  // namespace secreta
