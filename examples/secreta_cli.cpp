@@ -24,6 +24,12 @@
 //                          instead of exceeding it, and flags affected
 //                          reports as degraded
 //
+// Performance flags:
+//   --kernels <tier>       force the SIMD kernel tier (scalar, avx2, neon)
+//                          instead of the CPU-detected best; the
+//                          SECRETA_KERNELS environment variable is a fallback
+//                          for the flag
+//
 // Try:
 //   generate 2000
 //   hierarchies auto
@@ -44,6 +50,7 @@
 
 #include "export/json_export.h"
 #include "frontend/cli.h"
+#include "kernels/kernels.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "robust/fault_injection.h"
@@ -81,6 +88,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string metrics_out;
   std::string fault_spec;
+  std::string kernel_tier;
   size_t mem_budget_mb = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -94,16 +102,28 @@ int main(int argc, char** argv) {
       mem_budget_mb = static_cast<size_t>(std::atoll(arg.c_str() + 16));
     } else if (arg == "--mem-budget-mb" && i + 1 < argc) {
       mem_budget_mb = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg.rfind("--kernels=", 0) == 0) {
+      kernel_tier = arg.substr(10);
+    } else if (arg == "--kernels" && i + 1 < argc) {
+      kernel_tier = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--trace-out FILE] [--metrics-out FILE]"
-                << " [--faults SPEC] [--mem-budget-mb N] [script]\n";
+                << " [--faults SPEC] [--mem-budget-mb N]"
+                << " [--kernels TIER] [script]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown flag: " << arg << "\n";
       return 1;
     } else {
       script_path = arg;
+    }
+  }
+  if (!kernel_tier.empty()) {
+    secreta::Status status = secreta::kernels::SetTier(kernel_tier);
+    if (!status.ok()) {
+      std::cerr << "bad --kernels tier: " << status.ToString() << "\n";
+      return 1;
     }
   }
   if (fault_spec.empty()) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "datagen/synthetic.h"
+#include "kernels/kernels.h"
 #include "serve/catalog.h"
 #include "serve/server.h"
 #include "serve/session.h"
@@ -66,7 +67,10 @@ void Usage() {
       "  --workers N          scheduler workers (default 4)\n"
       "  --max-connections N  concurrent client connections (default 8)\n"
       "  --deadline SECONDS   per-query deadline (default 5)\n"
-      "  --idle-timeout SECONDS  drop idle connections (default 300)\n");
+      "  --idle-timeout SECONDS  drop idle connections (default 300)\n"
+      "  --kernels TIER       force the SIMD kernel tier (scalar, avx2, neon)\n"
+      "                       instead of the CPU-detected best; the\n"
+      "                       SECRETA_KERNELS env var is a fallback\n");
   std::exit(2);
 }
 
@@ -115,12 +119,17 @@ int main(int argc, char** argv) {
           std::atof(next("--deadline"));
     } else if (std::strcmp(argv[i], "--idle-timeout") == 0) {
       server_options.idle_timeout_seconds = std::atof(next("--idle-timeout"));
+    } else if (std::strcmp(argv[i], "--kernels") == 0) {
+      if (Status s = kernels::SetTier(next("--kernels")); !s.ok()) {
+        Fail(s, "set --kernels tier");
+      }
     } else {
       std::fprintf(stderr, "secreta_jobd: unknown flag %s\n", argv[i]);
       Usage();
     }
   }
   if (!have_listen) Usage();
+  std::printf("simd kernels: %s tier\n", kernels::ActiveTierName());
   if (tenant_specs.empty()) {
     tenant_specs = {"admin:admin-token:direct",
                     "demo:demo-token:anonymized:25"};

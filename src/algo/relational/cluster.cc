@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "metrics/information_loss.h"
 #include "obs/trace.h"
@@ -10,25 +11,52 @@ namespace secreta {
 
 namespace {
 
+// Flattened per-record context: record -> leaf per QI (skips the
+// dataset-value + leaf-map double indirection in the O(clusters x k x pool)
+// cost scans) and node -> NCP per hierarchy (NodeNcp is pure per node).
+struct FlatContext {
+  std::vector<std::vector<NodeId>> leaf_cols;  // qi -> per-record leaf
+  std::vector<std::vector<double>> node_ncp;   // qi -> per-node NCP
+
+  explicit FlatContext(const RelationalContext& context) {
+    size_t q = context.num_qi();
+    size_t n = context.num_records();
+    leaf_cols.resize(q);
+    node_ncp.resize(q);
+    for (size_t qi = 0; qi < q; ++qi) {
+      leaf_cols[qi].resize(n);
+      for (size_t r = 0; r < n; ++r) leaf_cols[qi][r] = context.Leaf(r, qi);
+      const Hierarchy& h = context.hierarchy(qi);
+      node_ncp[qi].resize(h.num_nodes());
+      for (size_t node = 0; node < h.num_nodes(); ++node) {
+        node_ncp[qi][node] = NodeNcp(h, static_cast<NodeId>(node));
+      }
+    }
+  }
+};
+
 // Incremental cluster head: per-QI LCA of all members so far.
 struct ClusterHead {
   std::vector<NodeId> lca;       // per QI
   std::vector<size_t> members;   // record indices
 
   // NCP sum of the head after hypothetically adding `row` (lower = closer).
-  double CostWith(const RelationalContext& context, size_t row) const {
+  double CostWith(const RelationalContext& context, const FlatContext& flat,
+                  size_t row) const {
     double cost = 0;
     for (size_t qi = 0; qi < lca.size(); ++qi) {
       const Hierarchy& h = context.hierarchy(qi);
-      cost += NodeNcp(h, h.Lca(lca[qi], context.Leaf(row, qi)));
+      NodeId joined = h.Lca(lca[qi], flat.leaf_cols[qi][row]);
+      cost += flat.node_ncp[qi][static_cast<size_t>(joined)];
     }
     return cost;
   }
 
-  void Add(const RelationalContext& context, size_t row) {
+  void Add(const RelationalContext& context, const FlatContext& flat,
+           size_t row) {
     for (size_t qi = 0; qi < lca.size(); ++qi) {
       const Hierarchy& h = context.hierarchy(qi);
-      lca[qi] = h.Lca(lca[qi], context.Leaf(row, qi));
+      lca[qi] = h.Lca(lca[qi], flat.leaf_cols[qi][row]);
     }
     members.push_back(row);
   }
@@ -47,6 +75,7 @@ Result<RelationalRecoding> ClusterAnonymizer::Anonymize(
         "dataset has fewer records than k; k-anonymity is unattainable");
   }
   size_t q = context.num_qi();
+  FlatContext flat(context);
   Rng rng(params.seed);
   std::vector<size_t> remaining(n);
   for (size_t i = 0; i < n; ++i) remaining[i] = i;
@@ -57,15 +86,23 @@ Result<RelationalRecoding> ClusterAnonymizer::Anonymize(
     return row;
   };
 
+  // Scratch for the parallel candidate scans: every candidate's cost is
+  // computed independently, then a serial argmin applies the exact strict-<
+  // first-minimum rule of the sequential loop — identical picks, identical
+  // clusters, with or without a pool.
+  std::vector<double> costs;
   std::vector<ClusterHead> clusters;
   while (remaining.size() >= k) {
+    SECRETA_RETURN_IF_ERROR(CheckCancel("cluster seed"));
     // Seed a new cluster with a random remaining record.
     size_t seed_pos = static_cast<size_t>(
         rng.UniformInt(0, static_cast<int64_t>(remaining.size() - 1)));
     ClusterHead head;
     head.lca.resize(q);
     size_t seed_row = take(seed_pos);
-    for (size_t qi = 0; qi < q; ++qi) head.lca[qi] = context.Leaf(seed_row, qi);
+    for (size_t qi = 0; qi < q; ++qi) {
+      head.lca[qi] = flat.leaf_cols[qi][seed_row];
+    }
     head.members.push_back(seed_row);
     // Greedily add the closest record until the cluster has k members,
     // scanning a bounded candidate pool for scalability.
@@ -78,31 +115,37 @@ Result<RelationalRecoding> ClusterAnonymizer::Anonymize(
       } else {
         candidates = rng.Sample(remaining.size(), pool);
       }
+      costs.resize(candidates.size());
+      ParallelFor(pool_, candidates.size(), [&](size_t ci) {
+        costs[ci] = head.CostWith(context, flat, remaining[candidates[ci]]);
+      });
       size_t best_pos = candidates[0];
-      double best_cost = head.CostWith(context, remaining[best_pos]);
+      double best_cost = costs[0];
       for (size_t ci = 1; ci < candidates.size(); ++ci) {
-        double cost = head.CostWith(context, remaining[candidates[ci]]);
-        if (cost < best_cost) {
-          best_cost = cost;
+        if (costs[ci] < best_cost) {
+          best_cost = costs[ci];
           best_pos = candidates[ci];
         }
       }
-      head.Add(context, take(best_pos));
+      head.Add(context, flat, take(best_pos));
     }
     clusters.push_back(std::move(head));
   }
   // Fewer than k records remain: each joins the cluster it dilates least.
   for (size_t row : remaining) {
+    costs.resize(clusters.size());
+    ParallelFor(pool_, clusters.size(), [&](size_t c) {
+      costs[c] = clusters[c].CostWith(context, flat, row);
+    });
     size_t best_cluster = 0;
-    double best_cost = clusters[0].CostWith(context, row);
+    double best_cost = costs[0];
     for (size_t c = 1; c < clusters.size(); ++c) {
-      double cost = clusters[c].CostWith(context, row);
-      if (cost < best_cost) {
-        best_cost = cost;
+      if (costs[c] < best_cost) {
+        best_cost = costs[c];
         best_cluster = c;
       }
     }
-    clusters[best_cluster].Add(context, row);
+    clusters[best_cluster].Add(context, flat, row);
   }
   RelationalRecoding recoding(n, q);
   for (const ClusterHead& cluster : clusters) {

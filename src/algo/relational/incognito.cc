@@ -1,11 +1,14 @@
 #include "algo/relational/incognito.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <numeric>
 #include <unordered_map>
 
+#include "common/parallel.h"
 #include "core/equivalence.h"
 #include "core/recoding.h"
 #include "metrics/information_loss.h"
@@ -38,6 +41,7 @@ struct Frontier {
 };
 
 // Lazily computed leaf -> ancestor-at-level tables, one per (qi, level).
+// Reference-path helper (the seed implementation, kept as the oracle).
 class LevelTables {
  public:
   explicit LevelTables(const RelationalContext& context) : context_(&context) {
@@ -65,10 +69,11 @@ class LevelTables {
   std::vector<std::vector<std::vector<NodeId>>> tables_;
 };
 
-// k-anonymity of the dataset generalized to `levels` over the QIs in
-// `subset`.
-bool CheckAnonymous(const RelationalContext& context, LevelTables* tables,
-                    const Subset& subset, const Levels& levels, int k) {
+// Reference k-anonymity check: vector keys into an unordered_map. O(n)
+// hashing of q-element vectors plus node allocations per distinct group.
+bool CheckAnonymousReference(const RelationalContext& context,
+                             LevelTables* tables, const Subset& subset,
+                             const Levels& levels, int k) {
   struct VecHash {
     size_t operator()(const std::vector<NodeId>& v) const {
       size_t h = 0xcbf29ce484222325ULL;
@@ -99,6 +104,161 @@ bool CheckAnonymous(const RelationalContext& context, LevelTables* tables,
   return true;
 }
 
+// Optimized-path columns: for each (qi, level) a per-record column of dense
+// codes in [0, radix). A group key over a QI subset then packs into one
+// uint64 by mixed-radix arithmetic — no vector hashing, no per-group
+// allocation — and the scan body is three array loads per (record, qi).
+class RecodedColumns {
+ public:
+  static constexpr uint32_t kNoCode = ~uint32_t{0};
+
+  struct Column {
+    std::vector<uint32_t> codes;  // per record
+    uint64_t radix = 0;           // 0 = not built yet
+  };
+
+  explicit RecodedColumns(const RelationalContext& context)
+      : context_(&context) {
+    size_t q = context.num_qi();
+    size_t n = context.num_records();
+    leaf_cols_.resize(q);
+    cols_.resize(q);
+    for (size_t qi = 0; qi < q; ++qi) {
+      leaf_cols_[qi].resize(n);
+      for (size_t r = 0; r < n; ++r) {
+        leaf_cols_[qi][r] =
+            static_cast<uint32_t>(context.Leaf(r, qi));
+      }
+      cols_[qi].resize(static_cast<size_t>(context.hierarchy(qi).height()) + 1);
+    }
+  }
+
+  /// Builds (qi, level) if missing. Must run on one thread; Get() afterwards
+  /// is safe concurrently.
+  const Column& Ensure(size_t qi, int level) {
+    Column& col = cols_[qi][static_cast<size_t>(level)];
+    if (col.radix != 0) return col;
+    const Hierarchy& h = context_->hierarchy(qi);
+    // Dense-code the level's ancestor nodes in leaf order (deterministic).
+    std::vector<uint32_t> node_code(h.num_nodes(), kNoCode);
+    uint32_t next = 0;
+    for (NodeId leaf : h.leaves()) {
+      size_t anc = static_cast<size_t>(h.AncestorAtLevel(leaf, level));
+      if (node_code[anc] == kNoCode) node_code[anc] = next++;
+    }
+    std::vector<uint32_t> leaf_code(h.num_nodes(), 0);
+    for (NodeId leaf : h.leaves()) {
+      leaf_code[static_cast<size_t>(leaf)] =
+          node_code[static_cast<size_t>(h.AncestorAtLevel(leaf, level))];
+    }
+    size_t n = context_->num_records();
+    col.codes.resize(n);
+    const std::vector<uint32_t>& leaves = leaf_cols_[qi];
+    for (size_t r = 0; r < n; ++r) col.codes[r] = leaf_code[leaves[r]];
+    col.radix = next == 0 ? 1 : next;
+    return col;
+  }
+
+  const Column& Get(size_t qi, int level) const {
+    return cols_[qi][static_cast<size_t>(level)];
+  }
+
+ private:
+  const RelationalContext* context_;
+  std::vector<std::vector<uint32_t>> leaf_cols_;  // qi -> per-record leaf
+  std::vector<std::vector<Column>> cols_;         // qi -> level -> column
+};
+
+// Mixed-radix packing of one (subset, levels) group key. ok = false when the
+// combined key space overflows 64 bits (fall back to the reference scan).
+struct PackedPlan {
+  std::vector<const uint32_t*> codes;
+  std::vector<uint64_t> strides;
+  uint64_t space = 1;
+  bool ok = true;
+};
+
+PackedPlan MakePlan(const RecodedColumns& columns, const Subset& subset,
+                    const Levels& levels) {
+  PackedPlan plan;
+  plan.codes.reserve(subset.size());
+  plan.strides.reserve(subset.size());
+  for (size_t i = 0; i < subset.size(); ++i) {
+    const RecodedColumns::Column& col = columns.Get(subset[i], levels[i]);
+    if (col.radix != 0 &&
+        plan.space > (~uint64_t{0} >> 1) / col.radix) {
+      plan.ok = false;
+      return plan;
+    }
+    plan.codes.push_back(col.codes.data());
+    plan.strides.push_back(plan.space);
+    plan.space *= col.radix;
+  }
+  return plan;
+}
+
+inline uint64_t MixKey(uint64_t x) {
+  // splitmix64 finalizer.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// k-anonymity via packed keys: direct-address counts when the key space is
+// small, linear-probing open addressing (flat arrays, no per-group
+// allocation) otherwise.
+bool CheckAnonymousPacked(const PackedPlan& plan, size_t n, int k) {
+  size_t q = plan.codes.size();
+  auto key_of = [&](size_t r) {
+    uint64_t key = 0;
+    for (size_t i = 0; i < q; ++i) {
+      key += static_cast<uint64_t>(plan.codes[i][r]) * plan.strides[i];
+    }
+    return key;
+  };
+  if (plan.space <= 4 * static_cast<uint64_t>(n) + 1024) {
+    std::vector<uint32_t> counts(static_cast<size_t>(plan.space), 0);
+    for (size_t r = 0; r < n; ++r) ++counts[static_cast<size_t>(key_of(r))];
+    for (uint32_t c : counts) {
+      if (c != 0 && c < static_cast<uint32_t>(k)) return false;
+    }
+    return true;
+  }
+  constexpr uint64_t kEmpty = ~uint64_t{0};
+  size_t cap = 1;
+  while (cap < 2 * n) cap <<= 1;
+  std::vector<uint64_t> slot_key(cap, kEmpty);
+  std::vector<uint32_t> slot_count(cap, 0);
+  size_t mask = cap - 1;
+  for (size_t r = 0; r < n; ++r) {
+    uint64_t key = key_of(r);  // < space <= 2^63, never the sentinel
+    size_t idx = static_cast<size_t>(MixKey(key)) & mask;
+    while (true) {
+      if (slot_key[idx] == kEmpty) {
+        slot_key[idx] = key;
+        slot_count[idx] = 1;
+        break;
+      }
+      if (slot_key[idx] == key) {
+        ++slot_count[idx];
+        break;
+      }
+      idx = (idx + 1) & mask;
+    }
+  }
+  for (size_t i = 0; i < cap; ++i) {
+    if (slot_key[i] != kEmpty && slot_count[i] < static_cast<uint32_t>(k)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int LevelSum(const Levels& levels) {
+  return std::accumulate(levels.begin(), levels.end(), 0);
+}
+
 // All level vectors of the subset's lattice, ordered by level sum (BFS order).
 std::vector<Levels> LatticeNodes(const std::vector<int>& heights) {
   std::vector<Levels> nodes;
@@ -119,9 +279,7 @@ std::vector<Levels> LatticeNodes(const std::vector<int>& heights) {
   }
   std::stable_sort(nodes.begin(), nodes.end(),
                    [](const Levels& a, const Levels& b) {
-                     int sa = std::accumulate(a.begin(), a.end(), 0);
-                     int sb = std::accumulate(b.begin(), b.end(), 0);
-                     return sa < sb;
+                     return LevelSum(a) < LevelSum(b);
                    });
   return nodes;
 }
@@ -158,47 +316,100 @@ Result<std::vector<std::vector<int>>> IncognitoAnonymizer::MinimalAnonymousLevel
     return Status::InvalidArgument(
         "Incognito enumerates QI subsets; more than 12 QIs is intractable");
   }
-  if (context.num_records() < static_cast<size_t>(params.k)) {
+  size_t n = context.num_records();
+  if (n < static_cast<size_t>(params.k)) {
     return Status::FailedPrecondition(
         "dataset has fewer records than k; k-anonymity is unattainable");
   }
   LevelTables tables(context);
+  std::unique_ptr<RecodedColumns> columns;
+  if (!use_reference_impl_) columns = std::make_unique<RecodedColumns>(context);
   std::map<Subset, Frontier> frontiers;
   for (size_t size = 1; size <= q; ++size) {
     for (const Subset& subset : Combinations(q, size)) {
+      SECRETA_RETURN_IF_ERROR(CheckCancel("incognito subset"));
       std::vector<int> heights(size);
       for (size_t i = 0; i < size; ++i) {
         heights[i] = context.hierarchy(subset[i]).height();
       }
       Frontier& frontier = frontiers[subset];
-      for (const Levels& levels : LatticeNodes(heights)) {
-        ++stats->lattice_nodes;
-        if (frontier.IsAnonymous(levels)) {  // rollup property
-          ++stats->inherited;
-          continue;
-        }
-        if (size > 1) {
-          // Subset property: every (size-1)-restriction must be anonymous.
-          bool viable = true;
-          for (size_t drop = 0; drop < size && viable; ++drop) {
-            Subset sub;
-            Levels sub_levels;
-            for (size_t i = 0; i < size; ++i) {
-              if (i == drop) continue;
-              sub.push_back(subset[i]);
-              sub_levels.push_back(levels[i]);
-            }
-            viable = frontiers[sub].IsAnonymous(sub_levels);
-          }
-          if (!viable) {
-            ++stats->pruned_by_subset;
+      std::vector<Levels> nodes = LatticeNodes(heights);
+      // Walk the lattice one level sum at a time. Equal-sum vectors cannot
+      // dominate one another (equal sum + component-wise <= forces
+      // equality), so the rollup check against the frontier at level entry
+      // and a parallel scan of the level's survivors are both exact — the
+      // frontier grows only between levels, in node order, which keeps the
+      // result byte-identical to the serial walk.
+      size_t begin = 0;
+      while (begin < nodes.size()) {
+        SECRETA_RETURN_IF_ERROR(CheckCancel("incognito level"));
+        int sum = LevelSum(nodes[begin]);
+        size_t end = begin + 1;
+        while (end < nodes.size() && LevelSum(nodes[end]) == sum) ++end;
+        std::vector<size_t> to_scan;
+        for (size_t i = begin; i < end; ++i) {
+          const Levels& levels = nodes[i];
+          ++stats->lattice_nodes;
+          if (frontier.IsAnonymous(levels)) {  // rollup property
+            ++stats->inherited;
             continue;
           }
+          if (size > 1) {
+            // Subset property: every (size-1)-restriction must be anonymous.
+            bool viable = true;
+            for (size_t drop = 0; drop < size && viable; ++drop) {
+              Subset sub;
+              Levels sub_levels;
+              for (size_t i2 = 0; i2 < size; ++i2) {
+                if (i2 == drop) continue;
+                sub.push_back(subset[i2]);
+                sub_levels.push_back(levels[i2]);
+              }
+              viable = frontiers[sub].IsAnonymous(sub_levels);
+            }
+            if (!viable) {
+              ++stats->pruned_by_subset;
+              continue;
+            }
+          }
+          ++stats->scanned;
+          to_scan.push_back(i);
         }
-        ++stats->scanned;
-        if (CheckAnonymous(context, &tables, subset, levels, params.k)) {
-          frontier.minimal.push_back(levels);
+        if (!to_scan.empty()) {
+          std::vector<char> anonymous(to_scan.size(), 0);
+          if (use_reference_impl_) {
+            for (size_t t = 0; t < to_scan.size(); ++t) {
+              anonymous[t] = CheckAnonymousReference(
+                  context, &tables, subset, nodes[to_scan[t]], params.k);
+            }
+          } else {
+            // Build the needed recode columns serially, then scan the
+            // level's candidates in parallel over immutable state.
+            std::vector<PackedPlan> plans(to_scan.size());
+            for (size_t t = 0; t < to_scan.size(); ++t) {
+              const Levels& levels = nodes[to_scan[t]];
+              for (size_t i = 0; i < size; ++i) {
+                columns->Ensure(subset[i], levels[i]);
+              }
+              plans[t] = MakePlan(*columns, subset, levels);
+            }
+            ParallelFor(pool_, to_scan.size(), [&](size_t t) {
+              if (plans[t].ok) {
+                anonymous[t] = CheckAnonymousPacked(plans[t], n, params.k);
+              }
+            });
+            for (size_t t = 0; t < to_scan.size(); ++t) {
+              if (!plans[t].ok) {  // key space > 2^63: degenerate, rare
+                anonymous[t] = CheckAnonymousReference(
+                    context, &tables, subset, nodes[to_scan[t]], params.k);
+              }
+            }
+          }
+          for (size_t t = 0; t < to_scan.size(); ++t) {
+            if (anonymous[t]) frontier.minimal.push_back(nodes[to_scan[t]]);
+          }
         }
+        begin = end;
       }
     }
   }

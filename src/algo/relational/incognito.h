@@ -39,6 +39,14 @@ class IncognitoAnonymizer : public RelationalAnonymizer {
   Result<std::vector<std::vector<int>>> MinimalAnonymousLevels(
       const RelationalContext& context, const AnonParams& params,
       IncognitoStats* stats = nullptr);
+
+  /// Forces the original map-of-vector-keys scan instead of the packed-key
+  /// open-addressing counter. The reference path is the oracle the property
+  /// tests and speedup benches compare the optimized path against.
+  void set_use_reference_impl(bool value) { use_reference_impl_ = value; }
+
+ private:
+  bool use_reference_impl_ = false;
 };
 
 }  // namespace secreta

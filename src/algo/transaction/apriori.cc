@@ -10,13 +10,15 @@ namespace secreta {
 
 Result<bool> RunAprioriLoop(HierarchyCut* cut, const std::vector<size_t>& subset,
                             int k, int m, int min_depth,
-                            bool suppress_on_failure) {
+                            bool suppress_on_failure, ThreadPool* pool,
+                            const CancellationToken* cancel) {
   const Hierarchy& h = cut->context().hierarchy();
   for (int i = 1; i <= m; ++i) {
     while (true) {
+      SECRETA_RETURN_IF_ERROR(CheckCancelled(cancel, "apriori raise"));
       CutRecoding view = cut->Materialize(subset);
       // Count-tree support counting ([10] Sec. 5); one pass per iteration.
-      CountTree tree(view.recoding.records, i);
+      CountTree tree(view.recoding.records, i, pool);
       auto violations = tree.FindViolations(k, 1);
       if (violations.empty()) break;
       // Candidate raises: the distinct cut nodes of the violating itemset
@@ -58,7 +60,8 @@ Result<TransactionRecoding> AprioriAnonymizer::AnonymizeSubset(
   HierarchyCut cut(context);
   SECRETA_ASSIGN_OR_RETURN(
       bool done, RunAprioriLoop(&cut, subset, params.k, params.m,
-                                /*min_depth=*/0, /*suppress_on_failure=*/true));
+                                /*min_depth=*/0, /*suppress_on_failure=*/true,
+                                pool_, cancel_));
   (void)done;  // with suppress_on_failure the loop always succeeds
   return std::move(cut.Materialize(subset).recoding);
 }

@@ -30,10 +30,14 @@ class AprioriAnonymizer : public TransactionAnonymizer {
 /// violation persists with every involved node unraisable:
 /// `suppress_on_failure` true suppresses all items (guarantee preserved,
 /// returns true); false leaves the cut as-is and returns false so the caller
-/// can fix the residue by other means.
+/// can fix the residue by other means. `pool` (may be null) parallelizes the
+/// count-tree builds; `cancel` (may be null) is polled once per raise
+/// iteration.
 Result<bool> RunAprioriLoop(HierarchyCut* cut, const std::vector<size_t>& subset,
                             int k, int m, int min_depth,
-                            bool suppress_on_failure);
+                            bool suppress_on_failure,
+                            ThreadPool* pool = nullptr,
+                            const CancellationToken* cancel = nullptr);
 
 }  // namespace secreta
 

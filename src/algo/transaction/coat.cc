@@ -114,6 +114,7 @@ Result<TransactionRecoding> CoatAnonymizer::AnonymizeSubset(
   txns.reserve(subset.size());
   for (size_t row : subset) txns.push_back(context.dataset().items(row));
   GenSpace space(std::move(txns), context.dataset().item_dictionary());
+  space.set_use_reference_impl(use_reference_impl_);
   UtilityPolicy unrestricted;
   const UtilityPolicy* utility = &utility_;
   if (utility_.empty()) {
@@ -123,7 +124,8 @@ Result<TransactionRecoding> CoatAnonymizer::AnonymizeSubset(
   if (privacy_.empty()) {
     // k^m mode: derive constraints from current violations until none remain.
     while (true) {
-      CountTree tree(space.records(), params.m);
+      SECRETA_RETURN_IF_ERROR(CheckCancel("coat iteration"));
+      CountTree tree(space.records(), params.m, pool_);
       auto violations = tree.FindViolations(params.k, 1);
       if (violations.empty()) break;
       SECRETA_RETURN_IF_ERROR(FixItemsetSupport(

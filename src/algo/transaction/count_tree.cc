@@ -1,12 +1,56 @@
 #include "algo/transaction/count_tree.h"
 
 #include <algorithm>
+#include <memory>
+
+#include "common/parallel.h"
 
 namespace secreta {
 
-CountTree::CountTree(const std::vector<std::vector<int32_t>>& records, int m)
-    : m_(m) {
-  nodes_.push_back(Node{});  // root
+namespace {
+
+// Parallel build pays off only when each shard amortizes its subtree merge.
+constexpr size_t kMinRecordsPerShard = 1024;
+
+}  // namespace
+
+CountTree::CountTree() : m_(0) {
+  nodes_.emplace_back(ArenaAllocator<int32_t>(&arena_));  // root
+}
+
+CountTree::CountTree(const std::vector<std::vector<int32_t>>& records, int m,
+                     ThreadPool* pool)
+    : CountTree() {
+  m_ = m;
+  size_t shards =
+      pool == nullptr ? 1
+                      : std::min(pool->num_threads() + 1,
+                                 records.size() / kMinRecordsPerShard);
+  if (shards < 2) {
+    InsertRecords(records, 0, records.size());
+    return;
+  }
+  // Each worker builds a private arena-backed subtree over its record slice;
+  // the serial merge adds counts node-by-node. Children are kept sorted by
+  // item everywhere, so the merged tree's shape does not depend on the shard
+  // count — only internal node ids differ, which no query observes.
+  std::vector<std::unique_ptr<CountTree>> subtrees;
+  subtrees.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    subtrees.emplace_back(new CountTree());
+    subtrees.back()->m_ = m;
+  }
+  size_t per_shard = (records.size() + shards - 1) / shards;
+  ParallelFor(pool, shards, [&](size_t s) {
+    size_t begin = s * per_shard;
+    size_t end = std::min(records.size(), begin + per_shard);
+    subtrees[s]->InsertRecords(records, begin, end);
+  });
+  for (const auto& subtree : subtrees) MergeFrom(*subtree);
+}
+
+void CountTree::InsertRecords(const std::vector<std::vector<int32_t>>& records,
+                              size_t begin, size_t end) {
   // Insert every subset of size <= m of every record. The recursion mirrors
   // combination enumeration but shares prefixes through the tree.
   struct Frame {
@@ -15,7 +59,8 @@ CountTree::CountTree(const std::vector<std::vector<int32_t>>& records, int m)
     int depth;
   };
   std::vector<Frame> stack;
-  for (const auto& rec : records) {
+  for (size_t r = begin; r < end; ++r) {
+    const auto& rec = records[r];
     stack.clear();
     stack.push_back({0, 0, 0});
     while (!stack.empty()) {
@@ -27,6 +72,25 @@ CountTree::CountTree(const std::vector<std::vector<int32_t>>& records, int m)
         ++nodes_[static_cast<size_t>(child)].count;
         stack.push_back({child, i + 1, frame.depth + 1});
       }
+    }
+  }
+}
+
+void CountTree::MergeFrom(const CountTree& other) {
+  struct Frame {
+    int32_t theirs;
+    int32_t mine;
+  };
+  std::vector<Frame> stack{{0, 0}};
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    const Node& src = other.nodes_[static_cast<size_t>(frame.theirs)];
+    for (int32_t their_child : src.children) {
+      const Node& child = other.nodes_[static_cast<size_t>(their_child)];
+      int32_t mine = GetOrAddChild(frame.mine, child.item);
+      nodes_[static_cast<size_t>(mine)].count += child.count;
+      stack.push_back({their_child, mine});
     }
   }
 }
@@ -53,7 +117,8 @@ int32_t CountTree::GetOrAddChild(int32_t node, int32_t item) {
     return *it;
   }
   int32_t id = static_cast<int32_t>(nodes_.size());
-  Node fresh;
+  ArenaAllocator<int32_t> alloc(&arena_);
+  Node fresh(alloc);
   fresh.item = item;
   // Insert position index must be captured before nodes_ reallocates.
   size_t pos = static_cast<size_t>(it - children.begin());

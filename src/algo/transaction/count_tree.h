@@ -6,6 +6,13 @@
 // subtrees whose count already meets k (every descendant extends a subset
 // whose support can only be lower or equal... the tree stores each itemset
 // once, so the DFS simply reports nodes with 0 < count < k).
+//
+// Children vectors bump-allocate from a per-tree arena: tree build is
+// millions of tiny sorted-insert allocations, and the arena turns each into
+// a pointer bump freed wholesale with the tree. With a pool the build
+// partitions the records into per-worker subtrees merged serially; children
+// stay sorted by item, so the merged structure (and every DFS over it) is
+// canonical — byte-identical violations regardless of worker count.
 
 #ifndef SECRETA_ALGO_TRANSACTION_COUNT_TREE_H_
 #define SECRETA_ALGO_TRANSACTION_COUNT_TREE_H_
@@ -13,7 +20,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/guarantees.h"
+#include "kernels/arena.h"
 
 namespace secreta {
 
@@ -21,8 +30,10 @@ namespace secreta {
 class CountTree {
  public:
   /// Builds the tree of all itemsets of size <= m occurring in `records`
-  /// (each record a sorted vector of gen ids).
-  CountTree(const std::vector<std::vector<int32_t>>& records, int m);
+  /// (each record a sorted vector of gen ids). `pool` (may be null) fans the
+  /// build out across per-worker subtrees; the result is identical.
+  CountTree(const std::vector<std::vector<int32_t>>& records, int m,
+            ThreadPool* pool = nullptr);
 
   /// Support of `itemset` (must be sorted); 0 if absent.
   size_t Support(const std::vector<int32_t>& itemset) const;
@@ -33,19 +44,36 @@ class CountTree {
 
   size_t num_nodes() const { return nodes_.size(); }
 
+  /// Arena bytes backing the children vectors (observability/bench).
+  size_t arena_bytes() const { return arena_.reserved_bytes(); }
+
  private:
+  using ChildVec = std::vector<int32_t, ArenaAllocator<int32_t>>;
+
   struct Node {
+    explicit Node(const ArenaAllocator<int32_t>& alloc) : children(alloc) {}
+
     int32_t item = -1;
     size_t count = 0;
-    // Children stored as a sorted (by item) index range into child_index_.
-    std::vector<int32_t> children;  // node ids, sorted by item
+    ChildVec children;  // node ids, sorted by item
   };
+
+  // Shard subtree shell: root node only. The public constructor delegates
+  // here, then inserts.
+  CountTree();
+
+  // Inserts all itemsets of records[begin, end).
+  void InsertRecords(const std::vector<std::vector<int32_t>>& records,
+                     size_t begin, size_t end);
+  // Adds `other`'s structure and counts into this tree.
+  void MergeFrom(const CountTree& other);
 
   // Returns the child of `node` holding `item`, or -1.
   int32_t FindChild(int32_t node, int32_t item) const;
   // Returns the child of `node` holding `item`, creating it if needed.
   int32_t GetOrAddChild(int32_t node, int32_t item);
 
+  Arena arena_;              // declared before nodes_: outlives the vectors
   std::vector<Node> nodes_;  // nodes_[0] is the root (item -1)
   int m_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "kernels/kernels.h"
 
 namespace secreta {
 
@@ -35,6 +36,7 @@ void GenSpace::InitFromIdentity() {
   item_records_.assign(num_items, {});
   support_.assign(covers_.size(), 0);
   occurrences_.assign(covers_.size(), 0);
+  gen_rows_.assign(covers_.size(), {});
   records_.resize(original_.size());
   for (size_t r = 0; r < original_.size(); ++r) {
     auto& rec = records_[r];
@@ -52,7 +54,10 @@ void GenSpace::InitFromIdentity() {
     }
     std::sort(rec.begin(), rec.end());
     rec.erase(std::unique(rec.begin(), rec.end()), rec.end());
-    for (int32_t g : rec) ++support_[static_cast<size_t>(g)];
+    for (int32_t g : rec) {
+      ++support_[static_cast<size_t>(g)];
+      gen_rows_[static_cast<size_t>(g)].push_back(static_cast<uint32_t>(r));
+    }
   }
 }
 
@@ -99,6 +104,7 @@ int32_t GenSpace::Merge(int32_t a, int32_t b) {
   std::sort(rows.begin(), rows.end());
   rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
   size_t new_support = 0;
+  std::vector<uint32_t> new_rows;
   for (size_t r : rows) {
     auto& rec = records_[r];
     bool had = false;
@@ -114,9 +120,13 @@ int32_t GenSpace::Merge(int32_t a, int32_t b) {
     rec.resize(w);
     rec.insert(std::lower_bound(rec.begin(), rec.end(), g), g);
     ++new_support;
+    new_rows.push_back(static_cast<uint32_t>(r));  // rows iterate ascending
   }
   covers_.push_back(std::move(merged));
   support_.push_back(new_support);
+  gen_rows_.push_back(std::move(new_rows));
+  gen_rows_[static_cast<size_t>(a)].clear();
+  gen_rows_[static_cast<size_t>(b)].clear();
   occurrences_.push_back(occurrences_[static_cast<size_t>(a)] +
                          occurrences_[static_cast<size_t>(b)]);
   covers_[static_cast<size_t>(a)].clear();
@@ -146,6 +156,7 @@ void GenSpace::Suppress(int32_t g) {
   covers_[static_cast<size_t>(g)].clear();
   support_[static_cast<size_t>(g)] = 0;
   occurrences_[static_cast<size_t>(g)] = 0;
+  gen_rows_[static_cast<size_t>(g)].clear();
 }
 
 double GenSpace::MergeCost(int32_t a, int32_t b) const {
@@ -177,11 +188,40 @@ size_t GenSpace::ItemsetSupport(const std::vector<int32_t>& gens) const {
   for (int32_t g : gens) {
     if (covers_[static_cast<size_t>(g)].empty()) return 0;
   }
+  if (gens.empty()) return records_.size();
+  if (use_reference_impl_) {
+    // Pre-kernel full record scan, kept as the oracle for equivalence tests
+    // and A/B benchmarks.
+    size_t count = 0;
+    for (const auto& rec : records_) {
+      bool all = true;
+      for (int32_t g : gens) {
+        if (!std::binary_search(rec.begin(), rec.end(), g)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) ++count;
+    }
+    return count;
+  }
+  // Posting-list intersection instead of a full record scan: the lists are
+  // maintained sorted by Merge/Suppress.
+  std::vector<const std::vector<uint32_t>*> lists;
+  lists.reserve(gens.size());
+  for (int32_t g : gens) lists.push_back(&gen_rows_[static_cast<size_t>(g)]);
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  if (lists.size() == 1) return lists[0]->size();
+  if (lists.size() == 2) {
+    return kernels::IntersectCount(lists[0]->data(), lists[0]->size(),
+                                   lists[1]->data(), lists[1]->size());
+  }
   size_t count = 0;
-  for (const auto& rec : records_) {
+  for (uint32_t r : *lists[0]) {
     bool all = true;
-    for (int32_t g : gens) {
-      if (!std::binary_search(rec.begin(), rec.end(), g)) {
+    for (size_t i = 1; i < lists.size(); ++i) {
+      if (!std::binary_search(lists[i]->begin(), lists[i]->end(), r)) {
         all = false;
         break;
       }

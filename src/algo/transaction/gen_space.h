@@ -6,6 +6,7 @@
 #ifndef SECRETA_ALGO_TRANSACTION_GEN_SPACE_H_
 #define SECRETA_ALGO_TRANSACTION_GEN_SPACE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -60,8 +61,22 @@ class GenSpace {
   double SuppressCost(int32_t g) const;
 
   /// Number of records whose current generalized form contains every gen in
-  /// `gens` (gens need not be live; dead gens yield 0).
+  /// `gens` (gens need not be live; dead gens yield 0). Computed from the
+  /// per-gen row posting lists — a sorted-list intersection kernel call for
+  /// pairs, probes from the rarest list otherwise — instead of scanning
+  /// every record.
   size_t ItemsetSupport(const std::vector<int32_t>& gens) const;
+
+  /// Sorted rows currently containing gen `g` (the posting list
+  /// ItemsetSupport intersects; exposed for tests).
+  const std::vector<uint32_t>& GenRows(int32_t g) const {
+    return gen_rows_[static_cast<size_t>(g)];
+  }
+
+  /// Routes ItemsetSupport through the original full-record scan instead of
+  /// the posting lists — the pre-kernel reference implementation, kept as the
+  /// oracle for equivalence tests and A/B benchmarks. Value-identical.
+  void set_use_reference_impl(bool on) { use_reference_impl_ = on; }
 
   /// Generalized records (sorted gen ids, one per subset record).
   const std::vector<std::vector<int32_t>>& records() const { return records_; }
@@ -85,6 +100,8 @@ class GenSpace {
   std::vector<size_t> support_;                   // per gen: #records with gen
   std::vector<size_t> occurrences_;               // per gen: #item occurrences
   std::vector<std::vector<size_t>> item_records_; // item -> rows containing it
+  std::vector<std::vector<uint32_t>> gen_rows_;   // gen -> rows containing it
+  bool use_reference_impl_ = false;
   size_t total_occurrences_ = 0;
   size_t suppressed_occurrences_ = 0;
 };

@@ -84,7 +84,7 @@ Result<TransactionRecoding> LraAnonymizer::AnonymizeSubset(
     HierarchyCut cut(context);
     SECRETA_RETURN_IF_ERROR(
         RunAprioriLoop(&cut, part_rows, params.k, params.m, /*min_depth=*/0,
-                       /*suppress_on_failure=*/true)
+                       /*suppress_on_failure=*/true, pool_, cancel_)
             .status());
     CutRecoding part = cut.Materialize(part_rows);
     out.suppressed_occurrences += part.recoding.suppressed_occurrences;

@@ -17,6 +17,7 @@ Result<TransactionRecoding> PctaAnonymizer::AnonymizeSubset(
   txns.reserve(subset.size());
   for (size_t row : subset) txns.push_back(context.dataset().items(row));
   GenSpace space(std::move(txns), context.dataset().item_dictionary());
+  space.set_use_reference_impl(use_reference_impl_);
   UtilityPolicy unrestricted;
   const UtilityPolicy* utility = &utility_;
   if (utility_.empty()) {
@@ -26,7 +27,8 @@ Result<TransactionRecoding> PctaAnonymizer::AnonymizeSubset(
   if (privacy_.empty()) {
     // k^m mode: repeatedly address the most fragile violation.
     while (true) {
-      CountTree tree(space.records(), params.m);
+      SECRETA_RETURN_IF_ERROR(CheckCancel("pcta iteration"));
+      CountTree tree(space.records(), params.m, pool_);
       auto violations = tree.FindViolations(params.k, /*max_violations=*/16);
       if (violations.empty()) break;
       const KmViolation* fragile = &violations[0];

@@ -26,9 +26,14 @@ class PctaAnonymizer : public TransactionAnonymizer {
       const TransactionContext& context, const std::vector<size_t>& subset,
       const AnonParams& params) override;
 
+  /// Runs against GenSpace's reference ItemsetSupport scan (value-identical;
+  /// the A/B baseline for kernels_bench and equivalence tests).
+  void set_use_reference_impl(bool on) { use_reference_impl_ = on; }
+
  private:
   PrivacyPolicy privacy_;
   UtilityPolicy utility_;
+  bool use_reference_impl_ = false;
 };
 
 }  // namespace secreta

@@ -74,7 +74,7 @@ Result<TransactionRecoding> VpaAnonymizer::AnonymizeSubset(
           }
           projected.push_back(std::move(p));
         }
-        CountTree tree(projected, i);
+        CountTree tree(projected, i, pool_);
         auto violations = tree.FindViolations(params.k, 1);
         if (violations.empty()) break;
         NodeId best_target = kNoNode;
@@ -105,7 +105,8 @@ Result<TransactionRecoding> VpaAnonymizer::AnonymizeSubset(
   UtilityPolicy unrestricted =
       UtilityPolicy::Unrestricted(context.num_items());
   while (true) {
-    CountTree tree(space.records(), params.m);
+    SECRETA_RETURN_IF_ERROR(CheckCancel("vpa repair"));
+    CountTree tree(space.records(), params.m, pool_);
     auto violations = tree.FindViolations(params.k, 1);
     if (violations.empty()) break;
     SECRETA_RETURN_IF_ERROR(FixItemsetSupport(

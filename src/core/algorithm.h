@@ -8,15 +8,42 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/context.h"
 #include "core/params.h"
 #include "core/results.h"
 
 namespace secreta {
 
+/// \brief Execution hooks shared by every anonymizer: an optional worker pool
+/// for caller-helps parallel loops and an optional cancellation token checked
+/// at iteration boundaries. Both default to null (serial, non-cancellable),
+/// so existing call sites are unchanged. Algorithms must produce
+/// byte-identical output with and without a pool — the parallel property
+/// tests assert it.
+class AnonymizerExecution {
+ public:
+  /// Worker pool for intra-algorithm parallel loops; null runs serially.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* pool() const { return pool_; }
+
+  /// Token polled between phases/iterations; null means non-cancellable.
+  void set_cancellation(const CancellationToken* cancel) { cancel_ = cancel; }
+  const CancellationToken* cancellation() const { return cancel_; }
+
+ protected:
+  Status CheckCancel(const char* where) const {
+    return CheckCancelled(cancel_, where);
+  }
+
+  ThreadPool* pool_ = nullptr;
+  const CancellationToken* cancel_ = nullptr;
+};
+
 /// \brief A relational anonymization algorithm (k-anonymity over QIDs).
-class RelationalAnonymizer {
+class RelationalAnonymizer : public AnonymizerExecution {
  public:
   virtual ~RelationalAnonymizer() = default;
 
@@ -34,7 +61,7 @@ class RelationalAnonymizer {
 /// Algorithms operate on a record subset so the RT pipeline can enforce the
 /// guarantee inside each relational cluster; Anonymize() is the full-dataset
 /// convenience.
-class TransactionAnonymizer {
+class TransactionAnonymizer : public AnonymizerExecution {
  public:
   virtual ~TransactionAnonymizer() = default;
 

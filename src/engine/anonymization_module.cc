@@ -1,5 +1,6 @@
 #include "engine/anonymization_module.h"
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "core/recoding.h"
 #include "engine/registry.h"
@@ -61,6 +62,8 @@ Result<RunResult> RunAnonymization(const EngineInputs& inputs,
       }
       SECRETA_ASSIGN_OR_RETURN(
           auto algo, MakeRelationalAnonymizer(config.relational_algorithm));
+      algo->set_pool(&SharedEvalPool());
+      algo->set_cancellation(inputs.cancel);
       SECRETA_RETURN_IF_ERROR(
           CheckCancelled(inputs.cancel, "relational phase"));
       result.phases.Begin("relational");
@@ -81,6 +84,8 @@ Result<RunResult> RunAnonymization(const EngineInputs& inputs,
           auto algo,
           MakeTransactionAnonymizer(config.transaction_algorithm,
                                     std::move(privacy), std::move(utility)));
+      algo->set_pool(&SharedEvalPool());
+      algo->set_cancellation(inputs.cancel);
       SECRETA_RETURN_IF_ERROR(
           CheckCancelled(inputs.cancel, "transaction phase"));
       result.phases.Begin("transaction");
@@ -102,6 +107,10 @@ Result<RunResult> RunAnonymization(const EngineInputs& inputs,
           auto txn,
           MakeTransactionAnonymizer(config.transaction_algorithm,
                                     std::move(privacy), std::move(utility)));
+      rel->set_pool(&SharedEvalPool());
+      rel->set_cancellation(inputs.cancel);
+      txn->set_pool(&SharedEvalPool());
+      txn->set_cancellation(inputs.cancel);
       RtAnonymizer rt(std::move(rel), std::move(txn), config.merger);
       SECRETA_ASSIGN_OR_RETURN(
           RtResult rt_result,

@@ -1,0 +1,112 @@
+// Chunked bump-pointer arena + STL-compatible allocator. The transaction
+// count-tree allocates one small children vector per node — millions of
+// short-lived malloc/free pairs per tree build. Backing them with an arena
+// turns each allocation into a pointer bump and frees the whole tree in one
+// shot when the arena dies. Deallocate is a no-op (grown-past vector blocks
+// are abandoned inside the chunk), which is the standard arena trade:
+// peak memory for allocation throughput.
+//
+// Not thread-safe: one arena per owner. The parallel count-tree build gives
+// every worker its own arena-backed subtree and merges serially.
+
+#ifndef SECRETA_KERNELS_ARENA_H_
+#define SECRETA_KERNELS_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace secreta {
+
+/// \brief Chunked bump allocator. Chunks double up to a cap; memory is
+/// released only when the arena is destroyed (or Reset).
+class Arena {
+ public:
+  explicit Arena(size_t first_chunk_bytes = 4096)
+      : next_chunk_bytes_(first_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (power of two).
+  void* Allocate(size_t bytes, size_t align) {
+    size_t p = (cursor_ + (align - 1)) & ~(align - 1);
+    if (p + bytes > limit_) {
+      Grow(bytes + align);
+      p = (cursor_ + (align - 1)) & ~(align - 1);
+    }
+    cursor_ = p + bytes;
+    allocated_bytes_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Drops every chunk; all memory handed out becomes invalid.
+  void Reset() {
+    chunks_.clear();
+    cursor_ = 0;
+    limit_ = 0;
+    allocated_bytes_ = 0;
+  }
+
+  /// Total bytes handed out (not counting alignment padding or chunk slack).
+  size_t allocated_bytes() const { return allocated_bytes_; }
+  /// Total bytes reserved from the system.
+  size_t reserved_bytes() const { return reserved_bytes_; }
+
+ private:
+  void Grow(size_t min_bytes) {
+    size_t bytes = next_chunk_bytes_;
+    while (bytes < min_bytes) bytes *= 2;
+    if (next_chunk_bytes_ < kMaxChunkBytes) next_chunk_bytes_ = bytes * 2;
+    chunks_.push_back(std::make_unique<char[]>(bytes));
+    reserved_bytes_ += bytes;
+    cursor_ = reinterpret_cast<uintptr_t>(chunks_.back().get());
+    limit_ = cursor_ + bytes;
+  }
+
+  static constexpr size_t kMaxChunkBytes = 1 << 22;  // 4 MiB
+
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  uintptr_t cursor_ = 0;
+  uintptr_t limit_ = 0;
+  size_t next_chunk_bytes_;
+  size_t allocated_bytes_ = 0;
+  size_t reserved_bytes_ = 0;
+};
+
+/// \brief std::allocator drop-in that bump-allocates from an Arena.
+///
+/// The arena must outlive every container using it. Copy/move of a container
+/// keeps pointing at the same arena (allocators always compare equal only
+/// when their arenas match).
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, size_t) {}  // arena memory dies with the arena
+
+  Arena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ != b.arena_;
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_KERNELS_ARENA_H_

@@ -274,11 +274,7 @@ BoundWorkload::FastQuery QueryEvaluator::BuildFastQuery(
       if (passes_masks(r)) ++count;
     }
   } else if (fq.has_nonqi && fq.has_qi) {
-    const auto& a = fq.nonqi_mask.words();
-    const auto& b = fq.qi_mask.words();
-    for (size_t w = 0; w < a.size(); ++w) {
-      count += static_cast<size_t>(__builtin_popcountll(a[w] & b[w]));
-    }
+    count = RecordBitmap::AndCount(fq.nonqi_mask, fq.qi_mask);
   } else if (fq.has_nonqi) {
     count = fq.nonqi_mask.Count();
   } else if (fq.has_qi) {

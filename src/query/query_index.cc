@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "kernels/kernels.h"
+
 namespace secreta {
 
 RecordBitmap::RecordBitmap(size_t num_records, bool ones)
@@ -14,12 +16,21 @@ RecordBitmap::RecordBitmap(size_t num_records, bool ones)
 
 void RecordBitmap::AndWith(const RecordBitmap& other) {
   for (size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  cached_count_.store(kUnknownCount, std::memory_order_relaxed);
 }
 
 size_t RecordBitmap::Count() const {
-  size_t total = 0;
-  for (uint64_t w : words_) total += static_cast<size_t>(__builtin_popcountll(w));
-  return total;
+  uint64_t cached = cached_count_.load(std::memory_order_relaxed);
+  if (cached == kUnknownCount) {
+    cached = kernels::PopcountRange(words_.data(), words_.size());
+    cached_count_.store(cached, std::memory_order_relaxed);
+  }
+  return static_cast<size_t>(cached);
+}
+
+size_t RecordBitmap::AndCount(const RecordBitmap& a, const RecordBitmap& b) {
+  return static_cast<size_t>(
+      kernels::AndPopcount(a.words_.data(), b.words_.data(), a.words_.size()));
 }
 
 QueryIndex QueryIndex::Build(const Dataset& dataset) {
@@ -43,16 +54,25 @@ QueryIndex QueryIndex::Build(const Dataset& dataset) {
       ci.records[cursor[v]++] = static_cast<uint32_t>(r);
     }
   }
-  index.item_records_.resize(dataset.item_dictionary().size());
+  index.item_bitmaps_.resize(dataset.item_dictionary().size());
   if (dataset.has_transaction()) {
+    // Record ids arrive ascending, so each item bitmap appends in order and
+    // seals straight into its cheapest container representation.
     for (size_t r = 0; r < index.num_records_; ++r) {
       for (ItemId item : dataset.items(r)) {
-        index.item_records_[static_cast<size_t>(item)].push_back(
+        index.item_bitmaps_[static_cast<size_t>(item)].Append(
             static_cast<uint32_t>(r));
       }
     }
+    for (RoaringBitmap& bm : index.item_bitmaps_) bm.Finish();
   }
   return index;
+}
+
+size_t QueryIndex::roaring_bytes() const {
+  size_t bytes = 0;
+  for (const RoaringBitmap& bm : item_bitmaps_) bytes += bm.MemoryBytes();
+  return bytes;
 }
 
 RecordBitmap QueryIndex::ClauseBitmap(size_t col,
@@ -71,21 +91,19 @@ std::vector<uint32_t> QueryIndex::ItemIntersection(
     const std::vector<ItemId>& items) const {
   if (items.empty()) return {};
   // Intersect starting from the rarest item so intermediates only shrink.
-  std::vector<const std::vector<uint32_t>*> lists;
+  std::vector<const RoaringBitmap*> lists;
   lists.reserve(items.size());
-  for (ItemId item : items) lists.push_back(&item_postings(item));
-  std::sort(lists.begin(), lists.end(),
-            [](const auto* a, const auto* b) { return a->size() < b->size(); });
-  std::vector<uint32_t> result = *lists[0];
-  std::vector<uint32_t> next;
-  for (size_t i = 1; i < lists.size() && !result.empty(); ++i) {
-    next.clear();
-    next.reserve(std::min(result.size(), lists[i]->size()));
-    std::set_intersection(result.begin(), result.end(), lists[i]->begin(),
-                          lists[i]->end(), std::back_inserter(next));
-    result.swap(next);
+  for (ItemId item : items) {
+    lists.push_back(&item_bitmaps_[static_cast<size_t>(item)]);
   }
-  return result;
+  std::sort(lists.begin(), lists.end(), [](const auto* a, const auto* b) {
+    return a->Cardinality() < b->Cardinality();
+  });
+  RoaringBitmap result = *lists[0];
+  for (size_t i = 1; i < lists.size() && !result.Empty(); ++i) {
+    result = result.And(*lists[i]);
+  }
+  return result.ToVector();
 }
 
 }  // namespace secreta

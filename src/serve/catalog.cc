@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "kernels/kernels.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
@@ -148,6 +149,16 @@ Result<std::shared_ptr<const PublishedRelease>> DatasetCatalog::Publish(
     MetricsRegistry::Global()
         .gauge("serve.catalog.releases")
         ->Set(static_cast<double>(releases_.size()));
+    // Kernel tier (enum value; TierName order) and the published release's
+    // compressed item-index footprint, for the serve dashboards.
+    MetricsRegistry::Global()
+        .gauge("serve.kernels.tier")
+        ->Set(static_cast<double>(kernels::ActiveTier()));
+    if (const QueryIndex* index = release->evaluator().index()) {
+      MetricsRegistry::Global()
+          .gauge("serve.index.roaring_bytes")
+          ->Set(static_cast<double>(index->roaring_bytes()));
+    }
   }
   MetricsRegistry::Global().counter("serve.catalog.published")->Increment();
   return release;

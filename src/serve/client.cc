@@ -144,12 +144,21 @@ Result<std::string> ServeClient::Metrics() {
   if (metrics == nullptr || !metrics->is_object()) {
     return Status::InvalidArgument("metrics response missing metrics object");
   }
-  // Counters land as {"counters": {...}}; flatten to "name value" lines.
+  // Counters and gauges land as {"counters": {...}, "gauges": {...}};
+  // flatten both to "name value" lines (gauges keep their fraction — e.g.
+  // serve.kernels.tier, serve.index.roaring_bytes).
   std::string text;
   const JsonValue* counters = metrics->Find("counters");
   if (counters != nullptr && counters->is_object()) {
     for (const auto& [name, value] : counters->members()) {
       text += StrFormat("%s %.0f\n", name.c_str(),
+                        value.is_number() ? value.number_value() : 0.0);
+    }
+  }
+  const JsonValue* gauges = metrics->Find("gauges");
+  if (gauges != nullptr && gauges->is_object()) {
+    for (const auto& [name, value] : gauges->members()) {
+      text += StrFormat("%s %g\n", name.c_str(),
                         value.is_number() ? value.number_value() : 0.0);
     }
   }

@@ -12,6 +12,10 @@ the default GCC build would silently skip):
   no-throw          `throw` is banned in src/: core code propagates errors
                     through Status/Result<T> exclusively (see
                     src/common/status.h).
+  naked-popcount    `__builtin_popcount*` may only be spelled in src/kernels/.
+                    Everything else calls the dispatched kernels (AndPopcount,
+                    PopcountRange, ...) from kernels/kernels.h so hot loops
+                    pick up the SIMD tier and stay benchmarked in one place.
   include-style     Internal headers are included with "quotes", system and
                     third-party headers with <angle brackets>. A <...>
                     include that resolves to a repo header defeats header
@@ -41,6 +45,7 @@ MUTEX_TOKENS = re.compile(
 )
 # `throw` as a statement; `throw()` exception-specs don't occur in this tree.
 THROW_TOKEN = re.compile(r"(^|[^\w.])throw\s")
+POPCOUNT_TOKEN = re.compile(r"__builtin_popcount(ll|l)?\b")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(<([^>]+)>|"([^"]+)")')
 ALLOW_RE = re.compile(r"//\s*lint:allow\s+([\w-]+)")
 
@@ -87,6 +92,7 @@ def allowed(raw_line: str, rule: str) -> bool:
 def check_file(path: Path, rel: str, errors: list[str]) -> None:
     is_src = rel.startswith("src/")
     is_mutex_header = rel == "src/common/mutex.h"
+    is_kernel_source = rel.startswith("src/kernels/")
     includes: list[tuple[int, str, bool]] = []  # (lineno, target, angled)
 
     for lineno, raw, line in iter_source_lines(path):
@@ -115,6 +121,15 @@ def check_file(path: Path, rel: str, errors: list[str]) -> None:
                 errors.append(
                     f"{rel}:{lineno}: no-throw: core code propagates errors "
                     "via Status/Result<T>, never exceptions"
+                )
+
+        if is_src and not is_kernel_source and POPCOUNT_TOKEN.search(code):
+            if not allowed(raw, "naked-popcount"):
+                errors.append(
+                    f"{rel}:{lineno}: naked-popcount: call the dispatched "
+                    "kernels from kernels/kernels.h (AndPopcount, "
+                    "PopcountRange, ...) instead of a raw "
+                    "__builtin_popcount* loop"
                 )
 
     for lineno, target, angled in includes:
