@@ -28,7 +28,9 @@
 #include "csv/csv.h"
 #include "datagen/synthetic.h"
 #include "export/json_export.h"
+#include "obs/metric_names.h"
 #include "obs/metrics_registry.h"
+#include "obs/slow_query_log.h"
 #include "query/workload_generator.h"
 #include "serve/catalog.h"
 #include "serve/client.h"
@@ -215,10 +217,63 @@ int main(int argc, char** argv) {
 
   server.Stop();
 
+  // --- Telemetry-overhead runs ---------------------------------------------
+  // Same uncached workload, alternating between a telemetry-off server
+  // (default slow threshold, nothing ever pinned or logged) and a
+  // telemetry-on server that treats every COUNT as slow (threshold 0):
+  // every query is pinned in the trace tail AND written to the slow-query
+  // JSONL log. The runs are paired back-to-back and the gate compares the
+  // best of each side, which cancels process-lifetime drift (allocator
+  // state, scheduler history, frequency scaling) that a single early
+  // baseline vs. late telemetry run would misattribute to telemetry; what
+  // remains is the true cost of the pipeline at its most verbose setting.
+  ServerOptions telemetry_options = server_options;
+  telemetry_options.slow_query_threshold_seconds = 0;
+  const std::string slow_log_path = "BENCH_slow_queries.jsonl";
+  bench::CheckOk(SlowQueryLog::Global().Open(slow_log_path, 0),
+                 "open slow-query log");
+  const int telemetry_reps = quick ? 1 : 3;
+  RunStats baseline_run;   // best-qps rep, telemetry off
+  RunStats telemetry_run;  // best-qps rep, telemetry on
+  RunStats paired_totals;  // ok/failed/mismatched over every paired run
+  for (int rep = 0; rep < telemetry_reps; ++rep) {
+    {
+      QueryServer off_server(&catalog, &tenants, &scheduler, server_options);
+      bench::CheckOk(off_server.Start(), "start telemetry-off server");
+      RunStats run =
+          HammerConcurrently(off_server.port(), "bench-token", "bench",
+                             queries, reference, clients, per_client);
+      off_server.Stop();
+      if (run.qps() > baseline_run.qps()) baseline_run = run;
+      paired_totals.ok += run.ok;
+      paired_totals.failed += run.failed;
+      paired_totals.mismatched += run.mismatched;
+    }
+    {
+      QueryServer on_server(&catalog, &tenants, &scheduler, telemetry_options);
+      bench::CheckOk(on_server.Start(), "start telemetry-on server");
+      RunStats run =
+          HammerConcurrently(on_server.port(), "bench-token", "bench",
+                             queries, reference, clients, per_client);
+      on_server.Stop();
+      if (run.qps() > telemetry_run.qps()) telemetry_run = run;
+      paired_totals.ok += run.ok;
+      paired_totals.failed += run.failed;
+      paired_totals.mismatched += run.mismatched;
+    }
+  }
+  // Records accumulate across every telemetry-on rep (the log stays open).
+  uint64_t slow_records = SlowQueryLog::Global().records_written();
+  SlowQueryLog::Global().Close();
+  const double telemetry_overhead =
+      baseline_run.qps() > 0 ? 1.0 - telemetry_run.qps() / baseline_run.qps()
+                             : 0;
+
   uint64_t cache_hits = 0;
-  for (const auto& [name, value] :
+  for (const auto& [key, value] :
        MetricsRegistry::Global().Snapshot().counters) {
-    if (name == "serve.cache.hits") cache_hits = value;
+    // Summed over the per-dataset label values.
+    if (key.name == metric_names::kServeCacheHits) cache_hits += value;
   }
 
   printf("serial            %8.0f qps\n", serial_qps);
@@ -228,6 +283,11 @@ int main(int argc, char** argv) {
          (unsigned long long)uncached_run.mismatched);
   printf("concurrent+cache  %8.0f qps  (lru hits=%llu)\n", cached_run.qps(),
          (unsigned long long)cache_hits);
+  printf("telemetry-off     %8.0f qps  (best of %d paired reps)\n",
+         baseline_run.qps(), telemetry_reps);
+  printf("telemetry-on      %8.0f qps  (overhead %+.1f%%, %llu slow records)\n",
+         telemetry_run.qps(), telemetry_overhead * 100.0,
+         (unsigned long long)slow_records);
 
   JsonWriter w;
   w.BeginObject();
@@ -249,12 +309,25 @@ int main(int argc, char** argv) {
   w.Number(uncached_run.qps());
   w.Key("concurrent_cached_qps");
   w.Number(cached_run.qps());
+  w.Key("telemetry_baseline_qps");
+  w.Number(baseline_run.qps());
+  w.Key("telemetry_qps");
+  w.Number(telemetry_run.qps());
+  w.Key("telemetry_overhead_fraction");
+  w.Number(telemetry_overhead);
+  w.Key("telemetry_reps");
+  w.Int(telemetry_reps);
+  w.Key("slow_query_records");
+  w.Int(static_cast<int64_t>(slow_records));
   w.Key("queries_ok");
-  w.Int(static_cast<int64_t>(uncached_run.ok + cached_run.ok));
+  w.Int(static_cast<int64_t>(uncached_run.ok + cached_run.ok +
+                             paired_totals.ok));
   w.Key("queries_failed");
-  w.Int(static_cast<int64_t>(uncached_run.failed + cached_run.failed));
+  w.Int(static_cast<int64_t>(uncached_run.failed + cached_run.failed +
+                             paired_totals.failed));
   w.Key("queries_mismatched");
-  w.Int(static_cast<int64_t>(uncached_run.mismatched + cached_run.mismatched));
+  w.Int(static_cast<int64_t>(uncached_run.mismatched + cached_run.mismatched +
+                             paired_totals.mismatched));
   w.Key("answer_cache_hits");
   w.Int(static_cast<int64_t>(cache_hits));
   w.EndObject();
@@ -262,20 +335,31 @@ int main(int argc, char** argv) {
   bench::CheckOk(csv::WriteFile(path, w.TakeString()), "json");
   printf("wrote %s\n", path.c_str());
 
-  if (uncached_run.failed + cached_run.failed > 0) {
+  const uint64_t all_failed =
+      uncached_run.failed + cached_run.failed + paired_totals.failed;
+  const uint64_t all_mismatched = uncached_run.mismatched +
+                                  cached_run.mismatched +
+                                  paired_totals.mismatched;
+  if (all_failed > 0) {
     fprintf(stderr, "FAIL: %llu queries failed\n",
-            (unsigned long long)(uncached_run.failed + cached_run.failed));
+            (unsigned long long)all_failed);
     return 1;
   }
-  if (uncached_run.mismatched + cached_run.mismatched > 0) {
+  if (all_mismatched > 0) {
     fprintf(stderr, "FAIL: %llu counts diverged from the serial reference\n",
-            (unsigned long long)(uncached_run.mismatched +
-                                 cached_run.mismatched));
+            (unsigned long long)all_mismatched);
     return 1;
   }
   if (!quick && uncached_run.qps() < 100.0) {
     fprintf(stderr, "FAIL: sustained %.0f qps < required 100 qps\n",
             uncached_run.qps());
+    return 1;
+  }
+  if (!quick && telemetry_overhead > 0.05) {
+    fprintf(stderr,
+            "FAIL: telemetry-on run lost %.1f%% qps vs telemetry-off "
+            "(limit 5%%)\n",
+            telemetry_overhead * 100.0);
     return 1;
   }
   (void)release_cached;

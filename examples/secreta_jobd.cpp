@@ -20,13 +20,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "datagen/synthetic.h"
 #include "kernels/kernels.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace_tail.h"
 #include "serve/catalog.h"
+#include "serve/http_metrics.h"
 #include "serve/server.h"
 #include "serve/session.h"
 #include "service/job_scheduler.h"
@@ -70,7 +74,16 @@ void Usage() {
       "  --idle-timeout SECONDS  drop idle connections (default 300)\n"
       "  --kernels TIER       force the SIMD kernel tier (scalar, avx2, neon)\n"
       "                       instead of the CPU-detected best; the\n"
-      "                       SECRETA_KERNELS env var is a fallback\n");
+      "                       SECRETA_KERNELS env var is a fallback\n"
+      "  --metrics-listen PORT   serve Prometheus text format over HTTP at\n"
+      "                       /metrics on PORT (0 = ephemeral, printed at\n"
+      "                       startup; same bind address as --bind)\n"
+      "  --slow-query-log PATH   append slow COUNTs as JSONL to PATH\n"
+      "  --slow-query-threshold SECONDS  a COUNT at or above this is slow\n"
+      "                       (default 0.25; 0 logs every COUNT)\n"
+      "  --trace-tail N       keep the last N slow/error request traces\n"
+      "                       (default 256)\n"
+      "  --trace-tail-out PATH   dump pinned traces as JSONL on shutdown\n");
   std::exit(2);
 }
 
@@ -86,6 +99,11 @@ int main(int argc, char** argv) {
   gen.seed = 2014;
   std::vector<std::string> tenant_specs;
   std::vector<std::string> dataset_names;
+  bool have_metrics_listen = false;
+  HttpMetricsOptions metrics_options;
+  std::string slow_query_log_path;
+  std::string trace_tail_out;
+  size_t trace_tail_capacity = 0;  // 0 = keep the default
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -119,6 +137,19 @@ int main(int argc, char** argv) {
           std::atof(next("--deadline"));
     } else if (std::strcmp(argv[i], "--idle-timeout") == 0) {
       server_options.idle_timeout_seconds = std::atof(next("--idle-timeout"));
+    } else if (std::strcmp(argv[i], "--metrics-listen") == 0) {
+      metrics_options.port =
+          static_cast<uint16_t>(std::atoi(next("--metrics-listen")));
+      have_metrics_listen = true;
+    } else if (std::strcmp(argv[i], "--slow-query-log") == 0) {
+      slow_query_log_path = next("--slow-query-log");
+    } else if (std::strcmp(argv[i], "--slow-query-threshold") == 0) {
+      server_options.slow_query_threshold_seconds =
+          std::atof(next("--slow-query-threshold"));
+    } else if (std::strcmp(argv[i], "--trace-tail") == 0) {
+      trace_tail_capacity = static_cast<size_t>(std::atol(next("--trace-tail")));
+    } else if (std::strcmp(argv[i], "--trace-tail-out") == 0) {
+      trace_tail_out = next("--trace-tail-out");
     } else if (std::strcmp(argv[i], "--kernels") == 0) {
       if (Status s = kernels::SetTier(next("--kernels")); !s.ok()) {
         Fail(s, "set --kernels tier");
@@ -167,9 +198,35 @@ int main(int argc, char** argv) {
                 published->config_label().c_str());
   }
 
+  if (trace_tail_capacity > 0) {
+    TraceTail::Global().SetCapacity(trace_tail_capacity);
+  }
+  if (!slow_query_log_path.empty()) {
+    if (Status s = SlowQueryLog::Global().Open(
+            slow_query_log_path, server_options.slow_query_threshold_seconds);
+        !s.ok()) {
+      Fail(s, "open --slow-query-log");
+    }
+    std::printf("slow-query log: %s (threshold %.3fs)\n",
+                slow_query_log_path.c_str(),
+                server_options.slow_query_threshold_seconds);
+  }
+
   JobScheduler scheduler(scheduler_options);
   QueryServer server(&catalog, &tenants, &scheduler, server_options);
   if (Status s = server.Start(); !s.ok()) Fail(s, "start server");
+
+  std::unique_ptr<HttpMetricsServer> metrics_server;
+  if (have_metrics_listen) {
+    metrics_options.bind_address = server_options.bind_address;
+    metrics_server = std::make_unique<HttpMetricsServer>(metrics_options);
+    if (Status s = metrics_server->Start(); !s.ok()) {
+      Fail(s, "start --metrics-listen endpoint");
+    }
+    std::printf("metrics endpoint: http://%s:%u/metrics\n",
+                metrics_options.bind_address.c_str(),
+                static_cast<unsigned>(metrics_server->port()));
+  }
   std::printf("secreta_jobd listening on %s:%u (%zu connection slots)\n",
               server_options.bind_address.c_str(),
               static_cast<unsigned>(server.port()),
@@ -182,7 +239,19 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
   }
   std::printf("signal received; shutting down...\n");
+  if (metrics_server) metrics_server->Stop();
   server.Stop();
+  if (!trace_tail_out.empty()) {
+    if (Status s = TraceTail::Global().WriteJsonl(trace_tail_out); !s.ok()) {
+      std::fprintf(stderr, "secreta_jobd: write --trace-tail-out: %s\n",
+                   s.ToString().c_str());
+    } else {
+      std::printf("trace tail: %zu pinned traces -> %s\n",
+                  TraceTail::Global().Snapshot().size(),
+                  trace_tail_out.c_str());
+    }
+  }
+  SlowQueryLog::Global().Close();
   std::printf("secreta_jobd stopped cleanly\n");
   return 0;
 }

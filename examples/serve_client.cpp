@@ -6,16 +6,21 @@
 //   example_serve_client --port P --token T list
 //   example_serve_client --port P --token T count DATASET QUERY [ACCESS]
 //   example_serve_client --port P --token T hammer DATASET QUERY N
-//   example_serve_client --port P --token T metrics
+//   example_serve_client --port P --token T metrics [--watch S [N]]
+//   example_serve_client --port P --token T traces
 //   example_serve_client --port P --token T ping
 //
 // Failures print "error: <Code>: <message>" (plus "retry_after_ms=..." when
 // the server sent a backpressure hint) to stderr and exit 1.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/client.h"
@@ -51,9 +56,23 @@ T Check(Result<T> result) {
                "  list\n"
                "  count DATASET QUERY [ACCESS]\n"
                "  hammer DATASET QUERY N\n"
-               "  metrics\n"
+               "  metrics [--watch SECONDS [ROUNDS]]\n"
+               "  traces\n"
                "  ping\n");
   std::exit(2);
+}
+
+// Parses the "name value" lines Metrics() returns into a map for delta math.
+std::map<std::string, double> ParseMetricLines(const std::string& text) {
+  std::map<std::string, double> out;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0) continue;
+    out[line.substr(0, space)] = std::atof(line.c_str() + space + 1);
+  }
+  return out;
 }
 
 }  // namespace
@@ -126,7 +145,47 @@ int main(int argc, char** argv) {
     std::printf("hammer ok=%d rejected=%d failed=%d\n", ok, rejected, failed);
     if (failed > 0) std::exit(1);
   } else if (command == "metrics") {
-    std::printf("%s", Check(client.Metrics()).c_str());
+    if (!args.empty() && args[0] == "--watch") {
+      double interval = args.size() > 1 ? std::atof(args[1].c_str()) : 2.0;
+      int rounds = args.size() > 2 ? std::atoi(args[2].c_str()) : 1;
+      if (interval <= 0 || rounds < 1) Usage();
+      std::map<std::string, double> prev =
+          ParseMetricLines(Check(client.Metrics()));
+      for (int round = 0; round < rounds; ++round) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(interval));
+        std::map<std::string, double> now =
+            ParseMetricLines(Check(client.Metrics()));
+        std::printf("-- watch %d/%d (%.1fs) --\n", round + 1, rounds,
+                    interval);
+        bool changed = false;
+        for (const auto& [name, value] : now) {
+          auto it = prev.find(name);
+          double before = it == prev.end() ? 0 : it->second;
+          if (value == before) continue;
+          changed = true;
+          std::printf("%s %+g (%.1f/s)\n", name.c_str(), value - before,
+                      (value - before) / interval);
+        }
+        if (!changed) std::printf("(no change)\n");
+        prev = std::move(now);
+      }
+    } else {
+      std::printf("%s", Check(client.Metrics()).c_str());
+    }
+  } else if (command == "traces") {
+    for (const RequestTrace& trace : Check(client.AdminTraces())) {
+      std::printf(
+          "trace_id=%llu tenant=%s dataset=%s shape=\"%s\" outcome=%s "
+          "queue=%.6fs run=%.6fs total=%.6fs cached=%s slow=%s error=%s "
+          "tier=%s\n",
+          static_cast<unsigned long long>(trace.trace_id),
+          trace.tenant.c_str(), trace.dataset.c_str(),
+          trace.query_shape.c_str(), trace.outcome.c_str(),
+          trace.queue_seconds, trace.run_seconds, trace.total_seconds,
+          trace.cached ? "true" : "false", trace.slow ? "true" : "false",
+          trace.error ? "true" : "false", trace.kernel_tier.c_str());
+    }
   } else if (command == "ping") {
     Check(client.Ping());
     std::printf("pong\n");

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/metric_names.h"
 #include "obs/metrics_registry.h"
 
 namespace secreta {
@@ -19,13 +20,15 @@ ThreadPool::ThreadPool(size_t num_threads, const char* name) {
   num_threads = std::max<size_t>(1, num_threads);
   if (name != nullptr) {
     MetricsRegistry& registry = MetricsRegistry::Global();
-    std::string prefix = std::string("pool.") + name;
-    queued_gauge_ = registry.gauge(prefix + ".queued");
-    active_gauge_ = registry.gauge(prefix + ".active");
-    workers_gauge_ = registry.gauge(prefix + ".workers");
-    tasks_counter_ = registry.counter(prefix + ".tasks");
-    wait_histogram_ = registry.histogram(prefix + ".task_wait_seconds");
-    run_histogram_ = registry.histogram(prefix + ".task_run_seconds");
+    const MetricLabels labels = {{"pool", name}};
+    queued_gauge_ = registry.gauge(metric_names::kPoolQueued, labels);
+    active_gauge_ = registry.gauge(metric_names::kPoolActive, labels);
+    workers_gauge_ = registry.gauge(metric_names::kPoolWorkers, labels);
+    tasks_counter_ = registry.counter(metric_names::kPoolTasks, labels);
+    wait_histogram_ =
+        registry.histogram(metric_names::kPoolTaskWaitSeconds, labels);
+    run_histogram_ =
+        registry.histogram(metric_names::kPoolTaskRunSeconds, labels);
     workers_gauge_->Add(static_cast<double>(num_threads));
   }
   workers_.reserve(num_threads);

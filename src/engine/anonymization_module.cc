@@ -4,6 +4,8 @@
 #include "common/string_util.h"
 #include "core/recoding.h"
 #include "engine/registry.h"
+#include "obs/metric_names.h"
+#include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "robust/fault_injection.h"
 
@@ -126,6 +128,29 @@ Result<RunResult> RunAnonymization(const EngineInputs& inputs,
     }
   }
   result.runtime_seconds = watch.ElapsedSeconds();
+  // Per-algorithm phase breakdown as labeled histograms, so a fleet-wide
+  // scrape can compare e.g. Cluster vs Incognito "relational" phase cost.
+  // The algorithm label is the registry name (bounded cardinality), never
+  // the full parameterized config label.
+  std::string algorithm;
+  switch (config.mode) {
+    case AnonMode::kRelational:
+      algorithm = config.relational_algorithm;
+      break;
+    case AnonMode::kTransaction:
+      algorithm = config.transaction_algorithm;
+      break;
+    case AnonMode::kRt:
+      algorithm =
+          config.relational_algorithm + "+" + config.transaction_algorithm;
+      break;
+  }
+  for (const auto& [phase, seconds] : result.phases.phases()) {
+    MetricsRegistry::Global()
+        .histogram(metric_names::kAlgoPhaseSeconds,
+                   {{"algorithm", algorithm}, {"phase", phase}})
+        ->Record(seconds);
+  }
   return result;
 }
 

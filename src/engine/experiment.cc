@@ -1,5 +1,6 @@
 #include "engine/experiment.h"
 
+#include "obs/metric_names.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "robust/checkpoint.h"
@@ -74,7 +75,7 @@ Result<SweepResult> RunSweep(const EngineInputs& inputs,
         result.points.push_back({value, std::move(restored)});
         from_checkpoint = true;
         MetricsRegistry::Global()
-            .counter("checkpoint.points_restored")
+            .counter(metric_names::kCheckpointPointsRestored)
             ->Increment();
       }
     }
@@ -89,7 +90,7 @@ Result<SweepResult> RunSweep(const EngineInputs& inputs,
         SECRETA_RETURN_IF_ERROR(checkpoint->Append(
             point_key, value, result.points.back().report));
         MetricsRegistry::Global()
-            .counter("checkpoint.points_appended")
+            .counter(metric_names::kCheckpointPointsAppended)
             ->Increment();
       }
     }

@@ -232,9 +232,13 @@ void WriteHistogram(JsonWriter* w, const HistogramSnapshot& histogram) {
   w->Number(histogram.min_seconds);
   w->Key("max_seconds");
   w->Number(histogram.max_seconds);
+  w->Key("p50_seconds");
+  w->Number(histogram.Quantile(0.5));
+  w->Key("p99_seconds");
+  w->Number(histogram.Quantile(0.99));
   w->Key("bucket_bounds_seconds");
   w->BeginArray();
-  for (double bound : LatencyHistogram::BucketBounds()) w->Number(bound);
+  for (double bound : histogram.bounds) w->Number(bound);
   w->EndArray();
   w->Key("bucket_counts");
   w->BeginArray();
@@ -287,22 +291,22 @@ std::string MetricsSnapshotToJson(const MetricsSnapshot& snapshot) {
   w.BeginObject();
   w.Key("counters");
   w.BeginObject();
-  for (const auto& [name, value] : snapshot.counters) {
-    w.Key(name);
+  for (const auto& [key, value] : snapshot.counters) {
+    w.Key(key.Render());
     w.Int(static_cast<int64_t>(value));
   }
   w.EndObject();
   w.Key("gauges");
   w.BeginObject();
-  for (const auto& [name, value] : snapshot.gauges) {
-    w.Key(name);
+  for (const auto& [key, value] : snapshot.gauges) {
+    w.Key(key.Render());
     w.Number(value);
   }
   w.EndObject();
   w.Key("histograms");
   w.BeginObject();
-  for (const auto& [name, histogram] : snapshot.histograms) {
-    w.Key(name);
+  for (const auto& [key, histogram] : snapshot.histograms) {
+    w.Key(key.Render());
     WriteHistogram(&w, histogram);
   }
   w.EndObject();

@@ -1,7 +1,9 @@
 #include "frontend/cli.h"
 
+#include <chrono>
 #include <istream>
 #include <ostream>
+#include <thread>
 
 #include "common/string_util.h"
 #include "core/audit.h"
@@ -57,7 +59,8 @@ std::string CommandLineInterface::HelpText() {
       "           save-mapping <path>\n"
       "service:   submit [prio=P] [timeout=S] [retries=N] [backoff=S]\n"
       "                  [key=value ...] | jobs |\n"
-      "           job <id> | cancel <id> | wait [<id>] | metrics [text]\n"
+      "           job <id> | cancel <id> | wait [<id>] |\n"
+      "           metrics [text | --watch <seconds> [iterations]]\n"
       "observe:   trace on | trace off | trace save <path>\n"
       "misc:      demo | help | quit\n";
 }
@@ -619,13 +622,44 @@ Status CommandLineInterface::CmdSubmit(const std::vector<std::string>& args) {
 }
 
 Status CommandLineInterface::CmdMetrics(const std::vector<std::string>& args) {
-  SECRETA_RETURN_IF_ERROR(Arity(args, 0, 1));
+  SECRETA_RETURN_IF_ERROR(Arity(args, 0, 3));
   if (args.size() > 1 && args[1] == "text") {
     *out_ << MetricsRegistry::Global().ToText();
     return Status::OK();
   }
+  if (args.size() > 1 && args[1] == "--watch") {
+    // metrics --watch <seconds> [iterations]: print per-interval deltas and
+    // rates instead of absolute values — the live view of a long sweep or a
+    // busy job scheduler.
+    double interval = 2.0;
+    int64_t iterations = 1;
+    if (args.size() > 2) {
+      SECRETA_ASSIGN_OR_RETURN(interval, ParseDouble(args[2]));
+    }
+    if (args.size() > 3) {
+      SECRETA_ASSIGN_OR_RETURN(iterations, ParseInt(args[3]));
+    }
+    if (interval <= 0) {
+      return Status::InvalidArgument("watch interval must be positive");
+    }
+    if (iterations < 1) {
+      return Status::InvalidArgument("watch iterations must be >= 1");
+    }
+    MetricsSnapshot prev = MetricsRegistry::Global().Snapshot();
+    for (int64_t round = 0; round < iterations; ++round) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+      MetricsSnapshot now = MetricsRegistry::Global().Snapshot();
+      *out_ << StrFormat("-- watch %lld/%lld (%.1fs) --\n",
+                         static_cast<long long>(round + 1),
+                         static_cast<long long>(iterations), interval)
+            << MetricsSnapshotDeltaToText(prev, now, interval);
+      prev = std::move(now);
+    }
+    return Status::OK();
+  }
   if (args.size() > 1) {
-    return Status::InvalidArgument("usage: metrics [text]");
+    return Status::InvalidArgument(
+        "usage: metrics [text | --watch <seconds> [iterations]]");
   }
   // One JSON object: the process-wide registry (pools, engine, caches) plus
   // the job service's private metrics when a scheduler exists.

@@ -66,6 +66,8 @@ namespace secreta {
 ///   wait [<id>]                        block until one job / all jobs finish
 ///   metrics [text]                     unified metrics (global registry +
 ///                                      job service) as JSON, or plain text
+///   metrics --watch <s> [n]            n rounds of per-interval deltas and
+///                                      rates (counters/s, gauge moves)
 ///   trace on|off                       toggle the span tracer
 ///   trace save <path>                  write collected spans as Chrome
 ///                                      trace-event JSON (Perfetto-ready)

@@ -1,10 +1,73 @@
 #include "obs/metrics_registry.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/string_util.h"
 
 namespace secreta {
+
+namespace {
+
+/// Canonical form used for series identity: sorted by key, duplicate keys
+/// collapsed to the last value given.
+MetricLabels CanonicalLabels(const MetricLabels& labels) {
+  MetricLabels sorted = labels;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  MetricLabels out;
+  out.reserve(sorted.size());
+  for (auto& kv : sorted) {
+    if (!out.empty() && out.back().first == kv.first) {
+      out.back().second = std::move(kv.second);
+    } else {
+      out.push_back(std::move(kv));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricKey::Render() const {
+  if (labels.empty()) return name;
+  std::string out = name;
+  out += '{';
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    out += labels[i].second;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target sample, 1-based; q=0 maps to the first sample.
+  const double rank = std::max(1.0, q * static_cast<double>(count));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Interpolate linearly between the bucket's bounds; the overflow bucket
+    // and the extremes clamp to the observed min/max.
+    const double lower = i == 0 ? min_seconds : bounds[i - 1];
+    const double upper = i < bounds.size() ? bounds[i] : max_seconds;
+    const double fraction =
+        (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+    double value = lower + (upper - lower) * fraction;
+    return std::min(max_seconds, std::max(min_seconds, value));
+  }
+  return max_seconds;
+}
 
 const std::vector<double>& LatencyHistogram::BucketBounds() {
   // Leaked: workers of the process-lifetime pools may record during exit,
@@ -18,13 +81,29 @@ const std::vector<double>& LatencyHistogram::BucketBounds() {
   return *kBounds;
 }
 
-LatencyHistogram::LatencyHistogram() : buckets_(BucketBounds().size() + 1, 0) {}
+LatencyHistogram::LatencyHistogram() : LatencyHistogram(BucketBounds()) {}
+
+LatencyHistogram::LatencyHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  bool valid = !bounds_.empty();
+  for (size_t i = 0; valid && i < bounds_.size(); ++i) {
+    if (!std::isfinite(bounds_[i]) ||
+        (i > 0 && bounds_[i] <= bounds_[i - 1])) {
+      valid = false;
+    }
+  }
+  if (!valid) bounds_ = BucketBounds();
+  buckets_.assign(bounds_.size() + 1, 0);
+}
 
 void LatencyHistogram::Record(double seconds) {
-  seconds = std::max(0.0, seconds);
-  const std::vector<double>& bounds = BucketBounds();
+  // A bad clock read (negative delta, NaN from a 0/0, +inf) must not corrupt
+  // bucket indexing via upper_bound on an unordered value or poison sum_.
+  if (std::isnan(seconds) || seconds < 0) seconds = 0;
+  if (std::isinf(seconds)) seconds = 1e9;
   size_t bucket =
-      std::upper_bound(bounds.begin(), bounds.end(), seconds) - bounds.begin();
+      std::upper_bound(bounds_.begin(), bounds_.end(), seconds) -
+      bounds_.begin();
   MutexLock lock(mutex_);
   if (count_ == 0 || seconds < min_) min_ = seconds;
   if (seconds > max_) max_ = seconds;
@@ -34,8 +113,9 @@ void LatencyHistogram::Record(double seconds) {
 }
 
 HistogramSnapshot LatencyHistogram::Snapshot() const {
-  MutexLock lock(mutex_);
   HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  MutexLock lock(mutex_);
   snap.count = count_;
   snap.sum_seconds = sum_;
   snap.min_seconds = min_;
@@ -51,22 +131,53 @@ MetricsRegistry& MetricsRegistry::Global() {
 
 Counter* MetricsRegistry::counter(const std::string& name) {
   MutexLock lock(mutex_);
-  auto& slot = counters_[name];
+  auto& slot = counters_[MetricKey{name, {}}];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Counter* MetricsRegistry::counter(const std::string& name,
+                                  const MetricLabels& labels) {
+  MetricKey key{name, CanonicalLabels(labels)};
+  MutexLock lock(mutex_);
+  auto& slot = counters_[std::move(key)];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name) {
   MutexLock lock(mutex_);
-  auto& slot = gauges_[name];
+  auto& slot = gauges_[MetricKey{name, {}}];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name,
+                              const MetricLabels& labels) {
+  MetricKey key{name, CanonicalLabels(labels)};
+  MutexLock lock(mutex_);
+  auto& slot = gauges_[std::move(key)];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 LatencyHistogram* MetricsRegistry::histogram(const std::string& name) {
   MutexLock lock(mutex_);
-  auto& slot = histograms_[name];
+  auto& slot = histograms_[MetricKey{name, {}}];
   if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::histogram(const std::string& name,
+                                             const MetricLabels& labels,
+                                             const std::vector<double>& bounds) {
+  MetricKey key{name, CanonicalLabels(labels)};
+  MutexLock lock(mutex_);
+  auto& slot = histograms_[std::move(key)];
+  if (slot == nullptr) {
+    slot = bounds.empty() ? std::make_unique<LatencyHistogram>()
+                          : std::make_unique<LatencyHistogram>(bounds);
+  }
   return slot.get();
 }
 
@@ -74,16 +185,16 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   MutexLock lock(mutex_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
-  for (const auto& [name, counter] : counters_) {
-    snap.counters.emplace_back(name, counter->value());
+  for (const auto& [key, counter] : counters_) {
+    snap.counters.emplace_back(key, counter->value());
   }
   snap.gauges.reserve(gauges_.size());
-  for (const auto& [name, gauge] : gauges_) {
-    snap.gauges.emplace_back(name, gauge->value());
+  for (const auto& [key, gauge] : gauges_) {
+    snap.gauges.emplace_back(key, gauge->value());
   }
   snap.histograms.reserve(histograms_.size());
-  for (const auto& [name, histogram] : histograms_) {
-    snap.histograms.emplace_back(name, histogram->Snapshot());
+  for (const auto& [key, histogram] : histograms_) {
+    snap.histograms.emplace_back(key, histogram->Snapshot());
   }
   return snap;
 }
@@ -91,18 +202,64 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 std::string MetricsRegistry::ToText() const {
   MetricsSnapshot snap = Snapshot();
   std::string out;
-  for (const auto& [name, value] : snap.counters) {
-    out += StrFormat("%s %llu\n", name.c_str(),
+  for (const auto& [key, value] : snap.counters) {
+    out += StrFormat("%s %llu\n", key.Render().c_str(),
                      static_cast<unsigned long long>(value));
   }
-  for (const auto& [name, value] : snap.gauges) {
-    out += StrFormat("%s %g\n", name.c_str(), value);
+  for (const auto& [key, value] : snap.gauges) {
+    out += StrFormat("%s %g\n", key.Render().c_str(), value);
   }
-  for (const auto& [name, histogram] : snap.histograms) {
-    out += StrFormat("%s count=%llu mean=%.6fs max=%.6fs\n", name.c_str(),
+  for (const auto& [key, histogram] : snap.histograms) {
+    out += StrFormat("%s count=%llu mean=%.6fs p99=%.6fs max=%.6fs\n",
+                     key.Render().c_str(),
                      static_cast<unsigned long long>(histogram.count),
-                     histogram.mean_seconds(), histogram.max_seconds);
+                     histogram.mean_seconds(), histogram.Quantile(0.99),
+                     histogram.max_seconds);
   }
+  return out;
+}
+
+std::string MetricsSnapshotDeltaToText(const MetricsSnapshot& before,
+                                       const MetricsSnapshot& after,
+                                       double seconds) {
+  if (seconds <= 0) seconds = 1;
+  std::string out;
+  // Both snapshots are sorted by key; a map of the smaller "before" side
+  // keeps the diff linear-log without assuming identical series sets.
+  std::map<MetricKey, uint64_t> prev_counters(before.counters.begin(),
+                                              before.counters.end());
+  for (const auto& [key, value] : after.counters) {
+    auto it = prev_counters.find(key);
+    const uint64_t prev = it == prev_counters.end() ? 0 : it->second;
+    if (value == prev) continue;
+    const double rate = static_cast<double>(value - prev) / seconds;
+    out += StrFormat("%s +%llu (%.1f/s)\n", key.Render().c_str(),
+                     static_cast<unsigned long long>(value - prev), rate);
+  }
+  std::map<MetricKey, double> prev_gauges(before.gauges.begin(),
+                                          before.gauges.end());
+  for (const auto& [key, value] : after.gauges) {
+    auto it = prev_gauges.find(key);
+    const double prev = it == prev_gauges.end() ? 0 : it->second;
+    if (value == prev) continue;
+    out += StrFormat("%s %g (was %g)\n", key.Render().c_str(), value, prev);
+  }
+  std::map<MetricKey, uint64_t> prev_hist;
+  for (const auto& [key, histogram] : before.histograms) {
+    prev_hist.emplace(key, histogram.count);
+  }
+  for (const auto& [key, histogram] : after.histograms) {
+    auto it = prev_hist.find(key);
+    const uint64_t prev = it == prev_hist.end() ? 0 : it->second;
+    if (histogram.count == prev) continue;
+    const double rate =
+        static_cast<double>(histogram.count - prev) / seconds;
+    out += StrFormat(
+        "%s count +%llu (%.1f/s) p50=%.6fs p99=%.6fs\n", key.Render().c_str(),
+        static_cast<unsigned long long>(histogram.count - prev), rate,
+        histogram.Quantile(0.5), histogram.Quantile(0.99));
+  }
+  if (out.empty()) out = "(no change)\n";
   return out;
 }
 

@@ -1,14 +1,21 @@
-// Unified metrics: named counters, gauges, and fixed-bucket latency
-// histograms behind one registry. This is the counting half of the
-// observability layer (the span tracer in obs/trace.h is the timing half).
-// ServiceMetrics (job service) is a thin adapter over a registry, the
-// ThreadPool publishes queue/activity gauges and task wait/run histograms
-// here, and the CLI `metrics` command and --metrics-out flag snapshot the
-// global registry as text or JSON.
+// Unified metrics: named counters, gauges, and latency histograms behind one
+// registry. This is the counting half of the observability layer (the span
+// tracer in obs/trace.h is the timing half). ServiceMetrics (job service) is
+// a thin adapter over a registry, the ThreadPool publishes queue/activity
+// gauges and task wait/run histograms here, and the CLI `metrics` command and
+// --metrics-out flag snapshot the global registry as text or JSON.
+//
+// Metrics are *dimensioned*: a metric is identified by a family name plus an
+// ordered set of label key/value pairs (Prometheus-style), so the serving
+// layer can count `serve.requests{tenant="analyst",dataset="demo",code="ok"}`
+// as one family sliced three ways. Unlabeled call sites keep working — an
+// empty label set is just the family's default series.
 //
 // Handles returned by the registry are stable for its lifetime: register
 // once (mutex-protected map lookup), then update through lock-free atomics
-// (counters, gauges) or a short per-histogram mutex.
+// (counters, gauges) or a short per-histogram mutex. Snapshots are ordered
+// deterministically by (name, labels), so test assertions and text diffs are
+// stable across runs.
 
 #ifndef SECRETA_OBS_METRICS_REGISTRY_H_
 #define SECRETA_OBS_METRICS_REGISTRY_H_
@@ -25,6 +32,29 @@
 #include "common/mutex.h"
 
 namespace secreta {
+
+/// Ordered label key/value pairs qualifying one series within a metric
+/// family. Keys are sorted (and deduplicated, last value wins) by the
+/// registry on first lookup, so `{{"a","1"},{"b","2"}}` and
+/// `{{"b","2"},{"a","1"}}` name the same series.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Identity of one series: family name + sorted labels.
+struct MetricKey {
+  std::string name;
+  MetricLabels labels;
+
+  /// `name` for the unlabeled series, `name{k="v",k2="v2"}` otherwise.
+  std::string Render() const;
+
+  bool operator<(const MetricKey& other) const {
+    if (name != other.name) return name < other.name;
+    return labels < other.labels;
+  }
+  bool operator==(const MetricKey& other) const {
+    return name == other.name && labels == other.labels;
+  }
+};
 
 /// Monotonic event counter.
 class Counter {
@@ -55,26 +85,44 @@ struct HistogramSnapshot {
   double sum_seconds = 0;
   double min_seconds = 0;  ///< 0 when count == 0
   double max_seconds = 0;
-  /// counts[i] = samples with latency < bounds()[i]; the last bucket is
-  /// unbounded (+inf).
+  /// Upper bounds (seconds) of the finite buckets; buckets has one extra
+  /// trailing overflow (+inf) entry.
+  std::vector<double> bounds;
+  /// buckets[i] = samples with latency <= bounds[i] (exclusive of earlier
+  /// buckets); the last bucket is unbounded (+inf).
   std::vector<uint64_t> buckets;
 
   double mean_seconds() const { return count == 0 ? 0 : sum_seconds / count; }
+
+  /// Estimates the q-quantile (q in [0,1]) by linear interpolation within
+  /// the bucket holding the target rank, clamped to [min_seconds,
+  /// max_seconds]. Returns 0 when the histogram is empty.
+  double Quantile(double q) const;
 };
 
-/// \brief Fixed-bucket latency histogram (log-scale bounds, 1ms .. 10s).
+/// \brief Bucketed latency histogram (log-scale default bounds, 1ms .. 10s;
+/// custom bounds per family via MetricsRegistry::histogram overloads).
 class LatencyHistogram {
  public:
-  /// Upper bounds (seconds) of the finite buckets; one overflow bucket
-  /// follows.
+  /// Default upper bounds (seconds) of the finite buckets; one overflow
+  /// bucket follows.
   static const std::vector<double>& BucketBounds();
 
   LatencyHistogram();
+  /// Custom bucket bounds; must be strictly increasing and non-empty
+  /// (violations fall back to the defaults).
+  explicit LatencyHistogram(std::vector<double> bounds);
 
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Records one sample. Negative and NaN durations clamp to 0 and +inf
+  /// clamps to a large finite sentinel, so a bad clock read can never
+  /// corrupt bucket indexing or poison the running sum.
   void Record(double seconds) SECRETA_EXCLUDES(mutex_);
   HistogramSnapshot Snapshot() const SECRETA_EXCLUDES(mutex_);
 
  private:
+  std::vector<double> bounds_;  ///< immutable after construction
   mutable Mutex mutex_;
   uint64_t count_ SECRETA_GUARDED_BY(mutex_) = 0;
   double sum_ SECRETA_GUARDED_BY(mutex_) = 0;
@@ -83,11 +131,12 @@ class LatencyHistogram {
   std::vector<uint64_t> buckets_ SECRETA_GUARDED_BY(mutex_);
 };
 
-/// Point-in-time copy of a whole registry, sorted by name within each kind.
+/// Point-in-time copy of a whole registry, sorted by (name, labels) within
+/// each kind — the order is deterministic for a given set of series.
 struct MetricsSnapshot {
-  std::vector<std::pair<std::string, uint64_t>> counters;
-  std::vector<std::pair<std::string, double>> gauges;
-  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  std::vector<std::pair<MetricKey, uint64_t>> counters;
+  std::vector<std::pair<MetricKey, double>> gauges;
+  std::vector<std::pair<MetricKey, HistogramSnapshot>> histograms;
 };
 
 /// \brief Named metric registry.
@@ -105,29 +154,54 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  /// Returns the counter named `name`, creating it on first use. The handle
-  /// stays valid for the registry's lifetime; repeated calls return the same
-  /// handle.
+  /// Returns the counter named `name` (unlabeled series), creating it on
+  /// first use. The handle stays valid for the registry's lifetime; repeated
+  /// calls return the same handle.
   Counter* counter(const std::string& name) SECRETA_EXCLUDES(mutex_);
+  /// Labeled series of the `name` family; labels are sorted by key (last
+  /// value wins on duplicate keys) before lookup.
+  Counter* counter(const std::string& name, const MetricLabels& labels)
+      SECRETA_EXCLUDES(mutex_);
+
   Gauge* gauge(const std::string& name) SECRETA_EXCLUDES(mutex_);
+  Gauge* gauge(const std::string& name, const MetricLabels& labels)
+      SECRETA_EXCLUDES(mutex_);
+
   LatencyHistogram* histogram(const std::string& name)
+      SECRETA_EXCLUDES(mutex_);
+  /// Labeled histogram series. `bounds` overrides the default bucket bounds
+  /// for a series created by this call; an already-registered series keeps
+  /// its original bounds (all series of a family should use one bounds set —
+  /// the Prometheus writer assumes per-series bounds are self-describing).
+  LatencyHistogram* histogram(const std::string& name,
+                              const MetricLabels& labels,
+                              const std::vector<double>& bounds = {})
       SECRETA_EXCLUDES(mutex_);
 
   MetricsSnapshot Snapshot() const SECRETA_EXCLUDES(mutex_);
 
-  /// Human-readable dump: one "name value" line per metric, histograms as
-  /// "name count=N mean=Xs max=Ys".
+  /// Human-readable dump: one "name value" line per metric (labeled series
+  /// render as name{k="v"}), histograms as "name count=N mean=Xs max=Ys".
   std::string ToText() const SECRETA_EXCLUDES(mutex_);
 
  private:
   mutable Mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_
+  std::map<MetricKey, std::unique_ptr<Counter>> counters_
       SECRETA_GUARDED_BY(mutex_);
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+  std::map<MetricKey, std::unique_ptr<Gauge>> gauges_
       SECRETA_GUARDED_BY(mutex_);
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+  std::map<MetricKey, std::unique_ptr<LatencyHistogram>> histograms_
       SECRETA_GUARDED_BY(mutex_);
 };
+
+/// Human-readable rate report between two snapshots of the same registry
+/// taken `seconds` apart: counters and histogram counts with a non-zero
+/// delta print "name +N (R/s)"; gauges that moved print "name V (was W)".
+/// Series absent from `before` count from zero. Used by the `metrics
+/// --watch` modes of the CLI and the serve client.
+std::string MetricsSnapshotDeltaToText(const MetricsSnapshot& before,
+                                       const MetricsSnapshot& after,
+                                       double seconds);
 
 }  // namespace secreta
 

@@ -1,0 +1,131 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace secreta {
+
+namespace {
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders `{k="v",...}` with an optional extra label appended (used for
+/// the histogram `le` bound); empty string when there are no labels at all.
+std::string RenderLabels(const MetricLabels& labels, const char* extra_key,
+                         const std::string& extra_value) {
+  if (labels.empty() && extra_key == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += PrometheusName(key);
+    out += "=\"";
+    out += EscapeLabelValue(value);
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string FormatBound(double bound) {
+  std::string text = StrFormat("%g", bound);
+  return text;
+}
+
+/// Emits a `# TYPE` header the first time each family is seen; the snapshot
+/// is sorted, so same-family series are contiguous.
+void MaybeTypeHeader(const std::string& family, const char* type,
+                     std::string* last_family, std::string* out) {
+  if (family == *last_family) return;
+  *last_family = family;
+  *out += StrFormat("# TYPE %s %s\n", family.c_str(), type);
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool valid = std::isalpha(static_cast<unsigned char>(c)) ||
+                       c == '_' || c == ':' ||
+                       (i > 0 && std::isdigit(static_cast<unsigned char>(c)));
+    out += valid ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string MetricsSnapshotToPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_family;
+  for (const auto& [key, value] : snapshot.counters) {
+    const std::string family = PrometheusName(key.name) + "_total";
+    MaybeTypeHeader(family, "counter", &last_family, &out);
+    out += StrFormat("%s%s %llu\n", family.c_str(),
+                     RenderLabels(key.labels, nullptr, "").c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  last_family.clear();
+  for (const auto& [key, value] : snapshot.gauges) {
+    const std::string family = PrometheusName(key.name);
+    MaybeTypeHeader(family, "gauge", &last_family, &out);
+    out += StrFormat("%s%s %.17g\n", family.c_str(),
+                     RenderLabels(key.labels, nullptr, "").c_str(), value);
+  }
+  last_family.clear();
+  for (const auto& [key, histogram] : snapshot.histograms) {
+    const std::string family = PrometheusName(key.name);
+    MaybeTypeHeader(family, "histogram", &last_family, &out);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < histogram.buckets.size(); ++i) {
+      cumulative += histogram.buckets[i];
+      const std::string le = i < histogram.bounds.size()
+                                 ? FormatBound(histogram.bounds[i])
+                                 : "+Inf";
+      out += StrFormat("%s_bucket%s %llu\n", family.c_str(),
+                       RenderLabels(key.labels, "le", le).c_str(),
+                       static_cast<unsigned long long>(cumulative));
+    }
+    out += StrFormat("%s_sum%s %.9g\n", family.c_str(),
+                     RenderLabels(key.labels, nullptr, "").c_str(),
+                     histogram.sum_seconds);
+    out += StrFormat("%s_count%s %llu\n", family.c_str(),
+                     RenderLabels(key.labels, nullptr, "").c_str(),
+                     static_cast<unsigned long long>(histogram.count));
+  }
+  return out;
+}
+
+}  // namespace secreta

@@ -1,0 +1,29 @@
+// Prometheus text exposition (format version 0.0.4) over a MetricsSnapshot.
+// Dotted family names are sanitized to underscores ("serve.requests" ->
+// "serve_requests"), counters gain the conventional "_total" suffix, and
+// histograms expand to the cumulative _bucket{le=...} / _sum / _count
+// triplet. Served by the embedded HTTP endpoint in src/serve/http_metrics.h
+// (`secreta_jobd --metrics-listen`), so any standard scraper can ingest the
+// per-tenant serving metrics.
+
+#ifndef SECRETA_OBS_PROMETHEUS_H_
+#define SECRETA_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "obs/metrics_registry.h"
+
+namespace secreta {
+
+/// Sanitizes a metric family name to the Prometheus charset
+/// [a-zA-Z_:][a-zA-Z0-9_:]*; every other character becomes '_'.
+std::string PrometheusName(const std::string& name);
+
+/// Renders the whole snapshot in Prometheus text exposition format. Series
+/// of one family are contiguous (the snapshot is sorted), each family gets
+/// one `# TYPE` header.
+std::string MetricsSnapshotToPrometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace secreta
+
+#endif  // SECRETA_OBS_PROMETHEUS_H_

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/string_util.h"
+#include "obs/metric_names.h"
 #include "obs/metrics_registry.h"
 
 namespace secreta {
@@ -150,11 +151,11 @@ Status FaultInjector::Hit(std::string_view site) {
   // Sleep outside the lock so concurrent sites are not serialized by a
   // delay rule.
   if (delay_seconds > 0) {
-    MetricsRegistry::Global().counter("faults.delays")->Increment();
+    MetricsRegistry::Global().counter(metric_names::kFaultsDelays)->Increment();
     std::this_thread::sleep_for(std::chrono::duration<double>(delay_seconds));
   }
   if (!poisoned.ok()) {
-    MetricsRegistry::Global().counter("faults.injected")->Increment();
+    MetricsRegistry::Global().counter(metric_names::kFaultsInjected)->Increment();
   }
   return poisoned;
 }

@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metric_names.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
@@ -14,13 +15,14 @@ AdmissionController::AdmissionController(JobScheduler* scheduler,
 
 Result<double> AdmissionController::RunCount(ClientSession& session,
                                              const std::string& label,
-                                             CountFn fn) {
+                                             CountFn fn,
+                                             AdmissionTiming* timing) {
   SECRETA_TRACE_SPAN("serve.admission");
   MetricsRegistry& metrics = MetricsRegistry::Global();
 
   Status quota = session.ChargeQuota();
   if (!quota.ok()) {
-    metrics.counter("serve.admission.quota_rejected")->Increment();
+    metrics.counter(metric_names::kAdmissionQuotaRejected)->Increment();
     return quota;
   }
 
@@ -49,17 +51,21 @@ Result<double> AdmissionController::RunCount(ClientSession& session,
   Result<uint64_t> submitted =
       scheduler_->SubmitFn(std::move(job), label, job_options);
   if (!submitted.ok()) {
-    metrics.counter("serve.admission.backpressure_rejected")->Increment();
+    metrics.counter(metric_names::kAdmissionBackpressureRejected)->Increment();
     return submitted.status();
   }
-  metrics.counter("serve.admission.admitted")->Increment();
+  metrics.counter(metric_names::kAdmissionAdmitted)->Increment();
 
   SECRETA_ASSIGN_OR_RETURN(JobInfo info, scheduler_->WaitJob(*submitted));
+  if (timing != nullptr) {
+    timing->queue_seconds = info.queue_seconds;
+    timing->run_seconds = info.run_seconds;
+  }
   switch (info.state) {
     case JobState::kDone:
       return *out;
     case JobState::kTimedOut:
-      metrics.counter("serve.admission.deadline_exceeded")->Increment();
+      metrics.counter(metric_names::kAdmissionDeadlineExceeded)->Increment();
       return info.status;
     case JobState::kFailed:
     case JobState::kCancelled:

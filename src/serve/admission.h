@@ -33,6 +33,13 @@ struct AdmissionOptions {
   int priority = 10;
 };
 
+/// Where an admitted query's wall-clock went, for the slow-query log and
+/// tail traces. Zero on rejection paths (the query never ran).
+struct AdmissionTiming {
+  double queue_seconds = 0;  ///< waited in the scheduler queue
+  double run_seconds = 0;    ///< evaluation inside the job
+};
+
 /// \brief Runs client queries through quota, backpressure, and deadline
 /// gates on a shared JobScheduler. Thread-safe: handlers on every
 /// connection call RunCount concurrently.
@@ -52,8 +59,10 @@ class AdmissionController {
   ///  - ResourceExhausted (+retry-after): quota or queue full;
   ///  - DeadlineExceeded: ran past the per-query deadline;
   ///  - any error `fn` returned (bad query, unknown dataset, ...).
+  /// When `timing` is non-null it receives the queue wait / run split for
+  /// every outcome that reached the scheduler (including timeouts).
   Result<double> RunCount(ClientSession& session, const std::string& label,
-                          CountFn fn);
+                          CountFn fn, AdmissionTiming* timing = nullptr);
 
  private:
   JobScheduler* const scheduler_;

@@ -4,6 +4,7 @@
 
 #include "common/string_util.h"
 #include "kernels/kernels.h"
+#include "obs/metric_names.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
@@ -58,6 +59,14 @@ Status PublishedRelease::Initialize() {
   recoding_cache_ = evaluator_->BuildRecodingCache(
       run_.relational ? &*run_.relational : nullptr,
       run_.transaction ? &*run_.transaction : nullptr);
+
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  const MetricLabels labels = {{"dataset", name_}};
+  cache_hits_counter_ = metrics.counter(metric_names::kServeCacheHits, labels);
+  cache_misses_counter_ =
+      metrics.counter(metric_names::kServeCacheMisses, labels);
+  cache_hit_ratio_gauge_ =
+      metrics.gauge(metric_names::kServeCacheHitRatio, labels);
   return Status::OK();
 }
 
@@ -97,9 +106,16 @@ Result<double> PublishedRelease::Count(const CountQuery& query,
   return report.estimated[0];
 }
 
+void PublishedRelease::RecordCacheLookup(bool hit) const {
+  (hit ? cache_hits_counter_ : cache_misses_counter_)->Increment();
+  const double hits = static_cast<double>(cache_hits_counter_->value());
+  const double total =
+      hits + static_cast<double>(cache_misses_counter_->value());
+  cache_hit_ratio_gauge_->Set(total == 0 ? 0 : hits / total);
+}
+
 Result<PublishedRelease::CountAnswer> PublishedRelease::CountLine(
     const std::string& query_line, AccessLevel access) const {
-  MetricsRegistry& metrics = MetricsRegistry::Global();
   std::string key =
       StrFormat("%s\x1f%s", AccessLevelToString(access), query_line.c_str());
   if (options_.answer_cache_capacity > 0) {
@@ -107,11 +123,11 @@ Result<PublishedRelease::CountAnswer> PublishedRelease::CountLine(
     auto it = lru_index_.find(key);
     if (it != lru_index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
-      metrics.counter("serve.cache.hits")->Increment();
+      RecordCacheLookup(/*hit=*/true);
       return CountAnswer{it->second->second, /*cached=*/true};
     }
   }
-  metrics.counter("serve.cache.misses")->Increment();
+  RecordCacheLookup(/*hit=*/false);
 
   SECRETA_ASSIGN_OR_RETURN(CountQuery query, CountQuery::Parse(query_line));
   SECRETA_ASSIGN_OR_RETURN(double count, Count(query, access));
@@ -147,20 +163,22 @@ Result<std::shared_ptr<const PublishedRelease>> DatasetCatalog::Publish(
     MutexLock lock(mutex_);
     releases_[name] = release;
     MetricsRegistry::Global()
-        .gauge("serve.catalog.releases")
+        .gauge(metric_names::kServeCatalogReleases)
         ->Set(static_cast<double>(releases_.size()));
     // Kernel tier (enum value; TierName order) and the published release's
     // compressed item-index footprint, for the serve dashboards.
     MetricsRegistry::Global()
-        .gauge("serve.kernels.tier")
+        .gauge(metric_names::kServeKernelsTier)
         ->Set(static_cast<double>(kernels::ActiveTier()));
     if (const QueryIndex* index = release->evaluator().index()) {
       MetricsRegistry::Global()
-          .gauge("serve.index.roaring_bytes")
+          .gauge(metric_names::kServeIndexRoaringBytes)
           ->Set(static_cast<double>(index->roaring_bytes()));
     }
   }
-  MetricsRegistry::Global().counter("serve.catalog.published")->Increment();
+  MetricsRegistry::Global()
+      .counter(metric_names::kServeCatalogPublished)
+      ->Increment();
   return release;
 }
 

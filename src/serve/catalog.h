@@ -34,6 +34,7 @@
 #include "data/dataset.h"
 #include "engine/anonymization_module.h"
 #include "hierarchy/hierarchy_builder.h"
+#include "obs/metrics_registry.h"
 #include "query/query_evaluator.h"
 #include "serve/session.h"
 
@@ -94,6 +95,10 @@ class PublishedRelease {
   /// Builds hierarchies, contexts, recodings, evaluator, index, and caches.
   Status Initialize();
 
+  /// Bumps the per-dataset hit/miss counters and refreshes the lifetime
+  /// hit-ratio gauge.
+  void RecordCacheLookup(bool hit) const;
+
   const std::string name_;
   const uint64_t version_;
   const ReleaseOptions options_;
@@ -110,6 +115,13 @@ class PublishedRelease {
   RunResult run_;  // holds the published recodings
   std::optional<QueryEvaluator> evaluator_;
   RecodingCache recoding_cache_;
+
+  // Per-dataset labeled metric handles (serve.cache.* {dataset=name}),
+  // resolved once at publication so the query path never does a registry
+  // lookup. Counters are shared across versions of the same dataset name.
+  Counter* cache_hits_counter_ = nullptr;
+  Counter* cache_misses_counter_ = nullptr;
+  Gauge* cache_hit_ratio_gauge_ = nullptr;
 
   // Recent-answer LRU, keyed by (access, query line). The only mutable state
   // on the query path.

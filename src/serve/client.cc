@@ -165,6 +165,40 @@ Result<std::string> ServeClient::Metrics() {
   return text;
 }
 
+Result<std::vector<RequestTrace>> ServeClient::AdminTraces() {
+  ServeRequest request;
+  request.op = ServeOp::kTraces;
+  request.id = next_id_++;
+  SECRETA_ASSIGN_OR_RETURN(ServeResponse response, RoundTrip(request));
+  const JsonValue* rows = response.body.Find("traces");
+  if (rows == nullptr || !rows->is_array()) {
+    return Status::InvalidArgument("traces response missing traces array");
+  }
+  std::vector<RequestTrace> out;
+  for (const JsonValue& row : rows->elements()) {
+    RequestTrace trace;
+    SECRETA_ASSIGN_OR_RETURN(trace.trace_id, row.GetUintOr("trace_id", 0));
+    SECRETA_ASSIGN_OR_RETURN(trace.tenant, row.GetStringOr("tenant", ""));
+    SECRETA_ASSIGN_OR_RETURN(trace.dataset, row.GetStringOr("dataset", ""));
+    SECRETA_ASSIGN_OR_RETURN(trace.query_shape,
+                             row.GetStringOr("query_shape", ""));
+    SECRETA_ASSIGN_OR_RETURN(trace.outcome, row.GetStringOr("outcome", "ok"));
+    SECRETA_ASSIGN_OR_RETURN(trace.kernel_tier,
+                             row.GetStringOr("kernel_tier", ""));
+    SECRETA_ASSIGN_OR_RETURN(trace.queue_seconds,
+                             row.GetNumberOr("queue_seconds", 0));
+    SECRETA_ASSIGN_OR_RETURN(trace.run_seconds,
+                             row.GetNumberOr("run_seconds", 0));
+    SECRETA_ASSIGN_OR_RETURN(trace.total_seconds,
+                             row.GetNumberOr("total_seconds", 0));
+    SECRETA_ASSIGN_OR_RETURN(trace.cached, row.GetBoolOr("cached", false));
+    SECRETA_ASSIGN_OR_RETURN(trace.slow, row.GetBoolOr("slow", false));
+    SECRETA_ASSIGN_OR_RETURN(trace.error, row.GetBoolOr("error", false));
+    out.push_back(std::move(trace));
+  }
+  return out;
+}
+
 Status ServeClient::Ping() {
   ServeRequest request;
   request.op = ServeOp::kPing;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/trace_tail.h"
 #include "serve/protocol.h"
 
 namespace secreta {
@@ -51,6 +52,10 @@ class ServeClient {
   /// The server's counters, flattened to "name value" lines (the greppable
   /// subset of the metrics snapshot; CI asserts on serve.* counters here).
   Result<std::string> Metrics();
+
+  /// The server's pinned tail traces (admin.traces op), oldest first.
+  /// PermissionDenied unless the session's tenant has direct access.
+  Result<std::vector<RequestTrace>> AdminTraces();
 
   Status Ping();
 

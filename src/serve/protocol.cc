@@ -112,6 +112,8 @@ const char* ServeOpToString(ServeOp op) {
       return "list";
     case ServeOp::kMetrics:
       return "metrics";
+    case ServeOp::kTraces:
+      return "admin.traces";
     case ServeOp::kPing:
       return "ping";
     case ServeOp::kBye:
@@ -125,6 +127,7 @@ Result<ServeOp> ParseServeOp(const std::string& name) {
   if (name == "count") return ServeOp::kCount;
   if (name == "list") return ServeOp::kList;
   if (name == "metrics") return ServeOp::kMetrics;
+  if (name == "admin.traces") return ServeOp::kTraces;
   if (name == "ping") return ServeOp::kPing;
   if (name == "bye") return ServeOp::kBye;
   return Status::InvalidArgument(StrFormat("unknown op \"%s\"", name.c_str()));
@@ -164,6 +167,7 @@ Result<ServeRequest> ParseServeRequest(const std::string& payload) {
     }
     case ServeOp::kList:
     case ServeOp::kMetrics:
+    case ServeOp::kTraces:
     case ServeOp::kPing:
     case ServeOp::kBye:
       break;
@@ -201,6 +205,7 @@ std::string SerializeServeRequest(const ServeRequest& request) {
       break;
     case ServeOp::kList:
     case ServeOp::kMetrics:
+    case ServeOp::kTraces:
     case ServeOp::kPing:
     case ServeOp::kBye:
       break;
@@ -289,6 +294,18 @@ std::string MetricsResponsePayload(uint64_t id, const std::string& body_json) {
   out.pop_back();  // drop closing '}'
   out += ",\"metrics\":";
   out += body_json.empty() ? "{}" : body_json;
+  out += "}";
+  return out;
+}
+
+std::string TracesResponsePayload(uint64_t id, const std::string& traces_json) {
+  // traces_json is already a serialized array; splice it in verbatim.
+  JsonWriter w = OkPreamble(id, "admin.traces");
+  w.EndObject();
+  std::string out = w.TakeString();
+  out.pop_back();  // drop closing '}'
+  out += ",\"traces\":";
+  out += traces_json.empty() ? "[]" : traces_json;
   out += "}";
   return out;
 }

@@ -14,8 +14,9 @@
 //    "access":"anonymized"}                      // access optional
 //   {"op":"list","id":3}
 //   {"op":"metrics","id":4}
-//   {"op":"ping","id":5}
-//   {"op":"bye","id":6}
+//   {"op":"admin.traces","id":5}                  // direct access only
+//   {"op":"ping","id":6}
+//   {"op":"bye","id":7}
 //
 // The "query" string is the repo's COUNT-query line format (query/query.h),
 // so workload files and wire queries share one parser.
@@ -71,7 +72,7 @@ Status ReadFrame(int fd, size_t max_frame_bytes, std::string* payload,
 // ---- Requests --------------------------------------------------------------
 
 /// Operations a client can request.
-enum class ServeOp { kHello, kCount, kList, kMetrics, kPing, kBye };
+enum class ServeOp { kHello, kCount, kList, kMetrics, kTraces, kPing, kBye };
 
 const char* ServeOpToString(ServeOp op);
 Result<ServeOp> ParseServeOp(const std::string& name);
@@ -119,6 +120,9 @@ std::string ListResponsePayload(uint64_t id,
                                 const std::vector<ServeDatasetInfo>& datasets);
 /// Wraps an already-serialized JSON object (e.g. a metrics snapshot).
 std::string MetricsResponsePayload(uint64_t id, const std::string& body_json);
+/// Wraps an already-serialized JSON array of pinned request traces
+/// (obs/trace_tail.h) as {"traces":[...]}.
+std::string TracesResponsePayload(uint64_t id, const std::string& traces_json);
 std::string PongResponsePayload(uint64_t id);
 std::string ByeResponsePayload(uint64_t id);
 /// Uniform failure payload; carries status code name, message, and the

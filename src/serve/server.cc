@@ -16,12 +16,41 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "export/json_export.h"
+#include "kernels/kernels.h"
+#include "obs/metric_names.h"
 #include "obs/metrics_registry.h"
+#include "obs/slow_query_log.h"
 #include "obs/trace.h"
+#include "obs/trace_tail.h"
 #include "robust/fault_injection.h"
 
 namespace secreta {
 namespace {
+
+// Collapses a COUNT-query line to its predicate shape — clause names with
+// the constants wildcarded ("Age:20..39;items:i3 i7" → "Age:*;items:*") —
+// so traces and slow-query records group by query structure instead of
+// exploding one entry per distinct constant.
+std::string QueryShape(const std::string& query_line) {
+  std::string shape;
+  size_t start = 0;
+  while (start <= query_line.size()) {
+    size_t end = query_line.find(';', start);
+    if (end == std::string::npos) end = query_line.size();
+    const std::string clause = query_line.substr(start, end - start);
+    if (!shape.empty()) shape += ';';
+    size_t colon = clause.find(':');
+    if (colon == std::string::npos) {
+      shape += clause;
+    } else {
+      shape.append(clause, 0, colon + 1);
+      shape += '*';
+    }
+    if (end == query_line.size()) break;
+    start = end + 1;
+  }
+  return shape;
+}
 
 void SetReceiveTimeout(int fd, double seconds) {
   if (seconds <= 0) return;
@@ -121,7 +150,9 @@ void QueryServer::Stop() {
     listen_fd_ = -1;
   }
   if (was_running) {
-    MetricsRegistry::Global().gauge("serve.active_connections")->Set(0);
+    MetricsRegistry::Global()
+        .gauge(metric_names::kServeActiveConnections)
+        ->Set(0);
   }
 }
 
@@ -133,21 +164,21 @@ void QueryServer::AcceptLoop() {
       if (errno == EINTR) continue;
       if (!running_.load(std::memory_order_acquire)) break;
       // Transient accept failure (e.g. EMFILE); keep serving.
-      metrics.counter("serve.accept_errors")->Increment();
+      metrics.counter(metric_names::kServeAcceptErrors)->Increment();
       continue;
     }
     if (!running_.load(std::memory_order_acquire)) {
       (void)::close(fd);
       break;
     }
-    metrics.counter("serve.connections")->Increment();
+    metrics.counter(metric_names::kServeConnections)->Increment();
     size_t active =
         active_connections_.fetch_add(1, std::memory_order_acq_rel) + 1;
     if (active > options_.max_connections) {
       // All handler workers are occupied by live connections; parking this
       // one in the pool queue would hang the client, so refuse loudly.
       active_connections_.fetch_sub(1, std::memory_order_acq_rel);
-      metrics.counter("serve.rejected_busy")->Increment();
+      metrics.counter(metric_names::kServeRejectedBusy)->Increment();
       WriteFrame(fd, ErrorResponsePayload(
                          0, Status::ResourceExhausted(
                                 "server at connection capacity")
@@ -156,7 +187,7 @@ void QueryServer::AcceptLoop() {
       (void)::close(fd);
       continue;
     }
-    metrics.gauge("serve.active_connections")
+    metrics.gauge(metric_names::kServeActiveConnections)
         ->Set(static_cast<double>(active));
     RegisterConnection(fd);
     handlers_->Submit([this, fd] {
@@ -166,7 +197,7 @@ void QueryServer::AcceptLoop() {
       size_t now_active =
           active_connections_.fetch_sub(1, std::memory_order_acq_rel) - 1;
       MetricsRegistry::Global()
-          .gauge("serve.active_connections")
+          .gauge(metric_names::kServeActiveConnections)
           ->Set(static_cast<double>(now_active));
     });
   }
@@ -198,14 +229,14 @@ void QueryServer::HandleConnection(int fd) {
     if (!read.ok()) {
       // Framing is unrecoverable: report (best effort) and hang up. An idle
       // timeout or truncated frame both land here.
-      metrics.counter("serve.read_errors")->Increment();
+      metrics.counter(metric_names::kServeReadErrors)->Increment();
       WriteFrame(fd, ErrorResponsePayload(0, read)).IgnoreError();
       // The connection is closing; nothing to recover.
       return;
     }
     if (clean_eof) return;
 
-    metrics.counter("serve.requests")->Increment();
+    metrics.counter(metric_names::kServeRequests)->Increment();
     Stopwatch request_timer;
     Result<ServeRequest> parsed = ParseServeRequest(payload);
     std::string response;
@@ -213,7 +244,7 @@ void QueryServer::HandleConnection(int fd) {
     if (!parsed.ok()) {
       // The frame boundary is intact, so a malformed request is answerable:
       // reply with the parse error and keep the connection.
-      metrics.counter("serve.bad_requests")->Increment();
+      metrics.counter(metric_names::kServeBadRequests)->Increment();
       response = ErrorResponsePayload(0, parsed.status());
     } else if (parsed->op == ServeOp::kHello) {
       if (session != nullptr) {
@@ -230,7 +261,7 @@ void QueryServer::HandleConnection(int fd) {
         Result<std::shared_ptr<ClientSession>> auth =
             tenants_->Authenticate(parsed->token);
         if (!auth.ok()) {
-          metrics.counter("serve.auth_failures")->Increment();
+          metrics.counter(metric_names::kServeAuthFailures)->Increment();
           response = ErrorResponsePayload(parsed->id, auth.status());
         } else {
           session = std::move(*auth);
@@ -247,26 +278,110 @@ void QueryServer::HandleConnection(int fd) {
       response = ByeResponsePayload(parsed->id);
       close_after = true;
     } else {
-      Result<std::string> handled = HandleRequest(*parsed, *session);
+      Result<std::string> handled =
+          HandleRequest(*parsed, *session, request_timer);
       if (handled.ok()) {
         response = std::move(*handled);
       } else {
-        metrics.counter("serve.request_errors")->Increment();
+        metrics.counter(metric_names::kServeRequestErrors)->Increment();
         response = ErrorResponsePayload(parsed->id, handled.status());
       }
     }
-    metrics.histogram("serve.request_seconds")
+    metrics.histogram(metric_names::kServeRequestSeconds)
         ->Record(request_timer.ElapsedSeconds());
     if (!WriteFrame(fd, response).ok()) {
-      metrics.counter("serve.write_errors")->Increment();
+      metrics.counter(metric_names::kServeWriteErrors)->Increment();
       return;
     }
     if (close_after) return;
   }
 }
 
+void QueryServer::RecordCountTelemetry(ClientSession& session,
+                                       const ServeRequest& request,
+                                       const Status& status,
+                                       const AdmissionTiming& timing,
+                                       bool cached, double total_seconds) {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  // The common case — a healthy request on a dataset this session has seen
+  // before — must not pay label canonicalization or the registry mutex, so
+  // the {tenant, dataset} handles are memoized on the session. Failure codes
+  // are rare enough that the code="..." counter takes the slow lookup.
+  CountMetricHandles& handles = session.count_metric_handles(request.dataset);
+  if (handles.requests_ok == nullptr) {
+    handles.requests_ok =
+        metrics.counter(metric_names::kServeRequests,
+                        {{"tenant", session.tenant()},
+                         {"dataset", request.dataset},
+                         {"code", "ok"}});
+    handles.count_seconds = metrics.histogram(
+        metric_names::kServeCountSeconds,
+        {{"tenant", session.tenant()}, {"dataset", request.dataset}});
+    handles.slow_queries = metrics.counter(
+        metric_names::kServeSlowQueries,
+        {{"tenant", session.tenant()}, {"dataset", request.dataset}});
+  }
+  if (status.ok()) {
+    handles.requests_ok->Increment();
+  } else {
+    metrics
+        .counter(metric_names::kServeRequests,
+                 {{"tenant", session.tenant()},
+                  {"dataset", request.dataset},
+                  {"code", StatusCodeToString(status.code())}})
+        ->Increment();
+  }
+  handles.count_seconds->Record(total_seconds);
+
+  const double threshold = options_.slow_query_threshold_seconds;
+  const bool slow = total_seconds >= threshold;
+  const bool error = !status.ok();
+  if (slow) handles.slow_queries->Increment();
+
+  TraceTail& tail = TraceTail::Global();
+  if (!slow && !error) {
+    // Healthy and fast: counted as seen, never retained — skip the trace id
+    // and all the string assembly below.
+    tail.CountHealthy();
+    return;
+  }
+
+  RequestTrace trace;
+  trace.trace_id = tail.NextTraceId();
+  trace.tenant = session.tenant();
+  trace.dataset = request.dataset;
+  trace.query_shape = QueryShape(request.query);
+  trace.outcome = status.ok() ? "ok" : StatusCodeToString(status.code());
+  trace.kernel_tier = kernels::ActiveTierName();
+  trace.queue_seconds = timing.queue_seconds;
+  trace.run_seconds = timing.run_seconds;
+  trace.total_seconds = total_seconds;
+  trace.cached = cached;
+  trace.slow = slow;
+  trace.error = error;
+
+  SlowQueryLog& slow_log = SlowQueryLog::Global();
+  if (slow && slow_log.enabled()) {
+    SlowQueryRecord record;
+    record.trace_id = trace.trace_id;
+    record.tenant = trace.tenant;
+    record.dataset = trace.dataset;
+    record.query_shape = trace.query_shape;
+    record.outcome = trace.outcome;
+    record.kernel_tier = trace.kernel_tier;
+    record.queue_seconds = trace.queue_seconds;
+    record.run_seconds = trace.run_seconds;
+    record.total_seconds = trace.total_seconds;
+    record.threshold_seconds = threshold;
+    record.cached = trace.cached;
+    slow_log.Record(record);
+  }
+  tail.Record(std::move(trace));
+}
+
 Result<std::string> QueryServer::HandleRequest(const ServeRequest& request,
-                                               ClientSession& session) {
+                                               ClientSession& session,
+                                               const Stopwatch& frame_timer) {
   SECRETA_TRACE_SPAN("serve.request");
   SECRETA_FAULT_POINT("serve.request");
   switch (request.op) {
@@ -276,6 +391,18 @@ Result<std::string> QueryServer::HandleRequest(const ServeRequest& request,
       return MetricsResponsePayload(
           request.id,
           MetricsSnapshotToJson(MetricsRegistry::Global().Snapshot()));
+    case ServeOp::kTraces: {
+      // Pinned traces expose other tenants' names, datasets, and query
+      // shapes — operator-only, like direct counts.
+      if (!session.Allows(AccessLevel::kDirect)) {
+        return Status::PermissionDenied(StrFormat(
+            "tenant \"%s\" is not cleared for admin.traces (direct access "
+            "required)",
+            session.tenant().c_str()));
+      }
+      return TracesResponsePayload(
+          request.id, RequestTracesToJson(TraceTail::Global().Snapshot()));
+    }
     case ServeOp::kList: {
       std::vector<ServeDatasetInfo> rows;
       for (const auto& release : catalog_->List()) {
@@ -291,18 +418,29 @@ Result<std::string> QueryServer::HandleRequest(const ServeRequest& request,
     case ServeOp::kCount: {
       AccessLevel access = AccessLevel::kAnonymized;
       if (!request.access.empty()) {
-        SECRETA_ASSIGN_OR_RETURN(access, ParseAccessLevel(request.access));
+        Result<AccessLevel> parsed = ParseAccessLevel(request.access);
+        if (!parsed.ok()) {
+          RecordCountTelemetry(session, request, parsed.status(), {},
+                               /*cached=*/false, frame_timer.ElapsedSeconds());
+          return parsed.status();
+        }
+        access = *parsed;
       }
       if (!session.Allows(access)) {
         session.RecordQuery(false);
-        return Status::PermissionDenied(StrFormat(
+        Status denied = Status::PermissionDenied(StrFormat(
             "tenant \"%s\" is not cleared for %s access",
             session.tenant().c_str(), AccessLevelToString(access)));
+        RecordCountTelemetry(session, request, denied, {}, /*cached=*/false,
+                             frame_timer.ElapsedSeconds());
+        return denied;
       }
       Result<std::shared_ptr<const PublishedRelease>> release =
           catalog_->Get(request.dataset);
       if (!release.ok()) {
         session.RecordQuery(false);
+        RecordCountTelemetry(session, request, release.status(), {},
+                             /*cached=*/false, frame_timer.ElapsedSeconds());
         return release.status();
       }
       // The admission callback runs on a scheduler worker; the shared_ptrs
@@ -312,6 +450,7 @@ Result<std::string> QueryServer::HandleRequest(const ServeRequest& request,
       std::shared_ptr<const PublishedRelease> rel = std::move(*release);
       std::string query_line = request.query;
       Stopwatch timer;
+      AdmissionTiming timing;
       Result<double> count = admission_.RunCount(
           session,
           StrFormat("serve:%s:%s", session.tenant().c_str(),
@@ -321,8 +460,11 @@ Result<std::string> QueryServer::HandleRequest(const ServeRequest& request,
                                      rel->CountLine(query_line, access));
             *cached = answer.cached;
             return answer.count;
-          });
+          },
+          &timing);
       session.RecordQuery(count.ok());
+      RecordCountTelemetry(session, request, count.status(), timing, *cached,
+                           frame_timer.ElapsedSeconds());
       if (!count.ok()) return count.status();
       return CountResponsePayload(request.id, *count,
                                   AccessLevelToString(access), *cached,

@@ -33,6 +33,7 @@
 #include "common/annotations.h"
 #include "common/mutex.h"
 #include "common/status.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "serve/admission.h"
 #include "serve/catalog.h"
@@ -56,6 +57,11 @@ struct ServerOptions {
   double idle_timeout_seconds = 300;
   /// Per-frame payload ceiling.
   size_t max_frame_bytes = kServeMaxFrameBytes;
+  /// A COUNT whose end-to-end frame time reaches this is "slow": it is
+  /// pinned in the tail-trace ring and, when a SlowQueryLog is open, written
+  /// there too. 0 marks every COUNT slow (useful for capture-everything
+  /// debugging and tests).
+  double slow_query_threshold_seconds = 0.25;
   /// Admission knobs (per-query deadline, scheduler priority).
   AdmissionOptions admission;
 };
@@ -92,9 +98,20 @@ class QueryServer {
   /// Serves one already-authenticated request. The returned string is the
   /// response payload; a non-OK status becomes an error frame (the
   /// connection survives application errors — only transport errors and
-  /// protocol violations close it).
+  /// protocol violations close it). `frame_timer` is the connection loop's
+  /// per-frame stopwatch: it started before this call (and before the
+  /// serve.request fault point fires), so slow-query accounting sees the
+  /// full end-to-end time including injected delays.
   Result<std::string> HandleRequest(const ServeRequest& request,
-                                    ClientSession& session);
+                                    ClientSession& session,
+                                    const Stopwatch& frame_timer);
+  /// Records one COUNT outcome everywhere the telemetry pipeline looks:
+  /// labeled request counter + latency histogram, the tail-trace ring, and
+  /// (when slow and a log is open) the slow-query JSONL log — all under one
+  /// freshly minted trace id.
+  void RecordCountTelemetry(ClientSession& session, const ServeRequest& request,
+                            const Status& status, const AdmissionTiming& timing,
+                            bool cached, double total_seconds);
 
   void RegisterConnection(int fd) SECRETA_EXCLUDES(mutex_);
   void UnregisterConnection(int fd) SECRETA_EXCLUDES(mutex_);

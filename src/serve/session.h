@@ -32,6 +32,20 @@
 
 namespace secreta {
 
+class Counter;
+class LatencyHistogram;
+
+/// Memoized labeled-metric handles for one (tenant, dataset) pair. Registry
+/// handles are stable for the process lifetime, so the serving hot path
+/// resolves them once per session+dataset instead of paying label
+/// canonicalization and the registry mutex on every COUNT (the serve_bench
+/// telemetry-overhead gate is what keeps this honest).
+struct CountMetricHandles {
+  Counter* requests_ok = nullptr;
+  LatencyHistogram* count_seconds = nullptr;
+  Counter* slow_queries = nullptr;
+};
+
 /// What a session is allowed to see.
 enum class AccessLevel {
   kAnonymized,  ///< counts from the published recoding only
@@ -107,6 +121,13 @@ class ClientSession {
     return queries_failed_.load(std::memory_order_relaxed);
   }
 
+  /// Per-dataset telemetry handle cache. A session belongs to exactly one
+  /// connection and is only touched by that connection's handler thread, so
+  /// the map needs no lock.
+  CountMetricHandles& count_metric_handles(const std::string& dataset) {
+    return telemetry_handles_[dataset];
+  }
+
  private:
   const uint64_t id_;
   const std::string tenant_;
@@ -114,6 +135,7 @@ class ClientSession {
   std::shared_ptr<TokenBucket> quota_;
   std::atomic<uint64_t> queries_ok_{0};
   std::atomic<uint64_t> queries_failed_{0};
+  std::unordered_map<std::string, CountMetricHandles> telemetry_handles_;
 };
 
 /// \brief Token → tenant lookup plus session minting. Tenants are added

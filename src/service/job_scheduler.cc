@@ -5,6 +5,7 @@
 #include "common/random.h"
 #include "common/string_util.h"
 #include "export/json_export.h"
+#include "obs/metric_names.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
@@ -54,6 +55,7 @@ JobScheduler::~JobScheduler() {
     queued.reserve(queue_.size());
     for (const QueueEntry& entry : queue_) queued.push_back(entry.job);
     queue_.clear();
+    UpdateQueueGauges();
     for (const auto& job : queued) {
       job->token.Cancel();
       Finalize(job.get(), JobState::kCancelled,
@@ -184,6 +186,7 @@ Result<uint64_t> JobScheduler::Enqueue(std::shared_ptr<Job> job) {
   metrics_.IncrSubmitted();
   jobs_[job->id] = job;
   queue_.insert(QueueEntry{job->priority, job->seq, job});
+  UpdateQueueGauges();
   pool_->Submit([this] { RunNext(); });
   if (job->has_deadline) reaper_wake_.NotifyAll();
   return job->id;
@@ -200,6 +203,7 @@ void JobScheduler::RunNext() {
     auto it = queue_.begin();
     job = it->job;
     queue_.erase(it);
+    UpdateQueueGauges();
     Clock::time_point now = Clock::now();
     job->queue_seconds = ToSeconds(now - job->submitted_at);
     if (job->token.cancelled()) {
@@ -249,7 +253,9 @@ void JobScheduler::RunNext() {
         std::make_shared<const EvaluationReport>(std::move(result).value());
     if (job->cacheable) cache_.Insert(job->cache_key, job->report);
     if (job->attempts > 1) {
-      MetricsRegistry::Global().counter("retry.succeeded")->Increment();
+      MetricsRegistry::Global()
+          .counter(metric_names::kRetrySucceeded)
+          ->Increment();
     }
     Finalize(job.get(), JobState::kDone, Status::OK());
   } else if (!result.ok()) {
@@ -268,7 +274,9 @@ void JobScheduler::RunNext() {
     } else {
       if (st.code() == StatusCode::kResourceExhausted &&
           job->max_retries > 0) {
-        MetricsRegistry::Global().counter("retry.exhausted")->Increment();
+        MetricsRegistry::Global()
+            .counter(metric_names::kRetryExhausted)
+            ->Increment();
       }
       Finalize(job.get(), JobState::kFailed, st);
     }
@@ -299,7 +307,7 @@ void JobScheduler::ScheduleRetry(const std::shared_ptr<Job>& job,
     job->timeout_fired = true;
     job->token.Cancel();
     MetricsRegistry::Global()
-        .counter("retry.deadline_abandoned")
+        .counter(metric_names::kRetryDeadlineAbandoned)
         ->Increment();
     Finalize(job.get(), JobState::kTimedOut,
              Status::DeadlineExceeded(StrFormat(
@@ -314,9 +322,9 @@ void JobScheduler::ScheduleRetry(const std::shared_ptr<Job>& job,
   job->retry_waiting = true;
   job->retry_at = now + delay;
   ++retry_waiting_;
-  MetricsRegistry::Global().counter("retry.attempts")->Increment();
+  MetricsRegistry::Global().counter(metric_names::kRetryAttempts)->Increment();
   MetricsRegistry::Global()
-      .histogram("retry.backoff_seconds")
+      .histogram(metric_names::kRetryBackoffSeconds)
       ->Record(backoff);
   reaper_wake_.NotifyAll();
 }
@@ -384,6 +392,7 @@ void JobScheduler::ReaperLoop() {
       job->token.Cancel();
       if (job->state == JobState::kQueued) {
         queue_.erase(QueueEntry{job->priority, job->seq, nullptr});
+        UpdateQueueGauges();
         job->queue_seconds = ToSeconds(now - job->submitted_at);
         Finalize(job.get(), JobState::kTimedOut,
                  Status::DeadlineExceeded(StrFormat(
@@ -413,9 +422,26 @@ void JobScheduler::ReaperLoop() {
       job->seq = next_seq_++;
       queue_.insert(QueueEntry{job->priority, job->seq, job});
       pool_->Submit([this] { RunNext(); });
-      MetricsRegistry::Global().counter("retry.requeued")->Increment();
+      MetricsRegistry::Global()
+          .counter(metric_names::kRetryRequeued)
+          ->Increment();
+    }
+    UpdateQueueGauges();
+  }
+}
+
+void JobScheduler::UpdateQueueGauges() const {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.gauge(metric_names::kJobsQueueDepth)
+      ->Set(static_cast<double>(queue_.size()));
+  double oldest = 0;
+  if (!queue_.empty()) {
+    Clock::time_point now = Clock::now();
+    for (const QueueEntry& entry : queue_) {
+      oldest = std::max(oldest, ToSeconds(now - entry.job->submitted_at));
     }
   }
+  metrics.gauge(metric_names::kJobsQueueAgeSeconds)->Set(oldest);
 }
 
 JobInfo JobScheduler::Snapshot(const Job& job) const {
@@ -471,6 +497,7 @@ Status JobScheduler::CancelJob(uint64_t id) {
   job->token.Cancel();
   if (job->state == JobState::kQueued) {
     queue_.erase(QueueEntry{job->priority, job->seq, nullptr});
+    UpdateQueueGauges();
     job->queue_seconds = ToSeconds(Clock::now() - job->submitted_at);
     Finalize(job, JobState::kCancelled,
              Status::Cancelled("cancelled while queued"));

@@ -240,6 +240,10 @@ class JobScheduler {
   void ReaperLoop() SECRETA_EXCLUDES(mutex_);
   /// Copies one job's state; the job is owned by jobs_, hence the lock.
   JobInfo Snapshot(const Job& job) const SECRETA_REQUIRES(mutex_);
+  /// Refreshes the jobs.queue_depth / jobs.queue_age_seconds gauges; called
+  /// wherever queue_ changes and on every reaper pass so the age keeps
+  /// advancing while a job sits queued.
+  void UpdateQueueGauges() const SECRETA_REQUIRES(mutex_);
 
   const SchedulerOptions options_;
   ServiceMetrics metrics_;

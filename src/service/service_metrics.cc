@@ -1,5 +1,7 @@
 #include "service/service_metrics.h"
 
+#include "obs/metric_names.h"
+
 namespace secreta {
 
 ServiceMetrics::ServiceMetrics(MetricsRegistry* registry) {
@@ -8,16 +10,16 @@ ServiceMetrics::ServiceMetrics(MetricsRegistry* registry) {
     registry = owned_.get();
   }
   registry_ = registry;
-  submitted_ = registry->counter("jobs.submitted");
-  completed_ = registry->counter("jobs.completed");
-  cancelled_ = registry->counter("jobs.cancelled");
-  failed_ = registry->counter("jobs.failed");
-  timed_out_ = registry->counter("jobs.timed_out");
-  rejected_ = registry->counter("jobs.rejected");
-  cache_hits_ = registry->counter("result_cache.hits");
-  cache_misses_ = registry->counter("result_cache.misses");
-  queue_wait_ = registry->histogram("job.queue_wait_seconds");
-  execution_ = registry->histogram("job.execution_seconds");
+  submitted_ = registry->counter(metric_names::kJobsSubmitted);
+  completed_ = registry->counter(metric_names::kJobsCompleted);
+  cancelled_ = registry->counter(metric_names::kJobsCancelled);
+  failed_ = registry->counter(metric_names::kJobsFailed);
+  timed_out_ = registry->counter(metric_names::kJobsTimedOut);
+  rejected_ = registry->counter(metric_names::kJobsRejected);
+  cache_hits_ = registry->counter(metric_names::kResultCacheHits);
+  cache_misses_ = registry->counter(metric_names::kResultCacheMisses);
+  queue_wait_ = registry->histogram(metric_names::kJobQueueWaitSeconds);
+  execution_ = registry->histogram(metric_names::kJobExecutionSeconds);
 }
 
 ServiceMetricsSnapshot ServiceMetrics::Snapshot() const {

@@ -401,8 +401,8 @@ TEST(MetricsRegistryTest, SnapshotAndTextExport) {
   MetricsSnapshot snap = registry.Snapshot();
   ASSERT_EQ(snap.counters.size(), 2u);
   // Sorted by name.
-  EXPECT_EQ(snap.counters[0].first, "obs_test.a_count");
-  EXPECT_EQ(snap.counters[1].first, "obs_test.b_count");
+  EXPECT_EQ(snap.counters[0].first.Render(), "obs_test.a_count");
+  EXPECT_EQ(snap.counters[1].first.Render(), "obs_test.b_count");
   EXPECT_EQ(snap.counters[1].second, 3u);
   ASSERT_EQ(snap.gauges.size(), 1u);
   EXPECT_DOUBLE_EQ(snap.gauges[0].second, 2.0);
@@ -435,11 +435,12 @@ TEST(MetricsRegistryTest, SnapshotJsonRoundTrips) {
 
 TEST(ThreadPoolInstrumentationTest, NamedPoolPublishesToGlobalRegistry) {
   MetricsRegistry& global = MetricsRegistry::Global();
-  uint64_t tasks_before = global.counter("pool.obs_test.tasks")->value();
+  const MetricLabels pool_labels = {{"pool", "obs_test"}};
+  uint64_t tasks_before = global.counter("pool.tasks", pool_labels)->value();
   constexpr int kTasks = 16;
   {
     ThreadPool pool(2, "obs_test");
-    EXPECT_DOUBLE_EQ(global.gauge("pool.obs_test.workers")->value(), 2.0);
+    EXPECT_DOUBLE_EQ(global.gauge("pool.workers", pool_labels)->value(), 2.0);
     for (int i = 0; i < kTasks; ++i) {
       pool.Submit([] {});
     }
@@ -447,27 +448,28 @@ TEST(ThreadPoolInstrumentationTest, NamedPoolPublishesToGlobalRegistry) {
     EXPECT_EQ(pool.queued(), 0u);
     EXPECT_EQ(pool.active(), 0u);
   }
-  EXPECT_EQ(global.counter("pool.obs_test.tasks")->value(),
+  EXPECT_EQ(global.counter("pool.tasks", pool_labels)->value(),
             tasks_before + kTasks);
   // Workers deregistered, queue drained.
-  EXPECT_DOUBLE_EQ(global.gauge("pool.obs_test.workers")->value(), 0.0);
-  EXPECT_DOUBLE_EQ(global.gauge("pool.obs_test.queued")->value(), 0.0);
-  EXPECT_DOUBLE_EQ(global.gauge("pool.obs_test.active")->value(), 0.0);
-  EXPECT_GE(global.histogram("pool.obs_test.task_wait_seconds")
+  EXPECT_DOUBLE_EQ(global.gauge("pool.workers", pool_labels)->value(), 0.0);
+  EXPECT_DOUBLE_EQ(global.gauge("pool.queued", pool_labels)->value(), 0.0);
+  EXPECT_DOUBLE_EQ(global.gauge("pool.active", pool_labels)->value(), 0.0);
+  EXPECT_GE(global.histogram("pool.task_wait_seconds", pool_labels)
                 ->Snapshot().count,
             static_cast<uint64_t>(kTasks));
-  EXPECT_GE(global.histogram("pool.obs_test.task_run_seconds")
+  EXPECT_GE(global.histogram("pool.task_run_seconds", pool_labels)
                 ->Snapshot().count,
             static_cast<uint64_t>(kTasks));
 }
 
 TEST(ThreadPoolInstrumentationTest, UnnamedPoolStaysOffTheRegistry) {
   MetricsRegistry& global = MetricsRegistry::Global();
-  uint64_t tasks_before = global.counter("pool.obs_test.tasks")->value();
+  const MetricLabels pool_labels = {{"pool", "obs_test"}};
+  uint64_t tasks_before = global.counter("pool.tasks", pool_labels)->value();
   ThreadPool pool(2);
   pool.Submit([] {});
   pool.Wait();
-  EXPECT_EQ(global.counter("pool.obs_test.tasks")->value(), tasks_before);
+  EXPECT_EQ(global.counter("pool.tasks", pool_labels)->value(), tasks_before);
 }
 
 // ---------------------------------------------------------------------------

@@ -17,7 +17,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -28,10 +31,13 @@
 #include "hierarchy/hierarchy_builder.h"
 #include "query/query_evaluator.h"
 #include "query/workload_generator.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace_tail.h"
 #include "robust/fault_injection.h"
 #include "serve/admission.h"
 #include "serve/catalog.h"
 #include "serve/client.h"
+#include "serve/http_metrics.h"
 #include "serve/json.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
@@ -768,6 +774,215 @@ TEST_F(ServeServerTest, FaultInjectionAtServeRequest) {
   // Only the first hit fires; the retry succeeds and the server kept going.
   EXPECT_OK(client.Count("demo", "Age:25..40").status());
   FaultInjector::Global().Clear();
+}
+
+// ---------------------------------------------------------------------------
+// Serving telemetry — the tail ring, the slow-query log, admin.traces, and
+// the embedded Prometheus endpoint.
+
+TEST_F(ServeServerTest, AdminTracesVisibleToDirectTenantsOnly) {
+  TraceTail::Global().Clear();
+  ServerOptions options;
+  options.slow_query_threshold_seconds = 0;  // pin every COUNT
+  StartServer(options);
+
+  ServeClient analyst;
+  ASSERT_OK(analyst.Connect("127.0.0.1", server_->port()));
+  ASSERT_OK(analyst.Hello("analyst-token"));
+  ASSERT_OK(analyst.Count("demo", "Age:25..40").status());
+  Result<std::vector<RequestTrace>> denied = analyst.AdminTraces();
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+
+  ServeClient admin;
+  ASSERT_OK(admin.Connect("127.0.0.1", server_->port()));
+  ASSERT_OK(admin.Hello("admin-token"));
+  ASSERT_OK_AND_ASSIGN(std::vector<RequestTrace> traces, admin.AdminTraces());
+  ASSERT_FALSE(traces.empty());
+  bool found = false;
+  for (const RequestTrace& trace : traces) {
+    if (trace.tenant != "analyst") continue;
+    found = true;
+    EXPECT_GT(trace.trace_id, 0u);
+    EXPECT_EQ(trace.dataset, "demo");
+    // The predicate shape is wildcarded — raw query values never leave the
+    // server through the trace ring.
+    EXPECT_EQ(trace.query_shape, "Age:*");
+    EXPECT_EQ(trace.outcome, "ok");
+    EXPECT_TRUE(trace.slow);
+    EXPECT_FALSE(trace.error);
+    EXPECT_GE(trace.total_seconds, 0.0);
+    EXPECT_FALSE(trace.kernel_tier.empty());
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ServeServerTest, ErroredRequestsArePinnedIntoTheTail) {
+  TraceTail::Global().Clear();
+  StartServer();  // default threshold: fast requests are NOT slow
+
+  ServeClient client;
+  ASSERT_OK(client.Connect("127.0.0.1", server_->port()));
+  ASSERT_OK(client.Hello("analyst-token"));
+  // A healthy fast COUNT is not retained; a NotFound is.
+  ASSERT_OK(client.Count("demo", "Age:25..40").status());
+  ASSERT_EQ(client.Count("nope", "Age:25..40").status().code(),
+            StatusCode::kNotFound);
+
+  std::vector<RequestTrace> pinned = TraceTail::Global().Snapshot();
+  ASSERT_EQ(pinned.size(), 1u);
+  EXPECT_EQ(pinned[0].dataset, "nope");
+  EXPECT_EQ(pinned[0].outcome, "NotFound");
+  EXPECT_TRUE(pinned[0].error);
+}
+
+TEST_F(ServeServerTest, SlowQueryLogSharesTraceIdsWithTailRing) {
+  TraceTail::Global().Clear();
+  std::string path = ::testing::TempDir() + "/secreta_serve_slow.jsonl";
+  ASSERT_OK(SlowQueryLog::Global().Open(path, 0));  // everything is "slow"
+  ServerOptions options;
+  options.slow_query_threshold_seconds = 0;
+  StartServer(options);
+
+  ServeClient client;
+  ASSERT_OK(client.Connect("127.0.0.1", server_->port()));
+  ASSERT_OK(client.Hello("analyst-token"));
+  ASSERT_OK(client.Count("demo", "Age:25..40").status());
+  ASSERT_OK(client.Count("demo", "Age:25..40").status());  // answer-cache hit
+  server_->Stop();
+  SlowQueryLog::Global().Close();
+
+  std::map<uint64_t, RequestTrace> pinned_by_id;
+  for (const RequestTrace& trace : TraceTail::Global().Snapshot()) {
+    pinned_by_id[trace.trace_id] = trace;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  size_t records = 0;
+  bool saw_cached = false;
+  while (std::getline(in, line)) {
+    ASSERT_OK_AND_ASSIGN(JsonValue row, JsonValue::Parse(line));
+    ASSERT_OK_AND_ASSIGN(uint64_t trace_id, row.GetUint("trace_id"));
+    // The log line and the retained trace share one id — the operator can
+    // pivot from either artifact to the other.
+    auto it = pinned_by_id.find(trace_id);
+    ASSERT_NE(it, pinned_by_id.end()) << "trace_id " << trace_id;
+    ASSERT_OK_AND_ASSIGN(std::string tenant, row.GetString("tenant"));
+    EXPECT_EQ(tenant, it->second.tenant);
+    ASSERT_OK_AND_ASSIGN(std::string dataset, row.GetString("dataset"));
+    EXPECT_EQ(dataset, it->second.dataset);
+    ASSERT_OK_AND_ASSIGN(bool cached, row.GetBoolOr("cached", false));
+    saw_cached = saw_cached || cached;
+    ++records;
+  }
+  EXPECT_EQ(records, 2u);
+  EXPECT_TRUE(saw_cached);  // the repeat COUNT was served from the cache
+  std::remove(path.c_str());
+}
+
+TEST(HttpMetricsTest, RequestLineRouting) {
+  std::string metrics = HttpMetricsResponseFor("GET /metrics HTTP/1.1");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(
+      metrics.find("Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+      std::string::npos);
+  // Query strings are routed on the path alone.
+  EXPECT_NE(HttpMetricsResponseFor("GET /metrics?format=x HTTP/1.1")
+                .find("200 OK"),
+            std::string::npos);
+  EXPECT_NE(HttpMetricsResponseFor("GET /healthz HTTP/1.1").find("ok\n"),
+            std::string::npos);
+  EXPECT_NE(HttpMetricsResponseFor("POST /metrics HTTP/1.1")
+                .find("405 Method Not Allowed"),
+            std::string::npos);
+  EXPECT_NE(HttpMetricsResponseFor("GET /nope HTTP/1.1").find("404 Not Found"),
+            std::string::npos);
+  EXPECT_NE(HttpMetricsResponseFor("garbage").find("400 Bad Request"),
+            std::string::npos);
+}
+
+TEST_F(ServeServerTest, MetricsEndpointServesLabeledPrometheusSeries) {
+  StartServer();
+  ServeClient client;
+  ASSERT_OK(client.Connect("127.0.0.1", server_->port()));
+  ASSERT_OK(client.Hello("analyst-token"));
+  ASSERT_OK(client.Count("demo", "Age:25..40").status());
+
+  HttpMetricsServer http;
+  ASSERT_OK(http.Start());
+  ASSERT_GT(http.port(), 0);
+
+  RawConnection scraper;
+  ASSERT_TRUE(scraper.Connect(http.port()));
+  const std::string request =
+      "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  ASSERT_EQ(::send(scraper.fd(), request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(scraper.fd(), buf, sizeof(buf), 0);
+    if (n <= 0) break;  // Connection: close — EOF ends the response
+    response.append(buf, static_cast<size_t>(n));
+  }
+  http.Stop();
+
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  // The per-tenant serve.requests family made it through the sanitizer with
+  // its labels intact.
+  EXPECT_NE(response.find("# TYPE serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(response.find("tenant=\"analyst\""), std::string::npos);
+  EXPECT_NE(response.find("dataset=\"demo\""), std::string::npos);
+}
+
+TEST_F(ServeServerTest, InjectedDelayLandsInSlowLogAndTailWithOneTraceId) {
+  if (!FaultInjector::CompiledIn()) {
+    GTEST_SKIP() << "fault sites compiled out (SECRETA_FAULTS=OFF)";
+  }
+  TraceTail::Global().Clear();
+  std::string path = ::testing::TempDir() + "/secreta_serve_delay.jsonl";
+  ASSERT_OK(SlowQueryLog::Global().Open(path, 0.05));
+  ServerOptions options;
+  options.slow_query_threshold_seconds = 0.05;
+  StartServer(options);
+
+  ServeClient client;
+  ASSERT_OK(client.Connect("127.0.0.1", server_->port()));
+  ASSERT_OK(client.Hello("analyst-token"));
+  // Stall the serve.request fault site past the threshold: the COUNT still
+  // succeeds, but its end-to-end latency is now "slow" and must surface in
+  // BOTH artifacts under the same trace id.
+  ASSERT_OK(FaultInjector::Global().Configure("serve.request:delay:0.1"));
+  ASSERT_OK(client.Count("demo", "Age:25..40").status());
+  FaultInjector::Global().Clear();
+  server_->Stop();
+  SlowQueryLog::Global().Close();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  ASSERT_OK_AND_ASSIGN(JsonValue row, JsonValue::Parse(line));
+  ASSERT_OK_AND_ASSIGN(uint64_t logged_id, row.GetUint("trace_id"));
+  ASSERT_OK_AND_ASSIGN(double total, row.GetNumber("total_seconds"));
+  EXPECT_GE(total, 0.05);
+  ASSERT_OK_AND_ASSIGN(std::string outcome, row.GetStringOr("outcome", ""));
+  EXPECT_EQ(outcome, "ok");
+
+  bool matched = false;
+  for (const RequestTrace& trace : TraceTail::Global().Snapshot()) {
+    if (trace.trace_id != logged_id) continue;
+    matched = true;
+    EXPECT_TRUE(trace.slow);
+    EXPECT_FALSE(trace.error);
+    EXPECT_GE(trace.total_seconds, 0.05);
+  }
+  EXPECT_TRUE(matched);
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------

@@ -16,6 +16,13 @@ the default GCC build would silently skip):
                     Everything else calls the dispatched kernels (AndPopcount,
                     PopcountRange, ...) from kernels/kernels.h so hot loops
                     pick up the SIMD tier and stay benchmarked in one place.
+  metric-name       Metric family names passed to MetricsRegistry::counter /
+                    gauge / histogram must be the named constants from
+                    src/obs/metric_names.h, never string literals, so the
+                    full metric surface stays greppable in one header and
+                    dashboards cannot silently diverge from the code.
+                    Applies to src/ only; tests and benches may mint
+                    throwaway names.
   include-style     Internal headers are included with "quotes", system and
                     third-party headers with <angle brackets>. A <...>
                     include that resolves to a repo header defeats header
@@ -46,6 +53,10 @@ MUTEX_TOKENS = re.compile(
 # `throw` as a statement; `throw()` exception-specs don't occur in this tree.
 THROW_TOKEN = re.compile(r"(^|[^\w.])throw\s")
 POPCOUNT_TOKEN = re.compile(r"__builtin_popcount(ll|l)?\b")
+# A registry lookup whose family name is a string literal: `.counter("` /
+# `->gauge("` / etc. Matched on the raw line (the comment stripper also
+# blanks string literals, which would hide exactly what this rule needs).
+METRIC_CALL = re.compile(r'[.>](counter|gauge|histogram)\s*\(\s*"')
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(<([^>]+)>|"([^"]+)")')
 ALLOW_RE = re.compile(r"//\s*lint:allow\s+([\w-]+)")
 
@@ -121,6 +132,15 @@ def check_file(path: Path, rel: str, errors: list[str]) -> None:
                 errors.append(
                     f"{rel}:{lineno}: no-throw: core code propagates errors "
                     "via Status/Result<T>, never exceptions"
+                )
+
+        if (is_src and rel != "src/obs/metric_names.h"
+                and METRIC_CALL.search(line.split("//", 1)[0])):
+            if not allowed(raw, "metric-name"):
+                errors.append(
+                    f"{rel}:{lineno}: metric-name: metric family names live "
+                    "in src/obs/metric_names.h; pass the metric_names:: "
+                    "constant instead of a string literal"
                 )
 
         if is_src and not is_kernel_source and POPCOUNT_TOKEN.search(code):
