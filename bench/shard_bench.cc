@@ -1,0 +1,292 @@
+// SHARD — the out-of-core acceptance benchmark: convert a large synthetic
+// RT-dataset to SBC1, anonymize it shard-by-shard from the binary file in a
+// child process whose peak RSS is measured, resume it from the checkpoint,
+// and audit the merged release. Emits BENCH_shard.json (CWD).
+//
+// Default ("full") mode runs the acceptance configuration — 1M records,
+// 8 range shards — and exits nonzero unless
+//   * the gated child's peak RSS stays below 50% of the dataset's in-memory
+//     footprint (Dataset::MemoryBytes()),
+//   * the resumed re-run reproduces the release byte-for-byte, and
+//   * the merged release passes the k-anonymity / k^m-anonymity audit.
+// `--quick` shrinks to 30k records for CI smoke runs: the identity and audit
+// checks still apply, but the RSS gate is reported without being enforced
+// (fixed process overheads dominate tiny datasets).
+//
+// The gated phase runs in a child process (`--phase=run`, spawned via this
+// binary's own argv[0]) so the parent's dataset generation does not pollute
+// the high-water mark that getrusage() reports.
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "csv/csv.h"
+#include "data/column_provider.h"
+#include "data/format.h"
+#include "data/mmap_file.h"
+#include "engine/sharded_runner.h"
+#include "export/json_export.h"
+
+using namespace secreta;
+
+namespace {
+
+AlgorithmConfig BenchConfig() {
+  AlgorithmConfig config;
+  config.mode = AnonMode::kRt;
+  config.relational_algorithm = "Cluster";
+  config.transaction_algorithm = "COAT";
+  config.merger = MergerKind::kRTmerger;
+  config.params.k = 5;
+  config.params.m = 2;
+  return config;
+}
+
+size_t PeakRssBytes() {
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<size_t>(usage.ru_maxrss) * 1024;  // Linux: KiB
+}
+
+// ---------------------------------------------------------------------------
+// Child phase: the gated out-of-core run. Reads only the SBC1 file, writes
+// the release CSV + checkpoint, never materializes the merged dataset, and
+// reports its own numbers through a flat key=value stats file.
+
+int RunPhase(const std::string& in, const std::string& ckpt,
+             const std::string& out, const std::string& stats_path) {
+  std::unique_ptr<ColumnProvider> provider =
+      bench::CheckOk(OpenColumnProvider(in), "open provider");
+  ShardedRunOptions options;
+  options.checkpoint_path = ckpt;
+  options.output_path = out;
+  options.materialize_result = false;
+  options.audit = false;
+  ShardedRunResult result = bench::CheckOk(
+      RunShardedAnonymization(*provider, BenchConfig(), options), "run");
+
+  std::ofstream stats(stats_path, std::ios::trunc);
+  stats << "peak_rss_bytes " << PeakRssBytes() << "\n"
+        << "num_records " << result.num_records << "\n"
+        << "num_shards " << result.plan.num_shards() << "\n"
+        << "resumed_shards " << result.resumed_shards << "\n"
+        << "anonymize_seconds " << StrFormat("%a", result.anonymize_seconds)
+        << "\n"
+        << "total_seconds " << StrFormat("%a", result.total_seconds) << "\n"
+        << "weighted_gcp " << StrFormat("%a", result.weighted_gcp) << "\n"
+        << "release_fp " << StrFormat("%016llx", (unsigned long long)
+                                      result.release_fingerprint)
+        << "\n";
+  return stats.good() ? 0 : 1;
+}
+
+std::map<std::string, std::string> ReadStats(const std::string& path) {
+  std::map<std::string, std::string> stats;
+  std::ifstream in(path);
+  std::string key, value;
+  while (in >> key >> value) stats[key] = value;
+  if (stats.empty()) {
+    fprintf(stderr, "FAIL: empty stats file %s\n", path.c_str());
+    exit(1);
+  }
+  return stats;
+}
+
+int SpawnPhase(const std::string& self, const std::string& phase_args) {
+  std::string command = "\"" + self + "\" " + phase_args;
+  return std::system(command.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string phase, in, ckpt, out, stats_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto take = [&](const char* prefix, std::string* dst) {
+      if (arg.rfind(prefix, 0) == 0) {
+        *dst = arg.substr(std::strlen(prefix));
+        return true;
+      }
+      return false;
+    };
+    if (arg == "--quick") quick = true;
+    else if (take("--phase=", &phase) || take("--in=", &in) ||
+             take("--ckpt=", &ckpt) || take("--out=", &out) ||
+             take("--stats=", &stats_path)) {
+    } else {
+      fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (phase == "run") return RunPhase(in, ckpt, out, stats_path);
+  if (!phase.empty()) {
+    fprintf(stderr, "unknown phase %s\n", phase.c_str());
+    return 2;
+  }
+
+  const size_t num_records = quick ? 30000 : 1000000;
+  // Full mode uses finer shards: the gated child's peak is dominated by one
+  // shard's engine working set, so more shards = flatter high-water mark.
+  const size_t num_shards = quick ? 8 : 32;
+  printf("== SHARD: out-of-core sharded run (%zu records, %zu shards, %s) ==\n\n",
+         num_records, num_shards, quick ? "quick" : "full");
+
+  const std::string dir = bench::OutDir();
+  const std::string sbc_path = dir + "/shard_bench.sbc";
+  const std::string ckpt_path = dir + "/shard_bench.ckpt";
+  const std::string release_path = dir + "/shard_bench_release.csv";
+  const std::string stats1 = dir + "/shard_bench_stats1.txt";
+  const std::string stats2 = dir + "/shard_bench_stats2.txt";
+  std::remove(ckpt_path.c_str());
+
+  // Phase 1 (parent): generate + convert. The full dataset lives here — and
+  // only here; the gated child never holds more than one shard.
+  size_t baseline_bytes = 0;
+  uint64_t content_fp = 0;
+  double convert_seconds = 0;
+  {
+    Dataset dataset = bench::BenchDataset(num_records);
+    baseline_bytes = dataset.MemoryBytes();
+    Stopwatch watch;
+    BinaryWriteOptions options;
+    options.num_shards = num_shards;
+    bench::CheckOk(WriteBinaryDataset(dataset, sbc_path, options), "convert");
+    convert_seconds = watch.ElapsedSeconds();
+    content_fp = DatasetContentFingerprint(dataset);
+  }
+  const size_t file_bytes =
+      bench::CheckOk(MmapFile::FileSize(sbc_path), "file size");
+  printf("converted: %zu bytes on disk, %zu bytes in memory (%.2fs)\n",
+         file_bytes, baseline_bytes, convert_seconds);
+
+  // Phase 2 (child): the gated out-of-core anonymize + evaluate.
+  const std::string self = argv[0];
+  if (SpawnPhase(self, StrFormat(
+          "--phase=run --in=%s --ckpt=%s --out=%s --stats=%s",
+          sbc_path.c_str(), ckpt_path.c_str(), release_path.c_str(),
+          stats1.c_str())) != 0) {
+    fprintf(stderr, "FAIL: gated run child failed\n");
+    return 1;
+  }
+  auto run = ReadStats(stats1);
+  const size_t peak_rss = std::stoull(run["peak_rss_bytes"]);
+  const double rss_ratio =
+      static_cast<double>(peak_rss) / static_cast<double>(baseline_bytes);
+  printf("gated run: peak RSS %zu bytes = %.1f%% of in-memory footprint, "
+         "anonymize %.2fs, gcp %.4f, release %s\n",
+         peak_rss, 100.0 * rss_ratio,
+         std::strtod(run["anonymize_seconds"].c_str(), nullptr),
+         std::strtod(run["weighted_gcp"].c_str(), nullptr),
+         run["release_fp"].c_str());
+
+  // Phase 3 (child): resume from the checkpoint — every shard must replay
+  // from disk and the merged bytes must not move.
+  if (SpawnPhase(self, StrFormat(
+          "--phase=run --in=%s --ckpt=%s --out=%s --stats=%s",
+          sbc_path.c_str(), ckpt_path.c_str(), release_path.c_str(),
+          stats2.c_str())) != 0) {
+    fprintf(stderr, "FAIL: resume child failed\n");
+    return 1;
+  }
+  auto resumed = ReadStats(stats2);
+  const bool all_resumed =
+      resumed["resumed_shards"] == std::to_string(num_shards);
+  const bool byte_identical = run["release_fp"] == resumed["release_fp"];
+  printf("resume: %s/%zu shards replayed, release %s (%s)\n",
+         resumed["resumed_shards"].c_str(), num_shards,
+         resumed["release_fp"].c_str(),
+         byte_identical ? "byte-identical" : "MISMATCH");
+
+  // Phase 4 (parent): audit the merged release. Resumes the same checkpoint
+  // with materialization on — the engine never re-runs.
+  std::unique_ptr<ColumnProvider> provider =
+      bench::CheckOk(OpenColumnProvider(sbc_path), "reopen provider");
+  ShardedRunOptions audit_options;
+  audit_options.checkpoint_path = ckpt_path;
+  ShardedRunResult audited = bench::CheckOk(
+      RunShardedAnonymization(*provider, BenchConfig(), audit_options),
+      "audit run");
+  const bool audit_ok = audited.audit.has_value() &&
+                        audited.audit->k_anonymous &&
+                        audited.audit->km_anonymous;
+  const bool audit_identical =
+      StrFormat("%016llx",
+                (unsigned long long)audited.release_fingerprint) ==
+      run["release_fp"];
+  printf("audit: k-anonymity %s, k^m-anonymity %s, min class %zu\n",
+         audit_ok && audited.audit->k_anonymous ? "OK" : "VIOLATED",
+         audit_ok && audited.audit->km_anonymous ? "OK" : "VIOLATED",
+         audited.audit.has_value() ? audited.audit->min_class_size
+                                   : static_cast<size_t>(0));
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String("shard");
+  w.Key("mode");
+  w.String(quick ? "quick" : "full");
+  w.Key("num_records");
+  w.Int(static_cast<int64_t>(num_records));
+  w.Key("num_shards");
+  w.Int(static_cast<int64_t>(num_shards));
+  w.Key("content_fingerprint");
+  w.String(StrFormat("%016llx", (unsigned long long)content_fp));
+  w.Key("dataset_memory_bytes");
+  w.Int(static_cast<int64_t>(baseline_bytes));
+  w.Key("binary_file_bytes");
+  w.Int(static_cast<int64_t>(file_bytes));
+  w.Key("convert_seconds");
+  w.Number(convert_seconds);
+  w.Key("run_peak_rss_bytes");
+  w.Int(static_cast<int64_t>(peak_rss));
+  w.Key("run_rss_ratio");
+  w.Number(rss_ratio);
+  w.Key("anonymize_seconds");
+  w.Number(std::strtod(run["anonymize_seconds"].c_str(), nullptr));
+  w.Key("total_seconds");
+  w.Number(std::strtod(run["total_seconds"].c_str(), nullptr));
+  w.Key("weighted_gcp");
+  w.Number(std::strtod(run["weighted_gcp"].c_str(), nullptr));
+  w.Key("release_fingerprint");
+  w.String(run["release_fp"]);
+  w.Key("resume_byte_identical");
+  w.Bool(all_resumed && byte_identical && audit_identical);
+  w.Key("audit_k_anonymous");
+  w.Bool(audited.audit.has_value() && audited.audit->k_anonymous);
+  w.Key("audit_km_anonymous");
+  w.Bool(audited.audit.has_value() && audited.audit->km_anonymous);
+  w.Key("rss_gate_enforced");
+  w.Bool(!quick);
+  w.EndObject();
+  const std::string path = "BENCH_shard.json";
+  bench::CheckOk(csv::WriteFile(path, w.TakeString()), "json");
+  printf("wrote %s\n", path.c_str());
+
+  if (!all_resumed || !byte_identical || !audit_identical) {
+    fprintf(stderr, "FAIL: resumed run is not byte-identical\n");
+    return 1;
+  }
+  if (!audit_ok) {
+    fprintf(stderr, "FAIL: merged release failed the anonymity audit\n");
+    return 1;
+  }
+  if (!quick && rss_ratio >= 0.5) {
+    fprintf(stderr,
+            "FAIL: gated peak RSS is %.1f%% of the in-memory footprint "
+            "(required < 50%%)\n",
+            100.0 * rss_ratio);
+    return 1;
+  }
+  return 0;
+}

@@ -30,12 +30,19 @@ Result<Dataset> BuildAnonymizedDataset(const Dataset& original,
     }
   }
 
-  csv::CsvTable table;
+  // Encode row-by-row through AddRow (what FromCsv loops internally) instead
+  // of materializing the whole label table first: the CsvTable of strings
+  // costs several times the encoded dataset, which matters when this runs
+  // inside a memory-gated out-of-core shard.
+  csv::CsvTable header_only;
   std::vector<std::string> header;
   for (const auto& spec : schema.attributes()) header.push_back(spec.name);
-  table.push_back(std::move(header));
+  header_only.push_back(std::move(header));
+  SECRETA_ASSIGN_OR_RETURN(Dataset anonymized,
+                           Dataset::FromCsv(header_only, schema));
+  std::vector<std::string> row;
   for (size_t r = 0; r < original.num_records(); ++r) {
-    std::vector<std::string> row;
+    row.clear();
     size_t col = 0;
     for (size_t a = 0; a < original.schema().num_attributes(); ++a) {
       if (original.schema().attribute(a).type == AttributeType::kTransaction) {
@@ -62,9 +69,9 @@ Result<Dataset> BuildAnonymizedDataset(const Dataset& original,
         ++col;
       }
     }
-    table.push_back(std::move(row));
+    SECRETA_RETURN_IF_ERROR(anonymized.AddRow(row));
   }
-  return Dataset::FromCsv(table, schema);
+  return anonymized;
 }
 
 RelationalRecoding IdentityRecoding(const RelationalContext& context) {

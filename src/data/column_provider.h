@@ -1,0 +1,99 @@
+// Backend-neutral access to dataset columns. A ColumnProvider answers the
+// questions a run needs before touching cell data (schema, global
+// dictionaries, item supports, content fingerprint) and materializes either
+// the whole dataset or one shard of it as a Dataset. The three backends are
+// interchangeable — the DataSource::{Binary, CSV, Synthetic} split:
+//
+//   MemoryColumnProvider   wraps an already-decoded Dataset (synthetic
+//                          generators, editor state). Materialization slices
+//                          rows while keeping the global dictionaries.
+//   CsvColumnProvider      parses the CSV once at open, then behaves like a
+//                          memory provider (CSV has no random access).
+//   BinaryColumnProvider   wraps an SBC1 BinaryDatasetReader; shards are
+//                          decoded from per-shard mmap windows, so whole-
+//                          dataset residency is never required.
+//
+// The invariant that makes backends interchangeable: for the same logical
+// dataset, every provider reports identical dictionaries (same ids), and
+// MaterializeShard(plan, s) yields byte-identical Datasets. Sharded
+// anonymization is therefore reproducible no matter where the bytes live —
+// asserted in tests/shard_test.cc.
+
+#ifndef SECRETA_DATA_COLUMN_PROVIDER_H_
+#define SECRETA_DATA_COLUMN_PROVIDER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/format.h"
+#include "data/shard.h"
+
+namespace secreta {
+
+/// Where a provider's bytes come from.
+enum class DataSource { kMemory, kCsv, kBinary, kSynthetic };
+
+const char* DataSourceName(DataSource source);
+
+/// \brief Uniform column access over in-memory, CSV and binary backends.
+class ColumnProvider {
+ public:
+  virtual ~ColumnProvider() = default;
+
+  virtual DataSource source() const = 0;
+  virtual const Schema& schema() const = 0;
+  virtual size_t num_records() const = 0;
+
+  /// Global relational dictionaries, schema order. Shard materializations
+  /// reference exactly these ids.
+  virtual const std::vector<Dictionary>& dictionaries() const = 0;
+  virtual const Dictionary& item_dictionary() const = 0;
+
+  /// Global per-item record support, aligned with item_dictionary() ids
+  /// (drives support-ordered item hierarchies without a full scan).
+  virtual const std::vector<uint64_t>& item_supports() const = 0;
+
+  /// Logical content fingerprint (== DatasetContentFingerprint of
+  /// Materialize()'s result); pins caches and checkpoints across backends.
+  virtual uint64_t content_fingerprint() const = 0;
+
+  /// Decodes the entire dataset (defeats out-of-core on purpose).
+  virtual Result<Dataset> Materialize() const = 0;
+
+  /// Decodes shard `s` of `plan` with global dictionaries. Byte-identical
+  /// across backends for the same logical dataset and plan. Binary
+  /// providers only serve the plan the file was written with (native_plan())
+  /// — one shard is one mmap window, not a re-partition.
+  virtual Result<Dataset> MaterializeShard(const ShardPlan& plan,
+                                           size_t shard) const = 0;
+
+  /// The partition physically baked into the backing store, if any. Memory
+  /// and CSV backends slice any plan; binary files serve exactly one.
+  virtual std::optional<ShardPlan> native_plan() const { return std::nullopt; }
+};
+
+/// Wraps a decoded dataset. `source` lets synthetic generators label their
+/// provenance (DataSource::kSynthetic) without a separate class.
+std::unique_ptr<ColumnProvider> MakeMemoryProvider(
+    Dataset dataset, DataSource source = DataSource::kMemory);
+
+/// Parses a CSV file (schema inferred) into a memory-backed provider.
+Result<std::unique_ptr<ColumnProvider>> OpenCsvProvider(
+    const std::string& path);
+
+/// Opens an SBC1 file for shard-at-a-time access.
+Result<std::unique_ptr<ColumnProvider>> OpenBinaryProvider(
+    const std::string& path);
+
+/// Sniffs the file magic and opens the matching backend (SBC1 → binary,
+/// anything else → CSV).
+Result<std::unique_ptr<ColumnProvider>> OpenColumnProvider(
+    const std::string& path);
+
+}  // namespace secreta
+
+#endif  // SECRETA_DATA_COLUMN_PROVIDER_H_

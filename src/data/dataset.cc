@@ -83,6 +83,115 @@ Result<Dataset> Dataset::LoadFile(const std::string& path) {
   return FromCsvInferred(table);
 }
 
+Result<Dataset> Dataset::FromParts(Parts parts) {
+  Dataset ds;
+  ds.schema_ = std::move(parts.schema);
+  size_t relational = 0;
+  for (size_t i = 0; i < ds.schema_.num_attributes(); ++i) {
+    if (ds.schema_.attribute(i).type != AttributeType::kTransaction) {
+      ds.column_attr_.push_back(i);
+      ++relational;
+    }
+  }
+  if (parts.dictionaries.size() != relational) {
+    return Status::InvalidArgument(
+        StrFormat("FromParts: %zu dictionaries for %zu relational attributes",
+                  parts.dictionaries.size(), relational));
+  }
+  if (parts.numeric.size() != relational) {
+    return Status::InvalidArgument(
+        StrFormat("FromParts: %zu numeric tables for %zu relational attributes",
+                  parts.numeric.size(), relational));
+  }
+  if (parts.cells.size() != parts.num_records * relational) {
+    return Status::InvalidArgument(
+        StrFormat("FromParts: %zu cells, expected %zu records x %zu columns",
+                  parts.cells.size(), parts.num_records, relational));
+  }
+  ds.columns_.resize(relational);
+  for (size_t c = 0; c < relational; ++c) {
+    const bool numeric =
+        ds.schema_.attribute(ds.column_attr_[c]).type == AttributeType::kNumeric;
+    if (numeric &&
+        parts.numeric[c].size() != parts.dictionaries[c].size()) {
+      return Status::InvalidArgument(StrFormat(
+          "FromParts: numeric table of column %zu has %zu entries for a "
+          "%zu-entry dictionary",
+          c, parts.numeric[c].size(), parts.dictionaries[c].size()));
+    }
+    if (!numeric && !parts.numeric[c].empty()) {
+      return Status::InvalidArgument(StrFormat(
+          "FromParts: categorical column %zu carries a numeric table", c));
+    }
+    ds.columns_[c].dict = std::move(parts.dictionaries[c]);
+    ds.columns_[c].numeric = std::move(parts.numeric[c]);
+  }
+  for (size_t i = 0; i < parts.cells.size(); ++i) {
+    const size_t c = i % relational;
+    const ValueId id = parts.cells[i];
+    if (id < 0 || static_cast<size_t>(id) >= ds.columns_[c].dict.size()) {
+      return Status::OutOfRange(StrFormat(
+          "FromParts: cell %zu holds id %d outside dictionary of column %zu",
+          i, id, c));
+    }
+  }
+  ds.cells_ = std::move(parts.cells);
+  if (ds.schema_.has_transaction()) {
+    if (parts.transactions.size() != parts.num_records) {
+      return Status::InvalidArgument(StrFormat(
+          "FromParts: %zu transactions for %zu records",
+          parts.transactions.size(), parts.num_records));
+    }
+    for (const auto& txn : parts.transactions) {
+      for (size_t i = 0; i < txn.size(); ++i) {
+        if (txn[i] < 0 ||
+            static_cast<size_t>(txn[i]) >= parts.item_dictionary.size()) {
+          return Status::OutOfRange("FromParts: item id outside dictionary");
+        }
+        if (i > 0 && txn[i] <= txn[i - 1]) {
+          return Status::InvalidArgument(
+              "FromParts: transaction items must be sorted and unique");
+        }
+      }
+    }
+  } else if (!parts.transactions.empty()) {
+    return Status::InvalidArgument(
+        "FromParts: transactions supplied without a transaction attribute");
+  }
+  ds.item_dict_ = std::move(parts.item_dictionary);
+  ds.transactions_ = std::move(parts.transactions);
+  ds.num_records_ = parts.num_records;
+  return ds;
+}
+
+namespace {
+
+size_t DictionaryBytes(const Dictionary& dict) {
+  // values_ strings + the index entries; close enough for a budget baseline.
+  size_t bytes = 0;
+  for (const std::string& v : dict.values()) {
+    bytes += sizeof(std::string) + v.capacity();
+    bytes += v.size() + 2 * sizeof(void*) + sizeof(ValueId);  // hash node
+  }
+  return bytes;
+}
+
+}  // namespace
+
+size_t Dataset::MemoryBytes() const {
+  size_t bytes = cells_.capacity() * sizeof(ValueId);
+  for (const Column& col : columns_) {
+    bytes += DictionaryBytes(col.dict);
+    bytes += col.numeric.capacity() * sizeof(double);
+  }
+  bytes += DictionaryBytes(item_dict_);
+  bytes += transactions_.capacity() * sizeof(std::vector<ItemId>);
+  for (const auto& txn : transactions_) {
+    bytes += txn.capacity() * sizeof(ItemId);
+  }
+  return bytes;
+}
+
 Result<Dataset> Dataset::LoadFile(const std::string& path, const Schema& schema) {
   SECRETA_ASSIGN_OR_RETURN(csv::CsvTable table, csv::ReadCsvFile(path));
   return FromCsv(table, schema);
@@ -94,21 +203,26 @@ csv::CsvTable Dataset::ToCsv() const {
   for (const auto& spec : schema_.attributes()) header.push_back(spec.name);
   table.push_back(std::move(header));
   for (size_t r = 0; r < num_records_; ++r) {
-    std::vector<std::string> row;
-    size_t col = 0;
-    for (size_t a = 0; a < schema_.num_attributes(); ++a) {
-      if (schema_.attribute(a).type == AttributeType::kTransaction) {
-        std::vector<std::string> items;
-        for (ItemId it : transactions_[r]) items.push_back(item_dict_.value(it));
-        row.push_back(Join(items, " "));
-      } else {
-        row.push_back(value_string(r, col));
-        ++col;
-      }
-    }
-    table.push_back(std::move(row));
+    table.push_back(CsvRow(r));
   }
   return table;
+}
+
+std::vector<std::string> Dataset::CsvRow(size_t row) const {
+  std::vector<std::string> cells;
+  cells.reserve(schema_.num_attributes());
+  size_t col = 0;
+  for (size_t a = 0; a < schema_.num_attributes(); ++a) {
+    if (schema_.attribute(a).type == AttributeType::kTransaction) {
+      std::vector<std::string> items;
+      for (ItemId it : transactions_[row]) items.push_back(item_dict_.value(it));
+      cells.push_back(Join(items, " "));
+    } else {
+      cells.push_back(value_string(row, col));
+      ++col;
+    }
+  }
+  return cells;
 }
 
 Result<size_t> Dataset::ColumnOf(size_t attr_index) const {

@@ -40,8 +40,43 @@ class Dataset {
   static Result<Dataset> LoadFile(const std::string& path);
   static Result<Dataset> LoadFile(const std::string& path, const Schema& schema);
 
+  /// Pre-encoded building blocks, as produced by data/column_provider.h
+  /// backends (binary readers, shard materialization). Dictionaries may be
+  /// global supersets of the values actually referenced — a shard keeps the
+  /// whole dataset's dictionaries so ids (and therefore algorithm decisions)
+  /// are identical across every partitioning.
+  struct Parts {
+    Schema schema;
+    /// One per relational attribute, schema order.
+    std::vector<Dictionary> dictionaries;
+    /// Parallel to `dictionaries`; one double per dictionary id for numeric
+    /// attributes, empty for categorical ones.
+    std::vector<std::vector<double>> numeric;
+    /// Row-major ValueIds, stride = number of relational attributes.
+    std::vector<ValueId> cells;
+    Dictionary item_dictionary;
+    /// One sorted unique ItemId set per record when the schema has a
+    /// transaction attribute; empty otherwise.
+    std::vector<std::vector<ItemId>> transactions;
+    size_t num_records = 0;
+  };
+
+  /// Assembles a dataset from pre-encoded parts, validating id ranges,
+  /// strides and numeric-table alignment.
+  static Result<Dataset> FromParts(Parts parts);
+
+  /// Approximate heap footprint of the decoded representation (cells,
+  /// transactions, dictionaries, numeric tables). This is the in-memory
+  /// baseline that out-of-core runs are gated against (bench/shard_bench.cc).
+  size_t MemoryBytes() const;
+
   /// Serializes to CSV rows (header + data), inverse of FromCsv.
   csv::CsvTable ToCsv() const;
+
+  /// One data row of ToCsv() (schema order, transaction cells space-joined)
+  /// without materializing the whole table — the out-of-core serialization
+  /// path streams records through this instead of ToCsv().
+  std::vector<std::string> CsvRow(size_t row) const;
 
   // -- shape ----------------------------------------------------------------
 

@@ -1,0 +1,110 @@
+#include "data/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace secreta {
+
+namespace {
+
+Status Errno(const char* op, const std::string& path) {
+  return Status::IOError(StrFormat("%s failed for '%s': %s", op, path.c_str(),
+                                   std::strerror(errno)));
+}
+
+}  // namespace
+
+MmapFile::~MmapFile() { Reset(); }
+
+void MmapFile::Reset() noexcept {
+  if (map_ != nullptr) {
+    ::munmap(map_, map_len_);
+  }
+  map_ = nullptr;
+  map_len_ = 0;
+  data_ = nullptr;
+  size_ = 0;
+  file_size_ = 0;
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : map_(other.map_),
+      map_len_(other.map_len_),
+      data_(other.data_),
+      size_(other.size_),
+      file_size_(other.file_size_) {
+  other.map_ = nullptr;
+  other.map_len_ = 0;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.file_size_ = 0;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    map_ = std::exchange(other.map_, nullptr);
+    map_len_ = std::exchange(other.map_len_, size_t{0});
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, size_t{0});
+    file_size_ = std::exchange(other.file_size_, uint64_t{0});
+  }
+  return *this;
+}
+
+Result<uint64_t> MmapFile::FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return Errno("stat", path);
+  if (!S_ISREG(st.st_mode)) {
+    return Status::InvalidArgument(
+        StrFormat("'%s' is not a regular file", path.c_str()));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  SECRETA_ASSIGN_OR_RETURN(uint64_t size, FileSize(path));
+  return OpenRange(path, 0, size);
+}
+
+Result<MmapFile> MmapFile::OpenRange(const std::string& path, uint64_t offset,
+                                     uint64_t length) {
+  SECRETA_ASSIGN_OR_RETURN(uint64_t file_size, FileSize(path));
+  if (offset > file_size || length > file_size - offset) {
+    return Status::OutOfRange(StrFormat(
+        "mmap range [%llu, %llu) exceeds '%s' (%llu bytes)",
+        static_cast<unsigned long long>(offset),
+        static_cast<unsigned long long>(offset + length), path.c_str(),
+        static_cast<unsigned long long>(file_size)));
+  }
+  MmapFile view;
+  view.file_size_ = file_size;
+  if (length == 0) return view;
+
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Errno("open", path);
+
+  const uint64_t page = static_cast<uint64_t>(::sysconf(_SC_PAGESIZE));
+  const uint64_t aligned = offset - (offset % page);
+  const uint64_t slack = offset - aligned;
+  void* map = ::mmap(nullptr, static_cast<size_t>(length + slack), PROT_READ,
+                     MAP_PRIVATE, fd, static_cast<off_t>(aligned));
+  ::close(fd);  // the mapping keeps its own reference
+  if (map == MAP_FAILED) return Errno("mmap", path);
+
+  view.map_ = map;
+  view.map_len_ = static_cast<size_t>(length + slack);
+  view.data_ = static_cast<const uint8_t*>(map) + slack;
+  view.size_ = static_cast<size_t>(length);
+  return view;
+}
+
+}  // namespace secreta

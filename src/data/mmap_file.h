@@ -1,0 +1,71 @@
+// RAII memory-mapped file views. This is the only translation unit in the
+// repo allowed to call mmap/munmap directly (lint rule "raw-io"): everything
+// else reads binary datasets through data/format.h readers, which hold one
+// of these.
+//
+// Two mapping modes:
+//   Open(path)                   maps the whole file (header/footer parsing,
+//                                small files, tests).
+//   OpenRange(path, off, len)    maps only [off, off+len) — the out-of-core
+//                                path. Shard sections are mapped one at a
+//                                time and unmapped on destruction, so peak
+//                                resident memory is one shard window, not
+//                                the whole dataset.
+//
+// Views are read-only (PROT_READ, MAP_PRIVATE) and move-only.
+
+#ifndef SECRETA_DATA_MMAP_FILE_H_
+#define SECRETA_DATA_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace secreta {
+
+/// \brief Read-only memory-mapped view of (a range of) a file.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps the entire file.
+  static Result<MmapFile> Open(const std::string& path);
+
+  /// Maps only [offset, offset + length). The mapping is page-aligned
+  /// internally; data() still points exactly at `offset`. Fails if the
+  /// range does not lie within the file.
+  static Result<MmapFile> OpenRange(const std::string& path, uint64_t offset,
+                                    uint64_t length);
+
+  /// Size of a file in bytes without mapping it.
+  static Result<uint64_t> FileSize(const std::string& path);
+
+  /// First byte of the requested range (nullptr for a default-constructed
+  /// or moved-from view, or an empty range).
+  const uint8_t* data() const { return data_; }
+  /// Length of the requested range.
+  size_t size() const { return size_; }
+  /// Total size of the underlying file (== size() for Open()).
+  uint64_t file_size() const { return file_size_; }
+
+ private:
+  void Reset() noexcept;
+
+  void* map_ = nullptr;      // page-aligned mapping base
+  size_t map_len_ = 0;       // mapped length
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  uint64_t file_size_ = 0;
+};
+
+}  // namespace secreta
+
+#endif  // SECRETA_DATA_MMAP_FILE_H_

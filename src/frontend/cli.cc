@@ -7,7 +7,11 @@
 
 #include "common/string_util.h"
 #include "core/audit.h"
+#include "data/column_provider.h"
+#include "data/format.h"
+#include "data/mmap_file.h"
 #include "datagen/synthetic.h"
+#include "engine/sharded_runner.h"
 #include "engine/config_io.h"
 #include "engine/registry.h"
 #include "export/mapping_export.h"
@@ -40,7 +44,9 @@ std::string CommandLineInterface::HelpText() {
   return
       "dataset:   generate <n> [seed] | load <path> | save <path> | info |\n"
       "           hist <attr> | set-cell <row> <attr> <value...> |\n"
-      "           rename-attr <old> <new> | del-row <row>\n"
+      "           rename-attr <old> <new> | del-row <row> |\n"
+      "           convert <in> <out> [shards=N] [by=range|hash] [salt=S]\n"
+      "                   [no-postings]\n"
       "config:    hierarchies auto [fanout] | hierarchy load <attr> <path> |\n"
       "           hierarchy save <attr> <path> | hierarchy show <attr> |\n"
       "           policies auto | policy load-privacy <path> |\n"
@@ -53,6 +59,9 @@ std::string CommandLineInterface::HelpText() {
       "evaluate:  run | sweep <param> <start> <end> <step> "
       "[checkpoint=PATH] |\n"
       "           audit <k> <m> [global] | classes\n"
+      "sharded:   shard-run [shards=N] [by=range|hash] [salt=S]\n"
+      "                     [input=PATH] [checkpoint=PATH] [output=PATH]\n"
+      "                     [no-materialize] [no-audit]\n"
       "compare:   add-config | configs |\n"
       "           compare <param> <start> <end> <step> [checkpoint=PATH]\n"
       "export:    save-output <path> | export-json <path> |\n"
@@ -285,6 +294,8 @@ Status CommandLineInterface::Dispatch(const std::vector<std::string>& args) {
     return Status::OK();
   }
   if (cmd == "run") return CmdRun();
+  if (cmd == "convert") return CmdConvert(args);
+  if (cmd == "shard-run") return CmdShardRun(args);
   if (cmd == "sweep") return CmdSweep(args);
   if (cmd == "add-config") {
     queued_.push_back(current_);
@@ -473,6 +484,109 @@ void CommandLineInterface::PrintReport(const EvaluationReport& report) {
   for (const auto& [phase, seconds] : report.run.phases.phases()) {
     *out_ << StrFormat("  %-12s %.3fs\n", phase.c_str(), seconds);
   }
+}
+
+Status CommandLineInterface::CmdConvert(const std::vector<std::string>& args) {
+  SECRETA_RETURN_IF_ERROR(Arity(args, 2, 6));
+  BinaryWriteOptions options;
+  for (size_t i = 3; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("shards=", 0) == 0) {
+      SECRETA_ASSIGN_OR_RETURN(int64_t shards, ParseInt(arg.substr(7)));
+      if (shards < 1) return Status::InvalidArgument("shards must be >= 1");
+      options.num_shards = static_cast<size_t>(shards);
+    } else if (arg.rfind("by=", 0) == 0) {
+      SECRETA_ASSIGN_OR_RETURN(options.shard_kind,
+                               ParseShardKind(arg.substr(3)));
+    } else if (arg.rfind("salt=", 0) == 0) {
+      SECRETA_ASSIGN_OR_RETURN(int64_t salt, ParseInt(arg.substr(5)));
+      options.salt = static_cast<uint64_t>(salt);
+    } else if (arg == "no-postings") {
+      options.write_postings = false;
+    } else {
+      return Status::InvalidArgument("unknown convert option: " + arg);
+    }
+  }
+  // Any readable backend converts: CSV (the common case) or an existing
+  // SBC1 file being re-partitioned.
+  SECRETA_ASSIGN_OR_RETURN(std::unique_ptr<ColumnProvider> provider,
+                           OpenColumnProvider(args[1]));
+  SECRETA_ASSIGN_OR_RETURN(Dataset dataset, provider->Materialize());
+  SECRETA_RETURN_IF_ERROR(WriteBinaryDataset(dataset, args[2], options));
+  SECRETA_ASSIGN_OR_RETURN(size_t bytes, MmapFile::FileSize(args[2]));
+  *out_ << "converted " << dataset.num_records() << " records ("
+        << DataSourceName(provider->source()) << ") to " << args[2] << ": "
+        << options.num_shards << " " << ShardKindName(options.shard_kind)
+        << " shard(s), " << bytes << " bytes\n";
+  return Status::OK();
+}
+
+Status CommandLineInterface::CmdShardRun(const std::vector<std::string>& args) {
+  ShardedRunOptions options;
+  options.memory = session_.memory_budget();
+  std::string input_path;
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("shards=", 0) == 0) {
+      SECRETA_ASSIGN_OR_RETURN(int64_t shards, ParseInt(arg.substr(7)));
+      if (shards < 1) return Status::InvalidArgument("shards must be >= 1");
+      options.num_shards = static_cast<size_t>(shards);
+    } else if (arg.rfind("by=", 0) == 0) {
+      SECRETA_ASSIGN_OR_RETURN(options.shard_kind,
+                               ParseShardKind(arg.substr(3)));
+    } else if (arg.rfind("salt=", 0) == 0) {
+      SECRETA_ASSIGN_OR_RETURN(int64_t salt, ParseInt(arg.substr(5)));
+      options.salt = static_cast<uint64_t>(salt);
+    } else if (arg.rfind("input=", 0) == 0) {
+      input_path = arg.substr(6);
+    } else if (arg.rfind("checkpoint=", 0) == 0) {
+      options.checkpoint_path = arg.substr(11);
+    } else if (arg.rfind("output=", 0) == 0) {
+      options.output_path = arg.substr(7);
+    } else if (arg == "no-materialize") {
+      options.materialize_result = false;
+      options.audit = false;  // auditing needs the materialized release
+    } else if (arg == "no-audit") {
+      options.audit = false;
+    } else {
+      return Status::InvalidArgument("unknown shard-run option: " + arg);
+    }
+  }
+  std::unique_ptr<ColumnProvider> provider;
+  if (!input_path.empty()) {
+    // Straight from the file: with an SBC1 input the whole dataset is never
+    // resident — each shard is one mmap window.
+    SECRETA_ASSIGN_OR_RETURN(provider, OpenColumnProvider(input_path));
+  } else {
+    SECRETA_RETURN_IF_ERROR(RequireDataset());
+    provider = MakeMemoryProvider(session_.dataset());
+  }
+  SECRETA_ASSIGN_OR_RETURN(ShardedRunResult result,
+                           RunShardedAnonymization(*provider, current_, options));
+  *out_ << "shard-run " << current_.Label() << ": "
+        << result.plan.num_shards() << " "
+        << ShardKindName(result.plan.kind()) << " shard(s), "
+        << result.num_records << " records\n";
+  for (const ShardRunStats& stats : result.shards) {
+    *out_ << StrFormat("  shard %zu: %zu rows, gcp %.4f, %.3fs%s\n",
+                       stats.shard, stats.rows, stats.gcp, stats.seconds,
+                       stats.resumed ? " (checkpoint)" : "");
+  }
+  *out_ << StrFormat(
+      "weighted GCP %.4f | anonymize %.3fs | total %.3fs | release %016llx\n",
+      result.weighted_gcp, result.anonymize_seconds, result.total_seconds,
+      static_cast<unsigned long long>(result.release_fingerprint));
+  if (result.audit.has_value()) {
+    *out_ << "merged audit: k-anonymity "
+          << (result.audit->k_anonymous ? "OK" : "VIOLATED") << ", k^m "
+          << (result.audit->km_anonymous ? "OK" : "VIOLATED")
+          << " (min class " << result.audit->min_class_size << ") — "
+          << result.audit->details << "\n";
+  }
+  if (!options.output_path.empty()) {
+    *out_ << "release written to " << options.output_path << "\n";
+  }
+  return Status::OK();
 }
 
 Status CommandLineInterface::CmdRun() {

@@ -23,7 +23,12 @@ namespace secreta {
 ///   help                               list commands
 ///   quit                               leave the REPL
 ///   generate <n> [seed]                synthesize an RT-dataset
-///   load <path> / save <path>          dataset CSV I/O
+///   load <path> / save <path>          dataset I/O (load sniffs the file
+///                                      magic: SBC1 binary or CSV)
+///   convert <in> <out> [shards=N] [by=range|hash] [salt=S] [no-postings]
+///                                      write an SBC1 binary columnar file
+///                                      (docs/FORMATS.md) partitioned for
+///                                      out-of-core sharded runs
 ///   info                               dataset summary
 ///   hist <attribute>                   ASCII histogram
 ///   set-cell <row> <attr> <value...>   edit a cell
@@ -41,6 +46,16 @@ namespace secreta {
 ///   param <name> <value>               set k / m / delta / ...
 ///   algorithms                         list registered algorithms
 ///   run                                Evaluation mode, single execution
+///   shard-run [shards=N] [by=range|hash] [salt=S] [input=PATH]
+///             [checkpoint=PATH] [output=PATH] [no-materialize] [no-audit]
+///                                      partition-parallel anonymization of
+///                                      the current config: each shard runs
+///                                      independently, outputs merge into
+///                                      one release in row order; input=
+///                                      reads straight from a CSV/SBC1 file
+///                                      (SBC1 = out-of-core, one mmap window
+///                                      per shard), checkpoint= resumes
+///                                      interrupted runs byte-identically
 ///   audit <k> <m> [global]             recipient-side guarantee audit of
 ///                                      the last run's output
 ///   sweep <param> <start> <end> <step> [checkpoint=PATH]
@@ -100,6 +115,8 @@ class CommandLineInterface {
   Status CmdPolicy(const std::vector<std::string>& args);
   Status CmdWorkload(const std::vector<std::string>& args);
   Status CmdRun();
+  Status CmdConvert(const std::vector<std::string>& args);
+  Status CmdShardRun(const std::vector<std::string>& args);
   Status CmdSweep(const std::vector<std::string>& args);
   Status CmdCompare(const std::vector<std::string>& args);
   Status CmdSubmit(const std::vector<std::string>& args);

@@ -1,5 +1,7 @@
 #include "frontend/session.h"
 
+#include "data/column_provider.h"
+#include "data/format.h"
 #include "hierarchy/hierarchy_io.h"
 #include "policy/policy_io.h"
 #include "robust/checkpoint.h"
@@ -7,7 +9,17 @@
 namespace secreta {
 
 Status SecretaSession::LoadDatasetFile(const std::string& path) {
-  SECRETA_RETURN_IF_ERROR(editor_.Load(path));
+  if (LooksLikeBinaryDataset(path)) {
+    // SBC1 binary columnar file (docs/FORMATS.md): decode through the
+    // binary provider so dictionaries and ids match every other backend,
+    // then hand the editor the same in-memory Dataset a CSV load produces.
+    SECRETA_ASSIGN_OR_RETURN(std::unique_ptr<ColumnProvider> provider,
+                             OpenBinaryProvider(path));
+    SECRETA_ASSIGN_OR_RETURN(Dataset dataset, provider->Materialize());
+    editor_ = DatasetEditor(std::move(dataset));
+  } else {
+    SECRETA_RETURN_IF_ERROR(editor_.Load(path));
+  }
   column_hierarchies_.clear();
   item_hierarchy_.reset();
   privacy_ = PrivacyPolicy{};

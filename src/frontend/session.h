@@ -26,7 +26,9 @@ class SecretaSession {
  public:
   // ---- Dataset Editor -------------------------------------------------------
 
-  /// Loads a CSV dataset (schema inferred). Invalidates hierarchies/policies.
+  /// Loads a dataset, sniffing the backend from the file magic: SBC1 binary
+  /// columnar files decode through the binary provider, anything else parses
+  /// as CSV (schema inferred). Invalidates hierarchies/policies.
   Status LoadDatasetFile(const std::string& path);
   /// Installs an in-memory dataset. Invalidates hierarchies/policies.
   Status SetDataset(Dataset dataset);

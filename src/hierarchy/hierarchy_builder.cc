@@ -96,15 +96,24 @@ Result<Hierarchy> BuildHierarchyForColumn(const Dataset& dataset, size_t col,
 
 Result<Hierarchy> BuildItemHierarchy(const Dataset& dataset,
                                      const HierarchyBuildOptions& options) {
-  const Dictionary& dict = dataset.item_dictionary();
-  if (dict.empty()) {
-    return Status::FailedPrecondition("dataset has no transaction items");
-  }
-  // Order items by descending support, ties by label for determinism.
-  std::vector<size_t> support(dict.size(), 0);
+  std::vector<uint64_t> support(dataset.item_dictionary().size(), 0);
   for (size_t r = 0; r < dataset.num_records(); ++r) {
     for (ItemId item : dataset.items(r)) support[static_cast<size_t>(item)]++;
   }
+  return BuildItemHierarchyFromSupports(dataset.item_dictionary(), support,
+                                        options);
+}
+
+Result<Hierarchy> BuildItemHierarchyFromSupports(
+    const Dictionary& dict, const std::vector<uint64_t>& support,
+    const HierarchyBuildOptions& options) {
+  if (dict.empty()) {
+    return Status::FailedPrecondition("dataset has no transaction items");
+  }
+  if (support.size() != dict.size()) {
+    return Status::InvalidArgument("item supports not aligned with dictionary");
+  }
+  // Order items by descending support, ties by label for determinism.
   std::vector<size_t> order(dict.size());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {

@@ -42,6 +42,15 @@ Result<Hierarchy> BuildHierarchyForColumn(const Dataset& dataset, size_t col,
 Result<Hierarchy> BuildItemHierarchy(const Dataset& dataset,
                                      const HierarchyBuildOptions& options = {});
 
+/// Same tree, but from a dictionary plus precomputed per-item supports
+/// (aligned with dictionary ids). This is the out-of-core path: a
+/// ColumnProvider supplies global supports from the SBC1 item page, so
+/// shard runs build the whole-dataset hierarchy without scanning any
+/// transactions. BuildItemHierarchy(ds) == this with ds's own counts.
+Result<Hierarchy> BuildItemHierarchyFromSupports(
+    const Dictionary& items, const std::vector<uint64_t>& supports,
+    const HierarchyBuildOptions& options = {});
+
 /// Builds hierarchies for every relational QID column; result is indexed by
 /// relational column index (non-QID columns get empty placeholder slots that
 /// must not be used).

@@ -1,17 +1,16 @@
 #include "service/result_cache.h"
 
 #include "common/string_util.h"
-#include "csv/csv.h"
+#include "data/format.h"
 #include "engine/config_io.h"
 #include "query/query.h"
 
 namespace secreta {
 
 uint64_t DatasetFingerprint(const Dataset& dataset) {
-  // The CSV serialization covers the schema header, every relational cell,
-  // and every transaction — exactly the content a run depends on — and is
-  // already deterministic (ToCsv preserves record and column order).
-  return Fnv1a64(csv::WriteCsv(dataset.ToCsv()));
+  // Delegates to the data layer so the cache, checkpoints and the SBC1
+  // footer all pin the same logical fingerprint (docs/FORMATS.md).
+  return DatasetContentFingerprint(dataset);
 }
 
 uint64_t WorkloadFingerprint(const Workload* workload) {

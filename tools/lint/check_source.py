@@ -23,6 +23,13 @@ the default GCC build would silently skip):
                     dashboards cannot silently diverge from the code.
                     Applies to src/ only; tests and benches may mint
                     throwaway names.
+  raw-io            mmap / munmap / madvise / fread may only be spelled in
+                    src/data/ (the mmap_file.h / format.h layer). Everything
+                    else reads datasets through ColumnProvider or
+                    BinaryDatasetReader so file-format and lifetime
+                    invariants (bounds checks, fingerprint verification,
+                    unmap-on-drop) are enforced in one place. Applies to
+                    src/, tests/ and bench/ alike.
   include-style     Internal headers are included with "quotes", system and
                     third-party headers with <angle brackets>. A <...>
                     include that resolves to a repo header defeats header
@@ -53,6 +60,9 @@ MUTEX_TOKENS = re.compile(
 # `throw` as a statement; `throw()` exception-specs don't occur in this tree.
 THROW_TOKEN = re.compile(r"(^|[^\w.])throw\s")
 POPCOUNT_TOKEN = re.compile(r"__builtin_popcount(ll|l)?\b")
+# Raw file I/O calls (not identifiers merely containing the words: the call
+# paren is part of the token, and `MmapFile`/`mmap_file` don't match).
+RAW_IO_TOKEN = re.compile(r"(^|[^\w.])(mmap|munmap|madvise|fread)\s*\(")
 # A registry lookup whose family name is a string literal: `.counter("` /
 # `->gauge("` / etc. Matched on the raw line (the comment stripper also
 # blanks string literals, which would hide exactly what this rule needs).
@@ -104,6 +114,7 @@ def check_file(path: Path, rel: str, errors: list[str]) -> None:
     is_src = rel.startswith("src/")
     is_mutex_header = rel == "src/common/mutex.h"
     is_kernel_source = rel.startswith("src/kernels/")
+    is_data_source = rel.startswith("src/data/")
     includes: list[tuple[int, str, bool]] = []  # (lineno, target, angled)
 
     for lineno, raw, line in iter_source_lines(path):
@@ -141,6 +152,15 @@ def check_file(path: Path, rel: str, errors: list[str]) -> None:
                     f"{rel}:{lineno}: metric-name: metric family names live "
                     "in src/obs/metric_names.h; pass the metric_names:: "
                     "constant instead of a string literal"
+                )
+
+        if not is_data_source and RAW_IO_TOKEN.search(code):
+            if not allowed(raw, "raw-io"):
+                errors.append(
+                    f"{rel}:{lineno}: raw-io: raw mmap/fread belongs in "
+                    "src/data/ only; read datasets through ColumnProvider "
+                    "or BinaryDatasetReader (data/column_provider.h, "
+                    "data/format.h)"
                 )
 
         if is_src and not is_kernel_source and POPCOUNT_TOKEN.search(code):
