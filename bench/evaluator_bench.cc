@@ -53,7 +53,7 @@ TransactionRecoding PairGroupedRecoding(const Dataset& ds) {
   }
   for (size_t r = 0; r < ds.num_records(); ++r) {
     std::vector<int32_t> rec;
-    for (ItemId item : ds.items(r)) {
+    for (ItemId item : ds.items(r).raw()) {
       rec.push_back(recoding.item_map[static_cast<size_t>(item)]);
     }
     std::sort(rec.begin(), rec.end());
@@ -190,7 +190,7 @@ int main(int argc, char** argv) {
     std::vector<std::vector<ItemId>> original;
     original.reserve(dataset.num_records());
     for (size_t r = 0; r < dataset.num_records(); ++r) {
-      original.push_back(dataset.items(r));
+      original.push_back(dataset.items(r).raw());
     }
     report.ul = TransactionUl(*run.transaction, original,
                               dataset.item_dictionary().size());

@@ -124,7 +124,7 @@ int main() {
   // (d) relative error between original and anonymized item frequencies.
   std::vector<std::vector<ItemId>> original;
   for (size_t r = 0; r < session.dataset().num_records(); ++r) {
-    original.push_back(session.dataset().items(r));
+    original.push_back(session.dataset().items(r).raw());
   }
   auto errors =
       ItemFrequencyError(*report.run.transaction, original,

@@ -56,7 +56,7 @@ int main() {
       TransactionContext::Create(dataset, &item_hierarchy)).ValueOrDie();
   std::vector<std::vector<ItemId>> original;
   for (size_t r = 0; r < dataset.num_records(); ++r) {
-    original.push_back(dataset.items(r));
+    original.push_back(dataset.items(r).raw());
   }
 
   csv::CsvTable table{{"algorithm", "privacy", "utility", "constraints",

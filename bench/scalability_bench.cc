@@ -90,7 +90,7 @@ void BM_CountTree(benchmark::State& state) {
   Fixture& fx = SharedFixture(2000);
   std::vector<std::vector<int32_t>> records;
   for (size_t r = 0; r < fx.dataset.num_records(); ++r) {
-    const auto& items = fx.dataset.items(r);
+    const auto& items = fx.dataset.items(r).raw();
     records.emplace_back(items.begin(), items.end());
   }
   int m = static_cast<int>(state.range(0));
@@ -105,7 +105,7 @@ void BM_NaiveCounting(benchmark::State& state) {
   Fixture& fx = SharedFixture(2000);
   std::vector<std::vector<int32_t>> records;
   for (size_t r = 0; r < fx.dataset.num_records(); ++r) {
-    const auto& items = fx.dataset.items(r);
+    const auto& items = fx.dataset.items(r).raw();
     records.emplace_back(items.begin(), items.end());
   }
   int m = static_cast<int>(state.range(0));

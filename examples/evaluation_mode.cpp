@@ -104,7 +104,7 @@ int main() {
   // Step 4(d): relative error of item frequencies.
   std::vector<std::vector<ItemId>> original;
   for (size_t r = 0; r < session.dataset().num_records(); ++r) {
-    original.push_back(session.dataset().items(r));
+    original.push_back(session.dataset().items(r).raw());
   }
   double mean_err = MeanItemFrequencyError(
       *report->run.transaction, original, session.dataset().item_dictionary());

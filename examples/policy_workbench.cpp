@@ -40,7 +40,7 @@ int main() {
 
   std::vector<std::vector<ItemId>> original;
   for (size_t r = 0; r < dataset.num_records(); ++r) {
-    original.push_back(dataset.items(r));
+    original.push_back(dataset.items(r).raw());
   }
   size_t num_items = dataset.item_dictionary().size();
 

@@ -72,7 +72,7 @@ std::vector<ItemId> ItemUnion(const Dataset& data,
                               const std::vector<size_t>& rows) {
   std::vector<ItemId> all;
   for (size_t row : rows) {
-    const auto& txn = data.items(row);
+    const auto& txn = data.items(row).raw();
     all.insert(all.end(), txn.begin(), txn.end());
   }
   std::sort(all.begin(), all.end());
@@ -117,7 +117,7 @@ Result<RtResult> RtAnonymizer::Anonymize(const RelationalContext& rel_context,
         transaction_->AnonymizeSubset(txn_context, cluster->rows, params));
     std::vector<std::vector<ItemId>> original;
     original.reserve(cluster->rows.size());
-    for (size_t row : cluster->rows) original.push_back(data.items(row));
+    for (size_t row : cluster->rows) original.push_back(data.items(row).raw());
     cluster->ul = TransactionUl(cluster->txn, original, num_items);
     return Status::OK();
   };

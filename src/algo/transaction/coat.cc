@@ -112,7 +112,7 @@ Result<TransactionRecoding> CoatAnonymizer::AnonymizeSubset(
   SECRETA_RETURN_IF_ERROR(params.Validate());
   std::vector<std::vector<ItemId>> txns;
   txns.reserve(subset.size());
-  for (size_t row : subset) txns.push_back(context.dataset().items(row));
+  for (size_t row : subset) txns.push_back(context.dataset().items(row).raw());
   GenSpace space(std::move(txns), context.dataset().item_dictionary());
   space.set_use_reference_impl(use_reference_impl_);
   UtilityPolicy unrestricted;

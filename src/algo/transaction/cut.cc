@@ -38,7 +38,7 @@ CutRecoding HierarchyCut::Materialize(const std::vector<size_t>& subset) const {
   if (suppress_all_) {
     out.recoding.records.assign(subset.size(), {});
     for (size_t j = 0; j < subset.size(); ++j) {
-      out.recoding.suppressed_occurrences += data.items(subset[j]).size();
+      out.recoding.suppressed_occurrences += data.items(subset[j]).raw().size();
     }
     return out;
   }
@@ -65,7 +65,7 @@ CutRecoding HierarchyCut::Materialize(const std::vector<size_t>& subset) const {
   std::vector<int32_t> rec;
   for (size_t row : subset) {
     rec.clear();
-    for (ItemId item : data.items(row)) {
+    for (ItemId item : data.items(row).raw()) {
       rec.push_back(out.recoding.item_map[static_cast<size_t>(item)]);
     }
     std::sort(rec.begin(), rec.end());

@@ -33,7 +33,7 @@ Result<TransactionRecoding> LraAnonymizer::AnonymizeSubset(
   // internally homogeneous and per-partition AA generalizes less.
   std::vector<size_t> support(context.num_items(), 0);
   for (size_t row : subset) {
-    for (ItemId item : data.items(row)) support[static_cast<size_t>(item)]++;
+    for (ItemId item : data.items(row).raw()) support[static_cast<size_t>(item)]++;
   }
   std::vector<size_t> freq_order(context.num_items());
   std::iota(freq_order.begin(), freq_order.end(), 0);
@@ -47,7 +47,7 @@ Result<TransactionRecoding> LraAnonymizer::AnonymizeSubset(
   }
   auto gray_key = [&](size_t row) {
     uint64_t bits = 0;
-    for (ItemId item : data.items(row)) {
+    for (ItemId item : data.items(row).raw()) {
       int bit = bit_of_item[static_cast<size_t>(item)];
       if (bit >= 0) bits |= uint64_t{1} << bit;
     }
@@ -59,7 +59,7 @@ Result<TransactionRecoding> LraAnonymizer::AnonymizeSubset(
   for (size_t j = 0; j < subset.size(); ++j) keys[j] = gray_key(subset[j]);
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     if (keys[a] != keys[b]) return keys[a] < keys[b];
-    return data.items(subset[a]) < data.items(subset[b]);
+    return data.items(subset[a]).raw() < data.items(subset[b]).raw();
   });
   // Partition count: requested, but each partition needs >= 2k records to
   // have room to be k^m-anonymized without degenerating to suppression.

@@ -130,7 +130,7 @@ Result<TransactionRecoding> RhoUncertaintyAnonymizer::AnonymizeSubset(
     // Default: the least-frequent 20% of items are sensitive.
     std::vector<size_t> support(num_items, 0);
     for (size_t row : subset) {
-      for (ItemId item : context.dataset().items(row)) {
+      for (ItemId item : context.dataset().items(row).raw()) {
         support[static_cast<size_t>(item)]++;
       }
     }
@@ -144,7 +144,7 @@ Result<TransactionRecoding> RhoUncertaintyAnonymizer::AnonymizeSubset(
 
   std::vector<std::vector<ItemId>> txns;
   txns.reserve(subset.size());
-  for (size_t row : subset) txns.push_back(context.dataset().items(row));
+  for (size_t row : subset) txns.push_back(context.dataset().items(row).raw());
   GenSpace space(std::move(txns), context.dataset().item_dictionary());
 
   while (true) {

@@ -99,7 +99,7 @@ Result<TransactionRecoding> VpaAnonymizer::AnonymizeSubset(
   CutRecoding view = cut.Materialize(subset);
   std::vector<std::vector<ItemId>> txns;
   txns.reserve(subset.size());
-  for (size_t row : subset) txns.push_back(context.dataset().items(row));
+  for (size_t row : subset) txns.push_back(context.dataset().items(row).raw());
   GenSpace space(std::move(txns), context.dataset().item_dictionary(),
                  view.recoding);
   UtilityPolicy unrestricted =

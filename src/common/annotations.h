@@ -84,4 +84,39 @@
 #define SECRETA_MUST_USE_RESULT
 #endif
 
+// ---------------------------------------------------------------------------
+// Privacy taint annotations (see src/common/sensitive.h and
+// docs/DEVELOPING.md "Privacy taint annotations").
+//
+// The compile-time half of the privacy boundary is the Sensitive<T> /
+// SensitiveSpan<T> wrapper family; these two macros are the auditable half
+// that tools/lint/check_privacy_flow.py enforces.
+// ---------------------------------------------------------------------------
+
+// Clang-only: GCC parses but warns on __attribute__((annotate)), and the
+// annotation is only consumed by IR-level tooling anyway. The textual lint
+// (check_privacy_flow.py) sees the macro spelling on every compiler.
+#if defined(__clang__)
+#define SECRETA_PRIVACY_ANNOTATION(text) __attribute__((annotate(text)))
+#else
+#define SECRETA_PRIVACY_ANNOTATION(text)
+#endif
+
+/// Marks a function whose return value is (or contains) raw microdata: cell
+/// values, transaction item sets, or a whole un-anonymized Dataset. Raw
+/// accessors additionally return Sensitive-wrapped types where the value
+/// itself could flow onward; whole-Dataset producers (Materialize, ReadShard)
+/// carry only the annotation — the Dataset's own accessors re-taint on read.
+/// The privacy-flow lint checks the annotation inventory stays complete.
+#define SECRETA_SENSITIVE SECRETA_PRIVACY_ANNOTATION("secreta::sensitive")
+
+/// Marks one of the sanctioned privacy-boundary crossings: a function that
+/// turns raw microdata into publishable output. Every SECRETA_DECLASSIFIES
+/// site must (a) live in a file on check_privacy_flow.py's closed
+/// declassifier list and (b) carry a comment stating the guarantee that
+/// justifies the crossing (e.g. "output cells are recoded hierarchy labels
+/// satisfying the configured k/k^m guarantee"). Declassify() calls are only
+/// legal inside functions carrying this annotation.
+#define SECRETA_DECLASSIFIES SECRETA_PRIVACY_ANNOTATION("secreta::declassifies")
+
 #endif  // SECRETA_COMMON_ANNOTATIONS_H_

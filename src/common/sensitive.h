@@ -1,0 +1,137 @@
+// Copyright (c) SECRETA reproduction authors.
+// Phantom-tagged wrappers that make the raw/published privacy boundary a
+// compile-time property instead of a convention.
+//
+// SECRETA's contract is that *published* (anonymized) output satisfies the
+// configured guarantee while *raw* microdata never leaves the anonymization
+// engine. Since the serving subsystem (src/serve/) and the telemetry sinks
+// (src/obs/) joined the tree, that boundary is crossed by ordinary C++
+// values — a `const std::string&` cell is indistinguishable from a tenant
+// name once it is three calls away from the Dataset accessor that produced
+// it. These wrappers restore the distinction in the type system:
+//
+//   Sensitive<T>      a raw microdata value (a cell string, a ValueId, a
+//                     numeric cell). No implicit conversion to T, no
+//                     streaming into logs, no use as a metric label. Code
+//                     inside the trust boundary unwraps with raw(); code
+//                     crossing the boundary must go through Declassify()
+//                     inside a SECRETA_DECLASSIFIES-annotated function.
+//   SensitiveSpan<T>  a borrowed view of a raw sequence (one record's item
+//                     set, the whole transaction table). Same rules; raw()
+//                     exposes the underlying container by reference.
+//
+// Enforcement is layered (see docs/DEVELOPING.md "Privacy taint
+// annotations"):
+//   - the compiler rejects implicit conversions and stream insertions
+//     (negative compile tests in tests/compile/ prove this keeps firing);
+//   - tools/lint/check_privacy_flow.py restricts which modules may call
+//     raw() (the engine-side allowlist) and audits every Declassify() site
+//     for a SECRETA_DECLASSIFIES annotation plus a written justification;
+//   - the same lint pass enforces module layering so serve/ and obs/ never
+//     even include the raw-accessor headers.
+//
+// The wrappers are zero-cost: trivially copyable for trivially copyable T,
+// fully inlined, and layout-identical to the wrapped value.
+
+#ifndef SECRETA_COMMON_SENSITIVE_H_
+#define SECRETA_COMMON_SENSITIVE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace secreta {
+
+/// \brief A raw microdata value of type T.
+///
+/// Explicit-everything by design: constructing one states "this is raw
+/// microdata", and nothing about the class lets the value escape without an
+/// equally explicit raw() or Declassify(). Comparisons between Sensitive
+/// values of the same type are allowed (equality of two tainted values is
+/// not itself a leak and the anonymizers sort/dedup raw values constantly).
+template <typename T>
+class Sensitive {
+ public:
+  Sensitive() = default;
+  explicit Sensitive(T value) : value_(std::move(value)) {}
+
+  /// Unwraps for computation *inside* the trust boundary (data/, algo/,
+  /// core/, engine/, ...). The privacy-flow lint rejects this call in
+  /// boundary-external modules (serve/, obs/, service/, export sinks);
+  /// those must receive declassified values instead.
+  const T& raw() const { return value_; }
+
+  /// Taint-preserving comparisons.
+  friend bool operator==(const Sensitive& a, const Sensitive& b) {
+    return a.value_ == b.value_;
+  }
+  friend bool operator!=(const Sensitive& a, const Sensitive& b) {
+    return a.value_ != b.value_;
+  }
+  friend bool operator<(const Sensitive& a, const Sensitive& b) {
+    return a.value_ < b.value_;
+  }
+
+  /// Sensitive values never stream into logs, JSON writers, or any other
+  /// ostream-shaped sink. Deleted rather than omitted so the compiler error
+  /// names the rule instead of listing every operator<< overload in scope.
+  template <typename Stream>
+  friend Stream& operator<<(Stream&, const Sensitive&) = delete;
+
+ private:
+  T value_{};
+};
+
+/// \brief A borrowed, tainted view of a contiguous raw sequence.
+///
+/// Wraps a reference to a std::vector<T> owned by the dataset (the storage
+/// layer hands out views, never copies). size()/empty() stay un-tainted —
+/// record counts and set cardinalities are aggregate shape, and the
+/// anonymity guarantee itself is a statement about counts — but the
+/// *elements* are only reachable through raw().
+template <typename T>
+class SensitiveSpan {
+ public:
+  explicit SensitiveSpan(const std::vector<T>& data) : data_(&data) {}
+
+  size_t size() const { return data_->size(); }
+  bool empty() const { return data_->empty(); }
+
+  /// Unwraps the underlying container; same lint rules as Sensitive::raw().
+  const std::vector<T>& raw() const { return *data_; }
+
+  friend bool operator==(const SensitiveSpan& a, const SensitiveSpan& b) {
+    return *a.data_ == *b.data_;
+  }
+  friend bool operator<(const SensitiveSpan& a, const SensitiveSpan& b) {
+    return *a.data_ < *b.data_;
+  }
+
+  template <typename Stream>
+  friend Stream& operator<<(Stream&, const SensitiveSpan&) = delete;
+
+ private:
+  const std::vector<T>* data_;  // never null
+};
+
+/// Crosses the privacy boundary: turns a tainted value back into a plain T.
+///
+/// Only legal inside a function annotated SECRETA_DECLASSIFIES (see
+/// common/annotations.h) with a `// declassify:` justification naming the
+/// guarantee that makes the output safe — enforced by
+/// tools/lint/check_privacy_flow.py, which also pins the closed set of
+/// files allowed to declare declassifiers (the anonymization engine's
+/// recoding output and serve/catalog.cc's release construction).
+template <typename T>
+T Declassify(const Sensitive<T>& value) {
+  return value.raw();
+}
+
+template <typename T>
+std::vector<T> Declassify(const SensitiveSpan<T>& span) {
+  return span.raw();
+}
+
+}  // namespace secreta
+
+#endif  // SECRETA_COMMON_SENSITIVE_H_

@@ -22,7 +22,7 @@ Result<AuditReport> AuditAnonymizedDataset(const Dataset& anonymized, int k,
       std::vector<ValueId> key;
       key.reserve(anonymized.num_relational());
       for (size_t col = 0; col < anonymized.num_relational(); ++col) {
-        key.push_back(anonymized.value(r, col));
+        key.push_back(anonymized.value(r, col).raw());
       }
       classes[std::move(key)].push_back(r);
     }
@@ -45,7 +45,7 @@ Result<AuditReport> AuditAnonymizedDataset(const Dataset& anonymized, int k,
   report.km_anonymous = true;
   if (anonymized.has_transaction() && m >= 1) {
     // Records as ItemId vectors (already dictionary-encoded).
-    const auto& records32 = anonymized.transactions();
+    const auto& records32 = anonymized.transactions().raw();
     std::vector<std::vector<int32_t>> records(records32.begin(),
                                               records32.end());
     auto check = [&](const std::vector<size_t>* subset) {

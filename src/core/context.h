@@ -36,7 +36,7 @@ class RelationalContext {
   /// Hierarchy leaf of record `row`'s value in QI position `qi`.
   NodeId Leaf(size_t row, size_t qi) const {
     return leaf_map_[qi][static_cast<size_t>(
-        dataset_->value(row, qi_columns_[qi]))];
+        dataset_->value(row, qi_columns_[qi]).raw())];
   }
 
   size_t num_records() const { return dataset_->num_records(); }

@@ -53,8 +53,11 @@ Result<Dataset> BuildAnonymizedDataset(const Dataset& original,
           }
           row.push_back(Join(labels, " "));
         } else {
+          // declassify: transaction side is not being anonymized in this
+          // run; the caller's config scopes the guarantee to the relational
+          // QIDs, so the item set passes through unchanged by contract.
           std::vector<std::string> labels;
-          for (ItemId item : original.items(r)) {
+          for (ItemId item : Declassify(original.items(r))) {
             labels.push_back(original.item_dictionary().value(item));
           }
           row.push_back(Join(labels, " "));
@@ -64,7 +67,10 @@ Result<Dataset> BuildAnonymizedDataset(const Dataset& original,
           size_t qi = qi_of_column[col];
           row.push_back(rel_context->hierarchy(qi).label(relational->at(r, qi)));
         } else {
-          row.push_back(original.value_string(r, col));
+          // declassify: non-QID relational cell (sensitive attribute or a
+          // column outside this run's QI set) — published verbatim because
+          // the k/k^m model's guarantee is scoped to quasi-identifiers.
+          row.push_back(std::string(Declassify(original.value_string(r, col))));
         }
         ++col;
       }

@@ -4,6 +4,7 @@
 #ifndef SECRETA_CORE_RECODING_H_
 #define SECRETA_CORE_RECODING_H_
 
+#include "common/annotations.h"
 #include "core/context.h"
 #include "core/results.h"
 #include "data/dataset.h"
@@ -17,10 +18,19 @@ namespace secreta {
 /// the labels of its generalized items (pass nullptr to keep originals).
 /// Generalized QID columns become categorical in the output schema because
 /// range labels are no longer parseable numbers.
-Result<Dataset> BuildAnonymizedDataset(const Dataset& original,
-                                       const RelationalContext* rel_context,
-                                       const RelationalRecoding* relational,
-                                       const TransactionRecoding* transaction);
+///
+/// SECRETA_DECLASSIFIES: this is the anonymization engine's sanctioned
+/// privacy-boundary crossing. QID cells leave as recoded hierarchy labels and
+/// transaction cells as generalized items, both satisfying the algorithm's
+/// configured guarantee (k-anonymity / k^m-anonymity — audited by
+/// core/audit.*); columns the caller passes through un-recoded (sensitive
+/// attributes, or a side not being anonymized) are outside the guarantee's
+/// quasi-identifier scope by the model's definition, which is exactly the
+/// paper's publication contract.
+SECRETA_DECLASSIFIES Result<Dataset> BuildAnonymizedDataset(
+    const Dataset& original, const RelationalContext* rel_context,
+    const RelationalRecoding* relational,
+    const TransactionRecoding* transaction);
 
 /// Builds the identity relational recoding (every value at its leaf).
 RelationalRecoding IdentityRecoding(const RelationalContext& context);

@@ -18,7 +18,7 @@ class MemoryColumnProvider : public ColumnProvider {
     }
     item_supports_.assign(dataset_.item_dictionary().size(), 0);
     for (size_t r = 0; r < dataset_.num_records(); ++r) {
-      for (ItemId item : dataset_.items(r)) {
+      for (ItemId item : dataset_.items(r).raw()) {
         ++item_supports_[static_cast<size_t>(item)];
       }
     }
@@ -64,7 +64,7 @@ class MemoryColumnProvider : public ColumnProvider {
         table.reserve(dictionaries_[c].size());
         for (size_t id = 0; id < dictionaries_[c].size(); ++id) {
           table.push_back(
-              dataset_.numeric_value(c, static_cast<ValueId>(id)));
+              dataset_.numeric_value(c, static_cast<ValueId>(id)).raw());
         }
       }
     }
@@ -72,13 +72,13 @@ class MemoryColumnProvider : public ColumnProvider {
     parts.cells.reserve(rows.size() * num_cols);
     for (uint32_t r : rows) {
       for (size_t c = 0; c < num_cols; ++c) {
-        parts.cells.push_back(dataset_.value(r, c));
+        parts.cells.push_back(dataset_.value(r, c).raw());
       }
     }
     if (dataset_.has_transaction()) {
       parts.item_dictionary = dataset_.item_dictionary();
       parts.transactions.reserve(rows.size());
-      for (uint32_t r : rows) parts.transactions.push_back(dataset_.items(r));
+      for (uint32_t r : rows) parts.transactions.push_back(dataset_.items(r).raw());
     }
     return Dataset::FromParts(std::move(parts));
   }

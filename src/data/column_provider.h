@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 #include "data/dataset.h"
 #include "data/format.h"
@@ -61,15 +62,18 @@ class ColumnProvider {
   /// Materialize()'s result); pins caches and checkpoints across backends.
   virtual uint64_t content_fingerprint() const = 0;
 
-  /// Decodes the entire dataset (defeats out-of-core on purpose).
-  virtual Result<Dataset> Materialize() const = 0;
+  /// Decodes the entire dataset (defeats out-of-core on purpose). The
+  /// result is raw microdata; its cell accessors re-taint on read
+  /// (common/sensitive.h), and the annotation keeps whole-Dataset flows
+  /// visible to the privacy-flow lint.
+  SECRETA_SENSITIVE virtual Result<Dataset> Materialize() const = 0;
 
   /// Decodes shard `s` of `plan` with global dictionaries. Byte-identical
   /// across backends for the same logical dataset and plan. Binary
   /// providers only serve the plan the file was written with (native_plan())
   /// — one shard is one mmap window, not a re-partition.
-  virtual Result<Dataset> MaterializeShard(const ShardPlan& plan,
-                                           size_t shard) const = 0;
+  SECRETA_SENSITIVE virtual Result<Dataset> MaterializeShard(
+      const ShardPlan& plan, size_t shard) const = 0;
 
   /// The partition physically baked into the backing store, if any. Memory
   /// and CSV backends slice any plan; binary files serve exactly one.

@@ -218,7 +218,7 @@ std::vector<std::string> Dataset::CsvRow(size_t row) const {
       for (ItemId it : transactions_[row]) items.push_back(item_dict_.value(it));
       cells.push_back(Join(items, " "));
     } else {
-      cells.push_back(value_string(row, col));
+      cells.push_back(std::string(value_string(row, col).raw()));
       ++col;
     }
   }

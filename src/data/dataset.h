@@ -6,8 +6,11 @@
 #define SECRETA_DATA_DATASET_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/sensitive.h"
 #include "common/status.h"
 #include "csv/csv.h"
 #include "data/dictionary.h"
@@ -70,13 +73,15 @@ class Dataset {
   /// baseline that out-of-core runs are gated against (bench/shard_bench.cc).
   size_t MemoryBytes() const;
 
-  /// Serializes to CSV rows (header + data), inverse of FromCsv.
-  csv::CsvTable ToCsv() const;
+  /// Serializes to CSV rows (header + data), inverse of FromCsv. Tainted at
+  /// the annotation level only (the table type is shared with the CSV
+  /// layer): callers are raw-side storage/export code by construction.
+  SECRETA_SENSITIVE csv::CsvTable ToCsv() const;
 
   /// One data row of ToCsv() (schema order, transaction cells space-joined)
   /// without materializing the whole table — the out-of-core serialization
   /// path streams records through this instead of ToCsv().
-  std::vector<std::string> CsvRow(size_t row) const;
+  SECRETA_SENSITIVE std::vector<std::string> CsvRow(size_t row) const;
 
   // -- shape ----------------------------------------------------------------
 
@@ -94,14 +99,22 @@ class Dataset {
   size_t AttributeOfColumn(size_t col) const { return column_attr_[col]; }
 
   // -- relational access ----------------------------------------------------
+  //
+  // Cell accessors return privacy-tainted values (common/sensitive.h): a
+  // record's cells are the raw microdata the published guarantee protects.
+  // Engine-side modules unwrap with .raw(); everything else receives only
+  // declassified (recoded/published) values — enforced by the compiler (no
+  // implicit conversions) plus tools/lint/check_privacy_flow.py.
 
   /// Dictionary-encoded value of record `row` in relational column `col`.
-  ValueId value(size_t row, size_t col) const {
-    return cells_[row * columns_.size() + col];
+  SECRETA_SENSITIVE Sensitive<ValueId> value(size_t row, size_t col) const {
+    return Sensitive<ValueId>(cells_[row * columns_.size() + col]);
   }
-  /// String form of value(row, col).
-  const std::string& value_string(size_t row, size_t col) const {
-    return columns_[col].dict.value(value(row, col));
+  /// String form of value(row, col); the view borrows dictionary storage.
+  SECRETA_SENSITIVE Sensitive<std::string_view> value_string(
+      size_t row, size_t col) const {
+    return Sensitive<std::string_view>(
+        columns_[col].dict.value(cells_[row * columns_.size() + col]));
   }
   /// Dictionary of relational column `col`.
   const Dictionary& dictionary(size_t col) const { return columns_[col].dict; }
@@ -110,8 +123,9 @@ class Dataset {
     return schema_.attribute(column_attr_[col]).type == AttributeType::kNumeric;
   }
   /// Parsed numeric value of dictionary entry `id` in numeric column `col`.
-  double numeric_value(size_t col, ValueId id) const {
-    return columns_[col].numeric[static_cast<size_t>(id)];
+  SECRETA_SENSITIVE Sensitive<double> numeric_value(size_t col,
+                                                    ValueId id) const {
+    return Sensitive<double>(columns_[col].numeric[static_cast<size_t>(id)]);
   }
 
   // -- transaction access ---------------------------------------------------
@@ -119,10 +133,12 @@ class Dataset {
   /// Item dictionary shared by all transaction cells.
   const Dictionary& item_dictionary() const { return item_dict_; }
   /// Sorted unique items of record `row` (empty if no transaction attribute).
-  const std::vector<ItemId>& items(size_t row) const { return transactions_[row]; }
+  SECRETA_SENSITIVE SensitiveSpan<ItemId> items(size_t row) const {
+    return SensitiveSpan<ItemId>(transactions_[row]);
+  }
   /// All transactions (size == num_records when has_transaction()).
-  const std::vector<std::vector<ItemId>>& transactions() const {
-    return transactions_;
+  SECRETA_SENSITIVE SensitiveSpan<std::vector<ItemId>> transactions() const {
+    return SensitiveSpan<std::vector<ItemId>>(transactions_);
   }
 
   // -- Dataset Editor operations ---------------------------------------------

@@ -26,12 +26,12 @@ std::vector<std::string> RowStrings(const Dataset& dataset, size_t row) {
   for (size_t a = 0; a < dataset.schema().num_attributes(); ++a) {
     if (dataset.schema().attribute(a).type == AttributeType::kTransaction) {
       std::vector<std::string> items;
-      for (ItemId item : dataset.items(row)) {
+      for (ItemId item : dataset.items(row).raw()) {
         items.push_back(dataset.item_dictionary().value(item));
       }
       out.push_back(Join(items, " "));
     } else {
-      out.push_back(dataset.value_string(row, col));
+      out.push_back(std::string(dataset.value_string(row, col).raw()));
       ++col;
     }
   }

@@ -11,7 +11,7 @@ namespace secreta {
 Histogram ValueHistogram(const Dataset& dataset, size_t col) {
   std::vector<size_t> counts(dataset.dictionary(col).size(), 0);
   for (size_t r = 0; r < dataset.num_records(); ++r) {
-    counts[static_cast<size_t>(dataset.value(r, col))]++;
+    counts[static_cast<size_t>(dataset.value(r, col).raw())]++;
   }
   Histogram hist;
   for (ValueId id : dataset.SortedDomain(col)) {
@@ -39,7 +39,7 @@ Result<Histogram> NumericHistogram(const Dataset& dataset, size_t col,
     hist[b].label = StrFormat("[%g,%g)", blo, bhi);
   }
   for (size_t r = 0; r < dataset.num_records(); ++r) {
-    double v = dataset.numeric_value(col, dataset.value(r, col));
+    double v = dataset.numeric_value(col, dataset.value(r, col).raw()).raw();
     size_t b = static_cast<size_t>((v - lo) / width);
     if (b >= bins) b = bins - 1;  // max value lands in the last bucket
     hist[b].count++;
@@ -50,7 +50,7 @@ Result<Histogram> NumericHistogram(const Dataset& dataset, size_t col,
 Histogram ItemHistogram(const Dataset& dataset) {
   std::vector<size_t> counts(dataset.item_dictionary().size(), 0);
   for (size_t r = 0; r < dataset.num_records(); ++r) {
-    for (ItemId item : dataset.items(r)) counts[static_cast<size_t>(item)]++;
+    for (ItemId item : dataset.items(r).raw()) counts[static_cast<size_t>(item)]++;
   }
   Histogram hist;
   for (size_t i = 0; i < counts.size(); ++i) {
@@ -68,11 +68,11 @@ Result<NumericSummary> SummarizeNumeric(const Dataset& dataset, size_t col) {
     return Status::FailedPrecondition("dataset is empty");
   }
   NumericSummary out;
-  out.min = out.max = dataset.numeric_value(col, dataset.value(0, col));
+  out.min = out.max = dataset.numeric_value(col, dataset.value(0, col).raw()).raw();
   double sum = 0;
   double sum_sq = 0;
   for (size_t r = 0; r < dataset.num_records(); ++r) {
-    double v = dataset.numeric_value(col, dataset.value(r, col));
+    double v = dataset.numeric_value(col, dataset.value(r, col).raw()).raw();
     out.min = std::min(out.min, v);
     out.max = std::max(out.max, v);
     sum += v;

@@ -210,7 +210,7 @@ Status WriteBinaryDataset(const Dataset& dataset, const std::string& path,
     if (dataset.is_numeric(c)) {
       for (size_t id = 0; id < dict.size(); ++id) {
         bytes::PutF64(&preamble,
-                      dataset.numeric_value(c, static_cast<ValueId>(id)));
+                      dataset.numeric_value(c, static_cast<ValueId>(id)).raw());
       }
     }
   }
@@ -220,7 +220,7 @@ Status WriteBinaryDataset(const Dataset& dataset, const std::string& path,
     for (const std::string& v : items.values()) PutString(&preamble, v);
     std::vector<uint64_t> supports(items.size(), 0);
     for (size_t r = 0; r < dataset.num_records(); ++r) {
-      for (ItemId item : dataset.items(r)) {
+      for (ItemId item : dataset.items(r).raw()) {
         ++supports[static_cast<size_t>(item)];
       }
     }
@@ -253,18 +253,18 @@ Status WriteBinaryDataset(const Dataset& dataset, const std::string& path,
     // Cells, column-major within the shard.
     for (size_t c = 0; c < num_cols; ++c) {
       for (uint32_t r : rows) {
-        bytes::PutI32(&section, dataset.value(r, c));
+        bytes::PutI32(&section, dataset.value(r, c).raw());
       }
     }
     if (has_txn) {
       uint64_t total = 0;
       bytes::PutU64(&section, 0);
       for (uint32_t r : rows) {
-        total += dataset.items(r).size();
+        total += dataset.items(r).raw().size();
         bytes::PutU64(&section, total);
       }
       for (uint32_t r : rows) {
-        for (ItemId item : dataset.items(r)) bytes::PutI32(&section, item);
+        for (ItemId item : dataset.items(r).raw()) bytes::PutI32(&section, item);
       }
     }
     if (options.write_postings) {
@@ -274,7 +274,7 @@ Status WriteBinaryDataset(const Dataset& dataset, const std::string& path,
         const size_t domain = dataset.dictionary(c).size();
         std::vector<std::vector<uint32_t>> per_value(domain);
         for (size_t pos = 0; pos < rows.size(); ++pos) {
-          per_value[static_cast<size_t>(dataset.value(rows[pos], c))]
+          per_value[static_cast<size_t>(dataset.value(rows[pos], c).raw())]
               .push_back(static_cast<uint32_t>(pos));
         }
         bytes::PutU32(&section, static_cast<uint32_t>(domain));
@@ -286,7 +286,7 @@ Status WriteBinaryDataset(const Dataset& dataset, const std::string& path,
         const size_t domain = dataset.item_dictionary().size();
         std::vector<std::vector<uint32_t>> per_item(domain);
         for (size_t pos = 0; pos < rows.size(); ++pos) {
-          for (ItemId item : dataset.items(rows[pos])) {
+          for (ItemId item : dataset.items(rows[pos]).raw()) {
             per_item[static_cast<size_t>(item)].push_back(
                 static_cast<uint32_t>(pos));
           }
@@ -700,10 +700,10 @@ Result<Dataset> BinaryDatasetReader::ReadAll() const {
       if (seen[row]) return Corrupt("row owned by two shards");
       seen[row] = true;
       for (size_t c = 0; c < num_cols; ++c) {
-        parts.cells[row * num_cols + c] = piece.value(i, c);
+        parts.cells[row * num_cols + c] = piece.value(i, c).raw();
       }
       if ((flags_ & kSbcFlagTransaction) != 0) {
-        parts.transactions[row] = piece.items(i);
+        parts.transactions[row] = piece.items(i).raw();
       }
     }
   }

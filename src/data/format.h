@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 #include "data/dataset.h"
 #include "data/shard.h"
@@ -115,19 +116,22 @@ class BinaryDatasetReader {
   uint64_t content_fingerprint() const { return content_fingerprint_; }
 
   /// Materializes shard `s` as a Dataset with global dictionaries. Verifies
-  /// the section fingerprint against the footer before decoding.
-  Result<Dataset> ReadShard(size_t shard) const;
+  /// the section fingerprint against the footer before decoding. Raw
+  /// microdata: see the SECRETA_SENSITIVE contract in common/annotations.h.
+  SECRETA_SENSITIVE Result<Dataset> ReadShard(size_t shard) const;
 
   /// Global row ids of shard `s`, ascending (read from the section, equal to
   /// plan().Rows(s)).
   Result<std::vector<uint32_t>> ReadShardRows(size_t shard) const;
 
   /// Decodes shard `s`'s posting lists; error unless has_postings().
-  Result<ShardPostings> ReadShardPostings(size_t shard) const;
+  /// Posting lists are per-value record memberships — raw microdata in
+  /// inverted form.
+  SECRETA_SENSITIVE Result<ShardPostings> ReadShardPostings(size_t shard) const;
 
   /// Materializes the whole dataset in global record order (oracle/testing
   /// path — defeats the out-of-core property on purpose).
-  Result<Dataset> ReadAll() const;
+  SECRETA_SENSITIVE Result<Dataset> ReadAll() const;
 
   /// Re-hashes the physical bytes and checks both fingerprints in the
   /// footer (touches every page; used by tests and `convert verify=`).

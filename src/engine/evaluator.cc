@@ -116,13 +116,13 @@ Result<EvaluationReport> BuildReport(const EngineInputs& inputs,
     size_t original_bytes = 0;
     for (size_t r = 0; r < data.num_records(); ++r) {
       original_bytes +=
-          data.items(r).size() * sizeof(ItemId) + sizeof(std::vector<ItemId>);
+          data.items(r).raw().size() * sizeof(ItemId) + sizeof(std::vector<ItemId>);
     }
     original_charge = ScopedCharge(inputs.memory, original_bytes);
     if (original_charge.acquired()) {
       original.reserve(data.num_records());
       for (size_t r = 0; r < data.num_records(); ++r) {
-        original.push_back(data.items(r));
+        original.push_back(data.items(r).raw());
       }
       add_task("ul metric", [&] {
         report.ul =

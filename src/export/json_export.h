@@ -11,44 +11,10 @@
 #include <vector>
 
 #include "engine/experiment.h"
+#include "export/json_writer.h"
 #include "service/service_metrics.h"
 
 namespace secreta {
-
-/// \brief Minimal JSON value builder (objects, arrays, scalars).
-///
-/// Usage:
-///   JsonWriter w;
-///   w.BeginObject();
-///   w.Key("are"); w.Number(0.5);
-///   w.Key("tags"); w.BeginArray(); w.String("x"); w.EndArray();
-///   w.EndObject();
-///   std::string out = w.TakeString();
-class JsonWriter {
- public:
-  void BeginObject();
-  void EndObject();
-  void BeginArray();
-  void EndArray();
-  /// Writes an object key (must be inside an object).
-  void Key(const std::string& key);
-  void String(const std::string& value);
-  void Number(double value);
-  void Int(int64_t value);
-  void Bool(bool value);
-  void Null();
-
-  /// The serialized document.
-  std::string TakeString() { return std::move(out_); }
-
- private:
-  void Separate();
-  void Escape(const std::string& raw);
-
-  std::string out_;
-  std::vector<bool> needs_comma_;  // per open container
-  bool after_key_ = false;
-};
 
 /// Serializes a full evaluation report (config, metrics, phases, guarantee).
 std::string EvaluationReportToJson(const EvaluationReport& report);

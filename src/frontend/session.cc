@@ -244,7 +244,7 @@ Result<std::vector<MappingEntry>> SecretaSession::CollectMappings(
     std::vector<std::vector<ItemId>> original;
     original.reserve(dataset().num_records());
     for (size_t r = 0; r < dataset().num_records(); ++r) {
-      original.push_back(dataset().items(r));
+      original.push_back(dataset().items(r).raw());
     }
     auto txn = CollectTransactionMapping(*report.run.transaction, original,
                                          dataset().item_dictionary());

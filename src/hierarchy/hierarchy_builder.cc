@@ -98,7 +98,7 @@ Result<Hierarchy> BuildItemHierarchy(const Dataset& dataset,
                                      const HierarchyBuildOptions& options) {
   std::vector<uint64_t> support(dataset.item_dictionary().size(), 0);
   for (size_t r = 0; r < dataset.num_records(); ++r) {
-    for (ItemId item : dataset.items(r)) support[static_cast<size_t>(item)]++;
+    for (ItemId item : dataset.items(r).raw()) support[static_cast<size_t>(item)]++;
   }
   return BuildItemHierarchyFromSupports(dataset.item_dictionary(), support,
                                         options);

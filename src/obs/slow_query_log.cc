@@ -1,7 +1,7 @@
 #include "obs/slow_query_log.h"
 
 #include "common/string_util.h"
-#include "export/json_export.h"
+#include "export/json_writer.h"
 #include "obs/metric_names.h"
 #include "obs/metrics_registry.h"
 

@@ -4,7 +4,7 @@
 #include <utility>
 
 #include "common/string_util.h"
-#include "export/json_export.h"
+#include "export/json_writer.h"
 #include "obs/metric_names.h"
 #include "obs/metrics_registry.h"
 

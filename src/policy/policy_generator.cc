@@ -14,7 +14,7 @@ namespace {
 std::vector<size_t> ItemSupports(const Dataset& dataset) {
   std::vector<size_t> support(dataset.item_dictionary().size(), 0);
   for (size_t r = 0; r < dataset.num_records(); ++r) {
-    for (ItemId item : dataset.items(r)) support[static_cast<size_t>(item)]++;
+    for (ItemId item : dataset.items(r).raw()) support[static_cast<size_t>(item)]++;
   }
   return support;
 }
@@ -71,7 +71,7 @@ Result<PrivacyPolicy> GeneratePrivacyPolicy(const Dataset& dataset,
         ++attempts;
         size_t row = static_cast<size_t>(rng.UniformInt(
             0, static_cast<int64_t>(dataset.num_records() - 1)));
-        const auto& txn = dataset.items(row);
+        const auto& txn = dataset.items(row).raw();
         if (txn.empty()) continue;
         size_t size = static_cast<size_t>(
             rng.UniformInt(1, options.max_itemset_size));

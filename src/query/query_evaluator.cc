@@ -84,7 +84,7 @@ Result<QueryEvaluator::BoundQuery> QueryEvaluator::Bind(
             "range clause on non-numeric attribute: " + clause.attribute);
       }
       for (size_t id = 0; id < dict.size(); ++id) {
-        double v = dataset_->numeric_value(bc.col, static_cast<ValueId>(id));
+        double v = dataset_->numeric_value(bc.col, static_cast<ValueId>(id)).raw();
         if (v >= clause.lo && v <= clause.hi) {
           bc.match[id] = 1;
           any = true;
@@ -136,13 +136,13 @@ Result<double> QueryEvaluator::ExactCount(const CountQuery& query) const {
   for (size_t r = 0; r < dataset_->num_records(); ++r) {
     bool ok = true;
     for (const BoundClause& bc : bound.clauses) {
-      if (!bc.match[static_cast<size_t>(dataset_->value(r, bc.col))]) {
+      if (!bc.match[static_cast<size_t>(dataset_->value(r, bc.col).raw())]) {
         ok = false;
         break;
       }
     }
     if (ok && !bound.items.empty()) {
-      const auto& txn = dataset_->items(r);
+      const auto& txn = dataset_->items(r).raw();
       ok = std::includes(txn.begin(), txn.end(), bound.items.begin(),
                          bound.items.end());
     }
@@ -185,13 +185,13 @@ Result<double> QueryEvaluator::EstimatedCount(
         double overlap = static_cast<double>(hi - lo);
         p *= overlap / static_cast<double>(end - begin);
       } else {
-        p *= bc.match[static_cast<size_t>(dataset_->value(r, bc.col))] ? 1.0 : 0.0;
+        p *= bc.match[static_cast<size_t>(dataset_->value(r, bc.col).raw())] ? 1.0 : 0.0;
       }
     }
     if (p == 0.0) continue;
     if (!bound.items.empty()) {
       if (transaction == nullptr) {
-        const auto& txn = dataset_->items(r);
+        const auto& txn = dataset_->items(r).raw();
         if (!std::includes(txn.begin(), txn.end(), bound.items.begin(),
                            bound.items.end())) {
           p = 0.0;

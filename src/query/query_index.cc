@@ -44,13 +44,13 @@ QueryIndex QueryIndex::Build(const Dataset& dataset) {
     // Counting sort into CSR: one pass for counts, one to place records.
     ci.offsets.assign(domain + 1, 0);
     for (size_t r = 0; r < index.num_records_; ++r) {
-      ++ci.offsets[static_cast<size_t>(dataset.value(r, col)) + 1];
+      ++ci.offsets[static_cast<size_t>(dataset.value(r, col).raw()) + 1];
     }
     for (size_t v = 0; v < domain; ++v) ci.offsets[v + 1] += ci.offsets[v];
     ci.records.resize(index.num_records_);
     std::vector<uint32_t> cursor(ci.offsets.begin(), ci.offsets.end() - 1);
     for (size_t r = 0; r < index.num_records_; ++r) {
-      size_t v = static_cast<size_t>(dataset.value(r, col));
+      size_t v = static_cast<size_t>(dataset.value(r, col).raw());
       ci.records[cursor[v]++] = static_cast<uint32_t>(r);
     }
   }
@@ -59,7 +59,7 @@ QueryIndex QueryIndex::Build(const Dataset& dataset) {
     // Record ids arrive ascending, so each item bitmap appends in order and
     // seals straight into its cheapest container representation.
     for (size_t r = 0; r < index.num_records_; ++r) {
-      for (ItemId item : dataset.items(r)) {
+      for (ItemId item : dataset.items(r).raw()) {
         index.item_bitmaps_[static_cast<size_t>(item)].Append(
             static_cast<uint32_t>(r));
       }

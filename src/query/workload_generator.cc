@@ -42,8 +42,8 @@ Result<Workload> GenerateWorkload(const Dataset& dataset,
           dataset.schema().attribute(dataset.AttributeOfColumn(col)).name;
       if (dataset.is_numeric(col)) {
         clause.is_range = true;
-        clause.lo = dataset.numeric_value(col, domain[start]);
-        clause.hi = dataset.numeric_value(col, domain[start + width - 1]);
+        clause.lo = dataset.numeric_value(col, domain[start]).raw();
+        clause.hi = dataset.numeric_value(col, domain[start + width - 1]).raw();
       } else {
         for (size_t i = start; i < start + width; ++i) {
           clause.values.push_back(dict.value(domain[i]));
@@ -55,7 +55,7 @@ Result<Workload> GenerateWorkload(const Dataset& dataset,
       // Sample a record and take items from it so the query can match.
       size_t row = static_cast<size_t>(
           rng.UniformInt(0, static_cast<int64_t>(dataset.num_records() - 1)));
-      const auto& txn = dataset.items(row);
+      const auto& txn = dataset.items(row).raw();
       if (!txn.empty()) {
         size_t take = std::min<size_t>(
             static_cast<size_t>(options.items_per_query), txn.size());

@@ -59,9 +59,17 @@ class PublishedRelease {
   /// Anonymizes `dataset` per `options` and freezes the serving state.
   /// Expensive (one full anonymization run + index build); runs once per
   /// publication, never per query.
-  static Result<std::shared_ptr<const PublishedRelease>> Create(
-      std::string name, uint64_t version, Dataset dataset,
-      const ReleaseOptions& options);
+  ///
+  /// SECRETA_DECLASSIFIES: the serving side's sanctioned privacy-boundary
+  /// crossing. The raw `dataset` enters here, is anonymized by the engine
+  /// (whose own crossing is BuildAnonymizedDataset in core/recoding.h), and
+  /// only the recoded release plus direct-access query answers gated by
+  /// AccessLevel ever leave. kDirect answers expose exact counts by design —
+  /// that tier is the operator-authenticated oracle the paper's utility
+  /// evaluation requires, not an accidental leak.
+  SECRETA_DECLASSIFIES static Result<std::shared_ptr<const PublishedRelease>>
+  Create(std::string name, uint64_t version, Dataset dataset,
+         const ReleaseOptions& options);
 
   const std::string& name() const { return name_; }
   uint64_t version() const { return version_; }

@@ -1,5 +1,5 @@
 // Minimal JSON document model + recursive-descent parser for the serving
-// wire protocol. The repo's JsonWriter (export/json_export.h) covers the
+// wire protocol. The repo's JsonWriter (export/json_writer.h) covers the
 // producing side; this is the consuming side: the server parses client
 // request frames and the scripted client parses responses. Dependency-free,
 // non-throwing (Status/Result like everything else), and hardened for

@@ -6,7 +6,7 @@
 #include <cstring>
 
 #include "common/string_util.h"
-#include "export/json_export.h"
+#include "export/json_writer.h"
 
 namespace secreta {
 namespace {
@@ -50,6 +50,29 @@ Status RecvExact(int fd, char* data, size_t len, size_t* got) {
 
 }  // namespace
 
+Result<uint32_t> DecodeFrameLength(std::string_view header,
+                                   size_t max_frame_bytes) {
+  if (header.size() != 4) {
+    return Status::InvalidArgument("frame header must be exactly 4 bytes");
+  }
+  uint32_t len = (static_cast<uint32_t>(static_cast<unsigned char>(header[0]))
+                  << 24) |
+                 (static_cast<uint32_t>(static_cast<unsigned char>(header[1]))
+                  << 16) |
+                 (static_cast<uint32_t>(static_cast<unsigned char>(header[2]))
+                  << 8) |
+                 static_cast<uint32_t>(static_cast<unsigned char>(header[3]));
+  if (len == 0) {
+    return Status::InvalidArgument("zero-length frame");
+  }
+  if (len > max_frame_bytes) {
+    return Status::InvalidArgument(
+        StrFormat("frame of %u bytes exceeds limit %zu", len,
+                  max_frame_bytes));
+  }
+  return len;
+}
+
 Status WriteFrame(int fd, std::string_view payload) {
   if (payload.size() > 0xFFFFFFFFu) {
     return Status::InvalidArgument("frame payload exceeds 32-bit length");
@@ -77,21 +100,10 @@ Status ReadFrame(int fd, size_t max_frame_bytes, std::string* payload,
   if (got < sizeof(header)) {
     return Status::IOError("connection closed mid frame header");
   }
-  uint32_t len = (static_cast<uint32_t>(static_cast<unsigned char>(header[0]))
-                  << 24) |
-                 (static_cast<uint32_t>(static_cast<unsigned char>(header[1]))
-                  << 16) |
-                 (static_cast<uint32_t>(static_cast<unsigned char>(header[2]))
-                  << 8) |
-                 static_cast<uint32_t>(static_cast<unsigned char>(header[3]));
-  if (len == 0) {
-    return Status::InvalidArgument("zero-length frame");
-  }
-  if (len > max_frame_bytes) {
-    return Status::InvalidArgument(
-        StrFormat("frame of %u bytes exceeds limit %zu", len,
-                  max_frame_bytes));
-  }
+  SECRETA_ASSIGN_OR_RETURN(
+      uint32_t len,
+      DecodeFrameLength(std::string_view(header, sizeof(header)),
+                        max_frame_bytes));
   payload->resize(len);
   SECRETA_RETURN_IF_ERROR(RecvExact(fd, payload->data(), len, &got));
   if (got < len) {

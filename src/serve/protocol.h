@@ -54,6 +54,14 @@ inline constexpr size_t kServeMaxFrameBytes = 1u << 20;
 
 // ---- Framing ---------------------------------------------------------------
 
+/// Decodes a 4-byte big-endian frame length prefix and validates it:
+/// InvalidArgument unless 0 < length <= max_frame_bytes (or `header` is not
+/// exactly 4 bytes). Pure — no I/O — so the untrusted first bytes of every
+/// connection are unit- and fuzz-testable without a socket (tests/fuzz/
+/// fuzz_protocol.cc); ReadFrame delegates here.
+Result<uint32_t> DecodeFrameLength(std::string_view header,
+                                   size_t max_frame_bytes);
+
 /// Writes one frame (length prefix + payload) to `fd`, handling partial
 /// writes and EINTR. Fails with IOError when the peer is gone.
 Status WriteFrame(int fd, std::string_view payload);

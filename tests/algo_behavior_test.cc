@@ -83,7 +83,7 @@ TEST(AlgoBehaviorTest, AprioriIsGlobalItemRecoding) {
   // item_map is present and agrees with every record.
   ASSERT_EQ(recoding.item_map.size(), ds.item_dictionary().size());
   for (size_t r = 0; r < ds.num_records(); ++r) {
-    for (ItemId item : ds.items(r)) {
+    for (ItemId item : ds.items(r).raw()) {
       int32_t g = recoding.item_map[static_cast<size_t>(item)];
       ASSERT_NE(g, kSuppressedGen);
       EXPECT_TRUE(std::binary_search(recoding.records[r].begin(),

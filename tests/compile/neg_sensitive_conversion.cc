@@ -1,0 +1,23 @@
+// Negative compile test: a Sensitive-wrapped raw cell must NOT implicitly
+// convert into the plain types a serving response is built from. If this
+// file ever compiles, the taint layer (src/common/sensitive.h) has sprung a
+// leak — probably someone added a conversion operator.
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace secreta {
+
+std::string LeakValueString(const Dataset& dataset) {
+  // value_string() returns Sensitive<std::string_view>; there is no
+  // implicit conversion to string_view, std::string, or anything else.
+  std::string leaked = dataset.value_string(0, 0);  // must not compile
+  return leaked;
+}
+
+double LeakNumeric(const Dataset& dataset) {
+  return dataset.numeric_value(0, 0);  // must not compile
+}
+
+}  // namespace secreta

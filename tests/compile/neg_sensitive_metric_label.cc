@@ -1,0 +1,20 @@
+// Negative compile test: a Sensitive value must not flow into a metric
+// label. MetricLabels is vector<pair<string,string>> — public strings that
+// Prometheus scrapes — so the only way raw microdata could reach it is via
+// an implicit conversion, which Sensitive<T> does not provide.
+
+#include <string>
+
+#include "data/dataset.h"
+#include "obs/metrics_registry.h"
+
+namespace secreta {
+
+MetricLabels LeakToLabels(const Dataset& dataset) {
+  // Sensitive<std::string_view> has no conversion to std::string; building
+  // a label pair from a raw cell must fail to compile.
+  return MetricLabels{
+      {"value", dataset.value_string(0, 0)}};  // must not compile
+}
+
+}  // namespace secreta

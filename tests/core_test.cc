@@ -50,7 +50,7 @@ TEST(ContextTest, RelationalContextBindsQids) {
       NodeId leaf = ctx.Leaf(r, qi);
       EXPECT_TRUE(ctx.hierarchy(qi).IsLeaf(leaf));
       EXPECT_EQ(ctx.hierarchy(qi).label(leaf),
-                ds.value_string(r, ctx.qi_column(qi)));
+                ds.value_string(r, ctx.qi_column(qi)).raw());
     }
   }
 }
@@ -180,7 +180,7 @@ TEST(RecodingTest, BuildAnonymizedDatasetLabels) {
   ASSERT_OK_AND_ASSIGN(size_t age_col, anon.ColumnByName("Age"));
   // Fully generalized numeric QID becomes categorical with the root label.
   EXPECT_FALSE(anon.is_numeric(age_col));
-  EXPECT_EQ(anon.value_string(0, age_col), "*");
+  EXPECT_EQ(anon.value_string(0, age_col).raw(), "*");
 }
 
 TEST(ResultsTest, IdentityTransactionRecoding) {

@@ -20,8 +20,8 @@ TEST(SyntheticTest, RtShapeMatchesOptions) {
   EXPECT_TRUE(ds.has_transaction());
   EXPECT_LE(ds.item_dictionary().size(), 40u);
   for (size_t r = 0; r < ds.num_records(); ++r) {
-    EXPECT_GE(ds.items(r).size(), options.min_items_per_record);
-    EXPECT_LE(ds.items(r).size(), options.max_items_per_record);
+    EXPECT_GE(ds.items(r).raw().size(), options.min_items_per_record);
+    EXPECT_LE(ds.items(r).raw().size(), options.max_items_per_record);
   }
 }
 
@@ -45,7 +45,7 @@ TEST(SyntheticTest, AgeWithinBounds) {
   ASSERT_OK_AND_ASSIGN(Dataset ds, GenerateRtDataset(options));
   ASSERT_OK_AND_ASSIGN(size_t age, ds.ColumnByName("Age"));
   for (size_t r = 0; r < ds.num_records(); ++r) {
-    double v = ds.numeric_value(age, ds.value(r, age));
+    double v = ds.numeric_value(age, ds.value(r, age).raw()).raw();
     EXPECT_GE(v, 30);
     EXPECT_LE(v, 35);
   }
@@ -61,7 +61,7 @@ TEST(SyntheticTest, ZipfSkewShowsInSupports) {
   std::vector<size_t> support(ds.item_dictionary().size(), 0);
   size_t total = 0;
   for (size_t r = 0; r < ds.num_records(); ++r) {
-    for (ItemId item : ds.items(r)) {
+    for (ItemId item : ds.items(r).raw()) {
       support[static_cast<size_t>(item)]++;
       ++total;
     }

@@ -44,7 +44,7 @@ TEST(DatasetOpsTest, ProjectionKeepsRequestedAttributes) {
   ASSERT_OK_AND_ASSIGN(size_t age_src, ds.ColumnByName("Age"));
   ASSERT_OK_AND_ASSIGN(size_t age_dst, proj.ColumnByName("Age"));
   for (size_t r = 0; r < 10; ++r) {
-    EXPECT_EQ(proj.value_string(r, age_dst), ds.value_string(r, age_src));
+    EXPECT_EQ(proj.value_string(r, age_dst).raw(), ds.value_string(r, age_src).raw());
   }
   EXPECT_FALSE(ProjectAttributes(ds, {"Nope"}).ok());
   EXPECT_FALSE(ProjectAttributes(ds, {}).ok());

@@ -35,16 +35,16 @@ TEST(DatasetTest, TransactionItemsSortedDeduped) {
   ASSERT_OK_AND_ASSIGN(Dataset ds, Dataset::FromCsvInferred(t));
   // Single-column with spaces -> transaction.
   ASSERT_TRUE(ds.has_transaction());
-  EXPECT_EQ(ds.items(0).size(), 3u);
-  EXPECT_TRUE(std::is_sorted(ds.items(0).begin(), ds.items(0).end()));
+  EXPECT_EQ(ds.items(0).raw().size(), 3u);
+  EXPECT_TRUE(std::is_sorted(ds.items(0).raw().begin(), ds.items(0).raw().end()));
 }
 
 TEST(DatasetTest, NumericValuesParsed) {
   ASSERT_OK_AND_ASSIGN(Dataset ds, Dataset::FromCsvInferred(DemoTable()));
   ASSERT_OK_AND_ASSIGN(size_t age, ds.ColumnByName("Age"));
   EXPECT_TRUE(ds.is_numeric(age));
-  EXPECT_DOUBLE_EQ(ds.numeric_value(age, ds.value(0, age)), 25.0);
-  EXPECT_DOUBLE_EQ(ds.numeric_value(age, ds.value(3, age)), 47.0);
+  EXPECT_DOUBLE_EQ(ds.numeric_value(age, ds.value(0, age).raw()).raw(), 25.0);
+  EXPECT_DOUBLE_EQ(ds.numeric_value(age, ds.value(3, age).raw()).raw(), 47.0);
 }
 
 TEST(DatasetTest, SortedDomainNumericOrder) {
@@ -52,8 +52,8 @@ TEST(DatasetTest, SortedDomainNumericOrder) {
   ASSERT_OK_AND_ASSIGN(size_t age, ds.ColumnByName("Age"));
   auto domain = ds.SortedDomain(age);
   ASSERT_EQ(domain.size(), 3u);  // 25, 31, 47 distinct
-  EXPECT_DOUBLE_EQ(ds.numeric_value(age, domain[0]), 25.0);
-  EXPECT_DOUBLE_EQ(ds.numeric_value(age, domain[2]), 47.0);
+  EXPECT_DOUBLE_EQ(ds.numeric_value(age, domain[0]).raw(), 25.0);
+  EXPECT_DOUBLE_EQ(ds.numeric_value(age, domain[2]).raw(), 47.0);
 }
 
 TEST(DatasetTest, ToCsvRoundTrips) {
@@ -68,9 +68,9 @@ TEST(DatasetEditTest, SetCellRelationalAndTransaction) {
   ASSERT_OK_AND_ASSIGN(Dataset ds, Dataset::FromCsvInferred(DemoTable()));
   ASSERT_OK(ds.SetCell(0, 0, "26"));
   ASSERT_OK_AND_ASSIGN(size_t age, ds.ColumnOf(0));
-  EXPECT_EQ(ds.value_string(0, age), "26");
+  EXPECT_EQ(ds.value_string(0, age).raw(), "26");
   ASSERT_OK(ds.SetCell(0, 2, "zz yy"));
-  EXPECT_EQ(ds.items(0).size(), 2u);
+  EXPECT_EQ(ds.items(0).raw().size(), 2u);
   EXPECT_FALSE(ds.SetCell(99, 0, "1").ok());
   EXPECT_FALSE(ds.SetCell(0, 99, "1").ok());
   EXPECT_FALSE(ds.SetCell(0, 0, "not-a-number").ok());
@@ -83,7 +83,7 @@ TEST(DatasetEditTest, AddDeleteRow) {
   ASSERT_OK(ds.DeleteRow(0));
   EXPECT_EQ(ds.num_records(), 4u);
   ASSERT_OK_AND_ASSIGN(size_t age, ds.ColumnByName("Age"));
-  EXPECT_EQ(ds.value_string(0, age), "31");  // old row 1 shifted up
+  EXPECT_EQ(ds.value_string(0, age).raw(), "31");  // old row 1 shifted up
   EXPECT_FALSE(ds.AddRow({"1", "2"}).ok());  // wrong arity
   EXPECT_FALSE(ds.DeleteRow(99).ok());
 }
@@ -96,7 +96,7 @@ TEST(DatasetEditTest, RenameAndRemoveAttribute) {
   ASSERT_OK(ds.RemoveAttribute(1));
   EXPECT_EQ(ds.num_relational(), 1u);
   ASSERT_OK_AND_ASSIGN(size_t age, ds.ColumnByName("Age"));
-  EXPECT_EQ(ds.value_string(2, age), "25");  // data intact after column removal
+  EXPECT_EQ(ds.value_string(2, age).raw(), "25");  // data intact after column removal
 }
 
 TEST(DatasetEditTest, RemoveTransactionAttribute) {
@@ -113,7 +113,7 @@ TEST(DatasetEditTest, AddAttributeWithFill) {
   ASSERT_OK(ds.AddAttribute(spec, "unknown"));
   ASSERT_OK_AND_ASSIGN(size_t city, ds.ColumnByName("City"));
   for (size_t r = 0; r < ds.num_records(); ++r) {
-    EXPECT_EQ(ds.value_string(r, city), "unknown");
+    EXPECT_EQ(ds.value_string(r, city).raw(), "unknown");
   }
 }
 

@@ -130,7 +130,7 @@ TEST_F(DeterminismTest, MaterializedOutputRoundTripsAndStaysAnonymous) {
   }
   for (size_t r = 0; r < reloaded.num_records(); ++r) {
     std::vector<std::string> key;
-    for (size_t col : qi_cols) key.push_back(reloaded.value_string(r, col));
+    for (size_t col : qi_cols) key.push_back(std::string(reloaded.value_string(r, col).raw()));
     classes[key]++;
   }
   for (const auto& [key, size] : classes) {

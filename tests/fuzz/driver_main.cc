@@ -1,0 +1,59 @@
+// Standalone driver for the fuzz harnesses when libFuzzer is unavailable
+// (any non-Clang toolchain). Replays each file named on the command line —
+// normally a seed corpus directory expanded by the shell or ctest — through
+// LLVMFuzzerTestOneInput and exits 0 unless the harness crashes. This makes
+// the fuzz targets part of the ordinary gcc test build (label: fuzz), while
+// CI's fuzz-smoke job (.github/workflows/sanitizers.yml) links the same
+// harness objects against clang's -fsanitize=fuzzer for real mutation.
+//
+// Not compiled when SECRETA_LIBFUZZER is on: libFuzzer provides main().
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool ReadFileBytes(const char* path, std::vector<uint8_t>* out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return false;
+  }
+  out->resize(static_cast<size_t>(size));
+  size_t got =
+      out->empty()
+          ? 0
+          : std::fread(out->data(), 1, out->size(), f);  // lint:allow raw-io
+  std::fclose(f);
+  return got == out->size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file>...\n", argv[0]);
+    return 2;
+  }
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::vector<uint8_t> bytes;
+    if (!ReadFileBytes(argv[i], &bytes)) {
+      std::fprintf(stderr, "skipping unreadable %s\n", argv[i]);
+      continue;
+    }
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    ++replayed;
+  }
+  std::fprintf(stderr, "replayed %d input(s)\n", replayed);
+  return replayed > 0 ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+// Fuzz harness for the hardened JSON parser (serve/json.h) — the first
+// untrusted-input surface of every serving connection. The parser's contract
+// is "typed error, never crash" on arbitrary bytes: depth-limited, no
+// trailing garbage, no reads past the buffer. The harness also walks the
+// parsed tree and exercises the typed getters so accessor paths stay under
+// sanitizer coverage, not just the parse loop.
+
+#include <cstdint>
+#include <string>
+
+#include "serve/json.h"
+
+namespace secreta {
+namespace {
+
+void Walk(const JsonValue& value, int depth) {
+  if (depth > 80) return;
+  (void)value.bool_value();
+  (void)value.number_value();
+  (void)value.string_value();
+  for (const auto& [key, child] : value.members()) {
+    (void)value.Find(key);
+    Walk(child, depth + 1);
+  }
+  for (const JsonValue& child : value.elements()) Walk(child, depth + 1);
+  // Typed getters on whatever shape arrived; errors are the point.
+  (void)value.GetStringOr("op", "");
+  (void)value.GetUintOr("id", 0);
+  (void)value.GetNumberOr("count", 0.0);
+  (void)value.GetBoolOr("ok", false);
+}
+
+}  // namespace
+}  // namespace secreta
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  auto parsed = secreta::JsonValue::Parse(text);
+  if (parsed.ok()) secreta::Walk(*parsed, 0);
+  // A shallow depth limit must also reject cleanly.
+  (void)secreta::JsonValue::Parse(text, /*max_depth=*/4);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fuzz harness for the serve wire protocol decoders (serve/protocol.h):
+// the frame length prefix (DecodeFrameLength — the first four bytes any
+// client sends) and the request/response payload decoders, whose contract
+// is typed errors on malformed JSON, unknown ops, and schema violations —
+// never a crash. Both sides are fuzzed because the scripted client parses
+// responses from a server it does not have to trust.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  // Frame header decoding: the first 4 bytes against the production limit
+  // and a tiny limit (oversize rejection path), plus the not-4-bytes error.
+  if (bytes.size() >= 4) {
+    (void)secreta::DecodeFrameLength(bytes.substr(0, 4),
+                                     secreta::kServeMaxFrameBytes);
+    (void)secreta::DecodeFrameLength(bytes.substr(0, 4),
+                                     /*max_frame_bytes=*/16);
+  }
+  (void)secreta::DecodeFrameLength(bytes, secreta::kServeMaxFrameBytes);
+
+  // Payload decoding, both directions.
+  const std::string payload(bytes);
+  auto request = secreta::ParseServeRequest(payload);
+  if (request.ok()) {
+    // Round-trip: a decodable request must re-serialize and decode again.
+    (void)secreta::ParseServeRequest(
+        secreta::SerializeServeRequest(*request));
+  }
+  (void)secreta::ParseServeResponse(payload);
+  return 0;
+}

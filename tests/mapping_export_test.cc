@@ -71,7 +71,7 @@ TEST(MappingExportTest, CsvWriteAndReload) {
   ASSERT_OK_AND_ASSIGN(TransactionRecoding recoding,
                        algo->Anonymize(ctx, params));
   std::vector<std::vector<ItemId>> txns;
-  for (size_t r = 0; r < ds.num_records(); ++r) txns.push_back(ds.items(r));
+  for (size_t r = 0; r < ds.num_records(); ++r) txns.push_back(ds.items(r).raw());
   auto mapping =
       CollectTransactionMapping(recoding, txns, ds.item_dictionary());
   EXPECT_FALSE(mapping.empty());

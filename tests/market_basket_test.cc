@@ -38,7 +38,7 @@ TEST(MarketBasketTest, PatternsCreateFrequentItemsets) {
   // far above the independence baseline.
   std::map<std::pair<ItemId, ItemId>, size_t> pairs;
   for (size_t r = 0; r < ds.num_records(); ++r) {
-    const auto& txn = ds.items(r);
+    const auto& txn = ds.items(r).raw();
     for (size_t i = 0; i < txn.size(); ++i) {
       for (size_t j = i + 1; j < txn.size(); ++j) {
         ++pairs[{txn[i], txn[j]}];

@@ -135,7 +135,7 @@ TEST(FrequencyTest, GeneralizedValueHistogram) {
 TEST(FrequencyTest, ItemFrequencyErrorZeroOnIdentity) {
   Dataset ds = testing::SmallRtDataset(60);
   std::vector<std::vector<ItemId>> txns;
-  for (size_t r = 0; r < ds.num_records(); ++r) txns.push_back(ds.items(r));
+  for (size_t r = 0; r < ds.num_records(); ++r) txns.push_back(ds.items(r).raw());
   TransactionRecoding identity = IdentityTransactionRecoding(
       txns, ds.item_dictionary().size(), ds.item_dictionary());
   EXPECT_NEAR(

@@ -46,7 +46,7 @@ TEST(UtilityPolicyTest, UnrestrictedCoversAll) {
 TEST(PolicySatisfactionTest, ConstraintSupportOnIdentity) {
   Dataset ds = ItemsDataset();
   std::vector<std::vector<ItemId>> txns;
-  for (size_t r = 0; r < ds.num_records(); ++r) txns.push_back(ds.items(r));
+  for (size_t r = 0; r < ds.num_records(); ++r) txns.push_back(ds.items(r).raw());
   TransactionRecoding identity = IdentityTransactionRecoding(
       txns, ds.item_dictionary().size(), ds.item_dictionary());
   ASSERT_OK_AND_ASSIGN(ItemId a, ds.item_dictionary().Lookup("a"));
@@ -63,7 +63,7 @@ TEST(PolicySatisfactionTest, ConstraintSupportOnIdentity) {
 TEST(PolicySatisfactionTest, ZeroSupportSatisfies) {
   Dataset ds = ItemsDataset();
   std::vector<std::vector<ItemId>> txns;
-  for (size_t r = 0; r < ds.num_records(); ++r) txns.push_back(ds.items(r));
+  for (size_t r = 0; r < ds.num_records(); ++r) txns.push_back(ds.items(r).raw());
   TransactionRecoding recoding = IdentityTransactionRecoding(
       txns, ds.item_dictionary().size(), ds.item_dictionary());
   ASSERT_OK_AND_ASSIGN(ItemId d, ds.item_dictionary().Lookup("d"));
@@ -141,7 +141,7 @@ TEST(PolicyGeneratorTest, RandomItemsetsComeFromRecords) {
     // Every generated itemset occurs in some record.
     bool found = false;
     for (size_t r = 0; r < ds.num_records() && !found; ++r) {
-      const auto& txn = ds.items(r);
+      const auto& txn = ds.items(r).raw();
       found = std::includes(txn.begin(), txn.end(), c.items.begin(),
                             c.items.end());
     }

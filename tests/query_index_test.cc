@@ -71,7 +71,7 @@ TEST(QueryIndexTest, PostingsMatchScan) {
       ValueId id = static_cast<ValueId>(v);
       std::vector<uint32_t> expected;
       for (size_t r = 0; r < ds.num_records(); ++r) {
-        if (ds.value(r, col) == id) expected.push_back(static_cast<uint32_t>(r));
+        if (ds.value(r, col).raw() == id) expected.push_back(static_cast<uint32_t>(r));
       }
       size_t n = 0;
       const uint32_t* got = index.postings(col, id, &n);
@@ -83,7 +83,7 @@ TEST(QueryIndexTest, PostingsMatchScan) {
     ItemId item = static_cast<ItemId>(i);
     std::vector<uint32_t> expected;
     for (size_t r = 0; r < ds.num_records(); ++r) {
-      const auto& items = ds.items(r);
+      const auto& items = ds.items(r).raw();
       if (std::binary_search(items.begin(), items.end(), item)) {
         expected.push_back(static_cast<uint32_t>(r));
       }
@@ -102,7 +102,7 @@ TEST(QueryIndexTest, ClauseBitmapAndIntersectionMatchScan) {
     RecordBitmap bm = index.ClauseBitmap(col, match);
     size_t count = 0;
     for (size_t r = 0; r < ds.num_records(); ++r) {
-      bool expected = match[static_cast<size_t>(ds.value(r, col))] != 0;
+      bool expected = match[static_cast<size_t>(ds.value(r, col).raw())] != 0;
       EXPECT_EQ(bm.Test(r), expected) << "col " << col << " rec " << r;
       count += expected;
     }
@@ -118,7 +118,7 @@ TEST(QueryIndexTest, ClauseBitmapAndIntersectionMatchScan) {
     items.erase(std::unique(items.begin(), items.end()), items.end());
     std::vector<uint32_t> expected;
     for (size_t r = 0; r < ds.num_records(); ++r) {
-      const auto& txn = ds.items(r);
+      const auto& txn = ds.items(r).raw();
       bool all = true;
       for (ItemId item : items) {
         all = all && std::binary_search(txn.begin(), txn.end(), item);
@@ -147,7 +147,7 @@ TransactionRecoding GroupedTransactionRecoding(const Dataset& ds,
   }
   for (size_t r = 0; r < ds.num_records(); ++r) {
     std::vector<int32_t> rec;
-    for (ItemId item : ds.items(r)) {
+    for (ItemId item : ds.items(r).raw()) {
       rec.push_back(recoding.item_map[static_cast<size_t>(item)]);
     }
     std::sort(rec.begin(), rec.end());
@@ -181,7 +181,7 @@ TransactionRecoding OverlappingLocalRecoding(const Dataset& ds) {
   for (size_t r = 0; r < ds.num_records(); ++r) {
     const std::vector<int32_t>& map = (r % 2 == 0) ? even_map : odd_map;
     std::vector<int32_t> rec;
-    for (ItemId item : ds.items(r)) {
+    for (ItemId item : ds.items(r).raw()) {
       rec.push_back(map[static_cast<size_t>(item)]);
     }
     std::sort(rec.begin(), rec.end());

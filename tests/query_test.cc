@@ -123,7 +123,7 @@ TEST(QueryEvaluatorTest, ItemEstimateUsesCoverShare) {
   Dataset ds = QueryDataset();
   // Merge items a and b into one gen everywhere.
   std::vector<std::vector<ItemId>> txns;
-  for (size_t r = 0; r < ds.num_records(); ++r) txns.push_back(ds.items(r));
+  for (size_t r = 0; r < ds.num_records(); ++r) txns.push_back(ds.items(r).raw());
   ASSERT_OK_AND_ASSIGN(ItemId a, ds.item_dictionary().Lookup("a"));
   ASSERT_OK_AND_ASSIGN(ItemId b, ds.item_dictionary().Lookup("b"));
   ASSERT_OK_AND_ASSIGN(ItemId c, ds.item_dictionary().Lookup("c"));

@@ -85,7 +85,7 @@ TEST(RhoUncertaintyTest, CheckerDetectsViolation) {
   // Identity recoding on RuleDataset: conf(a->s) = 0.75 > 0.5.
   Dataset ds = RuleDataset();
   std::vector<std::vector<ItemId>> txns;
-  for (size_t r = 0; r < ds.num_records(); ++r) txns.push_back(ds.items(r));
+  for (size_t r = 0; r < ds.num_records(); ++r) txns.push_back(ds.items(r).raw());
   TransactionRecoding identity = IdentityTransactionRecoding(
       txns, ds.item_dictionary().size(), ds.item_dictionary());
   ASSERT_OK_AND_ASSIGN(ItemId s, ds.item_dictionary().Lookup("s"));

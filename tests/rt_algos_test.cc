@@ -111,7 +111,7 @@ TEST_F(RtDeltaTest, DeltaTradesRelationalForTransactionUtility) {
   params.m = 2;
   std::vector<std::vector<ItemId>> original;
   for (size_t r = 0; r < dataset_->num_records(); ++r) {
-    original.push_back(dataset_->items(r));
+    original.push_back(dataset_->items(r).raw());
   }
   // Tight delta (0.05) forces many merges; loose delta (0.9) almost none.
   params.delta = 0.05;
@@ -139,7 +139,7 @@ TEST_F(RtDeltaTest, MergerChoiceChangesTradeoff) {
   params.delta = 0.1;
   std::vector<std::vector<ItemId>> original;
   for (size_t r = 0; r < dataset_->num_records(); ++r) {
-    original.push_back(dataset_->items(r));
+    original.push_back(dataset_->items(r).raw());
   }
   double gcp[3];
   for (int i = 0; i < 3; ++i) {

@@ -1,0 +1,108 @@
+// Positive-side tests of the privacy taint layer: the Sensitive<T> /
+// SensitiveSpan<T> wrappers behave as values inside the trust boundary, the
+// Dataset accessors actually return tainted types (static_asserts — the
+// negative compile tests in tests/compile/ prove the reverse direction),
+// and Declassify() round-trips.
+
+#include "common/sensitive.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tests/test_util.h"
+
+namespace secreta {
+namespace {
+
+// --- Compile-time contract -------------------------------------------------
+
+// The raw accessors return tainted types, not the plain values.
+using ValueReturn = decltype(std::declval<const Dataset&>().value(0, 0));
+using StringReturn =
+    decltype(std::declval<const Dataset&>().value_string(0, 0));
+using NumericReturn =
+    decltype(std::declval<const Dataset&>().numeric_value(0, ValueId{0}));
+using ItemsReturn = decltype(std::declval<const Dataset&>().items(0));
+static_assert(std::is_same_v<ValueReturn, Sensitive<ValueId>>);
+static_assert(std::is_same_v<StringReturn, Sensitive<std::string_view>>);
+static_assert(std::is_same_v<NumericReturn, Sensitive<double>>);
+static_assert(std::is_same_v<ItemsReturn, SensitiveSpan<ItemId>>);
+
+// No implicit escape: tainted values do not convert to their raw types (or
+// anything a response/log/label could be built from).
+static_assert(!std::is_convertible_v<Sensitive<ValueId>, ValueId>);
+static_assert(!std::is_convertible_v<Sensitive<double>, double>);
+static_assert(
+    !std::is_convertible_v<Sensitive<std::string_view>, std::string_view>);
+static_assert(!std::is_convertible_v<Sensitive<std::string_view>, std::string>);
+static_assert(
+    !std::is_convertible_v<SensitiveSpan<ItemId>, std::vector<ItemId>>);
+
+// Tainting is explicit: a plain value does not silently become Sensitive
+// either (explicit constructor), so taint annotations stay visible at the
+// source.
+static_assert(!std::is_convertible_v<ValueId, Sensitive<ValueId>>);
+static_assert(std::is_constructible_v<Sensitive<ValueId>, ValueId>);
+
+// Zero-cost claims from the header comment.
+static_assert(std::is_trivially_copyable_v<Sensitive<ValueId>>);
+static_assert(std::is_trivially_copyable_v<Sensitive<double>>);
+static_assert(sizeof(Sensitive<double>) == sizeof(double));
+
+// --- Runtime behavior ------------------------------------------------------
+
+TEST(SensitiveTest, WrapUnwrapRoundTrip) {
+  Sensitive<int> tainted(42);
+  EXPECT_EQ(tainted.raw(), 42);
+  EXPECT_EQ(Declassify(tainted), 42);
+}
+
+TEST(SensitiveTest, ComparisonsStayTainted) {
+  Sensitive<int> a(1), b(1), c(2);
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(a != c);
+  EXPECT_TRUE(a < c);
+  EXPECT_FALSE(c < a);
+}
+
+TEST(SensitiveTest, DefaultConstructedIsValueInitialized) {
+  Sensitive<int> zero;
+  EXPECT_EQ(zero.raw(), 0);
+}
+
+TEST(SensitiveSpanTest, SizeIsUntaintedElementsAreNot) {
+  std::vector<ItemId> items = {3, 1, 4};
+  SensitiveSpan<ItemId> span(items);
+  // Aggregate shape is public; the guarantee itself is about counts.
+  EXPECT_EQ(span.size(), 3u);
+  EXPECT_FALSE(span.empty());
+  // Elements come back only through raw() — by reference, not a copy.
+  EXPECT_EQ(&span.raw(), &items);
+  EXPECT_EQ(span.raw()[1], 1u);
+}
+
+TEST(SensitiveSpanTest, DeclassifyCopies) {
+  std::vector<ItemId> items = {7, 8};
+  SensitiveSpan<ItemId> span(items);
+  std::vector<ItemId> out = Declassify(span);
+  EXPECT_EQ(out, items);
+  EXPECT_NE(&out, &items);
+}
+
+TEST(SensitiveDatasetTest, AccessorsRoundTripThroughTaint) {
+  Dataset ds = testing::SmallRtDataset(10);
+  // A tainted cell equals itself and unwraps to a real dictionary entry.
+  EXPECT_EQ(ds.value(0, 0), ds.value(0, 0));
+  std::string_view cell = ds.value_string(0, 0).raw();
+  EXPECT_FALSE(cell.empty());
+  // The transaction span borrows the record's item set.
+  EXPECT_EQ(ds.items(0).size(), ds.items(0).raw().size());
+}
+
+}  // namespace
+}  // namespace secreta

@@ -82,7 +82,7 @@ TEST_P(TransactionAlgoTest, RecodingIsStructurallySound) {
     }
     // Every gen present in a record must cover at least one item the record
     // actually has (truthfulness: no fabricated content).
-    const auto& original = dataset_->items(r);
+    const auto& original = dataset_->items(r).raw();
     for (int32_t g : rec) {
       const auto& covers = recoding.gens[static_cast<size_t>(g)].covers;
       bool overlaps = false;
@@ -120,7 +120,7 @@ TEST_P(TransactionAlgoTest, RecodingIsStructurallySound) {
   // UL is a valid normalized loss.
   std::vector<std::vector<ItemId>> original;
   for (size_t r = 0; r < dataset_->num_records(); ++r) {
-    original.push_back(dataset_->items(r));
+    original.push_back(dataset_->items(r).raw());
   }
   double ul = TransactionUl(recoding, original, num_items);
   EXPECT_GE(ul, 0.0);

@@ -36,6 +36,15 @@ the default GCC build would silently skip):
                     hygiene and the self-include check.
   self-include-first  Every src/ .cc includes its own header first, proving
                     each header is self-contained.
+  include-cycle     The src/ header include graph must stay a DAG. Layering
+                    is otherwise only a convention: common/ at the bottom;
+                    data/, hierarchy/, kernels/ above it; core/, algo/,
+                    query/, engine/ above those; serve/, obs/, service/,
+                    export/ at the rim. A cycle means two layers secretly
+                    depend on each other and header hygiene (plus the
+                    privacy layering in check_privacy_flow.py) can no
+                    longer be reasoned about file-locally. Reported once
+                    per cycle with the full path.
 
 Run from the repo root (or pass --root). Exits non-zero with one
 "path:line: rule: message" diagnostic per violation. Suppress a single line
@@ -204,6 +213,57 @@ def check_file(path: Path, rel: str, errors: list[str]) -> None:
                 )
 
 
+def check_include_cycles(root: Path, errors: list[str]) -> None:
+    """Reports cycles in the src/ header include graph (must stay a DAG)."""
+    src = root / "src"
+    graph: dict[str, list[str]] = {}
+    for path in sorted(src.rglob("*.h")):
+        rel = path.relative_to(src).as_posix()
+        targets = []
+        for _, _, line in iter_source_lines(path):
+            m = INCLUDE_RE.match(line)
+            if m and m.group(3) and (src / m.group(3)).exists():
+                targets.append(m.group(3))
+        graph[rel] = targets
+
+    # Iterative DFS with an explicit color map; each cycle reported once.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    reported: set[frozenset[str]] = set()
+
+    def visit(start: str) -> None:
+        stack: list[tuple[str, int]] = [(start, 0)]
+        path_stack = [start]
+        color[start] = GRAY
+        while stack:
+            node, idx = stack[-1]
+            targets = graph.get(node, [])
+            if idx < len(targets):
+                stack[-1] = (node, idx + 1)
+                nxt = targets[idx]
+                state = color.get(nxt, BLACK)
+                if state == WHITE:
+                    color[nxt] = GRAY
+                    stack.append((nxt, 0))
+                    path_stack.append(nxt)
+                elif state == GRAY:
+                    cycle = path_stack[path_stack.index(nxt):] + [nxt]
+                    key = frozenset(cycle)
+                    if key not in reported:
+                        reported.add(key)
+                        errors.append(
+                            f"src/{cycle[0]}:1: include-cycle: "
+                            + " -> ".join(cycle))
+            else:
+                color[node] = BLACK
+                stack.pop()
+                path_stack.pop()
+
+    for node in graph:
+        if color[node] == WHITE:
+            visit(node)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=".", help="repository root")
@@ -232,6 +292,8 @@ def main() -> int:
             paths.extend(sorted((root / sub).rglob("*.h")))
 
     errors: list[str] = []
+    if not args.files:
+        check_include_cycles(root, errors)
     checked = 0
     for path in paths:
         if path.suffix not in (".cc", ".h"):

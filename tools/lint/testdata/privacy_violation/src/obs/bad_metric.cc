@@ -1,0 +1,11 @@
+// Seeded obs-no-sensitive violations for `lint.privacy_flow_detects`.
+
+#include "common/sensitive.h"  // obs-no-sensitive: banned include
+
+namespace secreta {
+
+int TaintedGauge(const Sensitive<int>& value) {
+  return value.raw();  // obs-no-sensitive + telemetry unwrap
+}
+
+}  // namespace secreta
